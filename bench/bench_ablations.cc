@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation benches for the design choices DESIGN.md calls out:
+ *
+ *  1. dispatch arbitration: the paper's priority policy (network
+ *     responses > network requests > bus requests, with the
+ *     4-request livelock exception) vs. plain FIFO;
+ *  2. direct bus<->network data path for writebacks: on vs. off
+ *     (off = a protocol handler spends engine occupancy per
+ *     writeback, as a naive design would);
+ *  3. directory cache: on vs. off (off = every controller-side
+ *     directory read pays the DRAM round trip);
+ *  4. two-engine work distribution: the paper's static local/remote
+ *     address split vs. an idealized dynamic least-loaded split.
+ *
+ * Each ablation runs the two most communication-intensive
+ * applications (Ocean, Radix) and reports the execution-time delta.
+ */
+
+#include "bench_common.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+using namespace bench;
+
+void
+ablation(const std::string &title, const Options &o, Arch arch,
+         const std::function<void(MachineConfig &)> &off_tweak)
+{
+    report::Table t({"application", "baseline (ticks)",
+                     "ablated (ticks)", "slowdown"});
+    for (const std::string &app : {std::string("Ocean"),
+                                   std::string("Radix")}) {
+        if (!o.wantsApp(app))
+            continue;
+        RunResult base = runApp(app, arch, o);
+        RunResult abl = runApp(app, arch, o, 1.0, off_tweak);
+        t.addRow({base.workload,
+                  report::fmt("%llu",
+                              (unsigned long long)base.execTicks),
+                  report::fmt("%llu",
+                              (unsigned long long)abl.execTicks),
+                  report::pct(double(abl.execTicks) /
+                                  double(base.execTicks) -
+                              1.0)});
+    }
+    std::cout << "\n" << title << " (" << archName(arch) << ")\n";
+    t.print(std::cout);
+    std::cout << std::flush;
+}
+
+int
+run(int argc, char **argv)
+{
+    Options o = parseOptions(argc, argv);
+    printHeader("Ablations: controller design choices", o);
+
+    ablation("Ablation 1: plain-FIFO dispatch instead of the "
+             "priority policy", o, Arch::PPC,
+             [](MachineConfig &cfg) {
+                 cfg.node.cc.priorityArbitration = false;
+             });
+
+    ablation("Ablation 2: no direct writeback data path (handler "
+             "per writeback)", o, Arch::PPC,
+             [](MachineConfig &cfg) {
+                 cfg.node.cc.directDataPath = false;
+             });
+
+    ablation("Ablation 3: no directory cache (every directory read "
+             "pays DRAM)", o, Arch::HWC,
+             [](MachineConfig &cfg) {
+                 cfg.node.dir.cacheEnabled = false;
+             });
+
+    ablation("Ablation 4: dynamic least-loaded two-engine split "
+             "(idealized; the paper's static local/remote split is "
+             "the baseline)", o, Arch::TwoPPC,
+             [](MachineConfig &cfg) {
+                 cfg.node.cc.dynamicSplit = true;
+             });
+
+    return 0;
+}
+
+} // namespace
+} // namespace ccnuma
+
+int
+main(int argc, char **argv)
+{
+    return ccnuma::run(argc, argv);
+}

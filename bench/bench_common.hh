@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared harness for the table/figure reproduction benches.
+ *
+ * Every bench accepts:
+ *   --scale=<f>   linear problem-scale factor (default 0.5)
+ *   --full        paper-size data sets (scale 1.0)
+ *   --procs=<n>   total processors (default: paper's 64; LU and
+ *                 Cholesky always run on 32, as in the paper)
+ *   --apps=a,b,c  restrict the application set
+ *
+ * Benches print the measured rows next to the paper's readable
+ * values; EXPERIMENTS.md records the comparison for the committed
+ * run.
+ */
+
+#ifndef CCNUMA_BENCH_BENCH_COMMON_HH
+#define CCNUMA_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "report/table.hh"
+#include "system/machine.hh"
+#include "workload/splash.hh"
+#include "workload/synthetic.hh"
+#include "workload/workload.hh"
+
+namespace ccnuma
+{
+namespace bench
+{
+
+struct Options
+{
+    double scale = 0.5;
+    unsigned procs = 64;
+    std::vector<std::string> apps;
+
+    bool
+    wantsApp(const std::string &name) const
+    {
+        if (apps.empty())
+            return true;
+        for (const auto &a : apps) {
+            if (name.rfind(a, 0) == 0)
+                return true;
+        }
+        return false;
+    }
+};
+
+inline Options
+parseOptions(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--scale=", 0) == 0) {
+            o.scale = std::stod(arg.substr(8));
+        } else if (arg == "--full") {
+            o.scale = 1.0;
+        } else if (arg.rfind("--procs=", 0) == 0) {
+            o.procs = static_cast<unsigned>(
+                std::stoul(arg.substr(8)));
+        } else if (arg.rfind("--apps=", 0) == 0) {
+            std::string list = arg.substr(7);
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                std::size_t comma = list.find(',', pos);
+                o.apps.push_back(list.substr(
+                    pos, comma == std::string::npos ? comma
+                                                    : comma - pos));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n",
+                         arg.c_str());
+            std::exit(2);
+        }
+    }
+    return o;
+}
+
+/** Paper convention: LU and Cholesky run on 32 processors. */
+inline unsigned
+procsForApp(const std::string &app, unsigned default_procs)
+{
+    if (app == "LU" || app == "Cholesky")
+        return std::min(32u, default_procs);
+    return default_procs;
+}
+
+/** Run one application on one architecture. */
+inline RunResult
+runApp(const std::string &app, Arch arch, const Options &o,
+       double data_factor = 1.0,
+       const std::function<void(MachineConfig &)> &tweak = nullptr)
+{
+    unsigned procs = procsForApp(app, o.procs);
+    MachineConfig cfg = MachineConfig::base();
+    unsigned ppn = cfg.node.procsPerNode;
+    cfg.withProcsPerNode(ppn, procs);
+    cfg.withArch(arch);
+    if (tweak)
+        tweak(cfg);
+
+    WorkloadParams p;
+    p.numThreads = procs;
+    p.scale = o.scale;
+    p.dataFactor = data_factor;
+    p.lineBytes = cfg.node.cache.lineBytes;
+    auto w = makeWorkload(app, p);
+
+    Machine m(cfg);
+    RunResult r = m.run(*w);
+    return r;
+}
+
+constexpr Arch allArchs[] = {Arch::HWC, Arch::PPC, Arch::TwoHWC,
+                             Arch::TwoPPC};
+
+inline std::string
+fmtTicks(Tick t)
+{
+    return report::fmt("%llu", (unsigned long long)t);
+}
+
+inline void
+printHeader(const std::string &what, const Options &o)
+{
+    std::cout << "==================================================="
+                 "=========\n"
+              << what << "\n"
+              << "scale=" << o.scale << " (1.0 = paper data sets)"
+              << ", base procs=" << o.procs << "\n"
+              << "==================================================="
+                 "=========\n";
+}
+
+} // namespace bench
+} // namespace ccnuma
+
+#endif // CCNUMA_BENCH_BENCH_COMMON_HH

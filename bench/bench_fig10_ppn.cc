@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 10 reproduction: 64 processors arranged as 1, 2, 4, or 8
+ * processors per SMP node (64, 32, 16, 8 coherence controllers),
+ * normalized to HWC on the base 4-per-node system.
+ *
+ * Paper anchors: the PP penalty grows with processors per node for
+ * communication-intensive applications (Ocean: 79% at 1/node, 93% at
+ * 4/node, 106% at 8/node); two-engine controllers at 2k procs/node
+ * roughly match one-engine controllers at k procs/node.
+ */
+
+#include "bench_common.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+using namespace bench;
+
+int
+run(int argc, char **argv)
+{
+    Options o = parseOptions(argc, argv);
+    printHeader("Figure 10: processors per SMP node sweep", o);
+
+    const unsigned ppns[] = {1, 2, 4, 8};
+
+    for (const std::string &app : splashNames()) {
+        if (!o.wantsApp(app))
+            continue;
+        unsigned procs = procsForApp(app, o.procs);
+        // Baseline: HWC at 4 processors per node.
+        double base = 0.0;
+        report::Table t({"procs/node", "HWC", "PPC", "2HWC", "2PPC",
+                         "PP penalty"});
+        std::string label = app;
+        for (unsigned ppn : ppns) {
+            if (procs % ppn != 0)
+                continue;
+            double exec[4];
+            for (int a = 0; a < 4; ++a) {
+                auto tweak = [ppn, procs](MachineConfig &cfg) {
+                    cfg.withProcsPerNode(ppn, procs);
+                };
+                RunResult r = runApp(app, allArchs[a], o, 1.0, tweak);
+                exec[a] = static_cast<double>(r.execTicks);
+                label = r.workload;
+            }
+            if (ppn == 4)
+                base = exec[0];
+            t.addRow({report::fmt("%u", ppn),
+                      report::fmt("%.0f", exec[0]),
+                      report::fmt("%.0f", exec[1]),
+                      report::fmt("%.0f", exec[2]),
+                      report::fmt("%.0f", exec[3]),
+                      report::pct(exec[1] / exec[0] - 1.0)});
+        }
+        std::cout << "\n" << label
+                  << " (execution ticks; PP penalty per row):\n";
+        t.print(std::cout);
+        if (base > 0.0)
+            std::cout << "baseline (HWC @4/node): "
+                      << report::fmt("%.0f", base) << " ticks\n";
+        std::cout << std::flush;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace ccnuma
+
+int
+main(int argc, char **argv)
+{
+    return ccnuma::run(argc, argv);
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figures 11 and 12 reproduction:
+ *  - Fig 11: arrival rate of requests per controller per us vs
+ *    1000xRCCPI, for HWC (one and two engines) and PPC — showing the
+ *    controllers' saturation levels (the PPC curve flattens first).
+ *  - Fig 12: PP penalty vs 1000xRCCPI — the negative-feedback shape
+ *    (proportional but sub-exponential growth).
+ *
+ * Points come from the eight applications plus the large-data
+ * variants, exactly as in the paper.
+ */
+
+#include "bench_common.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+using namespace bench;
+
+int
+run(int argc, char **argv)
+{
+    Options o = parseOptions(argc, argv);
+    printHeader("Figures 11/12: communication-rate analysis", o);
+
+    std::vector<std::pair<std::string, double>> variants;
+    for (const std::string &app : splashNames()) {
+        if (app != "LU" && app != "Cholesky")
+            variants.emplace_back(app, 1.0); // paper excludes 32p runs
+    }
+    variants.emplace_back("FFT", 4.0);
+    variants.emplace_back("Ocean", 2.0);
+
+    struct Point
+    {
+        std::string name;
+        double rccpi1000;
+        double penalty;
+        double rateHwc, ratePpc, rate2Hwc, rate2Ppc;
+    };
+    std::vector<Point> points;
+
+    for (const auto &[app, df] : variants) {
+        if (!o.wantsApp(app))
+            continue;
+        RunResult h = runApp(app, Arch::HWC, o, df);
+        RunResult p = runApp(app, Arch::PPC, o, df);
+        RunResult h2 = runApp(app, Arch::TwoHWC, o, df);
+        RunResult p2 = runApp(app, Arch::TwoPPC, o, df);
+        Point pt;
+        pt.name = h.workload;
+        pt.rccpi1000 = 1000.0 * h.rccpi();
+        pt.penalty =
+            double(p.execTicks) / double(h.execTicks) - 1.0;
+        pt.rateHwc = h.arrivalsPerUs;
+        pt.ratePpc = p.arrivalsPerUs;
+        pt.rate2Hwc = h2.arrivalsPerUs;
+        pt.rate2Ppc = p2.arrivalsPerUs;
+        points.push_back(pt);
+        std::cout << "  finished " << pt.name << "\n" << std::flush;
+    }
+
+    std::sort(points.begin(), points.end(),
+              [](const Point &a, const Point &b) {
+                  return a.rccpi1000 < b.rccpi1000;
+              });
+
+    report::Table f11({"application", "1000xRCCPI", "req/us HWC",
+                       "req/us PPC", "req/us 2HWC", "req/us 2PPC"});
+    for (const Point &pt : points) {
+        f11.addRow({pt.name, report::fmt("%.1f", pt.rccpi1000),
+                    report::fmt("%.2f", pt.rateHwc),
+                    report::fmt("%.2f", pt.ratePpc),
+                    report::fmt("%.2f", pt.rate2Hwc),
+                    report::fmt("%.2f", pt.rate2Ppc)});
+    }
+    std::cout << "\nFigure 11: controller bandwidth limits (arrival "
+                 "rate vs communication rate)\n"
+                 "(shape check: the PPC series must flatten below "
+                 "the HWC series as RCCPI grows)\n";
+    f11.print(std::cout);
+
+    report::Table f12({"application", "1000xRCCPI", "PP penalty"});
+    for (const Point &pt : points) {
+        f12.addRow({pt.name, report::fmt("%.1f", pt.rccpi1000),
+                    report::pct(pt.penalty)});
+    }
+    std::cout << "\nFigure 12: PP penalty vs communication rate\n"
+                 "(shape check: penalty grows with RCCPI, with a "
+                 "gradual, negative-feedback slope)\n";
+    f12.print(std::cout);
+    return 0;
+}
+
+} // namespace
+} // namespace ccnuma
+
+int
+main(int argc, char **argv)
+{
+    return ccnuma::run(argc, argv);
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 6 reproduction: normalized execution time of the eight
+ * SPLASH-2 applications on the base system for HWC, PPC, 2HWC and
+ * 2PPC. Also prints Table 5 (the data sets in effect).
+ *
+ * Paper anchors: PP penalty 4% (LU) to 93% (Ocean-258); Radix ~46%,
+ * FFT-64K ~46%; 2HWC up to 18% and 2PPC up to 30% better than their
+ * one-engine versions (Ocean).
+ */
+
+#include "bench_common.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+using namespace bench;
+
+int
+run(int argc, char **argv)
+{
+    bench::Options o = bench::parseOptions(argc, argv);
+    bench::printHeader(
+        "Figure 6: normalized execution time, base configuration",
+        o);
+
+    report::Table t5({"application", "data set at this scale",
+                      "processors"});
+    report::Table t({"application", "HWC", "PPC", "2HWC", "2PPC",
+                     "PP penalty", "paper penalty"});
+    const std::map<std::string, std::string> paper_penalty = {
+        {"LU", "4%"},          {"Water-Sp", "(low)"},
+        {"Barnes", "(moderate)"}, {"Cholesky", "~16%"},
+        {"Water-Nsq", "(moderate)"}, {"FFT", "~46%"},
+        {"Radix", "~46-52%"},  {"Ocean", "93%"},
+    };
+
+    for (const std::string &app : splashNames()) {
+        if (!o.wantsApp(app))
+            continue;
+        double exec[4] = {};
+        std::string label;
+        for (int a = 0; a < 4; ++a) {
+            RunResult r = runApp(app, bench::allArchs[a], o);
+            exec[a] = static_cast<double>(r.execTicks);
+            label = r.workload;
+            if (a == 0) {
+                t5.addRow({label,
+                           report::fmt("scale %.2f of Table 5",
+                                       o.scale),
+                           report::fmt(
+                               "%u",
+                               bench::procsForApp(app, o.procs))});
+            }
+        }
+        double base = exec[0];
+        t.addRow({label, "1.000",
+                  report::fmt("%.3f", exec[1] / base),
+                  report::fmt("%.3f", exec[2] / base),
+                  report::fmt("%.3f", exec[3] / base),
+                  report::pct(exec[1] / base - 1.0),
+                  paper_penalty.at(app)});
+        std::cout << "  finished " << label << "\n" << std::flush;
+    }
+
+    std::cout << "\nTable 5: benchmark data sets in effect\n";
+    t5.print(std::cout);
+    std::cout << "\nFigure 6: execution time normalized to HWC\n";
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+} // namespace ccnuma
+
+int
+main(int argc, char **argv)
+{
+    return ccnuma::run(argc, argv);
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 7 reproduction: normalized execution time with 32-byte
+ * cache lines, normalized to HWC on the *base* (128-byte) system.
+ *
+ * Paper anchors: execution time rises for the high-spatial-locality
+ * applications (FFT, Cholesky, Radix, LU) regardless of controller;
+ * the PP penalty grows with the request rate (FFT: 45% -> 68%).
+ */
+
+#include "bench_common.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+using namespace bench;
+
+int
+run(int argc, char **argv)
+{
+    Options o = parseOptions(argc, argv);
+    printHeader("Figure 7: 32-byte cache lines", o);
+
+    auto small_lines = [](MachineConfig &cfg) {
+        cfg.withLineBytes(32);
+    };
+
+    report::Table t({"application", "HWC-32/HWC-128", "PPC-32/HWC-128",
+                     "2HWC-32/HWC-128", "2PPC-32/HWC-128",
+                     "PP penalty @32B", "PP penalty @128B"});
+    for (const std::string &app : splashNames()) {
+        if (!o.wantsApp(app))
+            continue;
+        double base128 =
+            static_cast<double>(runApp(app, Arch::HWC, o).execTicks);
+        double ppc128 =
+            static_cast<double>(runApp(app, Arch::PPC, o).execTicks);
+        double exec[4];
+        std::string label;
+        for (int a = 0; a < 4; ++a) {
+            RunResult r =
+                runApp(app, allArchs[a], o, 1.0, small_lines);
+            exec[a] = static_cast<double>(r.execTicks);
+            label = r.workload;
+        }
+        t.addRow({label, report::fmt("%.3f", exec[0] / base128),
+                  report::fmt("%.3f", exec[1] / base128),
+                  report::fmt("%.3f", exec[2] / base128),
+                  report::fmt("%.3f", exec[3] / base128),
+                  report::pct(exec[1] / exec[0] - 1.0),
+                  report::pct(ppc128 / base128 - 1.0)});
+        std::cout << "  finished " << label << "\n" << std::flush;
+    }
+
+    std::cout << "\nFigure 7: execution time with 32-byte lines, "
+                 "normalized to HWC with 128-byte lines\n";
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+} // namespace ccnuma
+
+int
+main(int argc, char **argv)
+{
+    return ccnuma::run(argc, argv);
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 8 reproduction: the four applications with the largest PP
+ * penalties on a system with a slow (1 us) network, normalized to
+ * HWC on the base (70 ns) system.
+ *
+ * Paper anchors: the PP penalty shrinks markedly (Ocean: 93% ->
+ * 28%); Ocean and Radix slow down substantially on either controller
+ * because of their high communication rates.
+ */
+
+#include "bench_common.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+using namespace bench;
+
+int
+run(int argc, char **argv)
+{
+    Options o = parseOptions(argc, argv);
+    printHeader("Figure 8: slow network (1 us point-to-point)", o);
+
+    auto slow = [](MachineConfig &cfg) {
+        cfg.withNetworkLatency(200); // 1 us = 200 cycles
+    };
+
+    const std::vector<std::string> apps = {"FFT", "Radix", "Ocean",
+                                           "Cholesky"};
+    report::Table t({"application", "HWC-slow/HWC-base",
+                     "PPC-slow/HWC-base", "2HWC", "2PPC",
+                     "PP penalty (slow net)",
+                     "PP penalty (base net)"});
+    for (const std::string &app : apps) {
+        if (!o.wantsApp(app))
+            continue;
+        double base =
+            static_cast<double>(runApp(app, Arch::HWC, o).execTicks);
+        double ppc_base =
+            static_cast<double>(runApp(app, Arch::PPC, o).execTicks);
+        double exec[4];
+        std::string label;
+        for (int a = 0; a < 4; ++a) {
+            RunResult r = runApp(app, allArchs[a], o, 1.0, slow);
+            exec[a] = static_cast<double>(r.execTicks);
+            label = r.workload;
+        }
+        t.addRow({label, report::fmt("%.3f", exec[0] / base),
+                  report::fmt("%.3f", exec[1] / base),
+                  report::fmt("%.3f", exec[2] / base),
+                  report::fmt("%.3f", exec[3] / base),
+                  report::pct(exec[1] / exec[0] - 1.0),
+                  report::pct(ppc_base / base - 1.0)});
+        std::cout << "  finished " << label << "\n" << std::flush;
+    }
+
+    std::cout << "\nFigure 8: execution time with a 1 us network, "
+                 "normalized to HWC on the base system\n"
+                 "(paper: Ocean's PP penalty drops from 93% to 28%)"
+                 "\n";
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+} // namespace ccnuma
+
+int
+main(int argc, char **argv)
+{
+    return ccnuma::run(argc, argv);
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 9 reproduction: FFT and Ocean with base and large data
+ * sets (FFT 64K -> 256K complex doubles; Ocean 258x258 -> 514x514),
+ * each group normalized to HWC at its own data size.
+ *
+ * Paper anchors: the PP penalty falls with the larger data sets
+ * (FFT 46% -> 33%; Ocean 93% -> 67%) because the communication-to-
+ * computation ratio falls.
+ */
+
+#include "bench_common.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+using namespace bench;
+
+int
+run(int argc, char **argv)
+{
+    Options o = parseOptions(argc, argv);
+    printHeader("Figure 9: base vs large data sizes", o);
+
+    struct Variant
+    {
+        const char *app;
+        double dataFactor;
+        const char *paper;
+    };
+    const Variant variants[] = {
+        {"FFT", 1.0, "46%"},
+        {"FFT", 4.0, "33%"},
+        {"Ocean", 1.0, "93%"},
+        {"Ocean", 2.0, "67%"},
+    };
+
+    report::Table t({"data set", "HWC", "PPC", "2HWC", "2PPC",
+                     "PP penalty", "paper penalty"});
+    for (const Variant &v : variants) {
+        if (!o.wantsApp(v.app))
+            continue;
+        double exec[4];
+        std::string label;
+        for (int a = 0; a < 4; ++a) {
+            RunResult r =
+                runApp(v.app, allArchs[a], o, v.dataFactor);
+            exec[a] = static_cast<double>(r.execTicks);
+            label = r.workload;
+        }
+        double base = exec[0];
+        t.addRow({label, "1.000",
+                  report::fmt("%.3f", exec[1] / base),
+                  report::fmt("%.3f", exec[2] / base),
+                  report::fmt("%.3f", exec[3] / base),
+                  report::pct(exec[1] / base - 1.0), v.paper});
+        std::cout << "  finished " << label << "\n" << std::flush;
+    }
+
+    std::cout << "\nFigure 9: execution time normalized to HWC at "
+                 "each data size\n";
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+} // namespace ccnuma
+
+int
+main(int argc, char **argv)
+{
+    return ccnuma::run(argc, argv);
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The paper's Section 5 proposals, evaluated:
+ *
+ *  1. "using more protocol engines for different regions of memory"
+ *     — 1, 2 and 4 engines per controller (the >2 configurations
+ *     interleave each local/remote half by line region);
+ *  2. "add incremental custom hardware to a protocol-processor-based
+ *     design to accelerate common protocol handler actions" — the
+ *     PP+HW hybrid engine: hardware dispatch, associative match
+ *     unit, bit-field assist and transfer-completion tracking on an
+ *     otherwise commodity protocol processor.
+ *
+ * Run on the two most communication-intensive applications, where
+ * engine occupancy is the bottleneck.
+ */
+
+#include "bench_common.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+using namespace bench;
+
+int
+run(int argc, char **argv)
+{
+    Options o = parseOptions(argc, argv);
+    printHeader("Future-work evaluation: engine count and the PP+HW "
+                "hybrid", o);
+
+    struct Variant
+    {
+        const char *label;
+        EngineType type;
+        unsigned engines;
+    };
+    const Variant variants[] = {
+        {"HWC", EngineType::HWC, 1},
+        {"PPC", EngineType::PP, 1},
+        {"2PPC", EngineType::PP, 2},
+        {"4PPC", EngineType::PP, 4},
+        {"PP+HW", EngineType::PPAccel, 1},
+        {"2xPP+HW", EngineType::PPAccel, 2},
+    };
+
+    for (const std::string &app : {std::string("Ocean"),
+                                   std::string("Radix")}) {
+        if (!o.wantsApp(app))
+            continue;
+        report::Table t({"configuration", "execution (ticks)",
+                         "vs HWC", "vs PPC"});
+        double hwc = 0, ppc = 0;
+        std::string label = app;
+        for (const Variant &v : variants) {
+            auto tweak = [&v](MachineConfig &cfg) {
+                cfg.node.cc.engineType = v.type;
+                cfg.node.cc.numEngines = v.engines;
+            };
+            RunResult r = runApp(app, Arch::HWC, o, 1.0, tweak);
+            label = r.workload;
+            double e = static_cast<double>(r.execTicks);
+            if (v.type == EngineType::HWC)
+                hwc = e;
+            if (v.type == EngineType::PP && v.engines == 1)
+                ppc = e;
+            t.addRow({v.label, report::fmt("%.0f", e),
+                      hwc > 0 ? report::fmt("%.3f", e / hwc) : "-",
+                      ppc > 0 ? report::fmt("%.3f", e / ppc) : "-"});
+        }
+        std::cout << "\n" << label << ":\n";
+        t.print(std::cout);
+        std::cout << std::flush;
+    }
+    std::cout << "\nExpected shape: engine count recovers bandwidth "
+                 "(4PPC < 2PPC < PPC); the PP+HW hybrid recovers "
+                 "most of the custom-hardware gap at one engine.\n";
+    return 0;
+}
+
+} // namespace
+} // namespace ccnuma
+
+int
+main(int argc, char **argv)
+{
+    return ccnuma::run(argc, argv);
+}

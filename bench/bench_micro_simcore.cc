@@ -1,0 +1,112 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * event queue throughput, cache lookups, and whole-protocol
+ * transactions per second. These bound the wall-clock cost of the
+ * table/figure reproductions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache.hh"
+#include "sim/event_queue.hh"
+#include "system/machine.hh"
+#include "workload/synthetic.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+void
+BM_EventQueueScheduleFire(benchmark::State &state)
+{
+    EventQueue eq;
+    Tick t = 1;
+    for (auto _ : state) {
+        eq.scheduleFunction([] {}, t);
+        eq.step();
+        ++t;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void
+BM_EventQueueBurst(benchmark::State &state)
+{
+    const int burst = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        for (int i = 0; i < burst; ++i)
+            eq.scheduleFunction([] {}, static_cast<Tick>(i % 97));
+        eq.run();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * burst);
+}
+BENCHMARK(BM_EventQueueBurst)->Arg(64)->Arg(1024)->Arg(16384);
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    SetAssocCache c("c", 1 << 20, 4, 128);
+    for (Addr a = 0; a < 64 * 128; a += 128)
+        c.allocate(a, LineState::Shared, nullptr);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.findLine(a));
+        a = (a + 128) % (64 * 128);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_CacheMissAllocate(benchmark::State &state)
+{
+    SetAssocCache c("c", 1 << 20, 4, 128);
+    Addr a = 0;
+    SetAssocCache::Victim v;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.allocate(a, LineState::Shared, &v));
+        a += 128;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheMissAllocate);
+
+void
+BM_ProtocolTransactions(benchmark::State &state)
+{
+    // End-to-end cost of simulated remote misses, measured as
+    // simulated memory references per wall second.
+    std::uint64_t refs = 0;
+    for (auto _ : state) {
+        MachineConfig cfg = MachineConfig::base();
+        cfg.numNodes = 4;
+        cfg.node.procsPerNode = 2;
+        cfg.withArch(Arch::PPC);
+        Machine m(cfg);
+        WorkloadParams p;
+        p.numThreads = cfg.totalProcs();
+        UniformWorkload::Knobs k;
+        k.refsPerThread = 2000;
+        k.sharedFraction = 0.9;
+        k.writeFraction = 0.4;
+        UniformWorkload w(p, k);
+        RunResult r = m.run(w);
+        refs += r.memRefs;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(refs));
+}
+BENCHMARK(BM_ProtocolTransactions)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace ccnuma
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Page-placement study: the paper's round-robin default against the
+ * first-touch-after-initialization policy it reports as slightly
+ * inferior for most applications (load imbalance and memory/
+ * controller contention from uneven page distribution), and against
+ * FFT's programmer-hint placement.
+ */
+
+#include "bench_common.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+using namespace bench;
+
+int
+run(int argc, char **argv)
+{
+    Options o = parseOptions(argc, argv);
+    printHeader("Placement policy: round-robin vs first-touch", o);
+
+    report::Table t({"application", "round-robin (ticks)",
+                     "first-touch (ticks)", "first-touch slowdown"});
+    for (const std::string &app : splashNames()) {
+        if (!o.wantsApp(app))
+            continue;
+        RunResult rr = runApp(app, Arch::HWC, o);
+        RunResult ft = runApp(app, Arch::HWC, o, 1.0,
+                              [](MachineConfig &cfg) {
+                                  cfg.placement =
+                                      PlacementPolicy::FirstTouch;
+                              });
+        t.addRow({rr.workload,
+                  report::fmt("%llu",
+                              (unsigned long long)rr.execTicks),
+                  report::fmt("%llu",
+                              (unsigned long long)ft.execTicks),
+                  report::pct(double(ft.execTicks) /
+                                  double(rr.execTicks) -
+                              1.0)});
+        std::cout << "  finished " << rr.workload << "\n"
+                  << std::flush;
+    }
+    std::cout << "\n(paper: slightly inferior performance for most "
+                 "applications under first-touch)\n";
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+} // namespace ccnuma
+
+int
+main(int argc, char **argv)
+{
+    return ccnuma::run(argc, argv);
+}

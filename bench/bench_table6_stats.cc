@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table 6 reproduction: communication statistics on the base system
+ * configuration — PP penalty, RCCPI, PPC/HWC total occupancy ratio,
+ * utilizations, queuing delays, and per-controller arrival rates.
+ *
+ * Paper anchors (readable cells): Ocean-258 penalty 92.88%,
+ * 1000xRCCPI 23.2, occupancy ratio 2.47, utilization 52.89% (HWC) /
+ * 67.72% (PPC); Ocean-514 penalty 67.26%, 1000xRCCPI 14.0, ratio
+ * 2.29; the ratio is roughly constant (~2.5) across applications.
+ */
+
+#include "bench_common.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+using namespace bench;
+
+int
+run(int argc, char **argv)
+{
+    Options o = parseOptions(argc, argv);
+    printHeader("Table 6: communication statistics, base system", o);
+
+    report::Table t({"application", "PP penalty", "1000xRCCPI",
+                     "PPC/HWC occupancy", "HWC util", "PPC util",
+                     "HWC qdelay (ns)", "PPC qdelay (ns)",
+                     "req/us HWC", "req/us PPC"});
+
+    std::vector<std::pair<std::string, double>> variants;
+    for (const std::string &app : splashNames())
+        variants.emplace_back(app, 1.0);
+    variants.emplace_back("FFT", 4.0);   // FFT-256K
+    variants.emplace_back("Ocean", 2.0); // Ocean-514
+
+    for (const auto &[app, df] : variants) {
+        if (!o.wantsApp(app))
+            continue;
+        RunResult h = runApp(app, Arch::HWC, o, df);
+        RunResult p = runApp(app, Arch::PPC, o, df);
+        double penalty = double(p.execTicks) / double(h.execTicks) -
+                         1.0;
+        t.addRow({h.workload, report::pct(penalty),
+                  report::fmt("%.1f", 1000.0 * h.rccpi()),
+                  report::fmt("%.2f", double(p.ccOccupancy) /
+                                          double(h.ccOccupancy)),
+                  report::pct(h.avgUtilization, 2),
+                  report::pct(p.avgUtilization, 2),
+                  report::fmt("%.0f",
+                              ticksToNs(Tick(h.avgQueueDelayTicks))),
+                  report::fmt("%.0f",
+                              ticksToNs(Tick(p.avgQueueDelayTicks))),
+                  report::fmt("%.2f", h.arrivalsPerUs),
+                  report::fmt("%.2f", p.arrivalsPerUs)});
+        std::cout << "  finished " << h.workload << "\n"
+                  << std::flush;
+    }
+
+    std::cout << "\nTable 6 (paper anchors: Ocean-258 penalty "
+                 "92.88%, 23.2, 2.47, 52.89%/67.72%; ratio ~2.5 "
+                 "overall)\n";
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+} // namespace ccnuma
+
+int
+main(int argc, char **argv)
+{
+    return ccnuma::run(argc, argv);
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The paper's headline experiment in miniature: run Ocean (the most
+ * communication-intensive SPLASH-2 application) on all four
+ * coherence controller architectures and compare execution times —
+ * showing the protocol-processor penalty and the benefit of a second
+ * protocol engine.
+ *
+ *   $ ./build/examples/controller_comparison [scale]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "report/table.hh"
+#include "system/machine.hh"
+#include "workload/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ccnuma;
+
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.25;
+
+    report::Table table({"architecture", "execution (cycles)",
+                         "normalized", "controller utilization"});
+    double base = 0.0;
+
+    for (Arch arch : {Arch::HWC, Arch::PPC, Arch::TwoHWC,
+                      Arch::TwoPPC}) {
+        MachineConfig cfg = MachineConfig::base();
+        cfg.withArch(arch);
+
+        WorkloadParams wp;
+        wp.numThreads = cfg.totalProcs();
+        wp.scale = scale;
+        auto ocean = makeWorkload("Ocean", wp);
+
+        Machine machine(cfg);
+        RunResult r = machine.run(*ocean);
+
+        if (arch == Arch::HWC)
+            base = static_cast<double>(r.execTicks);
+        table.addRow(
+            {archName(arch),
+             report::fmt("%llu", (unsigned long long)r.execTicks),
+             report::fmt("%.3f",
+                         static_cast<double>(r.execTicks) / base),
+             report::fmt("%.1f%%", 100.0 * r.avgUtilization)});
+        std::cout << "finished " << archName(arch) << " ("
+                  << r.workload << ")\n";
+    }
+
+    std::cout << "\nOcean across the four controller architectures "
+                 "(scale " << scale << "):\n";
+    table.print(std::cout);
+    std::cout << "\nExpected shape (paper, full scale): PPC up to "
+                 "~2x HWC; 2HWC ~18% and 2PPC ~30% better than "
+                 "their one-engine versions.\n";
+    return 0;
+}

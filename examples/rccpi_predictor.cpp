@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The paper's Section 3.3 methodology, as a tool: predict the
+ * protocol-processor penalty of an application from its
+ * communication rate (RCCPI) alone.
+ *
+ * 1. Build a penalty-vs-RCCPI curve by detailed simulation of
+ *    *simple* workloads (the synthetic uniform generator swept over
+ *    a range of communication rates).
+ * 2. Measure a target application's RCCPI with a cheap run (here a
+ *    single detailed HWC run stands in for the paper's "simple
+ *    simulator, e.g. PRAM").
+ * 3. Interpolate the curve at that RCCPI and compare the prediction
+ *    against the application's actually simulated penalty.
+ *
+ *   $ ./build/examples/rccpi_predictor [app] [scale]
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "report/table.hh"
+#include "system/machine.hh"
+#include "workload/synthetic.hh"
+#include "workload/workload.hh"
+
+namespace
+{
+
+using namespace ccnuma;
+
+RunResult
+runMachine(Workload &w, Arch arch)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.withProcsPerNode(cfg.node.procsPerNode,
+                         w.numThreads());
+    cfg.withArch(arch);
+    Machine m(cfg);
+    return m.run(w);
+}
+
+struct CurvePoint
+{
+    double rccpi1000;
+    double penalty;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ccnuma;
+
+    std::string app = argc > 1 ? argv[1] : "Ocean";
+    double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+
+    // Step 1: calibration curve from simple synthetic workloads.
+    std::vector<CurvePoint> curve;
+    std::cout << "calibrating penalty-vs-RCCPI curve...\n";
+    for (unsigned gap : {64u, 24u, 12u, 6u, 3u, 1u}) {
+        WorkloadParams wp;
+        wp.numThreads = 64;
+        UniformWorkload::Knobs k;
+        k.refsPerThread = 4000;
+        k.sharedFraction = 0.85;
+        k.writeFraction = 0.35;
+        k.computeGap = gap;
+        k.sharedBytes = 4 << 20;
+
+        UniformWorkload w1(wp, k);
+        RunResult hwc = runMachine(w1, Arch::HWC);
+        UniformWorkload w2(wp, k);
+        RunResult ppc = runMachine(w2, Arch::PPC);
+
+        CurvePoint p;
+        p.rccpi1000 = 1000.0 * hwc.rccpi();
+        p.penalty = double(ppc.execTicks) / double(hwc.execTicks) -
+                    1.0;
+        curve.push_back(p);
+        std::cout << "  gap " << gap << ": 1000xRCCPI "
+                  << p.rccpi1000 << ", penalty "
+                  << 100.0 * p.penalty << "%\n";
+    }
+    std::sort(curve.begin(), curve.end(),
+              [](const CurvePoint &a, const CurvePoint &b) {
+                  return a.rccpi1000 < b.rccpi1000;
+              });
+
+    // Step 2: the target application's RCCPI from one cheap run.
+    WorkloadParams wp;
+    wp.numThreads = (app == "LU" || app == "Cholesky") ? 32 : 64;
+    wp.scale = scale;
+    auto target_h = makeWorkload(app, wp);
+    RunResult hwc = runMachine(*target_h, Arch::HWC);
+    double rccpi1000 = 1000.0 * hwc.rccpi();
+
+    // Step 3: interpolate the prediction.
+    double predicted;
+    if (rccpi1000 <= curve.front().rccpi1000) {
+        predicted = curve.front().penalty;
+    } else if (rccpi1000 >= curve.back().rccpi1000) {
+        predicted = curve.back().penalty;
+    } else {
+        predicted = curve.back().penalty;
+        for (std::size_t i = 1; i < curve.size(); ++i) {
+            if (rccpi1000 <= curve[i].rccpi1000) {
+                double f = (rccpi1000 - curve[i - 1].rccpi1000) /
+                           (curve[i].rccpi1000 -
+                            curve[i - 1].rccpi1000);
+                predicted = curve[i - 1].penalty +
+                            f * (curve[i].penalty -
+                                 curve[i - 1].penalty);
+                break;
+            }
+        }
+    }
+
+    // Validation: the real penalty from a detailed PPC run.
+    auto target_p = makeWorkload(app, wp);
+    RunResult ppc = runMachine(*target_p, Arch::PPC);
+    double actual =
+        double(ppc.execTicks) / double(hwc.execTicks) - 1.0;
+
+    std::cout << "\ntarget application:   " << hwc.workload << "\n"
+              << "measured 1000xRCCPI:  " << rccpi1000 << "\n"
+              << "predicted PP penalty: " << 100.0 * predicted
+              << "%\n"
+              << "actual PP penalty:    " << 100.0 * actual
+              << "%\n";
+    return 0;
+}

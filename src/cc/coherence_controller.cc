@@ -1,0 +1,1548 @@
+#include "cc/coherence_controller.hh"
+
+#include <algorithm>
+
+namespace ccnuma
+{
+
+CoherenceController::CoherenceController(const std::string &name,
+                                         EventQueue &eq, NodeId node,
+                                         const CcParams &params,
+                                         Bus &bus, Network &net,
+                                         AddressMap &map,
+                                         DirectoryStore &dir)
+    : name_(name), eq_(eq), node_(node), params_(params), bus_(bus),
+      net_(net), map_(map), dir_(dir), model_(params.engineType),
+      statGroup_(name)
+{
+    if (params.numEngines != 1 && params.numEngines != 2 &&
+        params.numEngines != 4) {
+        fatal("cc %s: numEngines must be 1, 2 or 4", name.c_str());
+    }
+    engines_.resize(params.numEngines);
+    for (unsigned i = 0; i < params.numEngines; ++i)
+        engines_[i].idx = i;
+    busAgentId_ = bus_.addAgent(this);
+    bus_.setCoherenceHook(this);
+
+    statGroup_.add(&statBusRequests);
+    statGroup_.add(&statNetRequests);
+    statGroup_.add(&statNetResponses);
+    statGroup_.add(&statMerged);
+    statGroup_.add(&statParked);
+    statGroup_.add(&statNacks);
+    statGroup_.add(&statLivelockPromotions);
+    statGroup_.add(&statDirectWBs);
+}
+
+// ---------------------------------------------------------------------
+// Bus-side logic (the bus-side directory / dispatch front end)
+// ---------------------------------------------------------------------
+
+void
+CoherenceController::writeHomeMemory(Addr line_addr,
+                                     std::uint64_t version, Tick t)
+{
+    if (!memory_)
+        return;
+    memory_->scheduleWrite(line_addr, t);
+    memory_->setVersion(line_addr, version);
+}
+
+bool
+CoherenceController::lineAvailableLocally(Addr line_addr) const
+{
+    if (wbBuffer_.count(line_addr))
+        return true;
+    return probe_ != nullptr && probe_->lineCachedLocally(line_addr);
+}
+
+SupplyDecision
+CoherenceController::busObserve(BusTxn &txn, SnoopResult combined)
+{
+    const Addr line = txn.lineAddr;
+    const bool local = map_.homeOf(line) == node_;
+
+    if (txn.fromCC) {
+        // One of our own fetch/invalidate operations.
+        switch (txn.cmd) {
+          case BusCmd::Read:
+          case BusCmd::ReadExcl:
+            if (combined == SnoopResult::DirtySupply ||
+                combined == SnoopResult::SharedSupply) {
+                // A local line read out of a Modified local cache
+                // demotes the copy to Shared; memory must absorb the
+                // dirty data in the same transfer, or later readers
+                // would see the stale memory image.
+                if (txn.cmd == BusCmd::Read && local &&
+                    combined == SnoopResult::DirtySupply) {
+                    return SupplyDecision::CacheReflect;
+                }
+                return SupplyDecision::Cache;
+            }
+            if (auto it = wbBuffer_.find(line); it != wbBuffer_.end()) {
+                txn.dataVersion = it->second.version;
+                return SupplyDecision::Cache;
+            }
+            if (local)
+                return SupplyDecision::Memory;
+            return SupplyDecision::NoData; // stale owner; nack
+          case BusCmd::Inval:
+            return SupplyDecision::NoData;
+          case BusCmd::WriteBack:
+            panic("cc %s: controller-issued writeback", name_.c_str());
+        }
+    }
+
+    // Processor-issued transaction.
+    const bool busy = homeBusy_.count(line) != 0 ||
+                      deferredLocal_.count(line) != 0 ||
+                      (homeWaiting_.count(line) &&
+                       !homeWaiting_.at(line).empty());
+
+    switch (txn.cmd) {
+      case BusCmd::Read:
+        if (local) {
+            if (combined == SnoopResult::DirtySupply) {
+                // Locally modified local line: cache-to-cache with
+                // memory reflection on the M->S downgrade. This must
+                // take precedence over parking — the snoop has
+                // already demoted the owner, so the data must move
+                // now. (A local Modified copy implies the directory
+                // records no remote owner, so the supply is safe
+                // even while another home transaction is active.)
+                return SupplyDecision::CacheReflect;
+            }
+            if (busy) {
+                // Serialize behind the in-progress home transaction.
+                DispatchItem item;
+                item.isBus = true;
+                item.busTxnId = txn.id;
+                item.lineAddr = line;
+                item.busCmd = txn.cmd;
+                homeWaiting_[line].push_back(item);
+                ++statParked;
+                return SupplyDecision::Deferred;
+            }
+            BusSideDirState bs = dir_.busSideState(line);
+            if (bs == BusSideDirState::DirtyRemote) {
+                DispatchItem item;
+                item.isBus = true;
+                item.busTxnId = txn.id;
+                item.lineAddr = line;
+                item.busCmd = txn.cmd;
+                enqueue(QBusRequest, item);
+                return SupplyDecision::Deferred;
+            }
+            // An Exclusive fill is only safe when no remote node
+            // holds a copy; the bus-side directory answers this at
+            // bus rate.
+            txn.exclusiveOk = bs == BusSideDirState::NoRemote;
+            return SupplyDecision::Memory;
+        }
+        // Remote line.
+        if (combined == SnoopResult::DirtySupply) {
+            // Within-node supply; the downgrading owner's data also
+            // travels home as a sharing writeback on the direct data
+            // path so the directory stays truthful.
+            Tick data_time = eq_.curTick() +
+                             bus_.params().c2cDataLatency +
+                             static_cast<Tick>(
+                                 bus_.params().lineBytes /
+                                 bus_.params().busWidthBytes) *
+                                 bus_.params().beatTicks;
+            wbBuffer_[line] = WbEntry{txn.dataVersion};
+            std::uint64_t version = txn.dataVersion;
+            if (params_.directDataPath) {
+                ++statDirectWBs;
+                sendMsg(MsgType::SharingWB, line, map_.homeOf(line),
+                        node_, version, /*retains=*/true, data_time);
+            } else {
+                DispatchItem item;
+                item.isBus = true;
+                item.busTxnId = 0;
+                item.lineAddr = line;
+                item.busCmd = BusCmd::WriteBack;
+                item.msg.type = MsgType::SharingWB;
+                item.msg.lineAddr = line;
+                item.msg.dst = map_.homeOf(line);
+                item.msg.version = version;
+                item.msg.ownerRetains = true;
+                eq_.scheduleFunction(
+                    [this, item] { enqueue(QBusRequest, item); },
+                    data_time);
+            }
+            return SupplyDecision::Cache;
+        }
+        if (combined == SnoopResult::SharedSupply)
+            return SupplyDecision::Cache;
+        break; // miss within the node: go remote
+
+      case BusCmd::ReadExcl:
+        if (local) {
+            if (combined == SnoopResult::DirtySupply) {
+                // Ownership migrates between local caches; the
+                // demotion already happened in the snoop, so the
+                // transfer must complete regardless of parking.
+                return SupplyDecision::Cache;
+            }
+            if (busy) {
+                DispatchItem item;
+                item.isBus = true;
+                item.busTxnId = txn.id;
+                item.lineAddr = line;
+                item.busCmd = txn.cmd;
+                homeWaiting_[line].push_back(item);
+                ++statParked;
+                return SupplyDecision::Deferred;
+            }
+            BusSideDirState bs = dir_.busSideState(line);
+            if (bs == BusSideDirState::NoRemote) {
+                return SupplyDecision::Memory;
+            }
+            DispatchItem item;
+            item.isBus = true;
+            item.busTxnId = txn.id;
+            item.lineAddr = line;
+            item.busCmd = txn.cmd;
+            enqueue(QBusRequest, item);
+            return SupplyDecision::Deferred;
+        }
+        // Remote line.
+        if (combined == SnoopResult::DirtySupply) {
+            // The node owns the line; ownership migrates within the
+            // node without involving the home.
+            return SupplyDecision::Cache;
+        }
+        break; // need exclusive permission from the home
+
+      case BusCmd::Inval:
+        return SupplyDecision::NoData;
+
+      case BusCmd::WriteBack:
+        if (local)
+            return SupplyDecision::Memory;
+        // Reserve the writeback buffer entry immediately so that
+        // requests racing with the writeback stall behind it.
+        wbBuffer_[line] = WbEntry{txn.dataVersion};
+        return SupplyDecision::NoData; // captured; see below
+    }
+
+    // Remote-line miss: defer and hand to a protocol engine, merging
+    // with an existing pending transaction for the same line when the
+    // request kinds are compatible.
+    DispatchItem item;
+    item.isBus = true;
+    item.busTxnId = txn.id;
+    item.lineAddr = line;
+    item.busCmd = txn.cmd;
+    auto it = reqPending_.find(line);
+    if (it != reqPending_.end()) {
+        if (!it->second.excl && txn.cmd == BusCmd::Read) {
+            it->second.busTxns.push_back(txn.id);
+            ++statMerged;
+        } else {
+            it->second.conflicting.push_back(item);
+        }
+        return SupplyDecision::Deferred;
+    }
+    enqueue(QBusRequest, item);
+    return SupplyDecision::Deferred;
+}
+
+void
+CoherenceController::busCaptureWriteBack(BusTxn &txn, Tick data_ready)
+{
+    const Addr line = txn.lineAddr;
+    const NodeId home = map_.homeOf(line);
+    ccnuma_assert(home != node_);
+    ccnuma_assert(wbBuffer_.count(line));
+    if (params_.directDataPath) {
+        ++statDirectWBs;
+        sendMsg(MsgType::WriteBack, line, home, node_,
+                txn.dataVersion, false, data_ready);
+    } else {
+        DispatchItem item;
+        item.isBus = true;
+        item.busTxnId = 0;
+        item.lineAddr = line;
+        item.busCmd = BusCmd::WriteBack;
+        item.msg.type = MsgType::WriteBack;
+        item.msg.lineAddr = line;
+        item.msg.dst = home;
+        item.msg.version = txn.dataVersion;
+        eq_.scheduleFunction(
+            [this, item] { enqueue(QBusRequest, item); }, data_ready);
+    }
+}
+
+SnoopResult
+CoherenceController::busSnoop(BusTxn &)
+{
+    // The controller holds no cache lines of its own; its writeback
+    // buffer is consulted in busObserve for its own fetches only.
+    return SnoopResult::None;
+}
+
+void
+CoherenceController::busDone(BusTxn &txn)
+{
+    auto it = fetches_.find(txn.id);
+    ccnuma_assert(it != fetches_.end());
+    std::unique_ptr<Exec> ex = std::move(it->second);
+    fetches_.erase(it);
+    ex->fetchFailed = txn.supply == SupplyDecision::NoData;
+    ex->fetchShared = txn.sharedSeen;
+    ex->fetchDirty = txn.dirtySupplied;
+    if (!ex->fetchFailed && txn.cmd != BusCmd::Inval)
+        ex->version = txn.dataVersion;
+    respondPhase(std::move(ex), eq_.curTick());
+}
+
+// ---------------------------------------------------------------------
+// Network interface
+// ---------------------------------------------------------------------
+
+void
+CoherenceController::sendMsg(MsgType type, Addr line_addr, NodeId dst,
+                             NodeId requester, std::uint64_t version,
+                             bool retains, Tick t)
+{
+    Msg m;
+    m.type = type;
+    m.lineAddr = line_addr;
+    m.src = node_;
+    m.dst = dst;
+    m.requester = requester;
+    m.version = version;
+    m.ownerRetains = retains;
+    ccnuma_trace(line_addr,
+                 "%8llu %s send %s -> node%u req=%u ver=%llu ret=%d",
+                 (unsigned long long)t, name_.c_str(),
+                 msgTypeName(type), dst, requester,
+                 (unsigned long long)version, (int)retains);
+    unsigned bytes = msgBytes(type, bus_.params().lineBytes);
+    Tick depart = t + params_.niDelay;
+    eq_.scheduleFunction(
+        [this, m, bytes] {
+            ccnuma_assert(router_ != nullptr);
+            net_.send(node_, m.dst, bytes,
+                      [this, m] { router_->deliverMsg(m); });
+        },
+        depart);
+}
+
+void
+CoherenceController::netReceive(const Msg &msg)
+{
+    // Writeback acknowledgements retire writeback-buffer entries;
+    // that is network-interface bookkeeping, not protocol handler
+    // work — no engine dispatch, no occupancy.
+    if (msg.type == MsgType::WriteBackAck) {
+        const Addr line = msg.lineAddr;
+        wbBuffer_.erase(line);
+        auto wit = wbWaiting_.find(line);
+        if (wit == wbWaiting_.end())
+            return;
+        std::deque<DispatchItem> waiting = std::move(wit->second);
+        wbWaiting_.erase(wit);
+        for (auto rit = waiting.rbegin(); rit != waiting.rend();
+             ++rit) {
+            enqueue(QBusRequest, *rit, /*to_front=*/true);
+        }
+        return;
+    }
+
+    DispatchItem item;
+    item.msg = msg;
+    item.lineAddr = msg.lineAddr;
+    switch (msg.type) {
+      case MsgType::ReadReq:
+      case MsgType::ReadExclReq:
+      case MsgType::FwdRead:
+      case MsgType::FwdReadExcl:
+      case MsgType::InvalReq:
+      case MsgType::WriteBack:
+        enqueue(QNetRequest, item);
+        break;
+      default:
+        enqueue(QNetResponse, item);
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch machinery
+// ---------------------------------------------------------------------
+
+unsigned
+CoherenceController::engineFor(Addr line_addr) const
+{
+    if (engines_.size() == 1)
+        return 0;
+    if (params_.dynamicSplit) {
+        unsigned best = 0;
+        std::size_t best_load = ~std::size_t(0);
+        for (unsigned e = 0; e < engines_.size(); ++e) {
+            std::size_t load = engines_[e].busy ? 1 : 0;
+            for (unsigned q = 0; q < NumQueues; ++q)
+                load += engines_[e].queues[q].size();
+            if (load < best_load) {
+                best_load = load;
+                best = e;
+            }
+        }
+        return best;
+    }
+    // The S3.mp-style split: local addresses to the LPE(s), remote
+    // addresses to the RPE(s). With more than two engines (the
+    // paper's "more protocol engines for different regions of
+    // memory"), each half is further interleaved by line region.
+    const unsigned half =
+        static_cast<unsigned>(engines_.size()) / 2;
+    const unsigned region = static_cast<unsigned>(
+        (line_addr / bus_.params().lineBytes) % half);
+    return map_.homeOf(line_addr) == node_ ? region : half + region;
+}
+
+void
+CoherenceController::enqueue(unsigned queue, DispatchItem item,
+                             bool to_front)
+{
+    item.enqueueTick = eq_.curTick();
+    unsigned e = engineFor(item.lineAddr);
+    if (!item.counted) {
+        item.counted = true;
+        switch (queue) {
+          case QBusRequest: ++statBusRequests; break;
+          case QNetRequest: ++statNetRequests; break;
+          case QNetResponse: ++statNetResponses; break;
+        }
+        ++engines_[e].arrivals;
+    }
+    // Track deferred local-line bus requests so that the bus-side
+    // logic serializes newcomers behind them (see busObserve).
+    if (item.isBus && item.busCmd != BusCmd::WriteBack &&
+        map_.homeOf(item.lineAddr) == node_) {
+        ++deferredLocal_[item.lineAddr];
+    }
+    if (to_front)
+        engines_[e].queues[queue].push_front(item);
+    else
+        engines_[e].queues[queue].push_back(item);
+    if (!engines_[e].busy) {
+        eq_.scheduleFunctionIn([this, e] { tryDispatch(e); }, 0);
+    }
+}
+
+bool
+CoherenceController::pickItem(Engine &e, DispatchItem &out)
+{
+    bool bus_waiting = !e.queues[QBusRequest].empty();
+    if (params_.priorityArbitration) {
+        if (bus_waiting && e.netBypass >= params_.livelockThreshold) {
+            out = e.queues[QBusRequest].front();
+            e.queues[QBusRequest].pop_front();
+            e.netBypass = 0;
+            ++statLivelockPromotions;
+            return true;
+        }
+        for (unsigned q = 0; q < NumQueues; ++q) {
+            if (e.queues[q].empty())
+                continue;
+            out = e.queues[q].front();
+            e.queues[q].pop_front();
+            if (q == QNetRequest && bus_waiting)
+                ++e.netBypass;
+            if (q == QBusRequest)
+                e.netBypass = 0;
+            return true;
+        }
+        return false;
+    }
+    // Plain FIFO across all three queues (ablation).
+    int best = -1;
+    Tick best_tick = maxTick;
+    for (unsigned q = 0; q < NumQueues; ++q) {
+        if (!e.queues[q].empty() &&
+            e.queues[q].front().enqueueTick < best_tick) {
+            best = static_cast<int>(q);
+            best_tick = e.queues[q].front().enqueueTick;
+        }
+    }
+    if (best < 0)
+        return false;
+    out = e.queues[best].front();
+    e.queues[best].pop_front();
+    return true;
+}
+
+void
+CoherenceController::tryDispatch(unsigned engine_idx)
+{
+    Engine &e = engines_[engine_idx];
+    if (e.busy)
+        return;
+    DispatchItem item;
+    if (!pickItem(e, item))
+        return;
+    e.busy = true;
+    e.busyStart = eq_.curTick();
+    e.queueDelaySum +=
+        static_cast<double>(eq_.curTick() - item.enqueueTick);
+    ++e.queueDelayCount;
+    startItem(engine_idx, item);
+}
+
+void
+CoherenceController::startItem(unsigned engine_idx, DispatchItem item)
+{
+    if (item.isBus && item.busCmd != BusCmd::WriteBack &&
+        map_.homeOf(item.lineAddr) == node_) {
+        auto it = deferredLocal_.find(item.lineAddr);
+        ccnuma_assert(it != deferredLocal_.end());
+        if (--it->second == 0)
+            deferredLocal_.erase(it);
+    }
+    if (item.isBus)
+        executeBusItem(engine_idx, item);
+    else
+        executeNetItem(engine_idx, item);
+}
+
+void
+CoherenceController::parkAtHome(unsigned engine_idx,
+                                DispatchItem &item)
+{
+    homeWaiting_[item.lineAddr].push_back(item);
+    ++statParked;
+    // The engine spent a dispatch-and-check on this; release it.
+    finishHandler(engine_idx,
+                  eq_.curTick() + params_.dispatchLatency +
+                      model_.cost(SubOp::DispatchHandler) +
+                      model_.cost(SubOp::ReadAssocRegs));
+}
+
+void
+CoherenceController::closeHomeTxn(Addr line_addr, Tick t)
+{
+    homeBusy_.erase(line_addr);
+    drainHomeWaiting(line_addr, t);
+}
+
+void
+CoherenceController::drainHomeWaiting(Addr line_addr, Tick t)
+{
+    auto it = homeWaiting_.find(line_addr);
+    if (it == homeWaiting_.end())
+        return;
+    std::deque<DispatchItem> waiting = std::move(it->second);
+    homeWaiting_.erase(it);
+    // Replay in arrival order; push_front in reverse order.
+    eq_.scheduleFunction(
+        [this, waiting] {
+            for (auto rit = waiting.rbegin(); rit != waiting.rend();
+                 ++rit) {
+                enqueue(rit->isBus ? QBusRequest : QNetRequest, *rit,
+                        /*to_front=*/true);
+            }
+        },
+        t);
+}
+
+// ---------------------------------------------------------------------
+// Handler execution
+// ---------------------------------------------------------------------
+
+void
+CoherenceController::beginHandler(
+    unsigned engine_idx, HandlerId h, Addr line, int extra_targets,
+    CcBusOp bus_op, std::function<void(Exec &, Tick)> action)
+{
+    const HandlerSpec &spec = handlerSpec(h);
+    auto ex = std::make_unique<Exec>();
+    ex->engine = engine_idx;
+    ex->handler = h;
+    ex->lineAddr = line;
+    ex->extraTargets = extra_targets;
+    ex->busOp = bus_op;
+    ex->action = std::move(action);
+
+    Tick now = eq_.curTick();
+    Tick pre_done = now + params_.dispatchLatency +
+                    spec.preCost(model_, extra_targets);
+    if (spec.readsDirectory)
+        pre_done = dir_.scheduleRead(line, pre_done, nullptr);
+
+    if (ex->busOp != CcBusOp::None) {
+        BusCmd bc = BusCmd::Read;
+        switch (ex->busOp) {
+          case CcBusOp::FetchRead: bc = BusCmd::Read; break;
+          case CcBusOp::FetchReadExcl: bc = BusCmd::ReadExcl; break;
+          case CcBusOp::InvalOnly: bc = BusCmd::Inval; break;
+          case CcBusOp::None: break;
+        }
+        Exec *raw = ex.release();
+        eq_.scheduleFunction(
+            [this, raw, bc, line] {
+                std::uint64_t id = bus_.request(bc, line, busAgentId_,
+                                                0, /*from_cc=*/true);
+                fetches_[id].reset(raw);
+            },
+            pre_done);
+    } else {
+        respondPhase(std::move(ex), pre_done);
+    }
+}
+
+void
+CoherenceController::respondPhase(std::unique_ptr<Exec> ex, Tick t)
+{
+    Exec *raw = ex.release();
+    eq_.scheduleFunction(
+        [this, raw] {
+            std::unique_ptr<Exec> e(raw);
+            Tick now = eq_.curTick();
+            if (e->action)
+                e->action(*e, now);
+            const HandlerSpec &spec = handlerSpec(e->handler);
+            Tick post = spec.postCost(model_);
+            if (spec.movesData) {
+                // Remainder of the line transfer after the critical
+                // beat keeps the engine occupied (but the response
+                // is already on its way). A protocol processor
+                // additionally polls off-chip registers to confirm
+                // the transfer completed.
+                const BusParams &bp = bus_.params();
+                post += (bp.lineBytes / bp.busWidthBytes - 1) *
+                        bp.beatTicks;
+                if (params_.engineType == EngineType::PP)
+                    post += params_.ppTransferPoll;
+            }
+            finishHandler(e->engine, now + post);
+        },
+        t);
+}
+
+void
+CoherenceController::finishHandler(unsigned engine_idx, Tick free_at)
+{
+    eq_.scheduleFunction(
+        [this, engine_idx] {
+            Engine &e = engines_[engine_idx];
+            ccnuma_assert(e.busy);
+            e.busy = false;
+            e.occupancyTicks += eq_.curTick() - e.busyStart;
+            tryDispatch(engine_idx);
+        },
+        free_at);
+}
+
+// ---------------------------------------------------------------------
+// Protocol decisions: local bus requests
+// ---------------------------------------------------------------------
+
+void
+CoherenceController::executeBusItem(unsigned engine_idx,
+                                    DispatchItem &item)
+{
+    const Addr line = item.lineAddr;
+
+    // Slow-path (ablation) writeback / sharing-writeback send: the
+    // engine spends a send handler where the direct data path would
+    // have forwarded the data for free.
+    if (item.busCmd == BusCmd::WriteBack) {
+        Msg m = item.msg;
+        beginHandler(engine_idx, HandlerId::BusReadRemote, line, 0,
+                     CcBusOp::None,
+                     [this, m](Exec &, Tick t) {
+                         sendMsg(m.type, m.lineAddr, m.dst, node_,
+                                 m.version, m.ownerRetains, t);
+                     });
+        return;
+    }
+
+    const NodeId home = map_.homeOf(line);
+    const bool excl = item.busCmd == BusCmd::ReadExcl;
+
+    if (home == node_) {
+        if (homeBusy_.count(line)) {
+            parkAtHome(engine_idx, item);
+            return;
+        }
+        DirEntry &d = dir_.entry(line);
+        switch (d.state) {
+          case DirState::DirtyRemote: {
+            NodeId owner = d.owner;
+            HomeTxn txn;
+            txn.requester = node_;
+            txn.excl = excl;
+            txn.localRequest = true;
+            txn.busTxnId = item.busTxnId;
+            txn.original = item;
+            homeBusy_[line] = txn;
+            beginHandler(
+                engine_idx, HandlerId::BusReadLocalDirtyRemote, line,
+                0, CcBusOp::None,
+                [this, line, owner, excl](Exec &, Tick t) {
+                    sendMsg(excl ? MsgType::FwdReadExcl
+                                 : MsgType::FwdRead,
+                            line, owner, node_, 0, false, t);
+                });
+            return;
+          }
+          case DirState::SharedRemote:
+            if (excl) {
+                std::vector<NodeId> targets;
+                for (NodeId n = 0; n < map_.numNodes(); ++n) {
+                    if (d.isSharer(n))
+                        targets.push_back(n);
+                }
+                ccnuma_assert(!targets.empty());
+                HomeTxn txn;
+                txn.requester = node_;
+                txn.excl = true;
+                txn.localRequest = true;
+                txn.busTxnId = item.busTxnId;
+                txn.acksExpected =
+                    static_cast<unsigned>(targets.size());
+                txn.original = item;
+                homeBusy_[line] = txn;
+                beginHandler(
+                    engine_idx,
+                    HandlerId::BusReadExclLocalCachedRemote, line,
+                    static_cast<int>(targets.size()),
+                    // Fetch-exclusive: local copies acquired since
+                    // the original bus snoop must die with the rest.
+                    CcBusOp::FetchReadExcl,
+                    [this, line, targets](Exec &ex, Tick t) {
+                        auto hb = homeBusy_.find(line);
+                        ccnuma_assert(hb != homeBusy_.end());
+                        hb->second.dataVersion = ex.version;
+                        hb->second.haveData = true;
+                        for (NodeId n : targets) {
+                            sendMsg(MsgType::InvalReq, line, n,
+                                    node_, 0, false, t);
+                        }
+                    });
+                return;
+            }
+            // Local read of a shared-remote line should have been
+            // supplied by memory; it reaches an engine only as a
+            // replay after parking. Supply it from memory now.
+            [[fallthrough]];
+          case DirState::Home: {
+            std::uint64_t bus_txn = item.busTxnId;
+            beginHandler(
+                engine_idx,
+                excl ? HandlerId::ReadExclFromOwnerForHome
+                     : HandlerId::ReadFromOwnerForHome,
+                line, 0,
+                excl ? CcBusOp::FetchReadExcl : CcBusOp::FetchRead,
+                [this, line, bus_txn](Exec &ex, Tick t) {
+                    ccnuma_assert(!ex.fetchFailed);
+                    bus_.deferredRespond(bus_txn, ex.version, t);
+                    // No home transaction was opened; release any
+                    // requests that parked behind this one.
+                    drainHomeWaiting(line, t);
+                });
+            return;
+          }
+        }
+        return;
+    }
+
+    // A request for a line whose writeback we have not yet seen
+    // acknowledged must wait: the home has to absorb the writeback
+    // before it can serve us, and sending the request early would
+    // present the home with a request from its recorded owner.
+    if (wbBuffer_.count(line)) {
+        wbWaiting_[line].push_back(item);
+        ++statWbStalls;
+        finishHandler(engine_idx,
+                      eq_.curTick() + params_.dispatchLatency);
+        return;
+    }
+
+    // Remote line: open (or join) a requester-side transaction.
+    auto it = reqPending_.find(line);
+    if (it != reqPending_.end()) {
+        if (!it->second.excl && !excl) {
+            it->second.busTxns.push_back(item.busTxnId);
+            ++statMerged;
+        } else {
+            it->second.conflicting.push_back(item);
+        }
+        // Nothing further for the engine to do.
+        finishHandler(engine_idx,
+                      eq_.curTick() + params_.dispatchLatency);
+        return;
+    }
+
+    // A request deferred earlier may find the line present in the
+    // node by now (a concurrent transaction filled it, or the node
+    // still owns it): serve it within the node instead of bothering
+    // the home. Ownership migrates inside the node without a home
+    // transaction, exactly as it would have on the snooping bus.
+    const bool mod_local =
+        probe_ != nullptr && probe_->lineModifiedLocally(line);
+    const bool cached_local =
+        mod_local ||
+        (probe_ != nullptr && probe_->lineCachedLocally(line));
+    if ((excl && mod_local) || (!excl && cached_local)) {
+        std::uint64_t bus_txn = item.busTxnId;
+        DispatchItem retry = item;
+        beginHandler(
+            engine_idx,
+            excl ? HandlerId::ReadExclFromOwnerForHome
+                 : HandlerId::ReadFromOwnerForHome,
+            line, 0,
+            excl ? CcBusOp::FetchReadExcl : CcBusOp::FetchRead,
+            [this, line, home, bus_txn, excl, retry](Exec &ex,
+                                                     Tick t) {
+                if (ex.fetchFailed) {
+                    // The copy evaporated between the probe and the
+                    // fetch; try again from the top (the retry will
+                    // stall on the writeback buffer or go remote).
+                    eq_.scheduleFunction(
+                        [this, retry] {
+                            enqueue(QBusRequest, retry,
+                                    /*to_front=*/true);
+                        },
+                        t);
+                    return;
+                }
+                if (!excl && ex.fetchDirty) {
+                    // The fetch demoted our Modified copy of a
+                    // remote line; the dirty data travels home as a
+                    // sharing writeback on the direct data path so
+                    // the directory and memory stay truthful.
+                    wbBuffer_[line] = WbEntry{ex.version};
+                    ++statDirectWBs;
+                    sendMsg(MsgType::SharingWB, line, home, node_,
+                            ex.version, /*retains=*/true, t);
+                }
+                bus_.deferredRespond(bus_txn, ex.version, t);
+            });
+        return;
+    }
+
+    ReqPending rp;
+    rp.excl = excl;
+    rp.busTxns.push_back(item.busTxnId);
+    reqPending_[line] = rp;
+    beginHandler(engine_idx,
+                 excl ? HandlerId::BusReadExclRemote
+                      : HandlerId::BusReadRemote,
+                 line, 0, CcBusOp::None,
+                 [this, line, home, excl](Exec &, Tick t) {
+                     sendMsg(excl ? MsgType::ReadExclReq
+                                  : MsgType::ReadReq,
+                             line, home, node_, 0, false, t);
+                 });
+}
+
+// ---------------------------------------------------------------------
+// Protocol decisions: network messages
+// ---------------------------------------------------------------------
+
+void
+CoherenceController::completeRequesterFill(Addr line_addr,
+                                           std::uint64_t version,
+                                           Tick t)
+{
+    auto it = reqPending_.find(line_addr);
+    ccnuma_assert(it != reqPending_.end());
+    for (std::uint64_t txn_id : it->second.busTxns)
+        bus_.deferredRespond(txn_id, version, t);
+    std::deque<DispatchItem> conflicting =
+        std::move(it->second.conflicting);
+    reqPending_.erase(it);
+    if (conflicting.empty())
+        return;
+    eq_.scheduleFunction(
+        [this, conflicting] {
+            for (auto rit = conflicting.rbegin();
+                 rit != conflicting.rend(); ++rit) {
+                enqueue(QBusRequest, *rit, /*to_front=*/true);
+            }
+        },
+        t);
+}
+
+void
+CoherenceController::executeNetItem(unsigned engine_idx,
+                                    DispatchItem &item)
+{
+    const Msg msg = item.msg;
+    const Addr line = msg.lineAddr;
+    ccnuma_trace(line,
+                 "%8llu %s dispatch %s from node%u req=%u ver=%llu",
+                 (unsigned long long)eq_.curTick(), name_.c_str(),
+                 msgTypeName(msg.type), msg.src, msg.requester,
+                 (unsigned long long)msg.version);
+
+    switch (msg.type) {
+      case MsgType::ReadReq:
+      case MsgType::ReadExclReq: {
+        // We are the home node.
+        if (homeBusy_.count(line)) {
+            parkAtHome(engine_idx, item);
+            return;
+        }
+        const bool excl = msg.type == MsgType::ReadExclReq;
+        const NodeId req = msg.requester;
+        DirEntry &d = dir_.entry(line);
+
+        if (d.state == DirState::DirtyRemote && d.owner != req) {
+            NodeId owner = d.owner;
+            HomeTxn txn;
+            txn.requester = req;
+            txn.excl = excl;
+            txn.original = item;
+            homeBusy_[line] = txn;
+            beginHandler(
+                engine_idx,
+                excl ? HandlerId::RemoteReadExclToHomeDirty
+                     : HandlerId::RemoteReadToHomeDirtyRemote,
+                line, 0, CcBusOp::None,
+                [this, line, owner, req, excl](Exec &, Tick t) {
+                    sendMsg(excl ? MsgType::FwdReadExcl
+                                 : MsgType::FwdRead,
+                            line, owner, req, 0, false, t);
+                });
+            return;
+        }
+        if (d.state == DirState::DirtyRemote) {
+            // The requester is the recorded owner: its request raced
+            // ahead of the fill that made it the owner. Bounce it
+            // back; the requester serves it within its node.
+            beginHandler(engine_idx, HandlerId::OwnerNackAtHome,
+                         line, 0, CcBusOp::None,
+                         [this, line, req](Exec &, Tick t) {
+                             sendMsg(MsgType::HomeNack, line, req,
+                                     req, 0, false, t);
+                             drainHomeWaiting(line, t);
+                         });
+            return;
+        }
+
+        if (!excl) {
+            // Clean at home (possibly with remote sharers).
+            HomeTxn txn;
+            txn.requester = req;
+            txn.original = item;
+            homeBusy_[line] = txn;
+            beginHandler(
+                engine_idx, HandlerId::RemoteReadToHomeClean, line, 0,
+                CcBusOp::FetchRead,
+                [this, line, req](Exec &ex, Tick t) {
+                    ccnuma_assert(!ex.fetchFailed);
+                    sendMsg(MsgType::DataReply, line, req, req,
+                            ex.version, false, t);
+                    DirEntry &e = dir_.entry(line);
+                    e.state = DirState::SharedRemote;
+                    e.addSharer(req);
+                    dir_.scheduleWrite(line, t);
+                    closeHomeTxn(line, t);
+                });
+            return;
+        }
+
+        // Read-exclusive at home.
+        std::vector<NodeId> targets;
+        if (d.state == DirState::SharedRemote) {
+            for (NodeId n = 0; n < map_.numNodes(); ++n) {
+                if (d.isSharer(n) && n != req)
+                    targets.push_back(n);
+            }
+        }
+        if (targets.empty()) {
+            HomeTxn txn;
+            txn.requester = req;
+            txn.excl = true;
+            txn.original = item;
+            homeBusy_[line] = txn;
+            beginHandler(
+                engine_idx, HandlerId::RemoteReadExclToHomeUncached,
+                line, 0, CcBusOp::FetchReadExcl,
+                [this, line, req](Exec &ex, Tick t) {
+                    ccnuma_assert(!ex.fetchFailed);
+                    sendMsg(MsgType::DataExclReply, line, req, req,
+                            ex.version, false, t);
+                    DirEntry &e = dir_.entry(line);
+                    e.state = DirState::DirtyRemote;
+                    e.owner = req;
+                    e.sharers = 0;
+                    dir_.scheduleWrite(line, t);
+                    closeHomeTxn(line, t);
+                });
+            return;
+        }
+        HomeTxn txn;
+        txn.requester = req;
+        txn.excl = true;
+        txn.acksExpected = static_cast<unsigned>(targets.size());
+        txn.original = item;
+        homeBusy_[line] = txn;
+        beginHandler(
+            engine_idx, HandlerId::RemoteReadExclToHomeShared, line,
+            static_cast<int>(targets.size()), CcBusOp::FetchReadExcl,
+            [this, line, targets](Exec &ex, Tick t) {
+                auto hb = homeBusy_.find(line);
+                ccnuma_assert(hb != homeBusy_.end());
+                hb->second.dataVersion = ex.version;
+                hb->second.haveData = true;
+                for (NodeId n : targets)
+                    sendMsg(MsgType::InvalReq, line, n, node_, 0,
+                            false, t);
+            });
+        return;
+      }
+
+      case MsgType::FwdRead:
+      case MsgType::FwdReadExcl: {
+        // We are (or were) the owner of a remote line.
+        const bool excl = msg.type == MsgType::FwdReadExcl;
+        const NodeId home = msg.src;
+        const NodeId req = msg.requester;
+        const bool to_home = req == home;
+
+        const bool cached =
+            probe_ != nullptr && probe_->lineCachedLocally(line);
+        if (!cached) {
+            if (auto wb = wbBuffer_.find(line);
+                wb != wbBuffer_.end()) {
+                // The line left our caches entirely; its data is
+                // still in the controller's writeback buffer.
+                // Supply from there (no local copy is retained).
+                std::uint64_t version = wb->second.version;
+                beginHandler(
+                    engine_idx,
+                    excl ? (to_home
+                                ? HandlerId::ReadExclFromOwnerForHome
+                                : HandlerId::
+                                      ReadExclFromOwnerForRemote)
+                         : (to_home
+                                ? HandlerId::ReadFromOwnerForHome
+                                : HandlerId::ReadFromOwnerForRemote),
+                    line, 0, CcBusOp::None,
+                    [this, line, home, req, excl, to_home,
+                     version](Exec &, Tick t) {
+                        if (excl) {
+                            if (to_home) {
+                                sendMsg(
+                                    MsgType::OwnerDataExclToHome,
+                                    line, home, req, version, false,
+                                    t);
+                            } else {
+                                sendMsg(MsgType::DataExclReply,
+                                        line, req, req, version,
+                                        false, t);
+                                sendMsg(MsgType::OwnershipAck, line,
+                                        home, req, 0, false, t);
+                            }
+                        } else {
+                            if (to_home) {
+                                sendMsg(MsgType::OwnerDataToHome,
+                                        line, home, req, version,
+                                        false, t);
+                            } else {
+                                sendMsg(MsgType::DataReply, line,
+                                        req, req, version, false,
+                                        t);
+                                sendMsg(MsgType::SharingWB, line,
+                                        home, req, version, false,
+                                        t);
+                            }
+                        }
+                    });
+                return;
+            }
+            // Neither cached nor buffered: stale forward; the home
+            // retries after our writeback lands.
+            beginHandler(engine_idx,
+                         excl ? HandlerId::ReadExclFromOwnerForHome
+                              : HandlerId::ReadFromOwnerForHome,
+                         line, 0, CcBusOp::None,
+                         [this, line, home](Exec &, Tick t) {
+                             sendMsg(MsgType::OwnerNack, line, home,
+                                     node_, 0, false, t);
+                         });
+            return;
+        }
+
+        beginHandler(
+            engine_idx,
+            excl ? (to_home ? HandlerId::ReadExclFromOwnerForHome
+                            : HandlerId::ReadExclFromOwnerForRemote)
+                 : (to_home ? HandlerId::ReadFromOwnerForHome
+                            : HandlerId::ReadFromOwnerForRemote),
+            line, 0,
+            excl ? CcBusOp::FetchReadExcl : CcBusOp::FetchRead,
+            [this, line, home, req, excl, to_home](Exec &ex, Tick t) {
+                if (ex.fetchFailed) {
+                    // Lost a race with a local eviction; the home
+                    // retries once the writeback lands.
+                    sendMsg(MsgType::OwnerNack, line, home, node_, 0,
+                            false, t);
+                    return;
+                }
+                if (excl) {
+                    if (to_home) {
+                        sendMsg(MsgType::OwnerDataExclToHome, line,
+                                home, req, ex.version, false, t);
+                    } else {
+                        sendMsg(MsgType::DataExclReply, line, req,
+                                req, ex.version, false, t);
+                        sendMsg(MsgType::OwnershipAck, line, home,
+                                req, 0, false, t);
+                    }
+                } else {
+                    bool retains = ex.fetchShared;
+                    if (to_home) {
+                        sendMsg(MsgType::OwnerDataToHome, line, home,
+                                req, ex.version, retains, t);
+                    } else {
+                        sendMsg(MsgType::DataReply, line, req, req,
+                                ex.version, false, t);
+                        sendMsg(MsgType::SharingWB, line, home, req,
+                                ex.version, retains, t);
+                    }
+                }
+            });
+        return;
+      }
+
+      case MsgType::InvalReq: {
+        const NodeId home = msg.src;
+        beginHandler(engine_idx, HandlerId::InvalRequestAtSharer,
+                     line, 0, CcBusOp::InvalOnly,
+                     [this, line, home](Exec &, Tick t) {
+                         sendMsg(MsgType::InvalAck, line, home,
+                                 node_, 0, false, t);
+                     });
+        return;
+      }
+
+      case MsgType::InvalAck: {
+        auto hb = homeBusy_.find(line);
+        ccnuma_assert(hb != homeBusy_.end());
+        ccnuma_assert(hb->second.acksExpected > 0);
+        if (--hb->second.acksExpected > 0) {
+            beginHandler(engine_idx, HandlerId::InvalAckMoreExpected,
+                         line, 0, CcBusOp::None, nullptr);
+            return;
+        }
+        HomeTxn txn = hb->second;
+        if (txn.localRequest) {
+            beginHandler(
+                engine_idx, HandlerId::InvalAckLastLocal, line, 0,
+                CcBusOp::None,
+                [this, line, txn](Exec &, Tick t) {
+                    ccnuma_assert(txn.haveData);
+                    bus_.deferredRespond(txn.busTxnId,
+                                         txn.dataVersion, t);
+                    DirEntry &e = dir_.entry(line);
+                    e.state = DirState::Home;
+                    e.sharers = 0;
+                    dir_.scheduleWrite(line, t);
+                    closeHomeTxn(line, t);
+                });
+        } else {
+            beginHandler(
+                engine_idx, HandlerId::InvalAckLastRemote, line, 0,
+                CcBusOp::None,
+                [this, line, txn](Exec &, Tick t) {
+                    ccnuma_assert(txn.haveData);
+                    sendMsg(MsgType::DataExclReply, line,
+                            txn.requester, txn.requester,
+                            txn.dataVersion, false, t);
+                    DirEntry &e = dir_.entry(line);
+                    e.state = DirState::DirtyRemote;
+                    e.owner = txn.requester;
+                    e.sharers = 0;
+                    dir_.scheduleWrite(line, t);
+                    closeHomeTxn(line, t);
+                });
+        }
+        return;
+      }
+
+      case MsgType::DataReply:
+      case MsgType::DataExclReply: {
+        const bool excl = msg.type == MsgType::DataExclReply;
+        std::uint64_t version = msg.version;
+        beginHandler(
+            engine_idx,
+            excl ? HandlerId::DataReplyForRemoteReadExcl
+                 : HandlerId::DataReplyForRemoteRead,
+            line, 0, CcBusOp::None,
+            [this, line, version](Exec &, Tick t) {
+                completeRequesterFill(line, version, t);
+            });
+        return;
+      }
+
+      case MsgType::OwnerDataToHome: {
+        auto hb = homeBusy_.find(line);
+        ccnuma_assert(hb != homeBusy_.end());
+        HomeTxn txn = hb->second;
+        ccnuma_assert(txn.localRequest && !txn.excl);
+        NodeId owner = msg.src;
+        bool retains = msg.ownerRetains;
+        std::uint64_t version = msg.version;
+        beginHandler(
+            engine_idx, HandlerId::OwnerDataToHomeRead, line, 0,
+            CcBusOp::None,
+            [this, line, txn, owner, retains, version](Exec &,
+                                                       Tick t) {
+                bus_.deferredRespond(txn.busTxnId, version, t);
+                // Memory reflects the owner's data (posted write
+                // riding the same transfer).
+                writeHomeMemory(line, version, t);
+                DirEntry &e = dir_.entry(line);
+                if (retains) {
+                    e.state = DirState::SharedRemote;
+                    e.sharers = 0;
+                    e.addSharer(owner);
+                } else {
+                    e.state = DirState::Home;
+                    e.sharers = 0;
+                }
+                dir_.scheduleWrite(line, t);
+                closeHomeTxn(line, t);
+            });
+        return;
+      }
+
+      case MsgType::OwnerDataExclToHome: {
+        auto hb = homeBusy_.find(line);
+        ccnuma_assert(hb != homeBusy_.end());
+        HomeTxn txn = hb->second;
+        ccnuma_assert(txn.localRequest && txn.excl);
+        std::uint64_t version = msg.version;
+        beginHandler(
+            engine_idx, HandlerId::OwnerDataToHomeReadExcl, line, 0,
+            CcBusOp::None,
+            [this, line, txn, version](Exec &, Tick t) {
+                bus_.deferredRespond(txn.busTxnId, version, t);
+                DirEntry &e = dir_.entry(line);
+                e.state = DirState::Home;
+                e.sharers = 0;
+                dir_.scheduleWrite(line, t);
+                closeHomeTxn(line, t);
+            });
+        return;
+      }
+
+      case MsgType::SharingWB: {
+        auto hb = homeBusy_.find(line);
+        DirEntry &d = dir_.entry(line);
+        const NodeId owner = msg.src;
+        // A sharing writeback closing a forwarded read carries the
+        // remote requester's id; a spontaneous demotion writeback
+        // carries the sender's own id. Only the former completes the
+        // active home transaction.
+        const bool closes = hb != homeBusy_.end() &&
+                            !hb->second.excl &&
+                            !hb->second.localRequest &&
+                            msg.requester != msg.src &&
+                            msg.requester == hb->second.requester;
+        if (closes) {
+            HomeTxn txn = hb->second;
+            bool retains = msg.ownerRetains;
+            std::uint64_t version = msg.version;
+            beginHandler(
+                engine_idx,
+                HandlerId::OwnerWriteBackToHomeRemoteRead, line, 0,
+                CcBusOp::None,
+                [this, line, txn, owner, retains, version](Exec &,
+                                                           Tick t) {
+                    writeHomeMemory(line, version, t);
+                    DirEntry &e = dir_.entry(line);
+                    e.state = DirState::SharedRemote;
+                    e.sharers = 0;
+                    e.addSharer(txn.requester);
+                    if (retains)
+                        e.addSharer(owner);
+                    dir_.scheduleWrite(line, t);
+                    sendMsg(MsgType::WriteBackAck, line, owner,
+                            owner, 0, false, t);
+                    closeHomeTxn(line, t);
+                });
+            return;
+        }
+        // Spontaneous demotion (local read of a dirty line at the
+        // owner). Apply only when the directory still records the
+        // sender as owner; otherwise the writeback is stale.
+        bool applies = d.state == DirState::DirtyRemote &&
+                       d.owner == owner;
+        bool retains = msg.ownerRetains;
+        std::uint64_t version = msg.version;
+        beginHandler(
+            engine_idx, HandlerId::SharingWriteBackAtHome, line, 0,
+            CcBusOp::None,
+            [this, line, owner, applies, retains, version](Exec &,
+                                                           Tick t) {
+                if (applies) {
+                    writeHomeMemory(line, version, t);
+                    DirEntry &e = dir_.entry(line);
+                    if (retains) {
+                        e.state = DirState::SharedRemote;
+                        e.sharers = 0;
+                        e.addSharer(owner);
+                    } else {
+                        e.state = DirState::Home;
+                        e.sharers = 0;
+                    }
+                    dir_.scheduleWrite(line, t);
+                }
+                sendMsg(MsgType::WriteBackAck, line, owner, owner, 0,
+                        false, t);
+            });
+        return;
+      }
+
+      case MsgType::OwnershipAck: {
+        auto hb = homeBusy_.find(line);
+        ccnuma_assert(hb != homeBusy_.end());
+        HomeTxn txn = hb->second;
+        ccnuma_assert(txn.excl && !txn.localRequest);
+        beginHandler(
+            engine_idx, HandlerId::OwnerAckToHomeRemoteReadExcl, line,
+            0, CcBusOp::None,
+            [this, line, txn](Exec &, Tick t) {
+                DirEntry &e = dir_.entry(line);
+                e.state = DirState::DirtyRemote;
+                e.owner = txn.requester;
+                e.sharers = 0;
+                dir_.scheduleWrite(line, t);
+                closeHomeTxn(line, t);
+            });
+        return;
+      }
+
+      case MsgType::WriteBack: {
+        DirEntry &d = dir_.entry(line);
+        const NodeId owner = msg.src;
+        bool applies = d.state == DirState::DirtyRemote &&
+                       d.owner == owner;
+        std::uint64_t version = msg.version;
+        beginHandler(
+            engine_idx, HandlerId::WriteBackAtHome, line, 0,
+            CcBusOp::None,
+            [this, line, owner, applies, version](Exec &, Tick t) {
+                if (applies) {
+                    writeHomeMemory(line, version, t);
+                    DirEntry &e = dir_.entry(line);
+                    e.state = DirState::Home;
+                    e.sharers = 0;
+                    dir_.scheduleWrite(line, t);
+                }
+                sendMsg(MsgType::WriteBackAck, line, owner, owner, 0,
+                        false, t);
+            });
+        return;
+      }
+
+      case MsgType::WriteBackAck:
+        // Handled without dispatch in netReceive.
+        panic("cc %s: WriteBackAck reached the dispatch path",
+              name_.c_str());
+
+      case MsgType::HomeNack: {
+        // Our request raced ahead of our own ownership fill; redo it
+        // from the top (the local probe will now find the copy, or
+        // the retry will stall behind the writeback buffer).
+        ccnuma_assert(reqPending_.count(line));
+        beginHandler(
+            engine_idx, HandlerId::OwnerNackAtHome, line, 0,
+            CcBusOp::None,
+            [this, line](Exec &, Tick t) {
+                auto it = reqPending_.find(line);
+                ccnuma_assert(it != reqPending_.end());
+                ReqPending rp = std::move(it->second);
+                reqPending_.erase(it);
+                eq_.scheduleFunction(
+                    [this, line, rp] {
+                        for (auto cit = rp.conflicting.rbegin();
+                             cit != rp.conflicting.rend(); ++cit) {
+                            enqueue(QBusRequest, *cit,
+                                    /*to_front=*/true);
+                        }
+                        for (auto tit = rp.busTxns.rbegin();
+                             tit != rp.busTxns.rend(); ++tit) {
+                            DispatchItem item;
+                            item.isBus = true;
+                            item.busTxnId = *tit;
+                            item.lineAddr = line;
+                            item.busCmd = rp.excl
+                                              ? BusCmd::ReadExcl
+                                              : BusCmd::Read;
+                            enqueue(QBusRequest, item,
+                                    /*to_front=*/true);
+                        }
+                    },
+                    t);
+            });
+        return;
+      }
+
+      case MsgType::OwnerNack: {
+        ++statNacks;
+        auto hb = homeBusy_.find(line);
+        ccnuma_assert(hb != homeBusy_.end());
+        DispatchItem original = hb->second.original;
+        beginHandler(
+            engine_idx, HandlerId::OwnerNackAtHome, line, 0,
+            CcBusOp::None,
+            [this, line, original](Exec &, Tick t) {
+                closeHomeTxn(line, t);
+                eq_.scheduleFunction(
+                    [this, original] {
+                        DispatchItem item = original;
+                        enqueue(item.isBus ? QBusRequest
+                                           : QNetRequest,
+                                item, /*to_front=*/true);
+                    },
+                    t);
+            });
+        return;
+      }
+    }
+    panic("cc %s: unhandled message type %s", name_.c_str(),
+          msgTypeName(msg.type));
+}
+
+// ---------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------
+
+bool
+CoherenceController::idle() const
+{
+    if (!homeBusy_.empty() || !reqPending_.empty() ||
+        !fetches_.empty() || !wbBuffer_.empty() ||
+        !deferredLocal_.empty()) {
+        return false;
+    }
+    for (const auto &kv : homeWaiting_) {
+        if (!kv.second.empty())
+            return false;
+    }
+    for (const auto &kv : wbWaiting_) {
+        if (!kv.second.empty())
+            return false;
+    }
+    for (const auto &e : engines_) {
+        if (e.busy)
+            return false;
+        for (const auto &q : e.queues) {
+            if (!q.empty())
+                return false;
+        }
+    }
+    return true;
+}
+
+std::uint64_t
+CoherenceController::totalArrivals() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : engines_)
+        n += e.arrivals;
+    return n;
+}
+
+Tick
+CoherenceController::totalOccupancy() const
+{
+    Tick n = 0;
+    for (const auto &e : engines_)
+        n += e.occupancyTicks;
+    return n;
+}
+
+Tick
+CoherenceController::engineOccupancy(unsigned e) const
+{
+    return engines_.at(e).occupancyTicks;
+}
+
+std::uint64_t
+CoherenceController::engineArrivals(unsigned e) const
+{
+    return engines_.at(e).arrivals;
+}
+
+double
+CoherenceController::engineQueueDelay(unsigned e) const
+{
+    const Engine &en = engines_.at(e);
+    return en.queueDelayCount
+               ? en.queueDelaySum /
+                     static_cast<double>(en.queueDelayCount)
+               : 0.0;
+}
+
+double
+CoherenceController::meanQueueDelay() const
+{
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const auto &e : engines_) {
+        sum += e.queueDelaySum;
+        n += e.queueDelayCount;
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+void
+CoherenceController::dumpState(std::ostream &os) const
+{
+    os << name_ << ":";
+    for (const auto &[line, hb] : homeBusy_) {
+        os << " homeBusy(" << std::hex << line << std::dec
+           << ",req=" << hb.requester << ",excl=" << hb.excl
+           << ",acks=" << hb.acksExpected << ")";
+    }
+    for (const auto &[line, rp] : reqPending_) {
+        os << " reqPending(" << std::hex << line << std::dec
+           << ",excl=" << rp.excl << ",txns=" << rp.busTxns.size()
+           << ",confl=" << rp.conflicting.size() << ")";
+    }
+    for (const auto &[line, wb] : wbBuffer_) {
+        os << " wb(" << std::hex << line << std::dec << ")";
+    }
+    for (const auto &[line, q] : wbWaiting_) {
+        if (!q.empty())
+            os << " wbWait(" << std::hex << line << std::dec << ","
+               << q.size() << ")";
+    }
+    for (const auto &[line, q] : homeWaiting_) {
+        if (!q.empty())
+            os << " homeWait(" << std::hex << line << std::dec
+               << "," << q.size() << ")";
+    }
+    for (const auto &e : engines_) {
+        os << " engine" << e.idx << "(busy=" << e.busy << ",q="
+           << e.queues[0].size() << "/" << e.queues[1].size() << "/"
+           << e.queues[2].size() << ")";
+    }
+    os << "\n";
+}
+
+void
+CoherenceController::resetStats()
+{
+    for (auto &e : engines_) {
+        e.occupancyTicks = 0;
+        e.arrivals = 0;
+        e.queueDelaySum = 0.0;
+        e.queueDelayCount = 0;
+    }
+    statGroup_.resetAll();
+}
+
+} // namespace ccnuma

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * The coherence controller: the paper's primary subject.
+ *
+ * One controller per SMP node synthesizes CC-NUMA shared memory:
+ * it defers bus transactions that need remote action, exchanges
+ * protocol messages with peer controllers, keeps the full-map
+ * directory for local lines, and executes the protocol handlers of
+ * Table 4 on one or two protocol engines.
+ *
+ * Architecture variants (the paper's HWC / PPC / 2HWC / 2PPC):
+ *  - engine type: custom hardware FSM vs. commodity protocol
+ *    processor (per-sub-operation costs from the OccupancyModel);
+ *  - engine count: one engine, or two engines split so that protocol
+ *    requests for local addresses go to the LPE and requests for
+ *    remote addresses to the RPE (only the LPE touches the
+ *    directory), following the S3.mp-style policy the paper uses.
+ *
+ * Shared structure (common to all variants, as in the paper):
+ *  - duplicate directories (bus-side 2-bit copy answers snoops at bus
+ *    rate; controller-side full-map copy in DRAM behind an 8K-entry
+ *    write-through directory cache);
+ *  - a protocol dispatch controller with three input queues
+ *    (network responses > network requests > bus requests) and a
+ *    livelock exception that promotes a bus request after four
+ *    network-side requests have bypassed it;
+ *  - a direct data path between bus interface and network interface
+ *    that forwards writebacks of dirty remote data to the home node
+ *    without dispatching a protocol handler.
+ */
+
+#ifndef CCNUMA_CC_COHERENCE_CONTROLLER_HH
+#define CCNUMA_CC_COHERENCE_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bus/bus.hh"
+#include "directory/directory.hh"
+#include "mem/address_map.hh"
+#include "net/network.hh"
+#include "protocol/handlers.hh"
+#include "protocol/messages.hh"
+#include "protocol/occupancy.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace ccnuma
+{
+
+/** Functional view of the node's caches, provided by the node. */
+class LocalCacheProbe
+{
+  public:
+    virtual ~LocalCacheProbe() = default;
+
+    /** @return true if any local cache holds a valid copy. */
+    virtual bool lineCachedLocally(Addr line_addr) const = 0;
+
+    /** @return true if any local cache holds a Modified copy. */
+    virtual bool lineModifiedLocally(Addr line_addr) const = 0;
+};
+
+/** Routes protocol messages between controllers (the machine). */
+class MsgRouter
+{
+  public:
+    virtual ~MsgRouter() = default;
+
+    /** Deliver @p msg to its destination controller (now). */
+    virtual void deliverMsg(const Msg &msg) = 0;
+};
+
+/** Coherence controller configuration. */
+struct CcParams
+{
+    EngineType engineType = EngineType::HWC;
+    unsigned numEngines = 1;
+    /**
+     * Dispatch controller grant latency (ticks). The grant overlaps
+     * with the engine's dispatch-register read, so the base systems
+     * fold it into the DispatchHandler sub-operation.
+     */
+    Tick dispatchLatency = 0;
+    /** Network interface processing per message, each direction. */
+    Tick niDelay = 4;
+    /**
+     * Extra occupancy a protocol processor pays after a data
+     * transfer: it confirms completion by polling off-chip
+     * bus/network-interface registers (two reads), where the custom
+     * FSM tracks completion in hardware for free.
+     */
+    Tick ppTransferPoll = 16;
+    /** Bus requests promoted after this many net-request bypasses. */
+    unsigned livelockThreshold = 4;
+    /** Direct bus<->network data path for writebacks (ablation). */
+    bool directDataPath = true;
+    /** Dispatch queue arbitration: paper policy vs. plain FIFO. */
+    bool priorityArbitration = true;
+    /**
+     * Two-engine work distribution: the paper's static local/remote
+     * address split (false) vs. an idealized dynamic least-loaded
+     * split (true) — the alternative the paper discusses in Section
+     * 3.4 but rejects because it would require both engines to
+     * access the directory.
+     */
+    bool dynamicSplit = false;
+};
+
+/**
+ * The coherence controller. It is a bus agent (for the fetch and
+ * invalidation transactions its handlers issue) and the bus's
+ * coherence hook (the bus-side directory logic).
+ */
+class CoherenceController : public BusAgent, public BusCoherenceHook
+{
+  public:
+    CoherenceController(const std::string &name, EventQueue &eq,
+                        NodeId node, const CcParams &params,
+                        Bus &bus, Network &net, AddressMap &map,
+                        DirectoryStore &dir);
+
+    /** Wire the functional cache probe (set by the node). */
+    void setProbe(LocalCacheProbe *probe) { probe_ = probe; }
+
+    /** Wire the local memory controller (set by the node). */
+    void setMemory(MemoryController *mem) { memory_ = mem; }
+
+    /** Wire the message router (set by the machine). */
+    void setRouter(MsgRouter *router) { router_ = router; }
+
+    NodeId node() const { return node_; }
+    const CcParams &params() const { return params_; }
+
+    // --- BusCoherenceHook ---
+    SupplyDecision busObserve(BusTxn &txn,
+                              SnoopResult combined) override;
+    void busCaptureWriteBack(BusTxn &txn, Tick data_ready) override;
+
+    // --- BusAgent (the controller's own fetches) ---
+    SnoopResult busSnoop(BusTxn &txn) override;
+    void busDone(BusTxn &txn) override;
+
+    /** Deliver an incoming network message (called by the router). */
+    void netReceive(const Msg &msg);
+
+    /** True when no transaction state is pending (quiescence). */
+    bool idle() const;
+
+    // --- statistics (Table 6 / Table 7 inputs) ---
+
+    /** Total requests dispatched to protocol engines. */
+    std::uint64_t totalArrivals() const;
+    /** Total engine-busy ticks, summed over engines. */
+    Tick totalOccupancy() const;
+    /** Engine-busy ticks of engine @p e. */
+    Tick engineOccupancy(unsigned e) const;
+    /** Requests handled by engine @p e. */
+    std::uint64_t engineArrivals(unsigned e) const;
+    /** Mean queuing delay (ticks) of engine @p e. */
+    double engineQueueDelay(unsigned e) const;
+    /** Mean queuing delay over all engines (ticks). */
+    double meanQueueDelay() const;
+
+    unsigned numEngines() const
+    {
+        return static_cast<unsigned>(engines_.size());
+    }
+
+    /** Reset measurement state (start of measured phase). */
+    void resetStats();
+
+    /** Dump transaction state for deadlock diagnosis. */
+    void dumpState(std::ostream &os) const;
+
+    stats::Group &statGroup() { return statGroup_; }
+
+    stats::Scalar statBusRequests{"bus_requests",
+        "bus-side requests dispatched"};
+    stats::Scalar statNetRequests{"net_requests",
+        "network-side requests dispatched"};
+    stats::Scalar statNetResponses{"net_responses",
+        "network-side responses dispatched"};
+    stats::Scalar statMerged{"merged_requests",
+        "bus requests merged into a pending remote transaction"};
+    stats::Scalar statParked{"parked_requests",
+        "requests parked behind a busy home line"};
+    stats::Scalar statNacks{"owner_nacks",
+        "forwards nacked by a stale owner"};
+    stats::Scalar statLivelockPromotions{"livelock_promotions",
+        "bus requests promoted by the livelock exception"};
+    stats::Scalar statDirectWBs{"direct_writebacks",
+        "writebacks forwarded on the direct data path"};
+    stats::Scalar statWbStalls{"wb_stalls",
+        "requests stalled behind an unacknowledged writeback"};
+
+  private:
+    /** Dispatch queue identities, in descending priority. */
+    enum Queue : unsigned
+    {
+        QNetResponse = 0,
+        QNetRequest = 1,
+        QBusRequest = 2,
+        NumQueues = 3,
+    };
+
+    /** One unit of work for a protocol engine. */
+    struct DispatchItem
+    {
+        bool isBus = false;
+        Msg msg;                    ///< valid when !isBus
+        std::uint64_t busTxnId = 0; ///< valid when isBus
+        Addr lineAddr = 0;
+        BusCmd busCmd = BusCmd::Read;
+        Tick enqueueTick = 0;
+        bool counted = false; ///< already counted as an arrival
+    };
+
+    /** A protocol engine (FSM or protocol processor). */
+    struct Engine
+    {
+        unsigned idx = 0;
+        bool busy = false;
+        Tick busyStart = 0;
+        std::deque<DispatchItem> queues[NumQueues];
+        unsigned netBypass = 0; ///< net requests since a bus request
+        // measurement
+        Tick occupancyTicks = 0;
+        std::uint64_t arrivals = 0;
+        double queueDelaySum = 0.0;
+        std::uint64_t queueDelayCount = 0;
+    };
+
+    /** Active home-side transaction for a local line. */
+    struct HomeTxn
+    {
+        NodeId requester = 0;
+        bool excl = false;
+        bool localRequest = false;
+        std::uint64_t busTxnId = 0; ///< when localRequest
+        unsigned acksExpected = 0;
+        std::uint64_t dataVersion = 0;
+        bool haveData = false;
+        /** Original request retained for owner-nack retry. */
+        DispatchItem original;
+    };
+
+    /** Requester-side pending remote transaction. */
+    struct ReqPending
+    {
+        bool excl = false;
+        std::vector<std::uint64_t> busTxns;
+        std::deque<DispatchItem> conflicting;
+    };
+
+    /** Writeback buffer entry (data awaiting the home's ack). */
+    struct WbEntry
+    {
+        std::uint64_t version = 0;
+    };
+
+    /** Context of a handler execution in flight. */
+    struct Exec
+    {
+        unsigned engine = 0;
+        HandlerId handler = HandlerId::BusReadRemote;
+        Addr lineAddr = 0;
+        int extraTargets = 0;
+        CcBusOp busOp = CcBusOp::None;
+        std::uint64_t version = 0;  ///< data version once known
+        bool fetchFailed = false;   ///< bus fetch found no data
+        bool fetchShared = false;   ///< a cache retained a copy
+        bool fetchDirty = false;    ///< a Modified copy was demoted
+        /** Protocol consequences, run at the respond point. */
+        std::function<void(Exec &, Tick)> action;
+    };
+
+    // enqueue / dispatch machinery
+    void enqueue(unsigned queue, DispatchItem item,
+                 bool to_front = false);
+    unsigned engineFor(Addr line_addr) const;
+    void tryDispatch(unsigned engine_idx);
+    bool pickItem(Engine &e, DispatchItem &out);
+    void startItem(unsigned engine_idx, DispatchItem item);
+
+    // handler execution
+    void beginHandler(unsigned engine_idx, HandlerId h, Addr line,
+                      int extra_targets, CcBusOp bus_op,
+                      std::function<void(Exec &, Tick)> action);
+    void respondPhase(std::unique_ptr<Exec> ex, Tick t);
+    void finishHandler(unsigned engine_idx, Tick free_at);
+
+    // protocol decision helpers
+    void executeBusItem(unsigned engine_idx, DispatchItem &item);
+    void executeNetItem(unsigned engine_idx, DispatchItem &item);
+    void parkAtHome(unsigned engine_idx, DispatchItem &item);
+    void closeHomeTxn(Addr line_addr, Tick t);
+    /** Re-enqueue requests parked behind a now-clear home line. */
+    void drainHomeWaiting(Addr line_addr, Tick t);
+    void completeRequesterFill(Addr line_addr, std::uint64_t version,
+                               Tick t);
+    void sendMsg(MsgType type, Addr line_addr, NodeId dst,
+                 NodeId requester, std::uint64_t version, bool retains,
+                 Tick t);
+    bool lineAvailableLocally(Addr line_addr) const;
+    /** Post incoming writeback data to the home memory. */
+    void writeHomeMemory(Addr line_addr, std::uint64_t version,
+                         Tick t);
+
+    std::string name_;
+    EventQueue &eq_;
+    NodeId node_;
+    CcParams params_;
+    Bus &bus_;
+    Network &net_;
+    AddressMap &map_;
+    DirectoryStore &dir_;
+    MemoryController *memory_ = nullptr;
+    LocalCacheProbe *probe_ = nullptr;
+    MsgRouter *router_ = nullptr;
+    OccupancyModel model_;
+    int busAgentId_ = -1;
+
+    std::vector<Engine> engines_;
+    std::unordered_map<Addr, HomeTxn> homeBusy_;
+    /** Local-line bus requests deferred but not yet dispatched. */
+    std::unordered_map<Addr, unsigned> deferredLocal_;
+    std::unordered_map<Addr, std::deque<DispatchItem>> homeWaiting_;
+    std::unordered_map<Addr, ReqPending> reqPending_;
+    std::unordered_map<Addr, WbEntry> wbBuffer_;
+    /**
+     * Local requests stalled behind an unacknowledged writeback of
+     * the same line: they may only be sent to the home after the
+     * home has absorbed our writeback, preserving the protocol's
+     * request-follows-writeback ordering.
+     */
+    std::unordered_map<Addr, std::deque<DispatchItem>> wbWaiting_;
+    /** Bus fetches in flight, by bus transaction id. */
+    std::unordered_map<std::uint64_t, std::unique_ptr<Exec>> fetches_;
+
+    stats::Group statGroup_;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_CC_COHERENCE_CONTROLLER_HH

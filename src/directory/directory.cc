@@ -1,0 +1,133 @@
+#include "directory/directory.hh"
+
+#include <algorithm>
+
+namespace ccnuma
+{
+
+const char *
+dirStateName(DirState s)
+{
+    switch (s) {
+      case DirState::Home: return "Home";
+      case DirState::SharedRemote: return "SharedRemote";
+      case DirState::DirtyRemote: return "DirtyRemote";
+    }
+    return "?";
+}
+
+DirectoryCache::DirectoryCache(const DirectoryParams &p)
+    : assoc_(p.cacheAssoc)
+{
+    if (p.cacheEntries == 0 || p.cacheAssoc == 0 ||
+        p.cacheEntries % p.cacheAssoc != 0) {
+        fatal("directory cache: bad geometry (%u entries, %u-way)",
+              p.cacheEntries, p.cacheAssoc);
+    }
+    numSets_ = p.cacheEntries / p.cacheAssoc;
+    if ((numSets_ & (numSets_ - 1)) != 0)
+        fatal("directory cache: set count %u not a power of two",
+              numSets_);
+    lineShift_ = std::countr_zero(p.lineBytes);
+    tags_.resize(p.cacheEntries);
+}
+
+bool
+DirectoryCache::access(Addr line_addr)
+{
+    std::size_t set = (line_addr >> lineShift_) & (numSets_ - 1);
+    std::size_t base = set * assoc_;
+    Tag *victim = &tags_[base];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Tag &t = tags_[base + w];
+        if (t.line == line_addr) {
+            t.lastUse = ++useClock_;
+            ++hits_;
+            return true;
+        }
+        if (t.lastUse < victim->lastUse)
+            victim = &t;
+    }
+    victim->line = line_addr;
+    victim->lastUse = ++useClock_;
+    ++misses_;
+    return false;
+}
+
+void
+DirectoryCache::reset()
+{
+    for (auto &t : tags_)
+        t = Tag{};
+}
+
+DirectoryStore::DirectoryStore(const std::string &name,
+                               const DirectoryParams &p)
+    : params_(p), cache_(p), statGroup_(name)
+{
+    statGroup_.add(&statReads);
+    statGroup_.add(&statWrites);
+    statGroup_.add(&statCacheHits);
+    statGroup_.add(&statCacheMisses);
+}
+
+DirEntry &
+DirectoryStore::entry(Addr line_addr)
+{
+    return entries_[line_addr];
+}
+
+const DirEntry *
+DirectoryStore::peek(Addr line_addr) const
+{
+    auto it = entries_.find(line_addr);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+BusSideDirState
+DirectoryStore::busSideState(Addr line_addr) const
+{
+    const DirEntry *e = peek(line_addr);
+    if (!e)
+        return BusSideDirState::NoRemote;
+    switch (e->state) {
+      case DirState::Home:
+        return BusSideDirState::NoRemote;
+      case DirState::SharedRemote:
+        return BusSideDirState::SharedRemote;
+      case DirState::DirtyRemote:
+        return BusSideDirState::DirtyRemote;
+    }
+    return BusSideDirState::NoRemote;
+}
+
+Tick
+DirectoryStore::scheduleRead(Addr line_addr, Tick earliest, bool *hit)
+{
+    ++statReads;
+    bool h = params_.cacheEnabled && cache_.access(line_addr);
+    if (hit)
+        *hit = h;
+    if (h) {
+        ++statCacheHits;
+        return earliest;
+    }
+    ++statCacheMisses;
+    Tick begin = std::max(earliest, dramFreeAt_);
+    dramFreeAt_ = begin + params_.dramBusy;
+    return begin + params_.dramLatency;
+}
+
+void
+DirectoryStore::scheduleWrite(Addr line_addr, Tick when)
+{
+    ++statWrites;
+    // Write-through and posted: occupy the DRAM, don't stall the
+    // engine. The directory cache is updated in place (write-through
+    // allocate keeps the hot entry resident).
+    cache_.access(line_addr);
+    Tick begin = std::max(when, dramFreeAt_);
+    dramFreeAt_ = begin + params_.dramBusy;
+}
+
+} // namespace ccnuma

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Directory state for a home node.
+ *
+ * Both controller designs in the paper keep two copies of the
+ * directory: a full-bit-map controller-side copy in DRAM and an
+ * abbreviated 2-bit-per-line bus-side copy in fast SRAM that lets the
+ * bus-side logic answer snoops at full bus rate. A write-through
+ * directory cache (8K full-map entries) hides controller-side DRAM
+ * read latency.
+ *
+ * Functionally we keep one authoritative entry per line; the bus-side
+ * copy is the derived 2-bit summary (kept consistent by construction,
+ * mirroring the custom directory access controller both designs
+ * include). Timing-wise, the directory DRAM is a contended resource
+ * with a busy-until model, and the directory cache decides whether an
+ * engine's directory read pays the DRAM latency.
+ */
+
+#ifndef CCNUMA_DIRECTORY_DIRECTORY_HH
+#define CCNUMA_DIRECTORY_DIRECTORY_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ccnuma
+{
+
+/** Stable directory states for a local line. */
+enum class DirState : std::uint8_t
+{
+    Home,         ///< no remote copies
+    SharedRemote, ///< clean copies at the nodes in the sharer bitmap
+    DirtyRemote,  ///< exclusive/modified copy at owner node
+};
+
+const char *dirStateName(DirState s);
+
+/** The bus-side abbreviated (2-bit) state of a local line. */
+enum class BusSideDirState : std::uint8_t
+{
+    NoRemote,
+    SharedRemote,
+    DirtyRemote,
+};
+
+/** Full-bit-map directory entry. */
+struct DirEntry
+{
+    DirState state = DirState::Home;
+    std::uint64_t sharers = 0; ///< bitmap of remote sharer nodes
+    NodeId owner = 0;          ///< valid when state == DirtyRemote
+
+    unsigned
+    numSharers() const
+    {
+        return static_cast<unsigned>(std::popcount(sharers));
+    }
+
+    bool
+    isSharer(NodeId n) const
+    {
+        return (sharers >> n) & 1ull;
+    }
+
+    void addSharer(NodeId n) { sharers |= 1ull << n; }
+    void removeSharer(NodeId n) { sharers &= ~(1ull << n); }
+};
+
+/** Directory timing parameters. */
+struct DirectoryParams
+{
+    /** Controller-side DRAM read latency in ticks. */
+    Tick dramLatency = 16;
+    /** DRAM occupied per access in ticks. */
+    Tick dramBusy = 12;
+    /** Directory cache capacity in entries (paper: 8K). */
+    unsigned cacheEntries = 8192;
+    unsigned cacheAssoc = 4;
+    unsigned lineBytes = 128;
+    /** Disable the directory cache entirely (ablation). */
+    bool cacheEnabled = true;
+};
+
+/**
+ * Write-through directory cache: tags only, used to decide whether a
+ * controller-side directory read hits in the cache or pays the DRAM
+ * round trip. Writes are write-through and posted.
+ */
+class DirectoryCache
+{
+  public:
+    DirectoryCache(const DirectoryParams &p);
+
+    /**
+     * Look up @p line_addr, allocating it on a miss.
+     * @return true on hit.
+     */
+    bool access(Addr line_addr);
+
+    /** Invalidate all entries. */
+    void reset();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Tag
+    {
+        Addr line = ~static_cast<Addr>(0);
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned assoc_;
+    unsigned numSets_;
+    unsigned lineShift_;
+    std::vector<Tag> tags_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/**
+ * The home node's directory: authoritative full-map entries plus the
+ * DRAM timing model and the directory cache.
+ */
+class DirectoryStore
+{
+  public:
+    DirectoryStore(const std::string &name, const DirectoryParams &p);
+
+    /** Get (creating on demand) the entry for a local line. */
+    DirEntry &entry(Addr line_addr);
+
+    /** Peek without creating; @return nullptr if never touched. */
+    const DirEntry *peek(Addr line_addr) const;
+
+    /** Derived bus-side 2-bit state. */
+    BusSideDirState busSideState(Addr line_addr) const;
+
+    /**
+     * Account a controller-side directory read at @p earliest.
+     * @param[out] hit whether the directory cache hit
+     * @return the tick the directory data is available
+     */
+    Tick scheduleRead(Addr line_addr, Tick earliest, bool *hit);
+
+    /** Account a (posted, write-through) directory write. */
+    void scheduleWrite(Addr line_addr, Tick when);
+
+    const DirectoryParams &params() const { return params_; }
+
+    /** Visit all entries (invariant checker). */
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (const auto &kv : entries_)
+            f(kv.first, kv.second);
+    }
+
+    stats::Group &statGroup() { return statGroup_; }
+
+    stats::Scalar statReads{"reads", "controller-side reads"};
+    stats::Scalar statWrites{"writes", "controller-side writes"};
+    stats::Scalar statCacheHits{"cache_hits", "directory cache hits"};
+    stats::Scalar statCacheMisses{"cache_misses",
+        "directory cache misses"};
+
+  private:
+    DirectoryParams params_;
+    std::unordered_map<Addr, DirEntry> entries_;
+    DirectoryCache cache_;
+    Tick dramFreeAt_ = 0;
+    stats::Group statGroup_;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_DIRECTORY_DIRECTORY_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Global address-to-home-node mapping.
+ *
+ * The paper uses a round-robin page placement policy for all
+ * applications except FFT, which uses programmer hints for optimal
+ * placement. We implement round-robin as the default for any page
+ * without an explicit placement, plus explicit per-range placement
+ * used by the FFT hints (and available to any workload).
+ */
+
+#ifndef CCNUMA_MEM_ADDRESS_MAP_HH
+#define CCNUMA_MEM_ADDRESS_MAP_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace ccnuma
+{
+
+/** Default placement for pages without an explicit assignment. */
+enum class PlacementPolicy
+{
+    RoundRobin, ///< the paper's default policy
+    FirstTouch, ///< page homed at the first node to miss on it
+};
+
+/** Maps physical pages to home nodes. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(unsigned num_nodes,
+                        unsigned page_bytes = 4096)
+        : numNodes_(num_nodes), pageBytes_(page_bytes)
+    {
+        if (num_nodes == 0)
+            fatal("address map: need at least one node");
+        if (page_bytes == 0 || (page_bytes & (page_bytes - 1)) != 0)
+            fatal("address map: page size must be a power of two");
+    }
+
+    void setPolicy(PlacementPolicy p) { policy_ = p; }
+    PlacementPolicy policy() const { return policy_; }
+
+    /**
+     * Resolve the home of @p addr for an access by @p toucher.
+     * Under first-touch, an unplaced page is pinned to the toucher's
+     * node; otherwise this is homeOf().
+     */
+    NodeId
+    resolve(Addr addr, NodeId toucher)
+    {
+        if (policy_ == PlacementPolicy::FirstTouch) {
+            std::uint64_t page = addr / pageBytes_;
+            auto [it, inserted] = placed_.try_emplace(page, toucher);
+            return it->second;
+        }
+        return homeOf(addr);
+    }
+
+    unsigned numNodes() const { return numNodes_; }
+    unsigned pageBytes() const { return pageBytes_; }
+
+    /** Home node of @p addr. */
+    NodeId
+    homeOf(Addr addr) const
+    {
+        std::uint64_t page = addr / pageBytes_;
+        auto it = placed_.find(page);
+        if (it != placed_.end())
+            return it->second;
+        return static_cast<NodeId>(page % numNodes_);
+    }
+
+    /** Pin the page containing @p addr to @p home. */
+    void
+    placePage(Addr addr, NodeId home)
+    {
+        ccnuma_assert(home < numNodes_);
+        placed_[addr / pageBytes_] = home;
+    }
+
+    /** Pin every page overlapping [start, start+bytes) to @p home. */
+    void
+    placeRange(Addr start, std::uint64_t bytes, NodeId home)
+    {
+        ccnuma_assert(home < numNodes_);
+        std::uint64_t first = start / pageBytes_;
+        std::uint64_t last = (start + bytes - 1) / pageBytes_;
+        for (std::uint64_t p = first; p <= last; ++p)
+            placed_[p] = home;
+    }
+
+    /** Number of explicitly placed pages. */
+    std::size_t numPlaced() const { return placed_.size(); }
+
+  private:
+    unsigned numNodes_;
+    unsigned pageBytes_;
+    PlacementPolicy policy_ = PlacementPolicy::RoundRobin;
+    std::unordered_map<std::uint64_t, NodeId> placed_;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_MEM_ADDRESS_MAP_HH

@@ -1,0 +1,136 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+namespace ccnuma
+{
+
+const char *
+lineStateName(LineState s)
+{
+    switch (s) {
+      case LineState::Invalid: return "I";
+      case LineState::Shared: return "S";
+      case LineState::Exclusive: return "E";
+      case LineState::Modified: return "M";
+    }
+    return "?";
+}
+
+SetAssocCache::SetAssocCache(const std::string &name,
+                             std::uint64_t size_bytes, unsigned assoc,
+                             unsigned line_bytes)
+    : name_(name), lineBytes_(line_bytes), assoc_(assoc),
+      statGroup_(name)
+{
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
+        fatal("cache %s: line size %u not a power of two",
+              name.c_str(), line_bytes);
+    if (assoc == 0)
+        fatal("cache %s: associativity must be positive", name.c_str());
+    std::uint64_t num_lines = size_bytes / line_bytes;
+    if (num_lines == 0 || num_lines % assoc != 0)
+        fatal("cache %s: %llu lines not divisible into %u ways",
+              name.c_str(), (unsigned long long)num_lines, assoc);
+    numSets_ = static_cast<unsigned>(num_lines / assoc);
+    if ((numSets_ & (numSets_ - 1)) != 0)
+        fatal("cache %s: set count %u not a power of two",
+              name.c_str(), numSets_);
+    lineShift_ = std::countr_zero(static_cast<unsigned>(lineBytes_));
+    lines_.resize(num_lines);
+
+    statGroup_.add(&statEvictions);
+    statGroup_.add(&statDirtyEvictions);
+    statGroup_.add(&statInvalidations);
+}
+
+std::size_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & (numSets_ - 1);
+}
+
+CacheLine *
+SetAssocCache::findLine(Addr addr)
+{
+    Addr la = lineAlign(addr);
+    std::size_t base = setIndex(addr) * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        CacheLine &line = lines_[base + w];
+        if (lineValid(line.state) && line.lineAddr == la)
+            return &line;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+SetAssocCache::findLine(Addr addr) const
+{
+    return const_cast<SetAssocCache *>(this)->findLine(addr);
+}
+
+CacheLine *
+SetAssocCache::allocate(Addr addr, LineState st, Victim *victim)
+{
+    Addr la = lineAlign(addr);
+    ccnuma_assert(findLine(addr) == nullptr);
+    std::size_t base = setIndex(addr) * assoc_;
+    CacheLine *target = nullptr;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        CacheLine &line = lines_[base + w];
+        if (!lineValid(line.state)) {
+            target = &line;
+            break;
+        }
+        if (!target || line.lastUse < target->lastUse)
+            target = &line;
+    }
+    if (victim) {
+        victim->valid = lineValid(target->state);
+        victim->lineAddr = target->lineAddr;
+        victim->state = target->state;
+        victim->version = target->version;
+    }
+    if (lineValid(target->state)) {
+        ++statEvictions;
+        if (target->state == LineState::Modified)
+            ++statDirtyEvictions;
+    }
+    target->lineAddr = la;
+    target->state = st;
+    target->version = 0;
+    touch(target);
+    return target;
+}
+
+LineState
+SetAssocCache::invalidate(Addr addr)
+{
+    CacheLine *line = findLine(addr);
+    if (!line)
+        return LineState::Invalid;
+    LineState prior = line->state;
+    line->state = LineState::Invalid;
+    ++statInvalidations;
+    return prior;
+}
+
+void
+SetAssocCache::invalidateAll()
+{
+    for (auto &line : lines_)
+        line.state = LineState::Invalid;
+}
+
+std::size_t
+SetAssocCache::numValid() const
+{
+    std::size_t n = 0;
+    for (const auto &line : lines_) {
+        if (lineValid(line.state))
+            ++n;
+    }
+    return n;
+}
+
+} // namespace ccnuma

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Set-associative LRU cache with MESI line states.
+ *
+ * This models the tag/state arrays of the 16 KB L1 and 1 MB 4-way L2
+ * caches of the paper's SMP nodes. Timing lives in the node model;
+ * this class provides state, replacement, and bookkeeping. Lines carry
+ * a version number used by the coherence invariant checker (each
+ * machine-wide store bumps the line's version), not simulated data.
+ */
+
+#ifndef CCNUMA_MEM_CACHE_HH
+#define CCNUMA_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ccnuma
+{
+
+/** MESI cache line states. */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive, ///< clean, sole copy (only attainable for local lines)
+    Modified,
+};
+
+/** @return short name for a line state ("I", "S", "E", "M"). */
+const char *lineStateName(LineState s);
+
+/** @return true for states holding a valid copy. */
+inline bool
+lineValid(LineState s)
+{
+    return s != LineState::Invalid;
+}
+
+/** One cache line's tag/state entry. */
+struct CacheLine
+{
+    Addr lineAddr = 0; ///< full line-aligned address (acts as the tag)
+    LineState state = LineState::Invalid;
+    std::uint64_t lastUse = 0;  ///< LRU timestamp
+    std::uint64_t version = 0;  ///< checker: version of held data
+};
+
+/**
+ * A set-associative cache with true-LRU replacement.
+ *
+ * The cache does not move data; callers react to the returned victim
+ * information (e.g. issue a writeback for a Modified victim).
+ */
+class SetAssocCache
+{
+  public:
+    /** Description of a line displaced by allocate(). */
+    struct Victim
+    {
+        bool valid = false;
+        Addr lineAddr = 0;
+        LineState state = LineState::Invalid;
+        std::uint64_t version = 0;
+    };
+
+    /**
+     * @param name stat prefix
+     * @param size_bytes total capacity
+     * @param assoc ways per set
+     * @param line_bytes line size (power of two)
+     */
+    SetAssocCache(const std::string &name, std::uint64_t size_bytes,
+                  unsigned assoc, unsigned line_bytes);
+
+    unsigned lineBytes() const { return lineBytes_; }
+    unsigned numSets() const { return numSets_; }
+    unsigned assoc() const { return assoc_; }
+
+    /** Line-align an address. */
+    Addr
+    lineAlign(Addr a) const
+    {
+        return a & ~static_cast<Addr>(lineBytes_ - 1);
+    }
+
+    /**
+     * Find the line holding @p addr.
+     * @return pointer into the tag array, or nullptr on miss.
+     */
+    CacheLine *findLine(Addr addr);
+    const CacheLine *findLine(Addr addr) const;
+
+    /** Mark a line most-recently-used. */
+    void touch(CacheLine *line) { line->lastUse = ++useClock_; }
+
+    /**
+     * Install @p addr in state @p st, evicting the LRU way if the set
+     * is full. The displaced line (if any) is reported via @p victim.
+     * @return the installed line.
+     * @pre the address is not already present.
+     */
+    CacheLine *allocate(Addr addr, LineState st, Victim *victim);
+
+    /** Invalidate @p addr if present. @return prior state. */
+    LineState invalidate(Addr addr);
+
+    /** Visit every valid line (used by the invariant checker). */
+    template <typename F>
+    void
+    forEachLine(F &&f) const
+    {
+        for (const auto &line : lines_) {
+            if (lineValid(line.state))
+                f(line);
+        }
+    }
+
+    /** Drop every line (used between workload phases in tests). */
+    void invalidateAll();
+
+    /** Count of currently valid lines. */
+    std::size_t numValid() const;
+
+    stats::Group &statGroup() { return statGroup_; }
+
+    stats::Scalar statEvictions{"evictions",
+        "lines displaced by allocation"};
+    stats::Scalar statDirtyEvictions{"dirty_evictions",
+        "modified lines displaced by allocation"};
+    stats::Scalar statInvalidations{"invalidations",
+        "lines invalidated by external request"};
+
+  private:
+    std::size_t setIndex(Addr addr) const;
+
+    std::string name_;
+    unsigned lineBytes_;
+    unsigned assoc_;
+    unsigned numSets_;
+    unsigned lineShift_;
+    std::vector<CacheLine> lines_; ///< numSets_ * assoc_, set-major
+    std::uint64_t useClock_ = 0;
+    stats::Group statGroup_;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_MEM_CACHE_HH

@@ -1,0 +1,65 @@
+#include "net/network.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace ccnuma
+{
+
+Network::Network(const std::string &name, EventQueue &eq,
+                 unsigned num_nodes, const NetworkParams &p)
+    : name_(name), eq_(eq), params_(p), statGroup_(name)
+{
+    if (num_nodes == 0)
+        fatal("network %s: need at least one node", name.c_str());
+    egressFreeAt_.assign(num_nodes, 0);
+    ingressFreeAt_.assign(num_nodes, 0);
+
+    statGroup_.add(&statMessages);
+    statGroup_.add(&statBytes);
+    statGroup_.add(&statEgressWait);
+    statGroup_.add(&statIngressWait);
+    statGroup_.add(&statLatency);
+}
+
+Tick
+Network::serializeTicks(unsigned bytes) const
+{
+    unsigned flits =
+        (bytes + params_.portWidthBytes - 1) / params_.portWidthBytes;
+    return static_cast<Tick>(std::max(1u, flits)) * params_.portCycle;
+}
+
+void
+Network::send(NodeId src, NodeId dst, unsigned bytes,
+              std::function<void()> on_delivered)
+{
+    ccnuma_assert(src < egressFreeAt_.size());
+    ccnuma_assert(dst < ingressFreeAt_.size());
+    if (src == dst)
+        panic("network %s: node %u sending to itself", name_.c_str(),
+              src);
+
+    Tick now = eq_.curTick();
+    Tick ser = serializeTicks(bytes);
+
+    Tick egress_start = std::max(now, egressFreeAt_[src]);
+    statEgressWait.sample(static_cast<double>(egress_start - now));
+    egressFreeAt_[src] = egress_start + ser;
+
+    Tick head_arrives = egress_start + ser + params_.flightLatency;
+    Tick ingress_start = std::max(head_arrives, ingressFreeAt_[dst]);
+    statIngressWait.sample(
+        static_cast<double>(ingress_start - head_arrives));
+    Tick delivered = ingress_start + ser;
+    ingressFreeAt_[dst] = delivered;
+
+    ++statMessages;
+    statBytes += static_cast<double>(bytes);
+    statLatency.sample(static_cast<double>(delivered - now));
+
+    eq_.scheduleFunction(std::move(on_delivered), delivered);
+}
+
+} // namespace ccnuma

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Point-to-point interconnection network model.
+ *
+ * The paper models its 32-byte-wide switch as a fixed point-to-point
+ * latency (14 compute cycles = 70 ns in the base system) plus
+ * contention at the external points (the network interfaces). We
+ * model exactly that: each node has one egress and one ingress port;
+ * a message serializes over each port at the port width per network
+ * cycle, and spends the flight latency in between. Because each
+ * source-destination pair's messages serialize at both endpoints with
+ * a constant flight time, per-pair FIFO delivery order is guaranteed,
+ * a property the coherence protocol relies on.
+ */
+
+#ifndef CCNUMA_NET_NETWORK_HH
+#define CCNUMA_NET_NETWORK_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ccnuma
+{
+
+/** Network timing parameters. */
+struct NetworkParams
+{
+    /** Point-to-point latency (Table 1: 14 ticks = 70 ns). */
+    Tick flightLatency = 14;
+    /** Switch link width in bytes. */
+    unsigned portWidthBytes = 32;
+    /** Ticks per network port cycle (100 MHz => 2 ticks). */
+    Tick portCycle = 2;
+};
+
+/**
+ * The interconnect. Protocol layers send sized messages with a
+ * delivery callback; the network adds egress serialization, flight
+ * latency, and ingress serialization.
+ */
+class Network
+{
+  public:
+    Network(const std::string &name, EventQueue &eq,
+            unsigned num_nodes, const NetworkParams &p);
+
+    const NetworkParams &params() const { return params_; }
+    unsigned numNodes() const
+    {
+        return static_cast<unsigned>(egressFreeAt_.size());
+    }
+
+    /**
+     * Send @p bytes from @p src to @p dst; @p on_delivered runs at
+     * the tick the message has fully arrived at the destination's
+     * network interface.
+     */
+    void send(NodeId src, NodeId dst, unsigned bytes,
+              std::function<void()> on_delivered);
+
+    stats::Group &statGroup() { return statGroup_; }
+
+    stats::Scalar statMessages{"messages", "messages delivered"};
+    stats::Scalar statBytes{"bytes", "payload bytes delivered"};
+    stats::Average statEgressWait{"egress_wait",
+        "ticks waited for the source port"};
+    stats::Average statIngressWait{"ingress_wait",
+        "ticks waited for the destination port"};
+    stats::Average statLatency{"latency",
+        "total ticks from send to delivery"};
+
+  private:
+    Tick serializeTicks(unsigned bytes) const;
+
+    std::string name_;
+    EventQueue &eq_;
+    NetworkParams params_;
+    std::vector<Tick> egressFreeAt_;
+    std::vector<Tick> ingressFreeAt_;
+    stats::Group statGroup_;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_NET_NETWORK_HH

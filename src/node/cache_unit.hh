@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Per-processor two-level cache hierarchy and its bus-side logic.
+ *
+ * Each compute processor owns an L1 (small, clean subset of L2) and a
+ * snooping L2 that participates in the node's MESI protocol. The unit
+ * has a single MSHR (the modeled processors are in-order and blocking)
+ * and a small writeback buffer that keeps evicted dirty lines
+ * snoopable until their writeback data has moved on the bus.
+ */
+
+#ifndef CCNUMA_NODE_CACHE_UNIT_HH
+#define CCNUMA_NODE_CACHE_UNIT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bus/bus.hh"
+#include "mem/address_map.hh"
+#include "mem/cache.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace ccnuma
+{
+
+/** Cache hierarchy parameters. */
+struct CacheUnitParams
+{
+    std::uint64_t l1Bytes = 16 * 1024;
+    unsigned l1Assoc = 4;
+    std::uint64_t l2Bytes = 1024 * 1024;
+    unsigned l2Assoc = 4;
+    unsigned lineBytes = 128;
+    Tick l1HitLatency = 1;
+    Tick l2HitLatency = 8;
+    /** Extra ticks after the critical beat before restart. */
+    Tick fillRestart = 4;
+};
+
+/**
+ * One processor's L1+L2 with bus attachment. Timing for hits is
+ * returned synchronously; misses go through the split-transaction
+ * bus and complete via callback.
+ */
+class CacheUnit : public BusAgent
+{
+  public:
+    CacheUnit(const std::string &name, EventQueue &eq, Bus &bus,
+              AddressMap &map, NodeId node,
+              const CacheUnitParams &p,
+              std::function<std::uint64_t()> next_version);
+
+    /** Result of a synchronous cache access attempt. */
+    struct AccessResult
+    {
+        bool hit = false;
+        Tick latency = 0;
+        std::uint64_t version = 0; ///< data version observed
+    };
+
+    /**
+     * Attempt @p addr; on a hit the access completes in
+     * result.latency ticks. On a miss the caller must follow up with
+     * startMiss().
+     */
+    AccessResult access(Addr addr, bool write);
+
+    /**
+     * Begin servicing a miss (one outstanding at a time). When the
+     * fill's critical beat arrives, @p on_restart is invoked with the
+     * tick at which the processor may restart and the version of the
+     * data it consumed.
+     */
+    void startMiss(Addr addr, bool write,
+                   std::function<void(Tick, std::uint64_t)> on_restart);
+
+    /** @return true while the single MSHR is occupied. */
+    bool missPending() const { return mshr_.valid; }
+
+    /** Functional probe: does this unit hold a supplyable copy? */
+    bool hasLine(Addr addr) const;
+
+    /** Functional peek at the L2 state (checker). */
+    const SetAssocCache &l2() const { return l2_; }
+
+    // --- BusAgent ---
+    bool busRetryCheck(const BusTxn &txn) const override;
+    SnoopResult busSnoop(BusTxn &txn) override;
+    void busDone(BusTxn &txn) override;
+
+    stats::Group &statGroup() { return statGroup_; }
+
+    stats::Scalar statL1Hits{"l1_hits", "L1 hits"};
+    stats::Scalar statL2Hits{"l2_hits", "L2 hits (L1 misses)"};
+    stats::Scalar statMisses{"misses", "L2 misses (bus transactions)"};
+    stats::Scalar statUpgradeMisses{"upgrade_misses",
+        "stores to Shared lines requiring exclusive ownership"};
+    stats::Scalar statWriteBacks{"writebacks",
+        "dirty lines written back on eviction"};
+
+  private:
+    void installFill(Addr line_addr, bool write, const BusTxn &txn);
+    SnoopResult wbSupply(BusTxn &txn);
+
+    struct Mshr
+    {
+        bool valid = false;
+        Addr lineAddr = 0;
+        bool write = false;
+        std::uint64_t busTxnId = 0;
+        bool invalAfterFill = false;
+        std::function<void(Tick, std::uint64_t)> onRestart;
+    };
+
+    struct WbEntry
+    {
+        Addr lineAddr = 0;
+        std::uint64_t version = 0;
+        std::uint64_t busTxnId = 0;
+    };
+
+    std::string name_;
+    EventQueue &eq_;
+    Bus &bus_;
+    AddressMap &map_;
+    NodeId node_ = 0;
+    CacheUnitParams params_;
+    std::function<std::uint64_t()> nextVersion_;
+    int agentId_ = -1;
+
+    SetAssocCache l1_;
+    SetAssocCache l2_;
+    Mshr mshr_;
+    std::vector<WbEntry> wbBuffer_;
+
+    stats::Group statGroup_;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_NODE_CACHE_UNIT_HH

@@ -1,0 +1,214 @@
+#include "node/processor.hh"
+
+namespace ccnuma
+{
+
+Processor::Processor(const std::string &name, EventQueue &eq,
+                     ProcId id, CacheUnit &cache, SyncManager &sync,
+                     const ProcessorParams &p)
+    : name_(name), eq_(eq), id_(id), cache_(cache), sync_(sync),
+      params_(p), statGroup_(name)
+{
+    statGroup_.add(&statInstructions);
+    statGroup_.add(&statMisses);
+    statGroup_.add(&statStallTicks);
+    statGroup_.add(&statSyncWaitTicks);
+}
+
+void
+Processor::start(Tick when)
+{
+    eq_.scheduleFunction([this] { run(); }, when);
+}
+
+void
+Processor::resumeAt(Tick when)
+{
+    eq_.scheduleFunction([this] { run(); }, when);
+}
+
+void
+Processor::checkRead(Addr addr, std::uint64_t version)
+{
+    if (!params_.checkMonotonic)
+        return;
+    Addr line = cache_.l2().lineAlign(addr);
+    std::uint64_t &last = lastSeen_[line];
+    if (version < last) {
+        panic("%s: non-monotonic read of line %#llx "
+              "(saw version %llu after %llu)", name_.c_str(),
+              (unsigned long long)line, (unsigned long long)version,
+              (unsigned long long)last);
+    }
+    last = version;
+}
+
+void
+Processor::run()
+{
+    Tick delta = 0;
+    ThreadOp op;
+    while (true) {
+        if (!stream_.next(op))
+            op = ThreadOp{}; // Kind::End
+
+        switch (op.kind) {
+          case ThreadOp::Kind::Compute:
+            delta += op.count;
+            instructions_ += op.count;
+            continue;
+
+          case ThreadOp::Kind::Load:
+          case ThreadOp::Kind::Store: {
+            bool write = op.kind == ThreadOp::Kind::Store;
+            ++instructions_;
+            if (write)
+                ++stores_;
+            else
+                ++loads_;
+            auto r = cache_.access(op.addr, write);
+            if (r.hit) {
+                delta += r.latency;
+                if (!write)
+                    checkRead(op.addr, r.version);
+                continue;
+            }
+            // Miss: issue at the accumulated local time.
+            if (delta == 0) {
+                issueMiss(op);
+            } else {
+                eq_.scheduleFunctionIn(
+                    [this, op] { issueMiss(op); }, delta);
+            }
+            return;
+          }
+
+          case ThreadOp::Kind::Barrier:
+          case ThreadOp::Kind::Lock:
+          case ThreadOp::Kind::Unlock:
+            if (delta == 0) {
+                doSync(op);
+            } else {
+                eq_.scheduleFunctionIn([this, op] { doSync(op); },
+                                       delta);
+            }
+            return;
+
+          case ThreadOp::Kind::End:
+            if (delta == 0) {
+                finish();
+            } else {
+                eq_.scheduleFunctionIn([this] { finish(); }, delta);
+            }
+            return;
+        }
+    }
+}
+
+void
+Processor::issueMiss(ThreadOp op)
+{
+    ++misses_;
+    Tick issue = eq_.curTick();
+    bool write = op.kind == ThreadOp::Kind::Store;
+    Addr addr = op.addr;
+    eq_.scheduleFunctionIn(
+        [this, addr, write, issue] {
+            cache_.startMiss(
+                addr, write,
+                [this, addr, write, issue](Tick restart,
+                                           std::uint64_t version) {
+                    stallTicks_ += restart - issue;
+                    if (!write)
+                        checkRead(addr, version);
+                    resumeAt(restart);
+                });
+        },
+        params_.missDetect);
+}
+
+void
+Processor::syncRef(Addr addr, bool write, std::function<void()> then)
+{
+    ++instructions_;
+    if (write)
+        ++stores_;
+    else
+        ++loads_;
+    auto r = cache_.access(addr, write);
+    if (r.hit) {
+        eq_.scheduleFunctionIn(std::move(then), r.latency);
+        return;
+    }
+    ++misses_;
+    Tick issue = eq_.curTick();
+    eq_.scheduleFunctionIn(
+        [this, addr, write, issue, then = std::move(then)] {
+            cache_.startMiss(addr, write,
+                             [this, issue, then](Tick restart,
+                                                 std::uint64_t) {
+                                 stallTicks_ += restart - issue;
+                                 eq_.scheduleFunction(then, restart);
+                             });
+        },
+        params_.missDetect);
+}
+
+void
+Processor::doSync(ThreadOp op)
+{
+    std::uint32_t id = op.count;
+    switch (op.kind) {
+      case ThreadOp::Kind::Barrier:
+        // Flag-barrier traffic: arrivals read the (shared) barrier
+        // line; the releasing arrival writes the flag, invalidating
+        // the spinners, who each re-read it on wake-up.
+        syncRef(sync_.barrierAddr(id), /*write=*/false, [this, id] {
+            syncWaitStart_ = eq_.curTick();
+            bool released = sync_.arrive(id, [this, id] {
+                syncWaitTicks_ += eq_.curTick() - syncWaitStart_;
+                syncRef(sync_.barrierAddr(id), /*write=*/false,
+                        [this] { run(); });
+            });
+            if (released) {
+                syncRef(sync_.barrierAddr(id), /*write=*/true,
+                        [this] { run(); });
+            }
+        });
+        return;
+      case ThreadOp::Kind::Lock:
+        syncRef(sync_.lockAddr(id), /*write=*/true, [this, id] {
+            syncWaitStart_ = eq_.curTick();
+            bool got = sync_.lockAcquire(id, [this] {
+                syncWaitTicks_ += eq_.curTick() - syncWaitStart_;
+                run();
+            });
+            if (got)
+                resumeAt(eq_.curTick());
+        });
+        return;
+      case ThreadOp::Kind::Unlock:
+        syncRef(sync_.lockAddr(id), /*write=*/true, [this, id] {
+            sync_.lockRelease(id);
+            run();
+        });
+        return;
+      default:
+        panic("%s: doSync with non-sync op", name_.c_str());
+    }
+}
+
+void
+Processor::finish()
+{
+    finished_ = true;
+    finishTick_ = eq_.curTick();
+    statInstructions.set(static_cast<double>(instructions_));
+    statMisses.set(static_cast<double>(misses_));
+    statStallTicks.set(static_cast<double>(stallTicks_));
+    statSyncWaitTicks.set(static_cast<double>(syncWaitTicks_));
+    if (onFinished_)
+        onFinished_();
+}
+
+} // namespace ccnuma

@@ -1,0 +1,56 @@
+#include "node/smp_node.hh"
+
+namespace ccnuma
+{
+
+SmpNode::SmpNode(const std::string &name, EventQueue &eq, NodeId id,
+                 const NodeParams &p, Network &net, AddressMap &map,
+                 SyncManager &sync,
+                 std::function<std::uint64_t()> next_version)
+    : id_(id)
+{
+    bus_ = std::make_unique<Bus>(name + ".bus", eq, p.bus);
+    mem_ = std::make_unique<MemoryController>(name + ".mem", p.mem);
+    dir_ = std::make_unique<DirectoryStore>(name + ".dir", p.dir);
+    bus_->setMemory(mem_.get());
+
+    cc_ = std::make_unique<CoherenceController>(
+        name + ".cc", eq, id, p.cc, *bus_, net, map, *dir_);
+    cc_->setProbe(this);
+    cc_->setMemory(mem_.get());
+
+    for (unsigned i = 0; i < p.procsPerNode; ++i) {
+        std::string cname =
+            name + ".cpu" + std::to_string(i);
+        caches_.push_back(std::make_unique<CacheUnit>(
+            cname + ".cache", eq, *bus_, map, id, p.cache,
+            next_version));
+        ProcId pid =
+            id * p.procsPerNode + i; // global numbering by node
+        procs_.push_back(std::make_unique<Processor>(
+            cname, eq, pid, *caches_.back(), sync, p.proc));
+    }
+}
+
+bool
+SmpNode::lineCachedLocally(Addr line_addr) const
+{
+    for (const auto &c : caches_) {
+        if (c->hasLine(line_addr))
+            return true;
+    }
+    return false;
+}
+
+bool
+SmpNode::lineModifiedLocally(Addr line_addr) const
+{
+    for (const auto &c : caches_) {
+        const CacheLine *l = c->l2().findLine(line_addr);
+        if (l && l->state == LineState::Modified)
+            return true;
+    }
+    return false;
+}
+
+} // namespace ccnuma

@@ -1,0 +1,67 @@
+#include "node/sync.hh"
+
+#include "sim/logging.hh"
+
+namespace ccnuma
+{
+
+SyncManager::SyncManager(const std::string &name, EventQueue &eq,
+                         Addr sync_base, unsigned line_bytes)
+    : eq_(eq), syncBase_(sync_base), lineBytes_(line_bytes),
+      lockRegionOffset_(static_cast<Addr>(line_bytes) * 64 * 1024),
+      statGroup_(name)
+{
+    statGroup_.add(&statBarriers);
+    statGroup_.add(&statLockHandoffs);
+}
+
+bool
+SyncManager::arrive(std::uint32_t id, std::function<void()> wake)
+{
+    BarrierState &b = barriers_[id];
+    ++b.arrived;
+    ccnuma_assert(b.arrived <= participants_);
+    if (b.arrived == participants_) {
+        ++statBarriers;
+        std::vector<std::function<void()>> waiting =
+            std::move(b.waiting);
+        barriers_.erase(id);
+        for (auto &w : waiting)
+            eq_.scheduleFunctionIn(std::move(w), 0);
+        return true;
+    }
+    b.waiting.push_back(std::move(wake));
+    return false;
+}
+
+bool
+SyncManager::lockAcquire(std::uint32_t id,
+                         std::function<void()> granted)
+{
+    LockState &l = locks_[id];
+    if (!l.held) {
+        l.held = true;
+        return true;
+    }
+    ++statLockHandoffs;
+    l.waiting.push_back(std::move(granted));
+    return false;
+}
+
+void
+SyncManager::lockRelease(std::uint32_t id)
+{
+    auto it = locks_.find(id);
+    ccnuma_assert(it != locks_.end() && it->second.held);
+    LockState &l = it->second;
+    if (!l.waiting.empty()) {
+        auto next = std::move(l.waiting.front());
+        l.waiting.pop_front();
+        // The lock stays held; ownership passes to the waiter.
+        eq_.scheduleFunctionIn(std::move(next), 0);
+        return;
+    }
+    l.held = false;
+}
+
+} // namespace ccnuma

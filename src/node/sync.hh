@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Synchronization substrate: barriers and locks.
+ *
+ * Synchronization variables live in the simulated shared address
+ * space (one cache line each), and every barrier arrival / lock
+ * acquire / lock release performs a store to the variable's line
+ * through the normal cache and coherence machinery, so
+ * synchronization generates realistic hot-line protocol traffic at
+ * the variable's home node. This manager supplies the *semantics*
+ * (who waits, who is released) without unbounded spinning: waiters
+ * sleep and are woken by the releasing event, paying one additional
+ * coherence access on the handoff.
+ */
+
+#ifndef CCNUMA_NODE_SYNC_HH
+#define CCNUMA_NODE_SYNC_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ccnuma
+{
+
+/** Barrier and lock coordination across the whole machine. */
+class SyncManager
+{
+  public:
+    SyncManager(const std::string &name, EventQueue &eq,
+                Addr sync_base, unsigned line_bytes);
+
+    /** Number of threads each barrier waits for. */
+    void setBarrierParticipants(unsigned n) { participants_ = n; }
+    unsigned barrierParticipants() const { return participants_; }
+
+    /** Address of barrier @p id's cache line. */
+    Addr
+    barrierAddr(std::uint32_t id) const
+    {
+        return syncBase_ + static_cast<Addr>(id) * lineBytes_;
+    }
+
+    /** Address of lock @p id's cache line. */
+    Addr
+    lockAddr(std::uint32_t id) const
+    {
+        return syncBase_ + lockRegionOffset_ +
+               static_cast<Addr>(id) * lineBytes_;
+    }
+
+    /**
+     * Record a barrier arrival.
+     * @param wake called (in a fresh event) when the barrier opens;
+     *        not called for the final arriver.
+     * @return true iff this arrival released the barrier.
+     */
+    bool arrive(std::uint32_t id, std::function<void()> wake);
+
+    /**
+     * Try to acquire a lock.
+     * @param granted called (in a fresh event) when a queued acquire
+     *        eventually gets the lock; not called on immediate
+     *        success.
+     * @return true iff the lock was free and is now held.
+     */
+    bool lockAcquire(std::uint32_t id, std::function<void()> granted);
+
+    /** Release a lock, handing it to the oldest waiter if any. */
+    void lockRelease(std::uint32_t id);
+
+    stats::Group &statGroup() { return statGroup_; }
+
+    stats::Scalar statBarriers{"barriers", "barrier episodes completed"};
+    stats::Scalar statLockHandoffs{"lock_handoffs",
+        "lock acquisitions that had to queue"};
+
+  private:
+    struct BarrierState
+    {
+        unsigned arrived = 0;
+        std::vector<std::function<void()>> waiting;
+    };
+
+    struct LockState
+    {
+        bool held = false;
+        std::deque<std::function<void()>> waiting;
+    };
+
+    EventQueue &eq_;
+    Addr syncBase_;
+    unsigned lineBytes_;
+    Addr lockRegionOffset_;
+    unsigned participants_ = 1;
+    std::unordered_map<std::uint32_t, BarrierState> barriers_;
+    std::unordered_map<std::uint32_t, LockState> locks_;
+    stats::Group statGroup_;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_NODE_SYNC_HH

@@ -1,0 +1,46 @@
+#include "protocol/messages.hh"
+
+namespace ccnuma
+{
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq: return "ReadReq";
+      case MsgType::ReadExclReq: return "ReadExclReq";
+      case MsgType::FwdRead: return "FwdRead";
+      case MsgType::FwdReadExcl: return "FwdReadExcl";
+      case MsgType::InvalReq: return "InvalReq";
+      case MsgType::InvalAck: return "InvalAck";
+      case MsgType::DataReply: return "DataReply";
+      case MsgType::DataExclReply: return "DataExclReply";
+      case MsgType::OwnerDataToHome: return "OwnerDataToHome";
+      case MsgType::OwnerDataExclToHome: return "OwnerDataExclToHome";
+      case MsgType::SharingWB: return "SharingWB";
+      case MsgType::OwnershipAck: return "OwnershipAck";
+      case MsgType::OwnerNack: return "OwnerNack";
+      case MsgType::WriteBack: return "WriteBack";
+      case MsgType::WriteBackAck: return "WriteBackAck";
+      case MsgType::HomeNack: return "HomeNack";
+    }
+    return "?";
+}
+
+bool
+msgCarriesData(MsgType t)
+{
+    switch (t) {
+      case MsgType::DataReply:
+      case MsgType::DataExclReply:
+      case MsgType::OwnerDataToHome:
+      case MsgType::OwnerDataExclToHome:
+      case MsgType::SharingWB:
+      case MsgType::WriteBack:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace ccnuma

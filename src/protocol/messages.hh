@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Coherence protocol message types.
+ *
+ * The protocol is the paper's: full-map directory, invalidation-based,
+ * write-back, sequentially consistent. Remote owners respond directly
+ * to remote requesters with data; invalidation acknowledgements are
+ * collected only at the home node. Writebacks ride the controllers'
+ * direct bus-to-network data path and are acknowledged by the home so
+ * the owner can retire its writeback buffer entry.
+ */
+
+#ifndef CCNUMA_PROTOCOL_MESSAGES_HH
+#define CCNUMA_PROTOCOL_MESSAGES_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace ccnuma
+{
+
+/** Network message types exchanged between coherence controllers. */
+enum class MsgType : std::uint8_t
+{
+    // requester -> home
+    ReadReq,        ///< read a line
+    ReadExclReq,    ///< read exclusive (store miss / upgrade)
+
+    // home -> owner
+    FwdRead,        ///< fetch line for a (possibly remote) reader
+    FwdReadExcl,    ///< fetch+invalidate for a (possibly remote) writer
+
+    // home -> sharer
+    InvalReq,       ///< invalidate your copy, ack the home
+
+    // sharer -> home
+    InvalAck,
+
+    // home/owner -> requester
+    DataReply,      ///< line data for a read (install Shared)
+    DataExclReply,  ///< line data for a read-excl (install Modified)
+
+    // owner -> home (closing a forwarded request)
+    OwnerDataToHome,     ///< data for a local read at the home
+    OwnerDataExclToHome, ///< data for a local read-excl at the home
+    SharingWB,           ///< demotion writeback (read by remote req.)
+    OwnershipAck,        ///< data went straight to remote requester
+    OwnerNack,           ///< owner no longer has the line; retry
+
+    // owner -> home
+    WriteBack,      ///< eviction of a dirty remote line
+    // home -> owner
+    WriteBackAck,   ///< home absorbed the writeback
+
+    // home -> requester
+    HomeNack,       ///< you own this line; serve the request locally
+};
+
+const char *msgTypeName(MsgType t);
+
+/** @return true for messages that carry a full cache line. */
+bool msgCarriesData(MsgType t);
+
+/** A coherence protocol message. */
+struct Msg
+{
+    MsgType type = MsgType::ReadReq;
+    Addr lineAddr = 0;
+    NodeId src = 0;       ///< sending node
+    NodeId dst = 0;       ///< destination node
+    NodeId requester = 0; ///< original requesting node (for forwards)
+    std::uint64_t version = 0; ///< checker payload riding with data
+    /**
+     * For owner responses (OwnerDataToHome, SharingWB): true when the
+     * owner keeps a Shared copy after supplying, so the home should
+     * record it as a sharer.
+     */
+    bool ownerRetains = false;
+};
+
+/** Network sizes in bytes. */
+constexpr unsigned msgHeaderBytes = 16;
+
+/** @return the wire size of a message given the line size. */
+inline unsigned
+msgBytes(MsgType t, unsigned line_bytes)
+{
+    return msgCarriesData(t) ? msgHeaderBytes + line_bytes
+                             : msgHeaderBytes;
+}
+
+} // namespace ccnuma
+
+#endif // CCNUMA_PROTOCOL_MESSAGES_HH

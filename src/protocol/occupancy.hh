@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Protocol-engine sub-operation cost model (the paper's Table 2).
+ *
+ * A protocol handler is a sequence of sub-operations; the occupancy of
+ * a handler on a given engine type is computed from this table plus
+ * any dynamic waits (SMP bus / memory / directory DRAM) incurred while
+ * the handler runs. The per-sub-op costs encode the paper's stated
+ * assumptions:
+ *
+ *  - HWC on-chip register accesses take one 100 MHz system cycle
+ *    (2 CPU cycles); HWC decides multiple conditions per cycle and
+ *    folds bit operations into other actions (zero marginal cost);
+ *  - PP reads of off-chip registers on the local controller bus take
+ *    4 system cycles (8 CPU cycles), +1 system cycle when searching a
+ *    set of associative registers; PP writes take 2 system cycles
+ *    (4 CPU cycles) before the PP can proceed;
+ *  - PP compute/bit-field/branch costs reflect compiled PowerPC
+ *    instruction counts (the paper used IBM XLC output; we use
+ *    per-sub-op estimates calibrated against the paper's readable
+ *    anchors: the 142 vs 212 cycle read-miss totals and the ~2.5x
+ *    total occupancy ratio).
+ */
+
+#ifndef CCNUMA_PROTOCOL_OCCUPANCY_HH
+#define CCNUMA_PROTOCOL_OCCUPANCY_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace ccnuma
+{
+
+/** Protocol engine implementation technology. */
+enum class EngineType : std::uint8_t
+{
+    HWC, ///< custom hardware finite state machine @ 100 MHz
+    PP,  ///< commodity 200 MHz protocol processor, off-chip registers
+    /**
+     * The hybrid the paper's conclusions propose: a commodity
+     * protocol processor with incremental custom hardware
+     * accelerating the common handler actions — hardware dispatch
+     * (no off-chip dispatch-register read), an associative
+     * pending-transaction match unit, and hardware transfer-
+     * completion tracking. Compute, register writes, and general
+     * register reads remain at commodity-PP cost.
+     */
+    PPAccel,
+};
+
+const char *engineTypeName(EngineType t);
+
+/** Protocol handler sub-operations (Table 2 rows). */
+enum class SubOp : std::uint8_t
+{
+    DispatchHandler, ///< read dispatch register, decode, branch
+    ReadRegister,    ///< read a special register (bus IF / NI header)
+    ReadAssocRegs,   ///< search an associative register set
+    WriteRegister,   ///< write a special register (send msg, start DMA)
+    DirectoryRead,   ///< directory read hitting the directory cache
+    DirectoryWrite,  ///< posted write-through directory update
+    BitFieldOp,      ///< extract/clear/set a directory bit field
+    Condition,       ///< decide one condition
+    Compute,         ///< one ALU instruction worth of work
+    NumSubOps,
+};
+
+constexpr unsigned numSubOps =
+    static_cast<unsigned>(SubOp::NumSubOps);
+
+const char *subOpName(SubOp op);
+
+/** Per-engine sub-operation occupancies in ticks (CPU cycles). */
+class OccupancyModel
+{
+  public:
+    explicit OccupancyModel(EngineType t);
+
+    EngineType engineType() const { return type_; }
+
+    /** Occupancy of one sub-operation. */
+    Tick cost(SubOp op) const
+    {
+        return costs_[static_cast<unsigned>(op)];
+    }
+
+    /** Override a sub-op cost (ablation studies). */
+    void setCost(SubOp op, Tick t)
+    {
+        costs_[static_cast<unsigned>(op)] = t;
+    }
+
+  private:
+    EngineType type_;
+    Tick costs_[numSubOps];
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_PROTOCOL_OCCUPANCY_HH

@@ -1,0 +1,72 @@
+#include "report/table.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace ccnuma
+{
+namespace report
+{
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size();
+             ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    auto hline = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << "+" << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto prow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell =
+                c < row.size() ? row[c] : std::string();
+            os << "| " << cell
+               << std::string(widths[c] - cell.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+    hline();
+    prow(headers_);
+    hline();
+    for (const auto &row : rows_)
+        prow(row);
+    hline();
+}
+
+std::string
+fmt(const char *f, ...)
+{
+    std::va_list ap;
+    va_start(ap, f);
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, f, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return f;
+    }
+    std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), f, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+std::string
+pct(double ratio, int decimals)
+{
+    return fmt("%.*f%%", decimals, ratio * 100.0);
+}
+
+} // namespace report
+} // namespace ccnuma

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small fixed-width table formatter used by the bench harnesses to
+ * print paper-style tables (with optional "paper says" reference
+ * columns for side-by-side comparison).
+ */
+
+#ifndef CCNUMA_REPORT_TABLE_HH
+#define CCNUMA_REPORT_TABLE_HH
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccnuma
+{
+namespace report
+{
+
+/** Column-aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    /** Append a row (must match the header count). */
+    void addRow(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style helper returning std::string. */
+std::string fmt(const char *f, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format a ratio as a percentage string ("93.2%"). */
+std::string pct(double ratio, int decimals = 1);
+
+} // namespace report
+} // namespace ccnuma
+
+#endif // CCNUMA_REPORT_TABLE_HH

@@ -1,0 +1,124 @@
+#include "sim/event_queue.hh"
+
+namespace ccnuma
+{
+
+Event::~Event()
+{
+    // Destroying a still-scheduled event would leave a dangling
+    // pointer in the queue; that is always a simulator bug.
+    if (scheduled_) {
+        // Cannot throw from a destructor; print and abort instead.
+        std::fprintf(stderr,
+                     "panic: event '%s' destroyed while scheduled\n",
+                     name().c_str());
+        std::abort();
+    }
+}
+
+EventQueue::~EventQueue()
+{
+    // Drop remaining entries, freeing auto-delete events that never
+    // fired so that tear-down does not leak.
+    while (!q_.empty()) {
+        Entry e = q_.top();
+        q_.pop();
+        if (cancelled_.erase(e.seq))
+            continue;
+        e.ev->scheduled_ = false;
+        if (e.ev->autoDelete_)
+            delete e.ev;
+    }
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    ccnuma_assert(ev != nullptr);
+    if (when < curTick_) {
+        panic("scheduling event '%s' at tick %llu in the past "
+              "(now %llu)", ev->name().c_str(),
+              (unsigned long long)when, (unsigned long long)curTick_);
+    }
+    if (ev->scheduled_) {
+        panic("event '%s' scheduled while already pending",
+              ev->name().c_str());
+    }
+    ev->when_ = when;
+    ev->seq_ = nextSeq_++;
+    ev->scheduled_ = true;
+    q_.push(Entry{when, ev->priority(), ev->seq_, ev});
+    ++pending_;
+}
+
+void
+EventQueue::scheduleFunction(std::function<void()> fn, Tick when,
+                             int priority)
+{
+    auto *ev = new EventFunction(std::move(fn), "one-shot", priority);
+    ev->autoDelete_ = true;
+    schedule(ev, when);
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    ccnuma_assert(ev != nullptr);
+    if (!ev->scheduled_)
+        panic("descheduling event '%s' that is not pending",
+              ev->name().c_str());
+    ev->scheduled_ = false;
+    cancelled_.insert(ev->seq_);
+    --pending_;
+    // If the event owned itself, nobody else will free it.
+    if (ev->autoDelete_)
+        delete ev;
+}
+
+bool
+EventQueue::step()
+{
+    while (!q_.empty()) {
+        Entry e = q_.top();
+        q_.pop();
+        if (cancelled_.erase(e.seq))
+            continue; // lazily removed entry
+        ccnuma_assert(e.when >= curTick_);
+        curTick_ = e.when;
+        Event *ev = e.ev;
+        ev->scheduled_ = false;
+        --pending_;
+        ++processed_;
+        bool auto_delete = ev->autoDelete_;
+        ev->process();
+        // process() may have rescheduled the event; only delete
+        // self-owned events that are not pending again.
+        if (auto_delete && !ev->scheduled_)
+            delete ev;
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::run(Tick limit)
+{
+    while (!q_.empty()) {
+        if (q_.top().when > limit)
+            return;
+        step();
+    }
+}
+
+bool
+EventQueue::runUntil(const std::function<bool()> &done, Tick limit)
+{
+    while (!done()) {
+        if (q_.empty() || q_.top().when > limit)
+            return false;
+        step();
+    }
+    return true;
+}
+
+} // namespace ccnuma

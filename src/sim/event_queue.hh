@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Discrete-event simulation kernel: events and the global event queue.
+ *
+ * Events scheduled for the same tick are ordered first by priority and
+ * then by insertion order, making every simulation fully deterministic.
+ */
+
+#ifndef CCNUMA_SIM_EVENT_QUEUE_HH
+#define CCNUMA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace ccnuma
+{
+
+class EventQueue;
+
+/**
+ * Base class for schedulable events. Derived classes implement
+ * process(). An event may be rescheduled after it has fired, but it
+ * must not be scheduled while already pending.
+ */
+class Event
+{
+  public:
+    /** Default priority; lower values fire first within a tick. */
+    static constexpr int defaultPriority = 100;
+
+    explicit Event(int priority = defaultPriority)
+        : priority_(priority)
+    {}
+
+    virtual ~Event();
+
+    /** Called by the event queue when the event fires. */
+    virtual void process() = 0;
+
+    /** Human-readable description used in error messages. */
+    virtual std::string name() const { return "anonymous event"; }
+
+    /** @return true while the event sits in an event queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** @return the tick this event is (or was last) scheduled for. */
+    Tick when() const { return when_; }
+
+    int priority() const { return priority_; }
+
+  private:
+    friend class EventQueue;
+
+    Tick when_ = 0;
+    std::uint64_t seq_ = 0;
+    int priority_;
+    bool scheduled_ = false;
+    bool autoDelete_ = false;
+};
+
+/** Convenience event wrapping a std::function callback. */
+class EventFunction : public Event
+{
+  public:
+    explicit EventFunction(std::function<void()> fn,
+                           const std::string &name = "function event",
+                           int priority = defaultPriority)
+        : Event(priority), fn_(std::move(fn)), name_(name)
+    {}
+
+    void process() override { fn_(); }
+    std::string name() const override { return name_; }
+
+  private:
+    std::function<void()> fn_;
+    std::string name_;
+};
+
+/**
+ * The global event queue. One instance drives a whole simulated
+ * machine; all simulation components hold a reference to it.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue();
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /**
+     * Schedule @p ev to fire at absolute tick @p when.
+     * @pre when >= curTick() and the event is not already scheduled.
+     */
+    void schedule(Event *ev, Tick when);
+
+    /** Schedule @p ev to fire @p delta ticks from now. */
+    void scheduleIn(Event *ev, Tick delta)
+    {
+        schedule(ev, curTick_ + delta);
+    }
+
+    /**
+     * Schedule a one-shot callback at absolute tick @p when. The
+     * underlying event is heap-allocated and freed after firing.
+     */
+    void scheduleFunction(std::function<void()> fn, Tick when,
+                          int priority = Event::defaultPriority);
+
+    /** Schedule a one-shot callback @p delta ticks from now. */
+    void
+    scheduleFunctionIn(std::function<void()> fn, Tick delta,
+                       int priority = Event::defaultPriority)
+    {
+        scheduleFunction(std::move(fn), curTick_ + delta, priority);
+    }
+
+    /** Remove a pending event from the queue without firing it. */
+    void deschedule(Event *ev);
+
+    /** @return true when no events remain. */
+    bool empty() const { return pending_ == 0; }
+
+    /** Number of events still pending. */
+    std::uint64_t numPending() const { return pending_; }
+
+    /** Total number of events processed so far. */
+    std::uint64_t numProcessed() const { return processed_; }
+
+    /**
+     * Fire the single earliest pending event.
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /** Run until the queue drains or curTick() exceeds @p limit. */
+    void run(Tick limit = maxTick);
+
+    /**
+     * Run until @p done returns true, the queue drains, or @p limit
+     * is exceeded. @return true iff @p done became true.
+     */
+    bool runUntil(const std::function<bool()> &done,
+                  Tick limit = maxTick);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Event *ev;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (priority != o.priority)
+                return priority > o.priority;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> q_;
+    /** Sequence numbers of lazily cancelled entries. */
+    std::unordered_set<std::uint64_t> cancelled_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t pending_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,42 @@
+#include "sim/logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace ccnuma
+{
+namespace logging_detail
+{
+
+std::string
+format(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+} // namespace logging_detail
+
+bool
+traceLineEnabled(std::uint64_t line_addr)
+{
+    static const std::uint64_t traced = [] {
+        const char *env = std::getenv("CCNUMA_TRACE_LINE");
+        return env ? std::strtoull(env, nullptr, 16) : 0ull;
+    }();
+    return traced != 0 && traced == line_addr;
+}
+
+} // namespace ccnuma

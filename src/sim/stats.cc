@@ -1,0 +1,95 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace ccnuma
+{
+namespace stats
+{
+
+void
+Scalar::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(44) << (prefix + name())
+       << std::right << std::setw(16) << value_
+       << "  # " << desc() << "\n";
+}
+
+void
+Average::reset()
+{
+    sum_ = 0.0;
+    count_ = 0;
+    min_ = 1e300;
+    max_ = -1e300;
+}
+
+void
+Average::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(44) << (prefix + name() + ".mean")
+       << std::right << std::setw(16) << mean()
+       << "  # " << desc() << " (n=" << count_ << ", min="
+       << minValue() << ", max=" << maxValue() << ")\n";
+}
+
+void
+Distribution::reset()
+{
+    avg_.reset();
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+}
+
+void
+Distribution::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(44) << (prefix + name() + ".mean")
+       << std::right << std::setw(16) << mean()
+       << "  # " << desc() << " (n=" << count() << ")\n";
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (!buckets_[i])
+            continue;
+        os << std::left << std::setw(44)
+           << (prefix + name() + ".bucket" + std::to_string(i))
+           << std::right << std::setw(16) << buckets_[i]
+           << "  # [" << i * bucketSize_ << ", "
+           << (i + 1) * bucketSize_ << ")\n";
+    }
+    if (overflow_) {
+        os << std::left << std::setw(44)
+           << (prefix + name() + ".overflow")
+           << std::right << std::setw(16) << overflow_ << "\n";
+    }
+}
+
+void
+Group::resetAll()
+{
+    for (auto *s : stats_)
+        s->reset();
+}
+
+void
+Group::print(std::ostream &os) const
+{
+    for (const auto *s : stats_)
+        s->print(os, name_ + ".");
+}
+
+void
+Registry::resetAll()
+{
+    for (auto *g : groups_)
+        g->resetAll();
+}
+
+void
+Registry::print(std::ostream &os) const
+{
+    for (const auto *g : groups_)
+        g->print(os);
+}
+
+} // namespace stats
+} // namespace ccnuma

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fundamental simulator types and clock conversions.
+ *
+ * The simulator counts time in ticks, where one tick is one compute
+ * processor cycle of the modeled 200 MHz PowerPC (5 ns), matching the
+ * unit used throughout the ISCA'97 paper's tables. The SMP bus and the
+ * coherence controller logic run at 100 MHz, i.e. one bus cycle is two
+ * ticks.
+ */
+
+#ifndef CCNUMA_SIM_TYPES_HH
+#define CCNUMA_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ccnuma
+{
+
+/** Simulated time in compute-processor cycles (5 ns each). */
+using Tick = std::uint64_t;
+
+/** Physical byte address in the simulated global address space. */
+using Addr = std::uint64_t;
+
+/** Node (SMP board) identifier, 0-based. */
+using NodeId = std::uint32_t;
+
+/** Global processor identifier, 0-based across the whole machine. */
+using ProcId = std::uint32_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Nanoseconds per tick (200 MHz compute processor). */
+constexpr double nsPerTick = 5.0;
+
+/** Compute-processor cycles per SMP bus / controller cycle (100 MHz). */
+constexpr Tick ticksPerBusCycle = 2;
+
+/** Convert bus cycles to ticks. */
+constexpr Tick
+busCycles(Tick n)
+{
+    return n * ticksPerBusCycle;
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) * nsPerTick;
+}
+
+/** Convert nanoseconds to ticks, rounding up. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>((ns + nsPerTick - 1.0) / nsPerTick);
+}
+
+} // namespace ccnuma
+
+#endif // CCNUMA_SIM_TYPES_HH

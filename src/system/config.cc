@@ -1,0 +1,83 @@
+#include "system/config.hh"
+
+#include "sim/logging.hh"
+
+namespace ccnuma
+{
+
+const char *
+archName(Arch a)
+{
+    switch (a) {
+      case Arch::HWC: return "HWC";
+      case Arch::PPC: return "PPC";
+      case Arch::TwoHWC: return "2HWC";
+      case Arch::TwoPPC: return "2PPC";
+    }
+    return "?";
+}
+
+MachineConfig
+MachineConfig::base()
+{
+    MachineConfig c;
+    c.numNodes = 16;
+    c.node.procsPerNode = 4;
+    // Table 1 defaults are encoded in the substructures' field
+    // initializers (bus, memory, network, directory, caches).
+    return c;
+}
+
+MachineConfig &
+MachineConfig::withArch(Arch a)
+{
+    switch (a) {
+      case Arch::HWC:
+        node.cc.engineType = EngineType::HWC;
+        node.cc.numEngines = 1;
+        break;
+      case Arch::PPC:
+        node.cc.engineType = EngineType::PP;
+        node.cc.numEngines = 1;
+        break;
+      case Arch::TwoHWC:
+        node.cc.engineType = EngineType::HWC;
+        node.cc.numEngines = 2;
+        break;
+      case Arch::TwoPPC:
+        node.cc.engineType = EngineType::PP;
+        node.cc.numEngines = 2;
+        break;
+    }
+    return *this;
+}
+
+MachineConfig &
+MachineConfig::withLineBytes(unsigned bytes)
+{
+    node.bus.lineBytes = bytes;
+    node.mem.lineBytes = bytes;
+    node.dir.lineBytes = bytes;
+    node.cache.lineBytes = bytes;
+    return *this;
+}
+
+MachineConfig &
+MachineConfig::withNetworkLatency(Tick ticks)
+{
+    net.flightLatency = ticks;
+    return *this;
+}
+
+MachineConfig &
+MachineConfig::withProcsPerNode(unsigned ppn, unsigned total_procs)
+{
+    if (ppn == 0 || total_procs % ppn != 0)
+        fatal("cannot split %u processors into nodes of %u",
+              total_procs, ppn);
+    node.procsPerNode = ppn;
+    numNodes = total_procs / ppn;
+    return *this;
+}
+
+} // namespace ccnuma

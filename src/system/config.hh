@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Whole-machine configuration, with named presets for the paper's
+ * experimental configurations.
+ */
+
+#ifndef CCNUMA_SYSTEM_CONFIG_HH
+#define CCNUMA_SYSTEM_CONFIG_HH
+
+#include <string>
+
+#include "net/network.hh"
+#include "node/smp_node.hh"
+
+namespace ccnuma
+{
+
+/** The four coherence controller architectures under study. */
+enum class Arch
+{
+    HWC,    ///< one custom-hardware FSM
+    PPC,    ///< one commodity protocol processor
+    TwoHWC, ///< two FSMs (LPE/RPE)
+    TwoPPC, ///< two protocol processors (LPE/RPE)
+};
+
+const char *archName(Arch a);
+
+/** Full machine configuration. */
+struct MachineConfig
+{
+    unsigned numNodes = 16;
+    NodeParams node;
+    NetworkParams net;
+    unsigned pageBytes = 4096;
+    /**
+     * Page placement: the paper's round-robin default, or the
+     * first-touch-after-initialization policy it reports as slightly
+     * inferior (load imbalance, memory/controller contention).
+     */
+    PlacementPolicy placement = PlacementPolicy::RoundRobin;
+    Addr syncBase = 0x4000'0000;
+    /** Simulation watchdog: abort if a run exceeds this many ticks. */
+    Tick maxTicks = 4'000'000'000ull;
+
+    /**
+     * The paper's base system: 16 nodes x 4 x 200 MHz processors,
+     * 128-byte lines, 100 MHz 16-byte bus, 70 ns network.
+     */
+    static MachineConfig base();
+
+    /** Apply a coherence controller architecture. */
+    MachineConfig &withArch(Arch a);
+
+    /** Use @p bytes cache lines everywhere (Figure 7 uses 32). */
+    MachineConfig &withLineBytes(unsigned bytes);
+
+    /** Use a slow network (Figure 8 uses 1 us = 200 ticks). */
+    MachineConfig &withNetworkLatency(Tick ticks);
+
+    /**
+     * Keep 64 processors total but change processors per node
+     * (Figure 10: 1, 2, 4, 8).
+     */
+    MachineConfig &withProcsPerNode(unsigned ppn,
+                                    unsigned total_procs = 64);
+
+    unsigned totalProcs() const
+    {
+        return numNodes * node.procsPerNode;
+    }
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_SYSTEM_CONFIG_HH

@@ -1,0 +1,236 @@
+#include "system/machine.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+namespace ccnuma
+{
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg), map_(cfg.numNodes, cfg.pageBytes),
+      net_("net", eq_, cfg.numNodes, cfg.net),
+      sync_("sync", eq_, cfg.syncBase, cfg.node.bus.lineBytes)
+{
+    map_.setPolicy(cfg.placement);
+    auto next_version = [this] { return nextVersion(); };
+    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+        nodes_.push_back(std::make_unique<SmpNode>(
+            "node" + std::to_string(n), eq_, n, cfg.node, net_, map_,
+            sync_, next_version));
+        nodes_.back()->cc().setRouter(this);
+    }
+    sync_.setBarrierParticipants(totalProcs());
+}
+
+Machine::~Machine() = default;
+
+Processor &
+Machine::proc(unsigned global)
+{
+    unsigned ppn = cfg_.node.procsPerNode;
+    return nodes_.at(global / ppn)->proc(global % ppn);
+}
+
+void
+Machine::deliverMsg(const Msg &msg)
+{
+    nodes_.at(msg.dst)->cc().netReceive(msg);
+}
+
+RunResult
+Machine::run(Workload &w, bool check)
+{
+    if (w.numThreads() != totalProcs()) {
+        fatal("workload %s has %u threads but the machine has %u "
+              "processors", w.name().c_str(), w.numThreads(),
+              totalProcs());
+    }
+    w.place(map_);
+
+    unsigned n = totalProcs();
+    finishedProcs_ = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        Processor &p = proc(i);
+        p.setProgram(w.thread(i));
+        p.setFinishedCallback([this] { ++finishedProcs_; });
+        p.start(0);
+    }
+
+    Tick limit = cfg_.maxTicks;
+    if (const char *env = std::getenv("CCNUMA_MAX_TICKS"))
+        limit = std::strtoull(env, nullptr, 10);
+    bool done = eq_.runUntil([this, n] { return finishedProcs_ == n; },
+                             limit);
+    if (!done) {
+        // Diagnose: which processors are stuck, and what protocol
+        // state is outstanding?
+        std::string stuck;
+        for (unsigned i = 0; i < n; ++i) {
+            if (!proc(i).finished())
+                stuck += " " + std::to_string(i);
+        }
+        for (auto &nd : nodes_)
+            nd->cc().dumpState(std::cerr);
+        panic("workload %s wedged at tick %llu (pending events: %llu;"
+              " unfinished procs:%s)", w.name().c_str(),
+              (unsigned long long)eq_.curTick(),
+              (unsigned long long)eq_.numPending(), stuck.c_str());
+    }
+
+    Tick exec = 0;
+    for (unsigned i = 0; i < n; ++i)
+        exec = std::max(exec, proc(i).finishTick());
+
+    // Drain in-flight protocol traffic (writeback acks etc.).
+    eq_.run(eq_.curTick() + 10'000'000);
+    for (auto &nd : nodes_) {
+        if (!nd->cc().idle()) {
+            panic("controller %u not idle after drain",
+                  nd->id());
+        }
+    }
+
+    if (check)
+        checkInvariants();
+
+    RunResult r;
+    r.workload = w.name();
+    r.arch = std::string(engineTypeName(cfg_.node.cc.engineType));
+    if (cfg_.node.cc.numEngines > 1)
+        r.arch += "x" + std::to_string(cfg_.node.cc.numEngines);
+    r.execTicks = exec;
+    for (unsigned i = 0; i < n; ++i) {
+        Processor &p = proc(i);
+        r.instructions += p.instructions();
+        r.memRefs += p.memRefs();
+        r.misses += p.misses();
+    }
+    double util_sum = 0.0;
+    double qd_sum = 0.0;
+    for (auto &nd : nodes_) {
+        CoherenceController &cc = nd->cc();
+        r.ccRequests += cc.totalArrivals();
+        r.ccOccupancy += cc.totalOccupancy();
+        util_sum += exec ? static_cast<double>(cc.totalOccupancy()) /
+                               (static_cast<double>(exec) *
+                                cc.numEngines())
+                         : 0.0;
+        qd_sum += cc.meanQueueDelay();
+    }
+    r.avgUtilization = util_sum / static_cast<double>(numNodes());
+    r.avgQueueDelayTicks = qd_sum / static_cast<double>(numNodes());
+    double exec_us = ticksToNs(exec) / 1000.0;
+    r.arrivalsPerUs =
+        exec_us > 0.0
+            ? static_cast<double>(r.ccRequests) /
+                  static_cast<double>(numNodes()) / exec_us
+            : 0.0;
+    return r;
+}
+
+void
+Machine::checkInvariants()
+{
+    struct Holder
+    {
+        NodeId node;
+        LineState state;
+        std::uint64_t version;
+    };
+    std::unordered_map<Addr, std::vector<Holder>> holders;
+    for (auto &nd : nodes_) {
+        for (unsigned i = 0; i < nd->numProcs(); ++i) {
+            nd->cacheUnit(i).l2().forEachLine(
+                [&](const CacheLine &l) {
+                    holders[l.lineAddr].push_back(
+                        {nd->id(), l.state, l.version});
+                });
+        }
+    }
+    for (const auto &[line, hs] : holders) {
+        unsigned modified = 0;
+        for (const auto &h : hs) {
+            if (h.state == LineState::Modified)
+                ++modified;
+        }
+        if (modified > 1) {
+            panic("line %#llx has %u Modified copies",
+                  (unsigned long long)line, modified);
+        }
+        if (modified == 1 && hs.size() > 1) {
+            panic("line %#llx has a Modified copy alongside %zu "
+                  "other copies", (unsigned long long)line,
+                  hs.size() - 1);
+        }
+        // Directory must cover every remote holder.
+        NodeId home = map_.homeOf(line);
+        const DirEntry *e = nodes_.at(home)->directory().peek(line);
+        for (const auto &h : hs) {
+            if (h.node == home)
+                continue;
+            if (!e) {
+                panic("line %#llx cached at node %u but never "
+                      "entered the home directory",
+                      (unsigned long long)line, h.node);
+            }
+            if (h.state == LineState::Modified) {
+                if (e->state != DirState::DirtyRemote ||
+                    e->owner != h.node) {
+                    panic("line %#llx Modified at node %u but "
+                          "directory says %s owner %u",
+                          (unsigned long long)line, h.node,
+                          dirStateName(e->state), e->owner);
+                }
+            } else if (e->state == DirState::SharedRemote) {
+                if (!e->isSharer(h.node)) {
+                    panic("line %#llx Shared at node %u but not in "
+                          "the sharer bitmap",
+                          (unsigned long long)line, h.node);
+                }
+            } else if (e->state == DirState::Home) {
+                panic("line %#llx cached at remote node %u but "
+                      "directory says Home",
+                      (unsigned long long)line, h.node);
+            } else if (e->state == DirState::DirtyRemote &&
+                       e->owner != h.node) {
+                panic("line %#llx Shared at node %u under foreign "
+                      "owner %u", (unsigned long long)line, h.node,
+                      e->owner);
+            }
+        }
+        // All non-modified copies must agree with memory.
+        if (modified == 0) {
+            std::uint64_t mem_version =
+                nodes_.at(home)->memory().version(line);
+            for (const auto &h : hs) {
+                if (h.version != mem_version) {
+                    panic("line %#llx: node %u holds version %llu "
+                          "but memory has %llu",
+                          (unsigned long long)line, h.node,
+                          (unsigned long long)h.version,
+                          (unsigned long long)mem_version);
+                }
+            }
+        }
+    }
+}
+
+void
+Machine::printStats(std::ostream &os)
+{
+    net_.statGroup().print(os);
+    sync_.statGroup().print(os);
+    for (auto &nd : nodes_) {
+        nd->bus().statGroup().print(os);
+        nd->memory().statGroup().print(os);
+        nd->directory().statGroup().print(os);
+        nd->cc().statGroup().print(os);
+        for (unsigned i = 0; i < nd->numProcs(); ++i) {
+            nd->proc(i).statGroup().print(os);
+            nd->cacheUnit(i).statGroup().print(os);
+        }
+    }
+}
+
+} // namespace ccnuma

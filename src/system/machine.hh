@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The whole CC-NUMA machine: nodes, interconnect, synchronization,
+ * and the run loop that executes a workload to completion and
+ * collects the paper's measurement set (execution time, RCCPI,
+ * occupancy, utilization, queuing delay, arrival rates).
+ */
+
+#ifndef CCNUMA_SYSTEM_MACHINE_HH
+#define CCNUMA_SYSTEM_MACHINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "system/config.hh"
+#include "workload/workload.hh"
+
+namespace ccnuma
+{
+
+/** Measurements from one workload run (Table 6 inputs). */
+struct RunResult
+{
+    std::string workload;
+    std::string arch;
+    Tick execTicks = 0;          ///< parallel-phase execution time
+    std::uint64_t instructions = 0;
+    std::uint64_t memRefs = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t ccRequests = 0; ///< requests to all controllers
+    Tick ccOccupancy = 0;         ///< engine-busy ticks, all ctrls
+    double avgUtilization = 0.0;  ///< mean per-ctrl occupancy/time
+    double avgQueueDelayTicks = 0.0;
+    double arrivalsPerUs = 0.0;   ///< per controller per microsecond
+
+    double
+    rccpi() const
+    {
+        return instructions
+                   ? static_cast<double>(ccRequests) /
+                         static_cast<double>(instructions)
+                   : 0.0;
+    }
+
+    double execNs() const { return ticksToNs(execTicks); }
+};
+
+/** The simulated machine. */
+class Machine : public MsgRouter
+{
+  public:
+    explicit Machine(const MachineConfig &cfg);
+    ~Machine() override;
+
+    EventQueue &eq() { return eq_; }
+    AddressMap &map() { return map_; }
+    Network &network() { return net_; }
+    SyncManager &sync() { return sync_; }
+    const MachineConfig &config() const { return cfg_; }
+
+    unsigned numNodes() const
+    {
+        return static_cast<unsigned>(nodes_.size());
+    }
+    SmpNode &node(unsigned i) { return *nodes_.at(i); }
+
+    unsigned totalProcs() const { return cfg_.totalProcs(); }
+    Processor &proc(unsigned global);
+
+    /** Monotonic data-version source for the invariant checker. */
+    std::uint64_t nextVersion() { return ++versionCounter_; }
+
+    // --- MsgRouter ---
+    void deliverMsg(const Msg &msg) override;
+
+    /**
+     * Run @p w to completion (its thread count must equal
+     * totalProcs()), drain in-flight protocol traffic, and collect
+     * measurements.
+     * @param check run the coherence invariant checker afterwards
+     */
+    RunResult run(Workload &w, bool check = false);
+
+    /** Verify global coherence invariants; panics on violation. */
+    void checkInvariants();
+
+    /** Dump all registered statistics. */
+    void printStats(std::ostream &os);
+
+  private:
+    MachineConfig cfg_;
+    EventQueue eq_;
+    AddressMap map_;
+    Network net_;
+    SyncManager sync_;
+    std::vector<std::unique_ptr<SmpNode>> nodes_;
+    std::uint64_t versionCounter_ = 0;
+    unsigned finishedProcs_ = 0;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_SYSTEM_MACHINE_HH

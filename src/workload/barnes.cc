@@ -1,0 +1,87 @@
+#include <algorithm>
+
+#include "workload/splash.hh"
+
+namespace ccnuma
+{
+
+BarnesWorkload::BarnesWorkload(const WorkloadParams &p)
+    : Workload(p)
+{
+    npart_ = static_cast<unsigned>(
+        std::max<std::uint64_t>(scaled(8192), 2 * p.numThreads));
+    ncell_ = std::max(64u, npart_ / 2);
+    steps_ = static_cast<unsigned>(
+        std::max<std::uint64_t>(2, scaled(4)));
+    parts_ = alloc(static_cast<std::uint64_t>(npart_) * partBytes);
+    cells_ = alloc(static_cast<std::uint64_t>(ncell_) * cellBytes);
+}
+
+OpStream
+BarnesWorkload::thread(unsigned tid)
+{
+    const unsigned P = params_.numThreads;
+    const unsigned lo = tid * npart_ / P;
+    const unsigned hi = (tid + 1) * npart_ / P;
+    std::uint32_t bar = 0;
+
+    for (unsigned s = 0; s < steps_; ++s) {
+        // Tree build: walk from the root, lock the leaf cell and
+        // insert. Cell indices derive from particle identity so the
+        // tree shape is deterministic and shared across processors.
+        Random walk(params_.seed * 31 + s);
+        for (unsigned m = lo; m < hi; ++m) {
+            co_yield ThreadOp::load(parts_ + Addr(m) * partBytes);
+            Random path(params_.seed ^ (std::uint64_t(s) << 32) ^ m);
+            unsigned depth = 4 + static_cast<unsigned>(path.below(4));
+            unsigned cell = 0;
+            for (unsigned d = 0; d < depth; ++d) {
+                std::uint64_t u = path.below(ncell_);
+                cell = static_cast<unsigned>(u * u / ncell_);
+                co_yield ThreadOp::load(cells_ +
+                                        Addr(cell) * cellBytes);
+                co_yield ThreadOp::compute(12);
+            }
+            co_yield ThreadOp::lock(cell % numLocks);
+            co_yield ThreadOp::load(cells_ + Addr(cell) * cellBytes);
+            co_yield ThreadOp::store(cells_ + Addr(cell) * cellBytes);
+            co_yield ThreadOp::unlock(cell % numLocks);
+        }
+        co_yield ThreadOp::barrier(bar++);
+
+        // Force computation: irregular read-only traversal of the
+        // (now stable) cell array, heavy on compute. Tree traversals
+        // revisit the upper levels constantly, so cell choice is
+        // skewed quadratically toward the low-index (upper-tree)
+        // cells, which stay cache-resident.
+        for (unsigned m = lo; m < hi; ++m) {
+            co_yield ThreadOp::load(parts_ + Addr(m) * partBytes);
+            Random path(params_.seed ^ 0xF0F0 ^
+                        (std::uint64_t(s) << 32) ^ m);
+            unsigned visits =
+                24 + static_cast<unsigned>(path.below(16));
+            for (unsigned v = 0; v < visits; ++v) {
+                std::uint64_t u = path.below(ncell_);
+                unsigned cell = static_cast<unsigned>(
+                    u * u / ncell_ * u / ncell_);
+                co_yield ThreadOp::load(cells_ +
+                                        Addr(cell) * cellBytes);
+                co_yield ThreadOp::compute(180);
+            }
+            co_yield ThreadOp::store(parts_ + Addr(m) * partBytes);
+            co_yield ThreadOp::store(parts_ + Addr(m) * partBytes +
+                                     64);
+        }
+        co_yield ThreadOp::barrier(bar++);
+
+        // Position update.
+        for (unsigned m = lo; m < hi; ++m) {
+            co_yield ThreadOp::load(parts_ + Addr(m) * partBytes);
+            co_yield ThreadOp::compute(20);
+            co_yield ThreadOp::store(parts_ + Addr(m) * partBytes);
+        }
+        co_yield ThreadOp::barrier(bar++);
+    }
+}
+
+} // namespace ccnuma

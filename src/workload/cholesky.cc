@@ -1,0 +1,84 @@
+#include <algorithm>
+
+#include "workload/splash.hh"
+
+namespace ccnuma
+{
+
+CholeskyWorkload::CholeskyWorkload(const WorkloadParams &p)
+    : Workload(p)
+{
+    // Synthetic supernodal elimination DAG sized after tk15: a few
+    // hundred supernodes of growing size, each consuming up to three
+    // earlier supernodes. Growing sizes concentrate work late in the
+    // factorization, reproducing Cholesky's characteristic load
+    // imbalance (the paper notes its penalty is deflated by it).
+    Random rng(params_.seed ^ 0xC401);
+    unsigned ntasks = static_cast<unsigned>(
+        std::max<std::uint64_t>(params_.numThreads * 4,
+                                scaled(800)));
+    tasks_.reserve(ntasks);
+    for (unsigned i = 0; i < ntasks; ++i) {
+        Task t;
+        unsigned grow = 2 + (i * 24) / ntasks; // later => bigger
+        t.lines = 2 + static_cast<unsigned>(rng.below(grow * 4));
+        t.base = alloc(static_cast<std::uint64_t>(t.lines) *
+                       params_.lineBytes);
+        if (i > 0) {
+            t.numParents =
+                1 + static_cast<unsigned>(rng.below(3));
+            for (unsigned s = 0; s < t.numParents; ++s) {
+                t.parents[s] =
+                    static_cast<unsigned>(rng.below(i));
+            }
+        }
+        tasks_.push_back(t);
+    }
+    // Shared task-queue counter lives behind lock 0.
+    queueLock_ = 0;
+    counterAddr_ = alloc(params_.lineBytes);
+}
+
+OpStream
+CholeskyWorkload::thread(unsigned tid)
+{
+    (void)tid;
+    // Host-side shared cursor: because the simulator resumes each
+    // coroutine in simulated-time order, reading it after the lock
+    // is granted yields the true dynamic task schedule.
+    const unsigned line = params_.lineBytes;
+    Addr counter_line = counterAddr_;
+
+    while (true) {
+        co_yield ThreadOp::lock(queueLock_);
+        co_yield ThreadOp::load(counter_line);
+        unsigned idx = nextTask_++;
+        co_yield ThreadOp::store(counter_line);
+        co_yield ThreadOp::unlock(queueLock_);
+        if (idx >= tasks_.size())
+            break;
+        const Task &t = tasks_[idx];
+        // Consume parent supernodes (remote reads, with the update
+        // arithmetic they feed).
+        for (unsigned s = 0; s < t.numParents; ++s) {
+            const Task &par = tasks_[t.parents[s]];
+            for (unsigned l = 0; l < par.lines; ++l) {
+                co_yield ThreadOp::load(par.base + l * line);
+                co_yield ThreadOp::compute(16);
+                co_yield ThreadOp::load(par.base + l * line + 64);
+                co_yield ThreadOp::compute(16);
+            }
+        }
+        // Factor the supernode (dense kernels: flop-rich).
+        for (unsigned l = 0; l < t.lines; ++l) {
+            for (unsigned e = 0; e < line; e += 8) {
+                co_yield ThreadOp::load(t.base + l * line + e);
+                co_yield ThreadOp::compute(80);
+                co_yield ThreadOp::store(t.base + l * line + e);
+            }
+        }
+    }
+    co_yield ThreadOp::barrier(0);
+}
+
+} // namespace ccnuma

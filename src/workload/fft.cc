@@ -1,0 +1,119 @@
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "workload/splash.hh"
+
+namespace ccnuma
+{
+
+FftWorkload::FftWorkload(const WorkloadParams &p)
+    : Workload(p)
+{
+    // 64K complex doubles = a 256x256 matrix at scale 1; the
+    // Figure 9 large data set (256K) doubles the dimension.
+    double dim = 256.0 * params_.scale *
+                 std::sqrt(params_.dataFactor);
+    unsigned d = static_cast<unsigned>(
+        std::bit_ceil(static_cast<unsigned>(std::max(8.0, dim))));
+    // Rows must divide evenly among threads.
+    while (d % params_.numThreads != 0)
+        d *= 2;
+    dim_ = d;
+    // Pad each row by one cache line, as the SPLASH-2 FFT does:
+    // without padding, power-of-two row strides make the transpose's
+    // column walks collide in a handful of cache sets and thrash.
+    rowStride_ = dim_ + params_.lineBytes / elemBytes;
+    std::uint64_t bytes =
+        static_cast<std::uint64_t>(dim_) * rowStride_ * elemBytes;
+    x_ = alloc(bytes, 4096);
+    trans_ = alloc(bytes, 4096);
+    roots_ = alloc(static_cast<std::uint64_t>(dim_) * elemBytes,
+                   4096);
+}
+
+std::string
+FftWorkload::name() const
+{
+    std::uint64_t pts = points();
+    if (pts >= 1024)
+        return "FFT-" + std::to_string(pts / 1024) + "K";
+    return "FFT-" + std::to_string(pts);
+}
+
+Addr
+FftWorkload::elemAddr(Addr base, unsigned r, unsigned c) const
+{
+    return base +
+           (static_cast<Addr>(r) * rowStride_ + c) * elemBytes;
+}
+
+void
+FftWorkload::place(AddressMap &map)
+{
+    // The paper's FFT uses programmer hints for optimal placement:
+    // each processor's partition of both matrices lives on its node.
+    unsigned P = params_.numThreads;
+    unsigned rpp = dim_ / P;
+    for (unsigned t = 0; t < P; ++t) {
+        NodeId node = static_cast<NodeId>(
+            static_cast<std::uint64_t>(t) * map.numNodes() / P);
+        std::uint64_t bytes =
+            static_cast<std::uint64_t>(rpp) * rowStride_ * elemBytes;
+        map.placeRange(elemAddr(x_, t * rpp, 0), bytes, node);
+        map.placeRange(elemAddr(trans_, t * rpp, 0), bytes, node);
+    }
+}
+
+OpStream
+FftWorkload::thread(unsigned tid)
+{
+    const unsigned P = params_.numThreads;
+    const unsigned rpp = dim_ / P;
+    const unsigned lo = tid * rpp;
+    const unsigned hi = lo + rpp;
+    const unsigned passes =
+        static_cast<unsigned>(std::countr_zero(dim_));
+    std::uint32_t bar = 0;
+
+    // Helper lambdas would not be coroutines; inline the phases.
+    for (int phase = 0; phase < 5; ++phase) {
+        if (phase == 0 || phase == 2 || phase == 4) {
+            // Transpose: writing our rows of dst reads a column of
+            // src whose elements are spread over every processor's
+            // partition — the all-to-all burst.
+            Addr src = (phase == 2) ? trans_ : x_;
+            Addr dst = (phase == 2) ? x_ : trans_;
+            for (unsigned r = lo; r < hi; ++r) {
+                for (unsigned c = 0; c < dim_; ++c) {
+                    co_yield ThreadOp::load(elemAddr(src, c, r));
+                    co_yield ThreadOp::compute(10);
+                    co_yield ThreadOp::store(elemAddr(dst, r, c));
+                }
+            }
+        } else {
+            // 1-D FFTs over our rows of the working matrix.
+            Addr work = (phase == 1) ? trans_ : x_;
+            for (unsigned r = lo; r < hi; ++r) {
+                for (unsigned pass = 0; pass < passes; ++pass) {
+                    for (unsigned c = 0; c < dim_; c += 2) {
+                        co_yield ThreadOp::load(
+                            elemAddr(work, r, c));
+                        co_yield ThreadOp::load(
+                            elemAddr(work, r, c + 1));
+                        if ((c & 7) == 0) {
+                            co_yield ThreadOp::load(
+                                roots_ + (c % dim_) * elemBytes);
+                        }
+                        co_yield ThreadOp::compute(18);
+                        co_yield ThreadOp::store(
+                            elemAddr(work, r, c));
+                    }
+                }
+            }
+        }
+        co_yield ThreadOp::barrier(bar++);
+    }
+}
+
+} // namespace ccnuma

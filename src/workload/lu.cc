@@ -1,0 +1,113 @@
+#include <cmath>
+
+#include "workload/splash.hh"
+
+namespace ccnuma
+{
+
+LuWorkload::LuWorkload(const WorkloadParams &p)
+    : Workload(p)
+{
+    // 512x512 matrix with 16x16 blocks at scale 1 (Table 5).
+    std::uint64_t n = scaled(512);
+    n = ((n + blockDim - 1) / blockDim) * blockDim;
+    if (n < 2 * blockDim)
+        n = 2 * blockDim;
+    n_ = static_cast<unsigned>(n);
+    nb_ = n_ / blockDim;
+
+    // Near-square processor grid (owner-computes block scatter).
+    unsigned P = params_.numThreads;
+    pr_ = static_cast<unsigned>(std::sqrt(static_cast<double>(P)));
+    while (P % pr_ != 0)
+        --pr_;
+    pc_ = P / pr_;
+
+    // Block-major allocation, as in the SPLASH-2 contiguous-blocks
+    // LU: each 16x16 block is 2 KB of consecutive memory.
+    a_ = alloc(static_cast<std::uint64_t>(n_) * n_ * 8);
+}
+
+unsigned
+LuWorkload::owner(unsigned bi, unsigned bj) const
+{
+    return (bi % pr_) * pc_ + (bj % pc_);
+}
+
+Addr
+LuWorkload::blockAddr(unsigned bi, unsigned bj) const
+{
+    return a_ + static_cast<Addr>(bi * nb_ + bj) * blockDim *
+                    blockDim * 8;
+}
+
+OpStream
+LuWorkload::thread(unsigned tid)
+{
+    constexpr unsigned be = blockDim * blockDim; // elements per block
+    std::uint32_t bar = 0;
+
+    for (unsigned k = 0; k < nb_; ++k) {
+        // Factorize the diagonal block.
+        if (owner(k, k) == tid) {
+            Addr diag = blockAddr(k, k);
+            for (unsigned e = 0; e < be; ++e) {
+                co_yield ThreadOp::load(diag + e * 8);
+                co_yield ThreadOp::compute(24);
+                co_yield ThreadOp::store(diag + e * 8);
+            }
+        }
+        co_yield ThreadOp::barrier(bar++);
+
+        // Perimeter blocks in row k and column k.
+        for (unsigned t = k + 1; t < nb_; ++t) {
+            for (int which = 0; which < 2; ++which) {
+                unsigned bi = which ? t : k;
+                unsigned bj = which ? k : t;
+                if (owner(bi, bj) != tid)
+                    continue;
+                Addr diag = blockAddr(k, k);
+                Addr blk = blockAddr(bi, bj);
+                for (unsigned e = 0; e < be; ++e) {
+                    co_yield ThreadOp::load(diag + e * 8);
+                    co_yield ThreadOp::compute(4);
+                }
+                for (unsigned e = 0; e < be; ++e) {
+                    // Triangular solve: ~blockDim flops/element.
+                    co_yield ThreadOp::load(blk + e * 8);
+                    co_yield ThreadOp::compute(3 * blockDim);
+                    co_yield ThreadOp::store(blk + e * 8);
+                }
+            }
+        }
+        co_yield ThreadOp::barrier(bar++);
+
+        // Interior updates: A(i,j) -= A(i,k) * A(k,j).
+        for (unsigned i = k + 1; i < nb_; ++i) {
+            for (unsigned j = k + 1; j < nb_; ++j) {
+                if (owner(i, j) != tid)
+                    continue;
+                Addr aik = blockAddr(i, k);
+                Addr akj = blockAddr(k, j);
+                Addr aij = blockAddr(i, j);
+                for (unsigned e = 0; e < be; ++e) {
+                    co_yield ThreadOp::load(aik + e * 8);
+                    co_yield ThreadOp::compute(4);
+                }
+                for (unsigned e = 0; e < be; ++e) {
+                    co_yield ThreadOp::load(akj + e * 8);
+                    co_yield ThreadOp::compute(4);
+                }
+                for (unsigned e = 0; e < be; ++e) {
+                    // 2*blockDim flops + loop overhead per element.
+                    co_yield ThreadOp::load(aij + e * 8);
+                    co_yield ThreadOp::compute(6 * blockDim);
+                    co_yield ThreadOp::store(aij + e * 8);
+                }
+            }
+        }
+        co_yield ThreadOp::barrier(bar++);
+    }
+}
+
+} // namespace ccnuma

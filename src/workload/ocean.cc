@@ -1,0 +1,117 @@
+#include <algorithm>
+
+#include "workload/splash.hh"
+
+namespace ccnuma
+{
+
+OceanWorkload::OceanWorkload(const WorkloadParams &p)
+    : Workload(p)
+{
+    // 258x258 at scale 1; the Figure 9 large grid is 514x514
+    // (dataFactor ~2).
+    std::uint64_t n = scaled(256, params_.dataFactor) + 2;
+    n_ = static_cast<unsigned>(
+        std::max<std::uint64_t>(n, p.numThreads + 2));
+    steps_ = static_cast<unsigned>(
+        std::max<std::uint64_t>(2, scaled(6)));
+    std::uint64_t bytes =
+        static_cast<std::uint64_t>(n_) * n_ * elemBytes;
+    gridA_ = alloc(bytes, 4096);
+    gridB_ = alloc(bytes, 4096);
+    nc_ = n_ / 2 + 1;
+    std::uint64_t cbytes =
+        static_cast<std::uint64_t>(nc_) * nc_ * elemBytes;
+    coarseA_ = alloc(cbytes, 4096);
+    coarseB_ = alloc(cbytes, 4096);
+}
+
+std::string
+OceanWorkload::name() const
+{
+    return "Ocean-" + std::to_string(n_);
+}
+
+Addr
+OceanWorkload::cell(Addr grid, unsigned r, unsigned c) const
+{
+    return grid + (static_cast<Addr>(r) * n_ + c) * elemBytes;
+}
+
+Addr
+OceanWorkload::coarseCell(Addr grid, unsigned r, unsigned c) const
+{
+    return grid + (static_cast<Addr>(r) * nc_ + c) * elemBytes;
+}
+
+OpStream
+OceanWorkload::thread(unsigned tid)
+{
+    const unsigned P = params_.numThreads;
+    const unsigned interior = n_ - 2;
+    const unsigned lo = 1 + tid * interior / P;
+    const unsigned hi = 1 + (tid + 1) * interior / P;
+    std::uint32_t bar = 0;
+
+    const unsigned cinterior = nc_ - 2;
+    const unsigned clo = 1 + tid * cinterior / P;
+    const unsigned chi = 1 + (tid + 1) * cinterior / P;
+
+    for (unsigned s = 0; s < steps_; ++s) {
+        // Two fine-grid Jacobi sweeps per timestep, ping-ponging the
+        // grids. Reading rows lo-1 and hi touches the neighboring
+        // processors' freshly written strips: nearest-neighbor
+        // communication every sweep.
+        for (int sweep = 0; sweep < 2; ++sweep) {
+            Addr src = sweep ? gridB_ : gridA_;
+            Addr dst = sweep ? gridA_ : gridB_;
+            for (unsigned r = lo; r < hi; ++r) {
+                for (unsigned c = 1; c < n_ - 1; ++c) {
+                    co_yield ThreadOp::load(cell(src, r - 1, c));
+                    co_yield ThreadOp::load(cell(src, r + 1, c));
+                    co_yield ThreadOp::load(cell(src, r, c - 1));
+                    co_yield ThreadOp::load(cell(src, r, c + 1));
+                    co_yield ThreadOp::load(cell(src, r, c));
+                    co_yield ThreadOp::compute(6);
+                    co_yield ThreadOp::store(cell(dst, r, c));
+                }
+            }
+            co_yield ThreadOp::barrier(bar++);
+        }
+        // Multigrid coarse-level sweeps: half the rows per
+        // processor, so the boundary (communication) fraction
+        // doubles — these phases dominate Ocean's controller load.
+        for (int sweep = 0; sweep < 2 && chi > clo; ++sweep) {
+            Addr src = sweep ? coarseB_ : coarseA_;
+            Addr dst = sweep ? coarseA_ : coarseB_;
+            for (unsigned r = clo; r < chi; ++r) {
+                for (unsigned c = 1; c < nc_ - 1; ++c) {
+                    co_yield ThreadOp::load(
+                        coarseCell(src, r - 1, c));
+                    co_yield ThreadOp::load(
+                        coarseCell(src, r + 1, c));
+                    co_yield ThreadOp::load(
+                        coarseCell(src, r, c));
+                    co_yield ThreadOp::compute(6);
+                    co_yield ThreadOp::store(
+                        coarseCell(dst, r, c));
+                }
+            }
+            co_yield ThreadOp::barrier(bar++);
+        }
+        if (chi <= clo) {
+            // Degenerate tiny grids: keep the barrier count uniform.
+            co_yield ThreadOp::barrier(bar++);
+            co_yield ThreadOp::barrier(bar++);
+        }
+        // Global error reduction under a lock (hot line at its
+        // home), as in Ocean's convergence tests.
+        co_yield ThreadOp::lock(0);
+        co_yield ThreadOp::load(cell(gridA_, 0, 0));
+        co_yield ThreadOp::store(cell(gridA_, 0, 0));
+        co_yield ThreadOp::unlock(0);
+        co_yield ThreadOp::barrier(bar++);
+    }
+}
+
+} // namespace ccnuma

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Lazily generated per-thread operation streams.
+ *
+ * The original study drove its simulator with Augmint-instrumented
+ * PowerPC binaries. Here each application thread is a C++20 coroutine
+ * that computes on real data and yields an operation stream (loads,
+ * stores, compute gaps, and synchronization) into the simulated
+ * processor, which consumes it with full timing feedback: the
+ * coroutine is only resumed when the simulated processor has finished
+ * the previous operation, so contention reshapes the interleaving
+ * exactly as in execution-driven simulation.
+ */
+
+#ifndef CCNUMA_WORKLOAD_OP_STREAM_HH
+#define CCNUMA_WORKLOAD_OP_STREAM_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+#include "sim/types.hh"
+
+namespace ccnuma
+{
+
+/** One operation issued by an application thread. */
+struct ThreadOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Load,    ///< read @c addr
+        Store,   ///< write @c addr
+        Compute, ///< execute @c count ALU/FPU instructions
+        Barrier, ///< global barrier @c count
+        Lock,    ///< acquire lock @c count
+        Unlock,  ///< release lock @c count
+        End,     ///< thread finished
+    };
+
+    Kind kind = Kind::End;
+    Addr addr = 0;
+    std::uint32_t count = 0; ///< instructions, or sync identifier
+
+    static ThreadOp load(Addr a) { return {Kind::Load, a, 0}; }
+    static ThreadOp store(Addr a) { return {Kind::Store, a, 0}; }
+    static ThreadOp
+    compute(std::uint32_t n)
+    {
+        return {Kind::Compute, 0, n};
+    }
+    static ThreadOp
+    barrier(std::uint32_t id)
+    {
+        return {Kind::Barrier, 0, id};
+    }
+    static ThreadOp lock(std::uint32_t id) { return {Kind::Lock, 0, id}; }
+    static ThreadOp
+    unlock(std::uint32_t id)
+    {
+        return {Kind::Unlock, 0, id};
+    }
+};
+
+/**
+ * Move-only coroutine generator of ThreadOps. A workload kernel is a
+ * function returning OpStream and yielding ThreadOps.
+ */
+class OpStream
+{
+  public:
+    struct promise_type
+    {
+        ThreadOp current;
+
+        OpStream
+        get_return_object()
+        {
+            return OpStream(
+                std::coroutine_handle<promise_type>::from_promise(
+                    *this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+
+        std::suspend_always
+        yield_value(ThreadOp op) noexcept
+        {
+            current = op;
+            return {};
+        }
+
+        void return_void() noexcept {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    OpStream() = default;
+
+    explicit OpStream(std::coroutine_handle<promise_type> h)
+        : handle_(h)
+    {}
+
+    OpStream(OpStream &&o) noexcept
+        : handle_(std::exchange(o.handle_, nullptr))
+    {}
+
+    OpStream &
+    operator=(OpStream &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    OpStream(const OpStream &) = delete;
+    OpStream &operator=(const OpStream &) = delete;
+
+    ~OpStream() { destroy(); }
+
+    /** @return true iff the stream holds a coroutine. */
+    explicit operator bool() const { return handle_ != nullptr; }
+
+    /**
+     * Advance to the next operation.
+     * @return false when the thread's program has ended.
+     */
+    bool
+    next(ThreadOp &out)
+    {
+        if (!handle_ || handle_.done())
+            return false;
+        handle_.resume();
+        if (handle_.done())
+            return false;
+        out = handle_.promise().current;
+        return true;
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_WORKLOAD_OP_STREAM_HH

@@ -1,0 +1,44 @@
+#include "workload/synthetic.hh"
+
+namespace ccnuma
+{
+
+OpStream
+UniformWorkload::thread(unsigned tid)
+{
+    Random rng(params_.seed * 1000003 + tid);
+    const Knobs k = knobs_;
+    const Addr shared_base = sharedBase_;
+    const Addr private_base = privateBase_.at(tid);
+    std::uint32_t barrier_id = 0;
+
+    for (std::uint64_t i = 0; i < k.refsPerThread; ++i) {
+        if (k.computeGap)
+            co_yield ThreadOp::compute(k.computeGap);
+        Addr a;
+        if (rng.chance(k.sharedFraction)) {
+            a = shared_base +
+                (rng.below(k.sharedBytes / 8) * 8);
+        } else {
+            a = private_base + (rng.below(k.privateBytes / 8) * 8);
+        }
+        if (rng.chance(k.writeFraction))
+            co_yield ThreadOp::store(a);
+        else
+            co_yield ThreadOp::load(a);
+        if (k.barrierEvery && (i + 1) % k.barrierEvery == 0)
+            co_yield ThreadOp::barrier(barrier_id++);
+    }
+}
+
+OpStream
+ScriptWorkload::thread(unsigned tid)
+{
+    // Copy: the coroutine may outlive calls into the workload, but
+    // not the workload itself; the copy keeps iteration simple.
+    std::vector<ThreadOp> ops = scripts_.at(tid);
+    for (const ThreadOp &op : ops)
+        co_yield op;
+}
+
+} // namespace ccnuma

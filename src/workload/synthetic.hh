@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Synthetic traffic workloads.
+ *
+ * Uniform: every thread issues a stream of loads/stores to a shared
+ * region spread over all nodes, with a configurable remote fraction,
+ * write fraction, and compute gap. Used by unit/property tests and by
+ * the Figure 11/12 RCCPI sweeps, which need points covering a range
+ * of communication rates (the paper's own methodology suggestion:
+ * predict large-application behavior from simple workloads spanning
+ * the same communication range).
+ */
+
+#ifndef CCNUMA_WORKLOAD_SYNTHETIC_HH
+#define CCNUMA_WORKLOAD_SYNTHETIC_HH
+
+#include "sim/random.hh"
+#include "workload/workload.hh"
+
+namespace ccnuma
+{
+
+/** Tunable uniform random-traffic generator. */
+class UniformWorkload : public Workload
+{
+  public:
+    struct Knobs
+    {
+        /** Memory references per thread. */
+        std::uint64_t refsPerThread = 2000;
+        /** Probability a reference targets the shared region. */
+        double sharedFraction = 0.5;
+        /** Probability a reference is a store. */
+        double writeFraction = 0.3;
+        /** Compute instructions between references. */
+        unsigned computeGap = 4;
+        /** Shared region size in bytes. */
+        std::uint64_t sharedBytes = 1 << 20;
+        /** Private region size per thread. */
+        std::uint64_t privateBytes = 64 << 10;
+        /** Barrier every this many references (0 = never). */
+        std::uint64_t barrierEvery = 0;
+    };
+
+    UniformWorkload(const WorkloadParams &p, const Knobs &k)
+        : Workload(p), knobs_(k)
+    {
+        sharedBase_ = alloc(knobs_.sharedBytes);
+        for (unsigned t = 0; t < p.numThreads; ++t)
+            privateBase_.push_back(alloc(knobs_.privateBytes));
+    }
+
+    std::string name() const override { return "Uniform"; }
+
+    OpStream thread(unsigned tid) override;
+
+    const Knobs &knobs() const { return knobs_; }
+
+  private:
+    Knobs knobs_;
+    Addr sharedBase_ = 0;
+    std::vector<Addr> privateBase_;
+};
+
+/**
+ * Fully scripted workload: each thread executes an explicit ThreadOp
+ * list. Used by directed protocol tests and the Table 3 latency
+ * probe, where exact per-operation control matters.
+ */
+class ScriptWorkload : public Workload
+{
+  public:
+    ScriptWorkload(const WorkloadParams &p,
+                   std::vector<std::vector<ThreadOp>> scripts)
+        : Workload(p), scripts_(std::move(scripts))
+    {
+        ccnuma_assert(scripts_.size() == p.numThreads);
+    }
+
+    std::string name() const override { return "Script"; }
+
+    OpStream thread(unsigned tid) override;
+
+  private:
+    std::vector<std::vector<ThreadOp>> scripts_;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_WORKLOAD_SYNTHETIC_HH

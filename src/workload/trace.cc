@@ -1,0 +1,101 @@
+#include "workload/trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace ccnuma
+{
+
+TraceWorkload::TraceWorkload(const WorkloadParams &p,
+                             std::istream &in)
+    : Workload(p)
+{
+    ops_.resize(p.numThreads);
+    unsigned cur = 0;
+    std::string line;
+    unsigned lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Strip comments and blank lines.
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string tag;
+        if (!(ls >> tag))
+            continue;
+        if (tag.size() != 1)
+            fatal("trace line %u: bad tag '%s'", lineno,
+                  tag.c_str());
+        std::uint64_t arg = 0;
+        bool hex = tag == "L" || tag == "S";
+        if (hex)
+            ls >> std::hex >> arg;
+        else
+            ls >> std::dec >> arg;
+        if (ls.fail())
+            fatal("trace line %u: missing argument", lineno);
+        switch (tag[0]) {
+          case 'T':
+            if (arg >= p.numThreads)
+                fatal("trace line %u: thread %llu out of range",
+                      lineno, (unsigned long long)arg);
+            cur = static_cast<unsigned>(arg);
+            break;
+          case 'L':
+            ops_[cur].push_back(ThreadOp::load(arg));
+            break;
+          case 'S':
+            ops_[cur].push_back(ThreadOp::store(arg));
+            break;
+          case 'C':
+            ops_[cur].push_back(ThreadOp::compute(
+                static_cast<std::uint32_t>(arg)));
+            break;
+          case 'B':
+            ops_[cur].push_back(ThreadOp::barrier(
+                static_cast<std::uint32_t>(arg)));
+            break;
+          case 'A':
+            ops_[cur].push_back(ThreadOp::lock(
+                static_cast<std::uint32_t>(arg)));
+            break;
+          case 'R':
+            ops_[cur].push_back(ThreadOp::unlock(
+                static_cast<std::uint32_t>(arg)));
+            break;
+          default:
+            fatal("trace line %u: unknown tag '%c'", lineno,
+                  tag[0]);
+        }
+    }
+}
+
+std::unique_ptr<TraceWorkload>
+TraceWorkload::fromString(const WorkloadParams &p,
+                          const std::string &text)
+{
+    std::istringstream in(text);
+    return std::make_unique<TraceWorkload>(p, in);
+}
+
+std::unique_ptr<TraceWorkload>
+TraceWorkload::fromFile(const WorkloadParams &p,
+                        const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '%s'", path.c_str());
+    return std::make_unique<TraceWorkload>(p, in);
+}
+
+OpStream
+TraceWorkload::thread(unsigned tid)
+{
+    // Copy the per-thread list so the coroutine frame owns its data.
+    std::vector<ThreadOp> ops = ops_.at(tid);
+    for (const ThreadOp &op : ops)
+        co_yield op;
+}
+
+} // namespace ccnuma

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Trace-driven workloads: replay per-thread reference traces from a
+ * text file through the simulator, for users who want to drive the
+ * machine with their own captured address streams rather than the
+ * built-in kernels.
+ *
+ * Format: one operation per line, lines starting with '#' ignored.
+ *
+ *   T <tid>            switch to thread <tid> (initially 0)
+ *   L <hex-addr>       load
+ *   S <hex-addr>       store
+ *   C <count>          compute <count> instructions
+ *   B <id>             barrier
+ *   A <id>             lock acquire
+ *   R <id>             lock release
+ *
+ * Threads not mentioned in the trace produce empty streams (they
+ * still participate in barriers via the machine's barrier count, so
+ * traces using barriers should cover every thread).
+ */
+
+#ifndef CCNUMA_WORKLOAD_TRACE_HH
+#define CCNUMA_WORKLOAD_TRACE_HH
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace ccnuma
+{
+
+/** A workload replaying a parsed text trace. */
+class TraceWorkload : public Workload
+{
+  public:
+    /**
+     * Parse @p in into per-thread operation lists.
+     * @throws FatalError on malformed input or an out-of-range
+     *         thread id.
+     */
+    TraceWorkload(const WorkloadParams &p, std::istream &in);
+
+    /** Convenience: parse a trace from a string. */
+    static std::unique_ptr<TraceWorkload>
+    fromString(const WorkloadParams &p, const std::string &text);
+
+    /** Convenience: parse a trace file. */
+    static std::unique_ptr<TraceWorkload>
+    fromFile(const WorkloadParams &p, const std::string &path);
+
+    std::string name() const override { return "Trace"; }
+
+    OpStream thread(unsigned tid) override;
+
+    /** Number of operations parsed for @p tid. */
+    std::size_t
+    opsForThread(unsigned tid) const
+    {
+        return ops_.at(tid).size();
+    }
+
+  private:
+    std::vector<std::vector<ThreadOp>> ops_;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_WORKLOAD_TRACE_HH

@@ -1,0 +1,161 @@
+#include <algorithm>
+
+#include "workload/splash.hh"
+
+namespace ccnuma
+{
+
+// ---------------------------------------------------------------------
+// Water-Nsq: O(n^2) all-pairs force computation with per-molecule
+// locks on the force accumulation (the SPLASH-2 pair assignment:
+// each owner interacts its molecules with the following n/2).
+// ---------------------------------------------------------------------
+
+WaterNsqWorkload::WaterNsqWorkload(const WorkloadParams &p)
+    : Workload(p)
+{
+    nmol_ = static_cast<unsigned>(
+        std::max<std::uint64_t>(scaled(512), 2 * p.numThreads));
+    steps_ = static_cast<unsigned>(
+        std::max<std::uint64_t>(1, scaled(3)));
+    mols_ = alloc(static_cast<std::uint64_t>(nmol_) * molBytes);
+}
+
+Addr
+WaterNsqWorkload::molAddr(unsigned m) const
+{
+    return mols_ + static_cast<Addr>(m) * molBytes;
+}
+
+OpStream
+WaterNsqWorkload::thread(unsigned tid)
+{
+    const unsigned P = params_.numThreads;
+    const unsigned lo = tid * nmol_ / P;
+    const unsigned hi = (tid + 1) * nmol_ / P;
+    const unsigned line = params_.lineBytes;
+    const unsigned lines_per_mol = molBytes / line ? molBytes / line
+                                                   : 1;
+    std::uint32_t bar = 0;
+
+    for (unsigned s = 0; s < steps_; ++s) {
+        // Intra-molecular forces: own molecules only.
+        for (unsigned m = lo; m < hi; ++m) {
+            for (unsigned l = 0; l < lines_per_mol; ++l)
+                co_yield ThreadOp::load(molAddr(m) + l * line);
+            co_yield ThreadOp::compute(60);
+            co_yield ThreadOp::store(molAddr(m));
+        }
+        co_yield ThreadOp::barrier(bar++);
+
+        // Inter-molecular: each of our molecules interacts with the
+        // next n/2. As in the original, partner data is loaded once
+        // and reused across all of our molecules pairing with it,
+        // and its force accumulator is updated once under its lock
+        // after the batch of interactions.
+        {
+            const unsigned span = hi - lo;
+            for (unsigned d = 1; d < span + nmol_ / 2; ++d) {
+                unsigned j = (lo + d) % nmol_;
+                // How many of our molecules pair with j.
+                unsigned first =
+                    d > nmol_ / 2 ? lo + d - nmol_ / 2 : lo;
+                unsigned last = std::min(hi, lo + d);
+                if (first >= last)
+                    continue;
+                unsigned count = last - first;
+                co_yield ThreadOp::load(molAddr(j));
+                co_yield ThreadOp::load(molAddr(j) + 64);
+                co_yield ThreadOp::compute(count * 700);
+                for (unsigned m = first; m < last; ++m)
+                    co_yield ThreadOp::store(molAddr(m) + line);
+                // Apply the batched contribution to j under its
+                // lock.
+                co_yield ThreadOp::lock(j % numLocks);
+                co_yield ThreadOp::load(molAddr(j) + line);
+                co_yield ThreadOp::store(molAddr(j) + line);
+                co_yield ThreadOp::unlock(j % numLocks);
+            }
+        }
+        co_yield ThreadOp::barrier(bar++);
+
+        // Position update: own molecules.
+        for (unsigned m = lo; m < hi; ++m) {
+            co_yield ThreadOp::load(molAddr(m));
+            co_yield ThreadOp::compute(30);
+            co_yield ThreadOp::store(molAddr(m));
+        }
+        co_yield ThreadOp::barrier(bar++);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Water-Spatial: the same molecules sorted into a 3-D cell grid;
+// forces involve only molecules in neighboring cells, so most reads
+// are local with a modest boundary-sharing component.
+// ---------------------------------------------------------------------
+
+WaterSpWorkload::WaterSpWorkload(const WorkloadParams &p)
+    : Workload(p)
+{
+    nmol_ = static_cast<unsigned>(
+        std::max<std::uint64_t>(scaled(512), 4 * p.numThreads));
+    steps_ = static_cast<unsigned>(
+        std::max<std::uint64_t>(2, scaled(8)));
+    mols_ = alloc(static_cast<std::uint64_t>(nmol_) * molBytes);
+}
+
+Addr
+WaterSpWorkload::molAddr(unsigned m) const
+{
+    return mols_ + static_cast<Addr>(m) * molBytes;
+}
+
+OpStream
+WaterSpWorkload::thread(unsigned tid)
+{
+    const unsigned P = params_.numThreads;
+    const unsigned lo = tid * nmol_ / P;
+    const unsigned hi = (tid + 1) * nmol_ / P;
+    const unsigned span = std::max(1u, hi - lo);
+    std::uint32_t bar = 0;
+    Random rng(params_.seed * 77 + tid);
+
+    for (unsigned s = 0; s < steps_; ++s) {
+        for (unsigned m = lo; m < hi; ++m) {
+            // Own molecule state.
+            co_yield ThreadOp::load(molAddr(m));
+            co_yield ThreadOp::load(molAddr(m) + 128);
+            co_yield ThreadOp::compute(400);
+            // Neighbor-cell molecules: almost entirely within our
+            // own partition; only molecules in boundary cells (the
+            // first of the partition) reach into the adjacent
+            // processor's cells.
+            for (unsigned v = 0; v < 8; ++v) {
+                unsigned j;
+                if (v == 7 && m == lo) {
+                    unsigned neigh = (tid + 1) % P;
+                    unsigned nlo = neigh * nmol_ / P;
+                    unsigned nhi = (neigh + 1) * nmol_ / P;
+                    j = nlo + static_cast<unsigned>(rng.below(
+                            std::max(1u, nhi - nlo)));
+                } else {
+                    j = lo + static_cast<unsigned>(rng.below(span));
+                }
+                co_yield ThreadOp::load(molAddr(j));
+                co_yield ThreadOp::compute(120);
+            }
+            co_yield ThreadOp::store(molAddr(m) + 128);
+        }
+        co_yield ThreadOp::barrier(bar++);
+
+        for (unsigned m = lo; m < hi; ++m) {
+            co_yield ThreadOp::load(molAddr(m));
+            co_yield ThreadOp::compute(60);
+            co_yield ThreadOp::store(molAddr(m));
+        }
+        co_yield ThreadOp::barrier(bar++);
+    }
+}
+
+} // namespace ccnuma

@@ -1,0 +1,45 @@
+#include "workload/workload.hh"
+
+#include "workload/splash.hh"
+#include "workload/synthetic.hh"
+
+namespace ccnuma
+{
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadParams &p)
+{
+    if (name == "LU")
+        return std::make_unique<LuWorkload>(p);
+    if (name == "Cholesky")
+        return std::make_unique<CholeskyWorkload>(p);
+    if (name == "Water-Nsq")
+        return std::make_unique<WaterNsqWorkload>(p);
+    if (name == "Water-Sp")
+        return std::make_unique<WaterSpWorkload>(p);
+    if (name == "Barnes")
+        return std::make_unique<BarnesWorkload>(p);
+    if (name == "FFT")
+        return std::make_unique<FftWorkload>(p);
+    if (name == "Radix")
+        return std::make_unique<RadixWorkload>(p);
+    if (name == "Ocean")
+        return std::make_unique<OceanWorkload>(p);
+    if (name == "Uniform") {
+        return std::make_unique<UniformWorkload>(
+            p, UniformWorkload::Knobs{});
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+const std::vector<std::string> &
+splashNames()
+{
+    static const std::vector<std::string> names = {
+        "LU",     "Water-Sp", "Barnes", "Cholesky",
+        "Water-Nsq", "FFT",   "Radix",  "Ocean",
+    };
+    return names;
+}
+
+} // namespace ccnuma

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "directory/directory.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+DirectoryParams
+smallParams()
+{
+    DirectoryParams p;
+    p.cacheEntries = 64;
+    p.cacheAssoc = 4;
+    return p;
+}
+
+TEST(DirEntry, SharerBitmap)
+{
+    DirEntry e;
+    EXPECT_EQ(e.numSharers(), 0u);
+    e.addSharer(3);
+    e.addSharer(17);
+    EXPECT_TRUE(e.isSharer(3));
+    EXPECT_TRUE(e.isSharer(17));
+    EXPECT_FALSE(e.isSharer(4));
+    EXPECT_EQ(e.numSharers(), 2u);
+    e.removeSharer(3);
+    EXPECT_FALSE(e.isSharer(3));
+    EXPECT_EQ(e.numSharers(), 1u);
+}
+
+TEST(DirectoryCache, HitAfterMiss)
+{
+    DirectoryCache c(smallParams());
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(DirectoryCache, LruWithinSet)
+{
+    DirectoryCache c(smallParams()); // 16 sets, 4 ways
+    // Five lines mapping to the same set (stride = sets * line).
+    const Addr stride = 16 * 128;
+    for (Addr i = 0; i < 4; ++i)
+        EXPECT_FALSE(c.access(i * stride));
+    for (Addr i = 0; i < 4; ++i)
+        EXPECT_TRUE(c.access(i * stride));
+    EXPECT_FALSE(c.access(4 * stride)); // evicts line 0
+    EXPECT_FALSE(c.access(0));          // line 0 gone
+}
+
+TEST(DirectoryStore, BusSideDerivedState)
+{
+    DirectoryStore d("d", smallParams());
+    EXPECT_EQ(d.busSideState(0x1000), BusSideDirState::NoRemote);
+    DirEntry &e = d.entry(0x1000);
+    e.state = DirState::SharedRemote;
+    e.addSharer(2);
+    EXPECT_EQ(d.busSideState(0x1000), BusSideDirState::SharedRemote);
+    e.state = DirState::DirtyRemote;
+    e.owner = 2;
+    EXPECT_EQ(d.busSideState(0x1000), BusSideDirState::DirtyRemote);
+}
+
+TEST(DirectoryStore, ReadTimingDependsOnCache)
+{
+    DirectoryStore d("d", smallParams());
+    bool hit = true;
+    // First read misses the directory cache: pays DRAM latency.
+    Tick t1 = d.scheduleRead(0x1000, 100, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(t1, 100u + smallParams().dramLatency);
+    // Second read hits: available at the requested time.
+    Tick t2 = d.scheduleRead(0x1000, 200, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(t2, 200u);
+}
+
+TEST(DirectoryStore, DramBusySerializesMisses)
+{
+    DirectoryStore d("d", smallParams());
+    Tick t1 = d.scheduleRead(0x1000, 100, nullptr);
+    Tick t2 = d.scheduleRead(0x2000, 100, nullptr);
+    EXPECT_EQ(t1, 100u + smallParams().dramLatency);
+    EXPECT_EQ(t2, 100u + smallParams().dramBusy +
+                      smallParams().dramLatency);
+}
+
+TEST(DirectoryStore, WriteAllocatesIntoCache)
+{
+    DirectoryStore d("d", smallParams());
+    d.scheduleWrite(0x3000, 50);
+    bool hit = false;
+    d.scheduleRead(0x3000, 100, &hit);
+    EXPECT_TRUE(hit);
+}
+
+TEST(DirectoryStore, PeekDoesNotCreate)
+{
+    DirectoryStore d("d", smallParams());
+    EXPECT_EQ(d.peek(0x1000), nullptr);
+    d.entry(0x1000);
+    EXPECT_NE(d.peek(0x1000), nullptr);
+}
+
+} // namespace
+} // namespace ccnuma

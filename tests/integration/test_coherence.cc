@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Property-based coherence tests: randomized multi-node traffic with
+ * parameter sweeps, checked against the global invariants (single
+ * writer, directory/cache agreement, memory/version agreement) and
+ * per-processor monotonic reads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/machine.hh"
+#include "workload/synthetic.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+struct Scenario
+{
+    Arch arch;
+    unsigned nodes;
+    unsigned ppn;
+    double sharedFraction;
+    double writeFraction;
+    std::uint64_t sharedBytes;
+    std::uint64_t seed;
+};
+
+class CoherenceProperty : public ::testing::TestWithParam<Scenario>
+{
+};
+
+TEST_P(CoherenceProperty, RandomTrafficPreservesInvariants)
+{
+    const Scenario &s = GetParam();
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = s.nodes;
+    cfg.node.procsPerNode = s.ppn;
+    cfg.node.proc.checkMonotonic = true;
+    cfg.withArch(s.arch);
+
+    Machine m(cfg);
+    WorkloadParams p;
+    p.numThreads = cfg.totalProcs();
+    p.seed = s.seed;
+    UniformWorkload::Knobs k;
+    k.refsPerThread = 2000;
+    k.sharedFraction = s.sharedFraction;
+    k.writeFraction = s.writeFraction;
+    k.sharedBytes = s.sharedBytes;
+    k.barrierEvery = 777;
+    UniformWorkload w(p, k);
+
+    RunResult r = m.run(w, /*check=*/true);
+    EXPECT_GT(r.execTicks, 0u);
+}
+
+std::vector<Scenario>
+scenarios()
+{
+    std::vector<Scenario> v;
+    std::uint64_t seed = 1;
+    for (Arch arch : {Arch::HWC, Arch::PPC, Arch::TwoHWC,
+                      Arch::TwoPPC}) {
+        for (double wf : {0.1, 0.5, 0.9}) {
+            for (std::uint64_t bytes :
+                 {std::uint64_t(4096), std::uint64_t(256 * 1024)}) {
+                v.push_back({arch, 4, 2, 0.8, wf, bytes, seed++});
+            }
+        }
+    }
+    // A couple of larger-machine shapes.
+    v.push_back({Arch::HWC, 8, 4, 0.9, 0.5, 64 * 1024, 97});
+    v.push_back({Arch::PPC, 8, 4, 0.9, 0.5, 64 * 1024, 98});
+    v.push_back({Arch::TwoPPC, 8, 1, 1.0, 0.5, 8 * 1024, 99});
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CoherenceProperty,
+                         ::testing::ValuesIn(scenarios()));
+
+} // namespace
+} // namespace ccnuma

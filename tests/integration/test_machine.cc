@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Machine-level behavioral tests: configuration presets, measurement
+ * plumbing, and first-order performance sanity (PPC slower than HWC
+ * under load; two engines help under load).
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/machine.hh"
+#include "workload/synthetic.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+RunResult
+runUniform(Arch arch, unsigned nodes, unsigned ppn,
+           const UniformWorkload::Knobs &k, std::uint64_t seed = 7)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = nodes;
+    cfg.node.procsPerNode = ppn;
+    cfg.withArch(arch);
+    Machine m(cfg);
+    WorkloadParams p;
+    p.numThreads = cfg.totalProcs();
+    p.seed = seed;
+    UniformWorkload w(p, k);
+    return m.run(w, /*check=*/true);
+}
+
+UniformWorkload::Knobs
+heavyKnobs()
+{
+    UniformWorkload::Knobs k;
+    k.refsPerThread = 4000;
+    k.sharedFraction = 0.9;
+    k.writeFraction = 0.4;
+    k.sharedBytes = 2 << 20;
+    k.computeGap = 2;
+    return k;
+}
+
+TEST(MachineConfigTest, PresetsApply)
+{
+    MachineConfig cfg = MachineConfig::base();
+    EXPECT_EQ(cfg.numNodes, 16u);
+    EXPECT_EQ(cfg.totalProcs(), 64u);
+
+    cfg.withArch(Arch::TwoPPC);
+    EXPECT_EQ(cfg.node.cc.engineType, EngineType::PP);
+    EXPECT_EQ(cfg.node.cc.numEngines, 2u);
+
+    cfg.withLineBytes(32);
+    EXPECT_EQ(cfg.node.cache.lineBytes, 32u);
+    EXPECT_EQ(cfg.node.bus.lineBytes, 32u);
+
+    cfg.withProcsPerNode(8);
+    EXPECT_EQ(cfg.numNodes, 8u);
+    EXPECT_EQ(cfg.totalProcs(), 64u);
+
+    cfg.withNetworkLatency(200);
+    EXPECT_EQ(cfg.net.flightLatency, 200u);
+}
+
+TEST(MachineConfigTest, BadPpnRejected)
+{
+    MachineConfig cfg = MachineConfig::base();
+    EXPECT_THROW(cfg.withProcsPerNode(7), FatalError);
+}
+
+TEST(MachinePerf, PpcSlowerThanHwcUnderLoad)
+{
+    RunResult hwc = runUniform(Arch::HWC, 4, 4, heavyKnobs());
+    RunResult ppc = runUniform(Arch::PPC, 4, 4, heavyKnobs());
+    EXPECT_GT(ppc.execTicks, hwc.execTicks);
+    // The PP's occupancy per request is higher.
+    EXPECT_GT(ppc.ccOccupancy, hwc.ccOccupancy);
+}
+
+TEST(MachinePerf, TwoEnginesNeverMuchWorse)
+{
+    RunResult one = runUniform(Arch::PPC, 4, 4, heavyKnobs());
+    RunResult two = runUniform(Arch::TwoPPC, 4, 4, heavyKnobs());
+    // Under saturating load the second engine should help, and in
+    // no case should it cost more than a small constant factor.
+    EXPECT_LT(static_cast<double>(two.execTicks),
+              1.05 * static_cast<double>(one.execTicks));
+}
+
+TEST(MachinePerf, RccpiRoughlyArchIndependent)
+{
+    // The paper: RCCPI differs by less than 1% across the four
+    // implementations for all applications. Allow a few percent for
+    // our smaller runs.
+    RunResult a = runUniform(Arch::HWC, 4, 2, heavyKnobs());
+    RunResult b = runUniform(Arch::PPC, 4, 2, heavyKnobs());
+    ASSERT_GT(a.rccpi(), 0.0);
+    EXPECT_NEAR(b.rccpi() / a.rccpi(), 1.0, 0.05);
+}
+
+TEST(MachinePerf, StatsArePlumbed)
+{
+    RunResult r = runUniform(Arch::PPC, 2, 2, heavyKnobs());
+    EXPECT_GT(r.avgUtilization, 0.0);
+    EXPECT_LE(r.avgUtilization, 1.0);
+    EXPECT_GT(r.arrivalsPerUs, 0.0);
+    EXPECT_GT(r.avgQueueDelayTicks, 0.0);
+    EXPECT_GT(r.memRefs, 0u);
+}
+
+TEST(MachinePerf, SlowNetworkSlowsExecution)
+{
+    UniformWorkload::Knobs k = heavyKnobs();
+    MachineConfig fast = MachineConfig::base();
+    fast.numNodes = 4;
+    fast.node.procsPerNode = 2;
+    fast.withArch(Arch::HWC);
+    MachineConfig slow = fast;
+    slow.withNetworkLatency(200); // 1 us
+
+    WorkloadParams p;
+    p.numThreads = fast.totalProcs();
+
+    Machine mf(fast);
+    UniformWorkload wf(p, k);
+    RunResult rf = mf.run(wf);
+
+    Machine ms(slow);
+    UniformWorkload ws(p, k);
+    RunResult rs = ms.run(ws);
+
+    EXPECT_GT(rs.execTicks, rf.execTicks);
+}
+
+} // namespace
+} // namespace ccnuma

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * End-to-end runs of every SPLASH-2 kernel re-implementation on a
+ * small machine with full invariant checking, plus behavioral checks
+ * of the run-level measurements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/machine.hh"
+#include "workload/synthetic.hh"
+#include "workload/workload.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+class KernelRun : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(KernelRun, CompletesCoherentlyOnSmallMachine)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 4;
+    cfg.node.procsPerNode = 2;
+    cfg.node.proc.checkMonotonic = true;
+    cfg.withArch(Arch::PPC);
+
+    WorkloadParams p;
+    p.numThreads = cfg.totalProcs();
+    p.scale = 0.05;
+    auto w = makeWorkload(GetParam(), p);
+
+    Machine m(cfg);
+    RunResult r = m.run(*w, /*check=*/true);
+    EXPECT_GT(r.execTicks, 0u);
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.memRefs, 0u);
+    // Every kernel communicates at least a little.
+    EXPECT_GT(r.ccRequests, 0u) << r.workload;
+}
+
+TEST_P(KernelRun, DeterministicExecution)
+{
+    auto once = [&] {
+        MachineConfig cfg = MachineConfig::base();
+        cfg.numNodes = 2;
+        cfg.node.procsPerNode = 2;
+        cfg.withArch(Arch::HWC);
+        WorkloadParams p;
+        p.numThreads = cfg.totalProcs();
+        p.scale = 0.03;
+        auto w = makeWorkload(GetParam(), p);
+        Machine m(cfg);
+        return m.run(*w).execTicks;
+    };
+    EXPECT_EQ(once(), once());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelRun,
+    ::testing::Values("LU", "Cholesky", "Water-Nsq", "Water-Sp",
+                      "Barnes", "FFT", "Radix", "Ocean"),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (auto &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(ControllerBehavior, LivelockExceptionFires)
+{
+    // Saturate the controllers so bus-side requests contend with a
+    // stream of network requests; the dispatch policy must promote
+    // starved bus requests.
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 4;
+    cfg.node.procsPerNode = 4;
+    cfg.withArch(Arch::PPC);
+    Machine m(cfg);
+    WorkloadParams p;
+    p.numThreads = cfg.totalProcs();
+    UniformWorkload::Knobs k;
+    k.refsPerThread = 4000;
+    k.sharedFraction = 0.95;
+    k.writeFraction = 0.5;
+    k.computeGap = 1;
+    k.sharedBytes = 1 << 20;
+    UniformWorkload w(p, k);
+    m.run(w);
+    double promotions = 0;
+    for (unsigned i = 0; i < m.numNodes(); ++i)
+        promotions += m.node(i).cc().statLivelockPromotions.value();
+    EXPECT_GT(promotions, 0.0);
+}
+
+TEST(ControllerBehavior, AblationKnobsChangeOutcomes)
+{
+    auto run = [](bool priority, bool direct_path) {
+        MachineConfig cfg = MachineConfig::base();
+        cfg.numNodes = 4;
+        cfg.node.procsPerNode = 2;
+        cfg.withArch(Arch::PPC);
+        cfg.node.cc.priorityArbitration = priority;
+        cfg.node.cc.directDataPath = direct_path;
+        Machine m(cfg);
+        WorkloadParams p;
+        p.numThreads = cfg.totalProcs();
+        p.scale = 0.05;
+        auto w = makeWorkload("Ocean", p);
+        return m.run(*w, /*check=*/true).execTicks;
+    };
+    Tick base = run(true, true);
+    // Disabling the direct writeback path costs engine occupancy;
+    // it should never make things faster.
+    EXPECT_GE(run(true, false), base);
+    // FIFO dispatch must still complete correctly.
+    EXPECT_GT(run(false, true), 0u);
+}
+
+TEST(ControllerBehavior, DynamicSplitRunsCoherently)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 4;
+    cfg.node.procsPerNode = 2;
+    cfg.node.proc.checkMonotonic = true;
+    cfg.withArch(Arch::TwoPPC);
+    cfg.node.cc.dynamicSplit = true;
+    Machine m(cfg);
+    WorkloadParams p;
+    p.numThreads = cfg.totalProcs();
+    p.scale = 0.05;
+    auto w = makeWorkload("Radix", p);
+    RunResult r = m.run(*w, /*check=*/true);
+    EXPECT_GT(r.execTicks, 0u);
+}
+
+TEST(ControllerBehavior, TwoEngineSplitRoutesByAddress)
+{
+    // With the paper's static split, the LPE (engine 0) must handle
+    // exactly the local-line protocol work: after a purely remote
+    // miss storm from this node, its RPE sees the traffic.
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 2;
+    cfg.node.procsPerNode = 1;
+    cfg.withArch(Arch::TwoHWC);
+    Machine m(cfg);
+    // Script: processor 0 reads lines homed at node 1 only.
+    std::vector<std::vector<ThreadOp>> scripts(2);
+    for (Addr a = 0x10'0000, n = 0; n < 64; a += 4096) {
+        if (m.map().homeOf(a) == 1) {
+            scripts[0].push_back(ThreadOp::load(a));
+            ++n;
+        }
+    }
+    WorkloadParams p;
+    p.numThreads = 2;
+    ScriptWorkload w(p, scripts);
+    m.run(w);
+    // Node 0: all its dispatches are for remote lines -> RPE.
+    EXPECT_EQ(m.node(0).cc().engineArrivals(0), 0u);
+    EXPECT_GT(m.node(0).cc().engineArrivals(1), 0u);
+    // Node 1 is the home: all its dispatches are local -> LPE.
+    EXPECT_GT(m.node(1).cc().engineArrivals(0), 0u);
+    EXPECT_EQ(m.node(1).cc().engineArrivals(1), 0u);
+}
+
+} // namespace
+} // namespace ccnuma
+
+namespace ccnuma
+{
+namespace
+{
+
+TEST(FutureWork, FourEnginesRunCoherently)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 4;
+    cfg.node.procsPerNode = 2;
+    cfg.node.proc.checkMonotonic = true;
+    cfg.node.cc.engineType = EngineType::PP;
+    cfg.node.cc.numEngines = 4;
+    Machine m(cfg);
+    WorkloadParams p;
+    p.numThreads = cfg.totalProcs();
+    p.scale = 0.05;
+    auto w = makeWorkload("Ocean", p);
+    RunResult r = m.run(*w, /*check=*/true);
+    EXPECT_GT(r.execTicks, 0u);
+    // All four engines of a busy controller should see work.
+    std::uint64_t engine_hits[4] = {};
+    for (unsigned n = 0; n < m.numNodes(); ++n) {
+        for (unsigned e = 0; e < 4; ++e)
+            engine_hits[e] += m.node(n).cc().engineArrivals(e);
+    }
+    for (unsigned e = 0; e < 4; ++e)
+        EXPECT_GT(engine_hits[e], 0u) << "engine " << e;
+}
+
+TEST(FutureWork, HybridEngineBetweenHwcAndPp)
+{
+    auto run = [](EngineType t) {
+        MachineConfig cfg = MachineConfig::base();
+        cfg.numNodes = 4;
+        cfg.node.procsPerNode = 2;
+        cfg.node.cc.engineType = t;
+        Machine m(cfg);
+        WorkloadParams p;
+        p.numThreads = cfg.totalProcs();
+        p.scale = 0.1;
+        auto w = makeWorkload("Ocean", p);
+        return m.run(*w, /*check=*/true).execTicks;
+    };
+    Tick hwc = run(EngineType::HWC);
+    Tick hybrid = run(EngineType::PPAccel);
+    Tick pp = run(EngineType::PP);
+    EXPECT_LE(hwc, hybrid);
+    EXPECT_LT(hybrid, pp);
+}
+
+TEST(FutureWork, BadEngineCountRejected)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 2;
+    cfg.node.cc.numEngines = 3;
+    EXPECT_THROW(Machine m(cfg), FatalError);
+}
+
+TEST(Placement, FirstTouchHomesPagesAtFirstMisser)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 4;
+    cfg.node.procsPerNode = 1;
+    cfg.placement = PlacementPolicy::FirstTouch;
+    Machine m(cfg);
+    // Each processor touches a disjoint set of pages.
+    std::vector<std::vector<ThreadOp>> scripts(4);
+    for (unsigned t = 0; t < 4; ++t) {
+        for (unsigned i = 0; i < 8; ++i) {
+            scripts[t].push_back(ThreadOp::store(
+                0x10'0000 + (t * 8 + i) * 4096));
+        }
+    }
+    WorkloadParams p;
+    p.numThreads = 4;
+    ScriptWorkload w(p, scripts);
+    RunResult r = m.run(w, /*check=*/true);
+    // All pages homed locally: zero protocol traffic.
+    EXPECT_EQ(r.ccRequests, 0u);
+    for (unsigned t = 0; t < 4; ++t)
+        EXPECT_EQ(m.map().homeOf(0x10'0000 + t * 8 * 4096), t);
+}
+
+TEST(Placement, FirstTouchRunsSplashCoherently)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 4;
+    cfg.node.procsPerNode = 2;
+    cfg.node.proc.checkMonotonic = true;
+    cfg.placement = PlacementPolicy::FirstTouch;
+    Machine m(cfg);
+    WorkloadParams p;
+    p.numThreads = cfg.totalProcs();
+    p.scale = 0.05;
+    auto w = makeWorkload("Radix", p);
+    RunResult r = m.run(*w, /*check=*/true);
+    EXPECT_GT(r.execTicks, 0u);
+}
+
+} // namespace
+} // namespace ccnuma

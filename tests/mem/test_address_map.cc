@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "mem/address_map.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+TEST(AddressMap, RoundRobinByPage)
+{
+    AddressMap m(4, 4096);
+    EXPECT_EQ(m.homeOf(0), 0u);
+    EXPECT_EQ(m.homeOf(4096), 1u);
+    EXPECT_EQ(m.homeOf(2 * 4096), 2u);
+    EXPECT_EQ(m.homeOf(3 * 4096), 3u);
+    EXPECT_EQ(m.homeOf(4 * 4096), 0u);
+    // Same page, different offset: same home.
+    EXPECT_EQ(m.homeOf(4096 + 1234), 1u);
+}
+
+TEST(AddressMap, ExplicitPlacementWins)
+{
+    AddressMap m(4, 4096);
+    m.placePage(4096, 3);
+    EXPECT_EQ(m.homeOf(4096), 3u);
+    EXPECT_EQ(m.homeOf(8192), 2u); // untouched pages still RR
+}
+
+TEST(AddressMap, PlaceRangeCoversPartialPages)
+{
+    AddressMap m(4, 4096);
+    // Range straddling three pages.
+    m.placeRange(4096 + 100, 2 * 4096, 2);
+    EXPECT_EQ(m.homeOf(4096), 2u);
+    EXPECT_EQ(m.homeOf(2 * 4096), 2u);
+    EXPECT_EQ(m.homeOf(3 * 4096), 2u);
+    EXPECT_EQ(m.homeOf(4 * 4096), 0u);
+    EXPECT_EQ(m.numPlaced(), 3u);
+}
+
+TEST(AddressMap, SingleNodeOwnsEverything)
+{
+    AddressMap m(1, 4096);
+    for (Addr a = 0; a < 100 * 4096; a += 4096)
+        EXPECT_EQ(m.homeOf(a), 0u);
+}
+
+TEST(AddressMap, BadConfigRejected)
+{
+    EXPECT_THROW(AddressMap(0, 4096), FatalError);
+    EXPECT_THROW(AddressMap(4, 1000), FatalError);
+}
+
+} // namespace
+} // namespace ccnuma
+
+namespace ccnuma
+{
+namespace
+{
+
+TEST(AddressMap, FirstTouchPinsToToucher)
+{
+    AddressMap m(4, 4096);
+    m.setPolicy(PlacementPolicy::FirstTouch);
+    // First toucher wins; later touchers see the same home.
+    EXPECT_EQ(m.resolve(0x5000, 3), 3u);
+    EXPECT_EQ(m.resolve(0x5040, 1), 3u); // same page
+    EXPECT_EQ(m.homeOf(0x5000), 3u);
+    // A different page goes to its own first toucher.
+    EXPECT_EQ(m.resolve(0x9000, 2), 2u);
+}
+
+TEST(AddressMap, FirstTouchRespectsExplicitHints)
+{
+    AddressMap m(4, 4096);
+    m.setPolicy(PlacementPolicy::FirstTouch);
+    m.placePage(0x5000, 1); // programmer hint (FFT-style)
+    EXPECT_EQ(m.resolve(0x5000, 3), 1u);
+}
+
+TEST(AddressMap, RoundRobinResolveDoesNotPin)
+{
+    AddressMap m(4, 4096);
+    EXPECT_EQ(m.resolve(4096, 3), 1u); // page 1 -> node 1 (RR)
+    EXPECT_EQ(m.numPlaced(), 0u);
+}
+
+} // namespace
+} // namespace ccnuma

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+struct NetFixture : ::testing::Test
+{
+    EventQueue eq;
+    NetworkParams params;
+    std::unique_ptr<Network> net;
+
+    void SetUp() override
+    {
+        net = std::make_unique<Network>("net", eq, 4, params);
+    }
+};
+
+TEST_F(NetFixture, ControlMessageLatency)
+{
+    Tick arrival = 0;
+    net->send(0, 1, 16, [&] { arrival = eq.curTick(); });
+    eq.run();
+    // 16 bytes = 1 flit: 2 (egress) + 14 (flight) + 2 (ingress).
+    EXPECT_EQ(arrival, 18u);
+}
+
+TEST_F(NetFixture, DataMessageSerializesLonger)
+{
+    Tick arrival = 0;
+    net->send(0, 1, 144, [&] { arrival = eq.curTick(); });
+    eq.run();
+    // 144 bytes = 5 flits: 10 + 14 + 10.
+    EXPECT_EQ(arrival, 34u);
+}
+
+TEST_F(NetFixture, EgressPortContention)
+{
+    std::vector<Tick> arrivals;
+    auto cb = [&] { arrivals.push_back(eq.curTick()); };
+    net->send(0, 1, 144, cb);
+    net->send(0, 2, 144, cb); // same source port
+    eq.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    EXPECT_EQ(arrivals[0], 34u);
+    EXPECT_EQ(arrivals[1], 44u); // +10 egress serialization
+}
+
+TEST_F(NetFixture, IngressPortContention)
+{
+    std::vector<Tick> arrivals;
+    auto cb = [&] { arrivals.push_back(eq.curTick()); };
+    net->send(0, 2, 144, cb);
+    net->send(1, 2, 144, cb); // different sources, same dest
+    eq.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    EXPECT_EQ(arrivals[0], 34u);
+    // Second message waits for the ingress port.
+    EXPECT_EQ(arrivals[1], 44u);
+}
+
+TEST_F(NetFixture, PerPairFifoOrder)
+{
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        net->send(0, 1, (i % 2) ? 16 : 144,
+                  [&order, i] { order.push_back(i); });
+    eq.run();
+    ASSERT_EQ(order.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST_F(NetFixture, SelfSendPanics)
+{
+    EXPECT_THROW(net->send(2, 2, 16, [] {}), PanicError);
+}
+
+TEST_F(NetFixture, StatsTrackTraffic)
+{
+    net->send(0, 1, 144, [] {});
+    net->send(1, 0, 16, [] {});
+    eq.run();
+    EXPECT_EQ(net->statMessages.value(), 2.0);
+    EXPECT_EQ(net->statBytes.value(), 160.0);
+    EXPECT_GT(net->statLatency.mean(), 0.0);
+}
+
+TEST_F(NetFixture, SlowNetworkParameter)
+{
+    NetworkParams slow;
+    slow.flightLatency = 200; // 1 us
+    Network n2("slow", eq, 2, slow);
+    Tick arrival = 0;
+    n2.send(0, 1, 16, [&] { arrival = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(arrival, 204u);
+}
+
+} // namespace
+} // namespace ccnuma

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/op_stream.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+OpStream
+countingStream(int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_yield ThreadOp::load(static_cast<Addr>(i) * 8);
+}
+
+OpStream
+mixedStream()
+{
+    co_yield ThreadOp::compute(10);
+    co_yield ThreadOp::store(0x100);
+    co_yield ThreadOp::barrier(3);
+    co_yield ThreadOp::lock(5);
+    co_yield ThreadOp::unlock(5);
+}
+
+TEST(OpStream, YieldsAllOpsThenEnds)
+{
+    OpStream s = countingStream(5);
+    ThreadOp op;
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(s.next(op));
+        EXPECT_EQ(op.kind, ThreadOp::Kind::Load);
+        EXPECT_EQ(op.addr, static_cast<Addr>(i) * 8);
+    }
+    EXPECT_FALSE(s.next(op));
+    EXPECT_FALSE(s.next(op)); // stays ended
+}
+
+TEST(OpStream, EmptyStreamEndsImmediately)
+{
+    OpStream s = countingStream(0);
+    ThreadOp op;
+    EXPECT_FALSE(s.next(op));
+}
+
+TEST(OpStream, DefaultConstructedIsEmpty)
+{
+    OpStream s;
+    ThreadOp op;
+    EXPECT_FALSE(s.next(op));
+    EXPECT_FALSE(static_cast<bool>(s));
+}
+
+TEST(OpStream, MixedOpKinds)
+{
+    OpStream s = mixedStream();
+    ThreadOp op;
+    ASSERT_TRUE(s.next(op));
+    EXPECT_EQ(op.kind, ThreadOp::Kind::Compute);
+    EXPECT_EQ(op.count, 10u);
+    ASSERT_TRUE(s.next(op));
+    EXPECT_EQ(op.kind, ThreadOp::Kind::Store);
+    ASSERT_TRUE(s.next(op));
+    EXPECT_EQ(op.kind, ThreadOp::Kind::Barrier);
+    EXPECT_EQ(op.count, 3u);
+    ASSERT_TRUE(s.next(op));
+    EXPECT_EQ(op.kind, ThreadOp::Kind::Lock);
+    ASSERT_TRUE(s.next(op));
+    EXPECT_EQ(op.kind, ThreadOp::Kind::Unlock);
+    EXPECT_FALSE(s.next(op));
+}
+
+TEST(OpStream, MoveTransfersOwnership)
+{
+    OpStream a = countingStream(3);
+    ThreadOp op;
+    ASSERT_TRUE(a.next(op));
+    OpStream b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));
+    ASSERT_TRUE(b.next(op));
+    EXPECT_EQ(op.addr, 8u);
+}
+
+TEST(OpStream, LazyGeneration)
+{
+    // The generator body runs only as far as consumed: a stream of a
+    // billion ops costs nothing until pulled.
+    OpStream s = countingStream(1'000'000'000);
+    ThreadOp op;
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(s.next(op));
+    // Dropping the stream mid-way must not leak or run to the end.
+}
+
+} // namespace
+} // namespace ccnuma

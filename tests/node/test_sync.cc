@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "node/sync.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+struct SyncFixture : ::testing::Test
+{
+    EventQueue eq;
+    SyncManager sync{"sync", eq, 0x4000'0000, 128};
+};
+
+TEST_F(SyncFixture, AddressesAreLineGrained)
+{
+    EXPECT_EQ(sync.barrierAddr(0), 0x4000'0000u);
+    EXPECT_EQ(sync.barrierAddr(1), 0x4000'0080u);
+    EXPECT_NE(sync.lockAddr(0), sync.barrierAddr(0));
+    EXPECT_EQ(sync.lockAddr(1) - sync.lockAddr(0), 128u);
+}
+
+TEST_F(SyncFixture, BarrierReleasesOnLastArrival)
+{
+    sync.setBarrierParticipants(3);
+    std::vector<int> woken;
+    EXPECT_FALSE(sync.arrive(0, [&] { woken.push_back(1); }));
+    EXPECT_FALSE(sync.arrive(0, [&] { woken.push_back(2); }));
+    EXPECT_TRUE(woken.empty());
+    EXPECT_TRUE(sync.arrive(0, [&] { woken.push_back(3); }));
+    eq.run();
+    // Wakers 1 and 2 fire; the final arriver is not re-woken.
+    EXPECT_EQ(woken.size(), 2u);
+    EXPECT_EQ(sync.statBarriers.value(), 1.0);
+}
+
+TEST_F(SyncFixture, BarrierReusableAcrossEpisodes)
+{
+    sync.setBarrierParticipants(2);
+    int woken = 0;
+    EXPECT_FALSE(sync.arrive(5, [&] { ++woken; }));
+    EXPECT_TRUE(sync.arrive(5, [&] { ++woken; }));
+    eq.run();
+    EXPECT_FALSE(sync.arrive(5, [&] { ++woken; }));
+    EXPECT_TRUE(sync.arrive(5, [&] { ++woken; }));
+    eq.run();
+    EXPECT_EQ(woken, 2);
+    EXPECT_EQ(sync.statBarriers.value(), 2.0);
+}
+
+TEST_F(SyncFixture, DistinctBarriersIndependent)
+{
+    sync.setBarrierParticipants(2);
+    EXPECT_FALSE(sync.arrive(1, [] {}));
+    EXPECT_FALSE(sync.arrive(2, [] {}));
+    EXPECT_TRUE(sync.arrive(1, [] {}));
+    EXPECT_TRUE(sync.arrive(2, [] {}));
+}
+
+TEST_F(SyncFixture, LockImmediateWhenFree)
+{
+    EXPECT_TRUE(sync.lockAcquire(0, [] {}));
+    sync.lockRelease(0);
+    EXPECT_TRUE(sync.lockAcquire(0, [] {}));
+}
+
+TEST_F(SyncFixture, LockQueuesAndHandsOffFifo)
+{
+    std::vector<int> order;
+    EXPECT_TRUE(sync.lockAcquire(0, [] {}));
+    EXPECT_FALSE(sync.lockAcquire(0, [&] { order.push_back(1); }));
+    EXPECT_FALSE(sync.lockAcquire(0, [&] { order.push_back(2); }));
+    sync.lockRelease(0);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    sync.lockRelease(0);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    sync.lockRelease(0); // now free again
+    EXPECT_TRUE(sync.lockAcquire(0, [] {}));
+    EXPECT_EQ(sync.statLockHandoffs.value(), 2.0);
+}
+
+TEST_F(SyncFixture, ReleaseUnheldPanics)
+{
+    EXPECT_THROW(sync.lockRelease(9), PanicError);
+}
+
+} // namespace
+} // namespace ccnuma

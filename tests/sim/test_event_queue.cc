@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleFunction([&] { order.push_back(3); }, 30);
+    eq.scheduleFunction([&] { order.push_back(1); }, 10);
+    eq.scheduleFunction([&] { order.push_back(2); }, 20);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoWithinPriority)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.scheduleFunction([&order, i] { order.push_back(i); }, 7);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PriorityBreaksTies)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleFunction([&] { order.push_back(2); }, 5, 200);
+    eq.scheduleFunction([&] { order.push_back(1); }, 5, 50);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.scheduleFunction([] {}, 10);
+    eq.run();
+    EXPECT_THROW(eq.scheduleFunction([] {}, 5), PanicError);
+}
+
+TEST(EventQueue, DoubleSchedulePanics)
+{
+    EventQueue eq;
+    EventFunction ev([] {});
+    eq.schedule(&ev, 5);
+    EXPECT_THROW(eq.schedule(&ev, 6), PanicError);
+    eq.run();
+}
+
+TEST(EventQueue, DeschedulePreventsFiring)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventFunction ev([&] { fired = true; });
+    eq.schedule(&ev, 5);
+    eq.deschedule(&ev);
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RescheduleAfterDeschedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventFunction ev([&] { ++fired; });
+    eq.schedule(&ev, 5);
+    eq.deschedule(&ev);
+    eq.schedule(&ev, 8);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 8u);
+}
+
+TEST(EventQueue, EventsScheduledDuringProcessing)
+{
+    EventQueue eq;
+    std::vector<Tick> ticks;
+    eq.scheduleFunction(
+        [&] {
+            ticks.push_back(eq.curTick());
+            eq.scheduleFunctionIn(
+                [&] { ticks.push_back(eq.curTick()); }, 5);
+        },
+        10);
+    eq.run();
+    EXPECT_EQ(ticks, (std::vector<Tick>{10, 15}));
+}
+
+TEST(EventQueue, RunUntilPredicate)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Tick t = 1; t <= 10; ++t)
+        eq.scheduleFunction([&] { ++count; }, t);
+    bool ok = eq.runUntil([&] { return count == 4; });
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(count, 4);
+    eq.run();
+    EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, RunUntilLimitStops)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Tick t = 10; t <= 100; t += 10)
+        eq.scheduleFunction([&] { ++count; }, t);
+    bool ok = eq.runUntil([&] { return false; }, 50);
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(count, 5);
+}
+
+TEST(EventQueue, ZeroDelaySelfSchedulingTerminates)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> fn = [&] {
+        if (++depth < 100)
+            eq.scheduleFunctionIn(fn, 0);
+    };
+    eq.scheduleFunctionIn(fn, 0);
+    eq.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(eq.curTick(), 0u);
+}
+
+TEST(EventQueue, CountsProcessed)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.scheduleFunction([] {}, i);
+    eq.run();
+    EXPECT_EQ(eq.numProcessed(), 7u);
+    EXPECT_EQ(eq.numPending(), 0u);
+}
+
+} // namespace
+} // namespace ccnuma

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+TEST(Random, DeterministicForSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, BelowRespectsBound)
+{
+    Random r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Random, BelowCoversRange)
+{
+    Random r(9);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[r.below(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Random r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Random r(13);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.range(5, 9);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 9u);
+        lo |= v == 5;
+        hi |= v == 9;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+} // namespace
+} // namespace ccnuma

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+TEST(Stats, ScalarAccumulates)
+{
+    stats::Scalar s("count", "a counter");
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, AverageTracksMoments)
+{
+    stats::Average a("lat", "latency");
+    a.sample(10);
+    a.sample(20);
+    a.sample(60);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 30.0);
+    EXPECT_DOUBLE_EQ(a.minValue(), 10.0);
+    EXPECT_DOUBLE_EQ(a.maxValue(), 60.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    stats::Distribution d("d", "dist", 10.0, 4);
+    d.sample(5);
+    d.sample(15);
+    d.sample(15);
+    d.sample(39);
+    d.sample(1000); // overflow
+    EXPECT_EQ(d.bucket(0), 1u);
+    EXPECT_EQ(d.bucket(1), 2u);
+    EXPECT_EQ(d.bucket(3), 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_EQ(d.count(), 5u);
+}
+
+TEST(Stats, GroupPrintAndReset)
+{
+    stats::Group g("unit");
+    stats::Scalar s("hits", "hits seen");
+    stats::Average a("delay", "queue delay");
+    g.add(&s);
+    g.add(&a);
+    s += 42;
+    a.sample(7);
+
+    std::ostringstream os;
+    g.print(os);
+    EXPECT_NE(os.str().find("unit.hits"), std::string::npos);
+    EXPECT_NE(os.str().find("42"), std::string::npos);
+    EXPECT_NE(os.str().find("unit.delay.mean"), std::string::npos);
+
+    g.resetAll();
+    EXPECT_EQ(s.value(), 0.0);
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Stats, RegistryAggregates)
+{
+    stats::Registry reg;
+    stats::Group g1("a"), g2("b");
+    stats::Scalar s1("x", ""), s2("y", "");
+    g1.add(&s1);
+    g2.add(&s2);
+    reg.add(&g1);
+    reg.add(&g2);
+    s1 += 1;
+    s2 += 2;
+    reg.resetAll();
+    EXPECT_EQ(s1.value(), 0.0);
+    EXPECT_EQ(s2.value(), 0.0);
+}
+
+} // namespace
+} // namespace ccnuma

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "system/machine.hh"
+#include "workload/trace.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+WorkloadParams
+params(unsigned threads)
+{
+    WorkloadParams p;
+    p.numThreads = threads;
+    return p;
+}
+
+TEST(TraceWorkload, ParsesAllOpKinds)
+{
+    auto w = TraceWorkload::fromString(params(2), R"(
+# a comment
+L 1000
+S 1040        # trailing comment
+C 25
+B 0
+A 3
+R 3
+T 1
+L 2000
+)");
+    EXPECT_EQ(w->opsForThread(0), 6u);
+    EXPECT_EQ(w->opsForThread(1), 1u);
+
+    OpStream s = w->thread(0);
+    ThreadOp op;
+    ASSERT_TRUE(s.next(op));
+    EXPECT_EQ(op.kind, ThreadOp::Kind::Load);
+    EXPECT_EQ(op.addr, 0x1000u);
+    ASSERT_TRUE(s.next(op));
+    EXPECT_EQ(op.kind, ThreadOp::Kind::Store);
+    EXPECT_EQ(op.addr, 0x1040u);
+    ASSERT_TRUE(s.next(op));
+    EXPECT_EQ(op.kind, ThreadOp::Kind::Compute);
+    EXPECT_EQ(op.count, 25u);
+    ASSERT_TRUE(s.next(op));
+    EXPECT_EQ(op.kind, ThreadOp::Kind::Barrier);
+    ASSERT_TRUE(s.next(op));
+    EXPECT_EQ(op.kind, ThreadOp::Kind::Lock);
+    ASSERT_TRUE(s.next(op));
+    EXPECT_EQ(op.kind, ThreadOp::Kind::Unlock);
+    EXPECT_FALSE(s.next(op));
+}
+
+TEST(TraceWorkload, RejectsMalformedInput)
+{
+    EXPECT_THROW(TraceWorkload::fromString(params(1), "X 12\n"),
+                 FatalError);
+    EXPECT_THROW(TraceWorkload::fromString(params(1), "L\n"),
+                 FatalError);
+    EXPECT_THROW(TraceWorkload::fromString(params(2), "T 5\n"),
+                 FatalError);
+    EXPECT_THROW(
+        TraceWorkload::fromFile(params(1), "/no/such/file.trace"),
+        FatalError);
+}
+
+TEST(TraceWorkload, RunsThroughTheMachine)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 2;
+    cfg.node.procsPerNode = 1;
+    cfg.node.proc.checkMonotonic = true;
+    Machine m(cfg);
+
+    // Producer/consumer across nodes with a barrier handoff.
+    auto w = TraceWorkload::fromString(params(2), R"(
+T 0
+S 101000
+S 102000
+B 0
+T 1
+B 0
+L 101000
+L 102000
+)");
+    RunResult r = m.run(*w, /*check=*/true);
+    EXPECT_GT(r.execTicks, 0u);
+    EXPECT_GT(r.ccRequests, 0u); // cross-node sharing happened
+}
+
+TEST(TraceWorkload, EmptyThreadsFinishImmediately)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 2;
+    cfg.node.procsPerNode = 2;
+    Machine m(cfg);
+    auto w = TraceWorkload::fromString(params(4), "L 5000\n");
+    RunResult r = m.run(*w);
+    EXPECT_GT(r.execTicks, 0u);
+}
+
+} // namespace
+} // namespace ccnuma

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/splash.hh"
+#include "workload/synthetic.hh"
+#include "workload/workload.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+WorkloadParams
+tinyParams(unsigned threads = 4, double scale = 0.05)
+{
+    WorkloadParams p;
+    p.numThreads = threads;
+    p.scale = scale;
+    return p;
+}
+
+/** Drain a stream, tallying op kinds and checking barrier usage. */
+struct StreamSummary
+{
+    std::uint64_t loads = 0, stores = 0, computes = 0;
+    std::vector<std::uint32_t> barriers;
+    std::map<std::uint32_t, int> lockDepth;
+    Addr minAddr = ~static_cast<Addr>(0), maxAddr = 0;
+
+    static StreamSummary
+    drain(OpStream s, std::uint64_t max_ops = 50'000'000)
+    {
+        StreamSummary r;
+        ThreadOp op;
+        std::uint64_t n = 0;
+        while (s.next(op)) {
+            if (++n > max_ops)
+                ADD_FAILURE() << "stream did not terminate";
+            switch (op.kind) {
+              case ThreadOp::Kind::Load:
+                ++r.loads;
+                r.minAddr = std::min(r.minAddr, op.addr);
+                r.maxAddr = std::max(r.maxAddr, op.addr);
+                break;
+              case ThreadOp::Kind::Store:
+                ++r.stores;
+                r.minAddr = std::min(r.minAddr, op.addr);
+                r.maxAddr = std::max(r.maxAddr, op.addr);
+                break;
+              case ThreadOp::Kind::Compute:
+                r.computes += op.count;
+                break;
+              case ThreadOp::Kind::Barrier:
+                r.barriers.push_back(op.count);
+                break;
+              case ThreadOp::Kind::Lock:
+                ++r.lockDepth[op.count];
+                break;
+              case ThreadOp::Kind::Unlock:
+                --r.lockDepth[op.count];
+                break;
+              case ThreadOp::Kind::End:
+                break;
+            }
+            if (n > max_ops)
+                break;
+        }
+        return r;
+    }
+};
+
+class SplashStreams : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SplashStreams, AllThreadsTerminateWithMatchingBarriers)
+{
+    auto w = makeWorkload(GetParam(), tinyParams());
+    std::vector<StreamSummary> sums;
+    for (unsigned t = 0; t < w->numThreads(); ++t)
+        sums.push_back(StreamSummary::drain(w->thread(t)));
+    // Every thread must execute the same barrier sequence.
+    for (unsigned t = 1; t < sums.size(); ++t)
+        EXPECT_EQ(sums[t].barriers, sums[0].barriers)
+            << GetParam() << " thread " << t;
+    // Locks must balance.
+    for (const auto &s : sums) {
+        for (const auto &[id, depth] : s.lockDepth)
+            EXPECT_EQ(depth, 0) << GetParam() << " lock " << id;
+    }
+    // Someone must touch memory.
+    std::uint64_t total = 0;
+    for (const auto &s : sums)
+        total += s.loads + s.stores;
+    EXPECT_GT(total, 0u) << GetParam();
+}
+
+TEST_P(SplashStreams, DeterministicAcrossGenerations)
+{
+    auto w1 = makeWorkload(GetParam(), tinyParams());
+    auto w2 = makeWorkload(GetParam(), tinyParams());
+    OpStream s1 = w1->thread(0);
+    OpStream s2 = w2->thread(0);
+    ThreadOp a, b;
+    for (int i = 0; i < 20000; ++i) {
+        bool ga = s1.next(a);
+        bool gb = s2.next(b);
+        ASSERT_EQ(ga, gb);
+        if (!ga)
+            break;
+        ASSERT_EQ(static_cast<int>(a.kind),
+                  static_cast<int>(b.kind));
+        ASSERT_EQ(a.addr, b.addr);
+        ASSERT_EQ(a.count, b.count);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, SplashStreams,
+    ::testing::Values("LU", "Cholesky", "Water-Nsq", "Water-Sp",
+                      "Barnes", "FFT", "Radix", "Ocean"),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (auto &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(WorkloadFactory, UnknownNameRejected)
+{
+    EXPECT_THROW(makeWorkload("NoSuchApp", tinyParams()),
+                 FatalError);
+}
+
+TEST(WorkloadFactory, SplashNamesAllConstructible)
+{
+    for (const auto &n : splashNames())
+        EXPECT_NE(makeWorkload(n, tinyParams()), nullptr) << n;
+}
+
+TEST(WorkloadScaling, LargerDataFactorGrowsFootprint)
+{
+    WorkloadParams small = tinyParams(4, 0.25);
+    WorkloadParams big = small;
+    big.dataFactor = 4.0;
+    FftWorkload f1(small), f2(big);
+    EXPECT_GT(f2.points(), f1.points());
+    EXPECT_NE(f1.name(), f2.name());
+}
+
+TEST(WorkloadScaling, OceanNameTracksGrid)
+{
+    WorkloadParams p = tinyParams(4, 1.0);
+    OceanWorkload w(p);
+    EXPECT_EQ(w.name(), "Ocean-258");
+    p.dataFactor = 2.0;
+    OceanWorkload w2(p);
+    EXPECT_EQ(w2.name(), "Ocean-514");
+}
+
+TEST(WorkloadScaling, RadixDestinationsAreAPermutation)
+{
+    WorkloadParams p = tinyParams(4, 0.02);
+    RadixWorkload w(p);
+    // The scattered writes must hit every output slot exactly once:
+    // collect Store addresses of pass 0 across all threads.
+    std::set<Addr> dests;
+    std::uint64_t stores = 0;
+    for (unsigned t = 0; t < 4; ++t) {
+        OpStream s = w.thread(t);
+        ThreadOp op;
+        std::vector<ThreadOp> ops;
+        unsigned barriers = 0;
+        while (s.next(op)) {
+            if (op.kind == ThreadOp::Kind::Barrier) {
+                ++barriers;
+                continue;
+            }
+            // Permutation stores of pass 0 happen after the prefix
+            // barriers and before the pass-0 closing barrier.
+            if (op.kind == ThreadOp::Kind::Store && barriers >= 3 &&
+                barriers < 4) {
+                ++stores;
+                dests.insert(op.addr);
+            }
+        }
+    }
+    EXPECT_EQ(dests.size(), stores); // distinct destinations
+    EXPECT_GT(stores, 0u);
+}
+
+TEST(WorkloadPlacement, FftHintsPinStrips)
+{
+    WorkloadParams p = tinyParams(4, 0.25);
+    FftWorkload w(p);
+    AddressMap map(4, 4096);
+    std::size_t before = map.numPlaced();
+    w.place(map);
+    EXPECT_GT(map.numPlaced(), before);
+}
+
+TEST(UniformWorkload, RespectsKnobs)
+{
+    WorkloadParams p = tinyParams(2);
+    UniformWorkload::Knobs k;
+    k.refsPerThread = 100;
+    k.writeFraction = 0.0;
+    UniformWorkload w(p, k);
+    StreamSummary s = StreamSummary::drain(w.thread(0));
+    EXPECT_EQ(s.loads, 100u);
+    EXPECT_EQ(s.stores, 0u);
+}
+
+} // namespace
+} // namespace ccnuma
