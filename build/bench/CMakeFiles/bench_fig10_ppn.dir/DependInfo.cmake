@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_ppn.cc" "bench/CMakeFiles/bench_fig10_ppn.dir/bench_fig10_ppn.cc.o" "gcc" "bench/CMakeFiles/bench_fig10_ppn.dir/bench_fig10_ppn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/ccnuma_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ccnuma_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/ccnuma_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/ccnuma_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/ccnuma_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/ccnuma_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ccnuma_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ccnuma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/ccnuma_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/ccnuma_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccnuma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ppn.dir/bench_fig10_ppn.cc.o"
+  "CMakeFiles/bench_fig10_ppn.dir/bench_fig10_ppn.cc.o.d"
+  "bench_fig10_ppn"
+  "bench_fig10_ppn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ppn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_12_rccpi.dir/bench_fig11_12_rccpi.cc.o"
+  "CMakeFiles/bench_fig11_12_rccpi.dir/bench_fig11_12_rccpi.cc.o.d"
+  "bench_fig11_12_rccpi"
+  "bench_fig11_12_rccpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_12_rccpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_slownet.dir/bench_fig8_slownet.cc.o"
+  "CMakeFiles/bench_fig8_slownet.dir/bench_fig8_slownet.cc.o.d"
+  "bench_fig8_slownet"
+  "bench_fig8_slownet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_slownet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

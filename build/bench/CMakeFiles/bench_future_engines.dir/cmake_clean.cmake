@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_engines.dir/bench_future_engines.cc.o"
+  "CMakeFiles/bench_future_engines.dir/bench_future_engines.cc.o.d"
+  "bench_future_engines"
+  "bench_future_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_subops.dir/bench_table2_subops.cc.o"
+  "CMakeFiles/bench_table2_subops.dir/bench_table2_subops.cc.o.d"
+  "bench_table2_subops"
+  "bench_table2_subops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_subops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_readmiss.dir/bench_table3_readmiss.cc.o"
+  "CMakeFiles/bench_table3_readmiss.dir/bench_table3_readmiss.cc.o.d"
+  "bench_table3_readmiss"
+  "bench_table3_readmiss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_readmiss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

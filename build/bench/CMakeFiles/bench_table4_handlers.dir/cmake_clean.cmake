@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_handlers.dir/bench_table4_handlers.cc.o"
+  "CMakeFiles/bench_table4_handlers.dir/bench_table4_handlers.cc.o.d"
+  "bench_table4_handlers"
+  "bench_table4_handlers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_handlers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

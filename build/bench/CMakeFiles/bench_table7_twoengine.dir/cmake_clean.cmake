@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_twoengine.dir/bench_table7_twoengine.cc.o"
+  "CMakeFiles/bench_table7_twoengine.dir/bench_table7_twoengine.cc.o.d"
+  "bench_table7_twoengine"
+  "bench_table7_twoengine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_twoengine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

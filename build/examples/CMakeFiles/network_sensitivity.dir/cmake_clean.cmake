@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_sensitivity.dir/network_sensitivity.cpp.o"
+  "CMakeFiles/network_sensitivity.dir/network_sensitivity.cpp.o.d"
+  "network_sensitivity"
+  "network_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

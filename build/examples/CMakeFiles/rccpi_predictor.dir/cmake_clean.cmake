@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rccpi_predictor.dir/rccpi_predictor.cpp.o"
+  "CMakeFiles/rccpi_predictor.dir/rccpi_predictor.cpp.o.d"
+  "rccpi_predictor"
+  "rccpi_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rccpi_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnuma_bus.dir/bus.cc.o"
+  "CMakeFiles/ccnuma_bus.dir/bus.cc.o.d"
+  "libccnuma_bus.a"
+  "libccnuma_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnuma_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

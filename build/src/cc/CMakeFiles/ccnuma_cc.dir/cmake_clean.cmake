@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnuma_cc.dir/coherence_controller.cc.o"
+  "CMakeFiles/ccnuma_cc.dir/coherence_controller.cc.o.d"
+  "libccnuma_cc.a"
+  "libccnuma_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnuma_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

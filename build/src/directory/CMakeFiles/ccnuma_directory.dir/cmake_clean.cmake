@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnuma_directory.dir/directory.cc.o"
+  "CMakeFiles/ccnuma_directory.dir/directory.cc.o.d"
+  "libccnuma_directory.a"
+  "libccnuma_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnuma_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

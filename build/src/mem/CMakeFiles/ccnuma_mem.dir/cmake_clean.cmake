@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnuma_mem.dir/cache.cc.o"
+  "CMakeFiles/ccnuma_mem.dir/cache.cc.o.d"
+  "CMakeFiles/ccnuma_mem.dir/memory_controller.cc.o"
+  "CMakeFiles/ccnuma_mem.dir/memory_controller.cc.o.d"
+  "libccnuma_mem.a"
+  "libccnuma_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnuma_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

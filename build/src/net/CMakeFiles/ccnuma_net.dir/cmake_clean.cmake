@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnuma_net.dir/network.cc.o"
+  "CMakeFiles/ccnuma_net.dir/network.cc.o.d"
+  "libccnuma_net.a"
+  "libccnuma_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnuma_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

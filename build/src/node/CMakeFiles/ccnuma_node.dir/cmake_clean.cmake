@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnuma_node.dir/cache_unit.cc.o"
+  "CMakeFiles/ccnuma_node.dir/cache_unit.cc.o.d"
+  "CMakeFiles/ccnuma_node.dir/processor.cc.o"
+  "CMakeFiles/ccnuma_node.dir/processor.cc.o.d"
+  "CMakeFiles/ccnuma_node.dir/smp_node.cc.o"
+  "CMakeFiles/ccnuma_node.dir/smp_node.cc.o.d"
+  "CMakeFiles/ccnuma_node.dir/sync.cc.o"
+  "CMakeFiles/ccnuma_node.dir/sync.cc.o.d"
+  "libccnuma_node.a"
+  "libccnuma_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnuma_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

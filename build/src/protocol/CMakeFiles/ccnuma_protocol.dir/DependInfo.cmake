@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/handlers.cc" "src/protocol/CMakeFiles/ccnuma_protocol.dir/handlers.cc.o" "gcc" "src/protocol/CMakeFiles/ccnuma_protocol.dir/handlers.cc.o.d"
+  "/root/repo/src/protocol/messages.cc" "src/protocol/CMakeFiles/ccnuma_protocol.dir/messages.cc.o" "gcc" "src/protocol/CMakeFiles/ccnuma_protocol.dir/messages.cc.o.d"
+  "/root/repo/src/protocol/occupancy.cc" "src/protocol/CMakeFiles/ccnuma_protocol.dir/occupancy.cc.o" "gcc" "src/protocol/CMakeFiles/ccnuma_protocol.dir/occupancy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccnuma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

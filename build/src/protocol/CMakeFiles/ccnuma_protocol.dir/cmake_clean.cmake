@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnuma_protocol.dir/handlers.cc.o"
+  "CMakeFiles/ccnuma_protocol.dir/handlers.cc.o.d"
+  "CMakeFiles/ccnuma_protocol.dir/messages.cc.o"
+  "CMakeFiles/ccnuma_protocol.dir/messages.cc.o.d"
+  "CMakeFiles/ccnuma_protocol.dir/occupancy.cc.o"
+  "CMakeFiles/ccnuma_protocol.dir/occupancy.cc.o.d"
+  "libccnuma_protocol.a"
+  "libccnuma_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnuma_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

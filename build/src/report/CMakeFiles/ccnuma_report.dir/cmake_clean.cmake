@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnuma_report.dir/table.cc.o"
+  "CMakeFiles/ccnuma_report.dir/table.cc.o.d"
+  "libccnuma_report.a"
+  "libccnuma_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnuma_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnuma_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ccnuma_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/ccnuma_sim.dir/logging.cc.o"
+  "CMakeFiles/ccnuma_sim.dir/logging.cc.o.d"
+  "CMakeFiles/ccnuma_sim.dir/stats.cc.o"
+  "CMakeFiles/ccnuma_sim.dir/stats.cc.o.d"
+  "libccnuma_sim.a"
+  "libccnuma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnuma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnuma_system.dir/config.cc.o"
+  "CMakeFiles/ccnuma_system.dir/config.cc.o.d"
+  "CMakeFiles/ccnuma_system.dir/machine.cc.o"
+  "CMakeFiles/ccnuma_system.dir/machine.cc.o.d"
+  "libccnuma_system.a"
+  "libccnuma_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnuma_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

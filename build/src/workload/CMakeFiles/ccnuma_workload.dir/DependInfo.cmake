@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/barnes.cc" "src/workload/CMakeFiles/ccnuma_workload.dir/barnes.cc.o" "gcc" "src/workload/CMakeFiles/ccnuma_workload.dir/barnes.cc.o.d"
+  "/root/repo/src/workload/cholesky.cc" "src/workload/CMakeFiles/ccnuma_workload.dir/cholesky.cc.o" "gcc" "src/workload/CMakeFiles/ccnuma_workload.dir/cholesky.cc.o.d"
+  "/root/repo/src/workload/fft.cc" "src/workload/CMakeFiles/ccnuma_workload.dir/fft.cc.o" "gcc" "src/workload/CMakeFiles/ccnuma_workload.dir/fft.cc.o.d"
+  "/root/repo/src/workload/lu.cc" "src/workload/CMakeFiles/ccnuma_workload.dir/lu.cc.o" "gcc" "src/workload/CMakeFiles/ccnuma_workload.dir/lu.cc.o.d"
+  "/root/repo/src/workload/ocean.cc" "src/workload/CMakeFiles/ccnuma_workload.dir/ocean.cc.o" "gcc" "src/workload/CMakeFiles/ccnuma_workload.dir/ocean.cc.o.d"
+  "/root/repo/src/workload/radix.cc" "src/workload/CMakeFiles/ccnuma_workload.dir/radix.cc.o" "gcc" "src/workload/CMakeFiles/ccnuma_workload.dir/radix.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/ccnuma_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/ccnuma_workload.dir/synthetic.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/ccnuma_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/ccnuma_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/water.cc" "src/workload/CMakeFiles/ccnuma_workload.dir/water.cc.o" "gcc" "src/workload/CMakeFiles/ccnuma_workload.dir/water.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/ccnuma_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/ccnuma_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccnuma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ccnuma_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

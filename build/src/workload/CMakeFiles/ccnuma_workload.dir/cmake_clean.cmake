@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccnuma_workload.dir/barnes.cc.o"
+  "CMakeFiles/ccnuma_workload.dir/barnes.cc.o.d"
+  "CMakeFiles/ccnuma_workload.dir/cholesky.cc.o"
+  "CMakeFiles/ccnuma_workload.dir/cholesky.cc.o.d"
+  "CMakeFiles/ccnuma_workload.dir/fft.cc.o"
+  "CMakeFiles/ccnuma_workload.dir/fft.cc.o.d"
+  "CMakeFiles/ccnuma_workload.dir/lu.cc.o"
+  "CMakeFiles/ccnuma_workload.dir/lu.cc.o.d"
+  "CMakeFiles/ccnuma_workload.dir/ocean.cc.o"
+  "CMakeFiles/ccnuma_workload.dir/ocean.cc.o.d"
+  "CMakeFiles/ccnuma_workload.dir/radix.cc.o"
+  "CMakeFiles/ccnuma_workload.dir/radix.cc.o.d"
+  "CMakeFiles/ccnuma_workload.dir/synthetic.cc.o"
+  "CMakeFiles/ccnuma_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/ccnuma_workload.dir/trace.cc.o"
+  "CMakeFiles/ccnuma_workload.dir/trace.cc.o.d"
+  "CMakeFiles/ccnuma_workload.dir/water.cc.o"
+  "CMakeFiles/ccnuma_workload.dir/water.cc.o.d"
+  "CMakeFiles/ccnuma_workload.dir/workload.cc.o"
+  "CMakeFiles/ccnuma_workload.dir/workload.cc.o.d"
+  "libccnuma_workload.a"
+  "libccnuma_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccnuma_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

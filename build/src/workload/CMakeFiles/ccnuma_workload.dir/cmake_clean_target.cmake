@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccnuma_workload.a"
+)

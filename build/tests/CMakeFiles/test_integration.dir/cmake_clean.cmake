@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_coherence.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_coherence.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_latency.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_latency.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_machine.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_machine.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_smoke.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_smoke.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_workload_runs.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_workload_runs.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node.dir/node/test_cache_unit.cc.o"
+  "CMakeFiles/test_node.dir/node/test_cache_unit.cc.o.d"
+  "CMakeFiles/test_node.dir/node/test_op_stream.cc.o"
+  "CMakeFiles/test_node.dir/node/test_op_stream.cc.o.d"
+  "CMakeFiles/test_node.dir/node/test_processor.cc.o"
+  "CMakeFiles/test_node.dir/node/test_processor.cc.o.d"
+  "CMakeFiles/test_node.dir/node/test_sync.cc.o"
+  "CMakeFiles/test_node.dir/node/test_sync.cc.o.d"
+  "test_node"
+  "test_node.pdb"
+  "test_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
