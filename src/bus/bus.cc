@@ -212,6 +212,8 @@ Bus::deliver(std::uint64_t txn_id, Tick when)
             open_.erase(it);
             --granted_;
             agents_[txn.requester]->busDone(txn);
+            if (completionTap_)
+                completionTap_(txn);
             if (!pendingGrants_.empty() && !kickScheduled_) {
                 kickScheduled_ = true;
                 eq_.scheduleFunctionIn([this] { kick(); }, 0);

@@ -210,6 +210,28 @@ class Bus
     /** Number of transactions currently open. */
     std::size_t numOutstanding() const { return open_.size(); }
 
+    /** @return true while any open transaction targets @p line. */
+    bool
+    lineBusy(Addr line_addr) const
+    {
+        for (const auto &kv : open_) {
+            if (kv.second.lineAddr == line_addr)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Observation tap invoked after each transaction completes (the
+     * requester's busDone has run). Used by the invariant checker;
+     * null when disabled.
+     */
+    void
+    setCompletionTap(std::function<void(const BusTxn &)> tap)
+    {
+        completionTap_ = std::move(tap);
+    }
+
     /**
      * @return true if @p txn_id is open and its data delivery is
      * already scheduled (its fill will complete independently).
@@ -259,6 +281,7 @@ class Bus
     MemoryController *memory_ = nullptr;
 
     std::deque<std::uint64_t> pendingGrants_;
+    std::function<void(const BusTxn &)> completionTap_;
     std::unordered_map<std::uint64_t, BusTxn> open_;
     std::uint64_t nextId_ = 1;
     unsigned granted_ = 0;

@@ -33,6 +33,7 @@ CoherenceController::CoherenceController(const std::string &name,
     statGroup_.add(&statNacks);
     statGroup_.add(&statLivelockPromotions);
     statGroup_.add(&statDirectWBs);
+    statGroup_.add(&statWbStalls);
 }
 
 // ---------------------------------------------------------------------
@@ -324,10 +325,16 @@ CoherenceController::sendMsg(MsgType type, Addr line_addr, NodeId dst,
     unsigned bytes = msgBytes(type, bus_.params().lineBytes);
     Tick depart = t + params_.niDelay;
     eq_.scheduleFunction(
-        [this, m, bytes] {
+        [this, m, bytes]() mutable {
             ccnuma_assert(router_ != nullptr);
+            // Stamp at the true network-entry instant so the
+            // checker's sequence numbers reflect wire order.
+            router_->onNetSend(m);
+            Msg delivered = m;
             net_.send(node_, m.dst, bytes,
-                      [this, m] { router_->deliverMsg(m); });
+                      [this, delivered] {
+                          router_->deliverMsg(delivered);
+                      });
         },
         depart);
 }
@@ -483,6 +490,28 @@ CoherenceController::tryDispatch(unsigned engine_idx)
     Engine &e = engines_[engine_idx];
     if (e.busy)
         return;
+    if (stallHook_ &&
+        (!e.queues[0].empty() || !e.queues[1].empty() ||
+         !e.queues[2].empty())) {
+        Tick stall = stallHook_();
+        if (stall > 0) {
+            // Injected engine stall: hold the engine busy without
+            // dispatching, then re-attempt.
+            e.busy = true;
+            e.busyStart = eq_.curTick();
+            eq_.scheduleFunctionIn(
+                [this, engine_idx] {
+                    Engine &en = engines_[engine_idx];
+                    ccnuma_assert(en.busy);
+                    en.busy = false;
+                    en.occupancyTicks +=
+                        eq_.curTick() - en.busyStart;
+                    tryDispatch(engine_idx);
+                },
+                stall);
+            return;
+        }
+    }
     DispatchItem item;
     if (!pickItem(e, item))
         return;
@@ -497,6 +526,8 @@ CoherenceController::tryDispatch(unsigned engine_idx)
 void
 CoherenceController::startItem(unsigned engine_idx, DispatchItem item)
 {
+    engines_[engine_idx].curLine = item.lineAddr;
+    engines_[engine_idx].curLineValid = true;
     if (item.isBus && item.busCmd != BusCmd::WriteBack &&
         map_.homeOf(item.lineAddr) == node_) {
         auto it = deferredLocal_.find(item.lineAddr);
@@ -632,6 +663,7 @@ CoherenceController::finishHandler(unsigned engine_idx, Tick free_at)
             Engine &e = engines_[engine_idx];
             ccnuma_assert(e.busy);
             e.busy = false;
+            e.curLineValid = false;
             e.occupancyTicks += eq_.curTick() - e.busyStart;
             tryDispatch(engine_idx);
         },
@@ -1441,6 +1473,39 @@ CoherenceController::idle() const
         for (const auto &q : e.queues) {
             if (!q.empty())
                 return false;
+        }
+    }
+    return true;
+}
+
+bool
+CoherenceController::lineQuiet(Addr line_addr) const
+{
+    if (homeBusy_.count(line_addr) || reqPending_.count(line_addr) ||
+        wbBuffer_.count(line_addr) ||
+        deferredLocal_.count(line_addr)) {
+        return false;
+    }
+    if (auto it = homeWaiting_.find(line_addr);
+        it != homeWaiting_.end() && !it->second.empty()) {
+        return false;
+    }
+    if (auto it = wbWaiting_.find(line_addr);
+        it != wbWaiting_.end() && !it->second.empty()) {
+        return false;
+    }
+    for (const auto &kv : fetches_) {
+        if (kv.second->lineAddr == line_addr)
+            return false;
+    }
+    for (const auto &e : engines_) {
+        if (e.busy && e.curLineValid && e.curLine == line_addr)
+            return false;
+        for (const auto &q : e.queues) {
+            for (const auto &item : q) {
+                if (item.lineAddr == line_addr)
+                    return false;
+            }
         }
     }
     return true;

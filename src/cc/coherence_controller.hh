@@ -75,6 +75,13 @@ class MsgRouter
 
     /** Deliver @p msg to its destination controller (now). */
     virtual void deliverMsg(const Msg &msg) = 0;
+
+    /**
+     * Called at the instant @p msg enters the network, before
+     * Network::send. The router may stamp the message (the invariant
+     * checker's per-pair sequence numbers live here).
+     */
+    virtual void onNetSend(Msg &msg) { (void)msg; }
 };
 
 /** Coherence controller configuration. */
@@ -135,6 +142,18 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
     /** Wire the message router (set by the machine). */
     void setRouter(MsgRouter *router) { router_ = router; }
 
+    /**
+     * Install an engine-stall hook (fault injection). Consulted each
+     * time an engine is about to dispatch; a nonzero return keeps the
+     * engine busy for that many ticks before it re-attempts the
+     * dispatch. Null (the default) costs one branch per dispatch.
+     */
+    void
+    setStallHook(std::function<Tick()> hook)
+    {
+        stallHook_ = std::move(hook);
+    }
+
     NodeId node() const { return node_; }
     const CcParams &params() const { return params_; }
 
@@ -152,6 +171,15 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
 
     /** True when no transaction state is pending (quiescence). */
     bool idle() const;
+
+    /**
+     * True when this controller holds no transient state for
+     * @p line_addr: no home/requester transaction, no writeback or
+     * parked request, no queued or in-flight handler touching it.
+     * Used by the invariant checker to decide when the full
+     * directory-agreement check for a line is valid mid-run.
+     */
+    bool lineQuiet(Addr line_addr) const;
 
     // --- statistics (Table 6 / Table 7 inputs) ---
 
@@ -228,6 +256,9 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
         unsigned idx = 0;
         bool busy = false;
         Tick busyStart = 0;
+        /** Line of the handler in flight (valid while busy). */
+        Addr curLine = 0;
+        bool curLineValid = false;
         std::deque<DispatchItem> queues[NumQueues];
         unsigned netBypass = 0; ///< net requests since a bus request
         // measurement
@@ -324,6 +355,7 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
     MemoryController *memory_ = nullptr;
     LocalCacheProbe *probe_ = nullptr;
     MsgRouter *router_ = nullptr;
+    std::function<Tick()> stallHook_;
     OccupancyModel model_;
     int busAgentId_ = -1;
 

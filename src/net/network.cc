@@ -55,6 +55,18 @@ Network::send(NodeId src, NodeId dst, unsigned bytes,
     Tick delivered = ingress_start + ser;
     ingressFreeAt_[dst] = delivered;
 
+    if (tap_ != nullptr) {
+        // Fault injection: the tap may delay, duplicate, or drop the
+        // delivery. Port bookkeeping above stays untouched — the
+        // injected perturbation is on top of the modeled timing.
+        Tick duplicate_at = 0;
+        if (!tap_->onDelivery(src, dst, delivered, duplicate_at))
+            return;
+        ccnuma_assert(delivered >= now);
+        if (duplicate_at != 0)
+            eq_.scheduleFunction(on_delivered, duplicate_at);
+    }
+
     ++statMessages;
     statBytes += static_cast<double>(bytes);
     statLatency.sample(static_cast<double>(delivered - now));

@@ -40,6 +40,27 @@ struct NetworkParams
 };
 
 /**
+ * Observation/injection hook on network deliveries (the fault
+ * injector implements this; see src/verify/). The tap may adjust the
+ * delivery tick, request a duplicate delivery, or drop the message.
+ */
+class NetworkTap
+{
+  public:
+    virtual ~NetworkTap() = default;
+
+    /**
+     * Called for every message once its natural delivery tick is
+     * known. @p delivered may be moved later (never earlier than the
+     * current tick); setting @p duplicate_at nonzero schedules a
+     * second delivery of the same message at that tick.
+     * @return false to drop the message entirely.
+     */
+    virtual bool onDelivery(NodeId src, NodeId dst, Tick &delivered,
+                            Tick &duplicate_at) = 0;
+};
+
+/**
  * The interconnect. Protocol layers send sized messages with a
  * delivery callback; the network adds egress serialization, flight
  * latency, and ingress serialization.
@@ -64,6 +85,9 @@ class Network
     void send(NodeId src, NodeId dst, unsigned bytes,
               std::function<void()> on_delivered);
 
+    /** Install a delivery tap (fault injection); null to remove. */
+    void setTap(NetworkTap *tap) { tap_ = tap; }
+
     stats::Group &statGroup() { return statGroup_; }
 
     stats::Scalar statMessages{"messages", "messages delivered"};
@@ -83,6 +107,7 @@ class Network
     NetworkParams params_;
     std::vector<Tick> egressFreeAt_;
     std::vector<Tick> ingressFreeAt_;
+    NetworkTap *tap_ = nullptr;
     stats::Group statGroup_;
 };
 

@@ -80,6 +80,13 @@ class CacheUnit : public BusAgent
     /** @return true while the single MSHR is occupied. */
     bool missPending() const { return mshr_.valid; }
 
+    /** @return true while a miss on @p line_addr is outstanding. */
+    bool
+    missPendingOn(Addr line_addr) const
+    {
+        return mshr_.valid && mshr_.lineAddr == line_addr;
+    }
+
     /** Functional probe: does this unit hold a supplyable copy? */
     bool hasLine(Addr addr) const;
 

@@ -77,6 +77,13 @@ struct Msg
      * record it as a sharer.
      */
     bool ownerRetains = false;
+    /**
+     * Per-(src,dst) send sequence number, stamped by the router when
+     * the invariant checker is enabled (0 otherwise). Lets the
+     * checker verify the per-pair FIFO delivery order the protocol
+     * relies on and detect duplicated deliveries.
+     */
+    std::uint64_t seq = 0;
 };
 
 /** Network sizes in bytes. */

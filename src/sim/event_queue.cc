@@ -1,19 +1,36 @@
 #include "sim/event_queue.hh"
 
+#include <cstdio>
+#include <exception>
+#include <memory>
+
 namespace ccnuma
 {
 
 Event::~Event()
 {
-    // Destroying a still-scheduled event would leave a dangling
-    // pointer in the queue; that is always a simulator bug.
-    if (scheduled_) {
-        // Cannot throw from a destructor; print and abort instead.
+    if (!scheduled_)
+        return;
+    // Destroying a still-scheduled event leaves a dangling pointer
+    // in the queue; normally that is a simulator bug worth dying
+    // for. During exception unwinding, though, aborting here would
+    // mask the original error (a PanicError thrown from deep inside
+    // a handler unwinds through component owners whose events are
+    // still pending), so tolerate it: cancel the queue entry and let
+    // the original exception propagate.
+    if (std::uncaught_exceptions() > 0 && queue_ != nullptr) {
         std::fprintf(stderr,
-                     "panic: event '%s' destroyed while scheduled\n",
+                     "warn: event '%s' destroyed while scheduled "
+                     "(exception unwinding); entry cancelled\n",
                      name().c_str());
-        std::abort();
+        queue_->forgetDestroyed(this);
+        return;
     }
+    // Cannot throw from a destructor; print and abort instead.
+    std::fprintf(stderr,
+                 "panic: event '%s' destroyed while scheduled\n",
+                 name().c_str());
+    std::abort();
 }
 
 EventQueue::~EventQueue()
@@ -47,17 +64,31 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->when_ = when;
     ev->seq_ = nextSeq_++;
     ev->scheduled_ = true;
+    ev->queue_ = this;
     q_.push(Entry{when, ev->priority(), ev->seq_, ev});
     ++pending_;
+}
+
+void
+EventQueue::forgetDestroyed(Event *ev)
+{
+    ccnuma_assert(ev != nullptr && ev->scheduled_);
+    ev->scheduled_ = false;
+    cancelled_.insert(ev->seq_);
+    --pending_;
 }
 
 void
 EventQueue::scheduleFunction(std::function<void()> fn, Tick when,
                              int priority)
 {
-    auto *ev = new EventFunction(std::move(fn), "one-shot", priority);
+    auto ev = std::make_unique<EventFunction>(std::move(fn),
+                                              "one-shot", priority);
     ev->autoDelete_ = true;
-    schedule(ev, when);
+    // schedule() can panic (e.g. tick in the past); only hand
+    // ownership to the queue once the event is actually enqueued.
+    schedule(ev.get(), when);
+    ev.release();
 }
 
 void
@@ -89,12 +120,21 @@ EventQueue::step()
         ev->scheduled_ = false;
         --pending_;
         ++processed_;
-        bool auto_delete = ev->autoDelete_;
-        ev->process();
         // process() may have rescheduled the event; only delete
-        // self-owned events that are not pending again.
-        if (auto_delete && !ev->scheduled_)
-            delete ev;
+        // self-owned events that are not pending again. A scope
+        // guard keeps that true when process() throws (fatal/panic
+        // from a handler), so the one-shot does not leak.
+        struct Reaper
+        {
+            Event *ev;
+            bool autoDelete;
+            ~Reaper()
+            {
+                if (autoDelete && !ev->scheduled_)
+                    delete ev;
+            }
+        } reaper{ev, ev->autoDelete_};
+        ev->process();
         return true;
     }
     return false;

@@ -63,6 +63,8 @@ class Event
     int priority_;
     bool scheduled_ = false;
     bool autoDelete_ = false;
+    /** Queue the event is scheduled on (for dtor cancellation). */
+    EventQueue *queue_ = nullptr;
 };
 
 /** Convenience event wrapping a std::function callback. */
@@ -127,6 +129,14 @@ class EventQueue
 
     /** Remove a pending event from the queue without firing it. */
     void deschedule(Event *ev);
+
+    /**
+     * Cancel the queue entry of a still-scheduled event whose object
+     * is being destroyed during exception unwinding (called only by
+     * Event::~Event). The entry is lazily dropped; the event object
+     * is never touched again.
+     */
+    void forgetDestroyed(Event *ev);
 
     /** @return true when no events remain. */
     bool empty() const { return pending_ == 0; }

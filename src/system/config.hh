@@ -11,6 +11,7 @@
 
 #include "net/network.hh"
 #include "node/smp_node.hh"
+#include "verify/verify_config.hh"
 
 namespace ccnuma
 {
@@ -42,6 +43,13 @@ struct MachineConfig
     Addr syncBase = 0x4000'0000;
     /** Simulation watchdog: abort if a run exceeds this many ticks. */
     Tick maxTicks = 4'000'000'000ull;
+    /**
+     * Verification subsystem (invariant checker, fault injector,
+     * hang watchdog); everything off by default. The CCNUMA_VERIFY
+     * environment variable (checker|watchdog|all|1) force-enables
+     * the checker and/or watchdog without a config change.
+     */
+    VerifyConfig verify;
 
     /**
      * The paper's base system: 16 nodes x 4 x 200 MHz processors,

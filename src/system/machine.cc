@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+
+#include "verify/checker.hh"
+#include "verify/fault_injector.hh"
+#include "verify/watchdog.hh"
 
 namespace ccnuma
 {
@@ -21,6 +26,69 @@ Machine::Machine(const MachineConfig &cfg)
         nodes_.back()->cc().setRouter(this);
     }
     sync_.setBarrierParticipants(totalProcs());
+
+    // Verification subsystem (off by default; see DESIGN.md). The
+    // CCNUMA_VERIFY environment knob force-enables the checker
+    // and/or watchdog without touching the configuration.
+    if (const char *env = std::getenv("CCNUMA_VERIFY")) {
+        if (!std::strcmp(env, "1") || !std::strcmp(env, "checker") ||
+            !std::strcmp(env, "all")) {
+            cfg_.verify.checker = true;
+        }
+        if (!std::strcmp(env, "watchdog") ||
+            !std::strcmp(env, "all")) {
+            cfg_.verify.watchdog = true;
+        }
+        if (!cfg_.verify.checker && !cfg_.verify.watchdog) {
+            warn("CCNUMA_VERIFY=%s not recognized (use "
+                 "checker|watchdog|all|1); verification stays off",
+                 env);
+        }
+    }
+    const VerifyConfig &vc = cfg_.verify;
+    if (vc.faults.anyEnabled()) {
+        injector_ = std::make_unique<FaultInjector>(vc.faults);
+        net_.setTap(injector_.get());
+        if (vc.faults.engineStallProb > 0.0) {
+            for (auto &nd : nodes_) {
+                nd->cc().setStallHook(
+                    [this] { return injector_->engineStall(); });
+            }
+        }
+    }
+    if (vc.checker) {
+        std::vector<SmpNode *> ns;
+        ns.reserve(nodes_.size());
+        for (auto &nd : nodes_)
+            ns.push_back(nd.get());
+        // With corrupting faults armed, the checker reports
+        // violations as injected-fault detections and halts the run
+        // instead of panicking.
+        const bool tolerate =
+            injector_ && injector_->config().corrupting();
+        checker_ = std::make_unique<CoherenceChecker>(
+            eq_, map_, std::move(ns), tolerate);
+        for (auto &nd : nodes_) {
+            NodeId id = nd->id();
+            nd->bus().setCompletionTap(
+                [this, id](const BusTxn &txn) {
+                    checker_->noteBusComplete(id, txn);
+                });
+        }
+    }
+    if (vc.watchdog) {
+        watchdog_ = std::make_unique<HangWatchdog>(
+            eq_, vc.watchdogBudget,
+            [this] {
+                std::uint64_t retired = 0;
+                for (auto &nd : nodes_) {
+                    for (unsigned i = 0; i < nd->numProcs(); ++i)
+                        retired += nd->proc(i).instructions();
+                }
+                return retired;
+            },
+            [this](std::ostream &os) { dumpDiagnostics(os); });
+    }
 }
 
 Machine::~Machine() = default;
@@ -35,7 +103,32 @@ Machine::proc(unsigned global)
 void
 Machine::deliverMsg(const Msg &msg)
 {
+    if (checker_ && !checker_->noteDeliver(msg))
+        return; // detected injected fault; delivery swallowed
     nodes_.at(msg.dst)->cc().netReceive(msg);
+}
+
+void
+Machine::onNetSend(Msg &msg)
+{
+    if (checker_)
+        checker_->stampSend(msg);
+}
+
+void
+Machine::dumpDiagnostics(std::ostream &os)
+{
+    os << "=== machine diagnostics at tick " << eq_.curTick()
+       << " ===\n";
+    os << "pending events: " << eq_.numPending() << "\n";
+    os << "unfinished procs:";
+    for (unsigned i = 0; i < totalProcs(); ++i) {
+        if (!proc(i).finished())
+            os << " " << i;
+    }
+    os << "\n";
+    for (auto &nd : nodes_)
+        nd->cc().dumpState(os);
 }
 
 RunResult
@@ -60,18 +153,39 @@ Machine::run(Workload &w, bool check)
     Tick limit = cfg_.maxTicks;
     if (const char *env = std::getenv("CCNUMA_MAX_TICKS"))
         limit = std::strtoull(env, nullptr, 10);
-    bool done = eq_.runUntil([this, n] { return finishedProcs_ == n; },
-                             limit);
+    if (watchdog_)
+        watchdog_->arm();
+    bool done = eq_.runUntil(
+        [this, n] {
+            return finishedProcs_ == n ||
+                   (checker_ && checker_->shouldHalt());
+        },
+        limit);
+    if (watchdog_)
+        watchdog_->disarm();
+    if (checker_ && checker_->shouldHalt()) {
+        // An injected fault was detected; the protocol state is no
+        // longer trustworthy, so skip the drain and the idle checks
+        // and return a partial result.
+        warn("run of %s halted after %llu injected-fault "
+             "detection(s)", w.name().c_str(),
+             (unsigned long long)checker_->violations());
+        RunResult r;
+        r.workload = w.name();
+        r.arch =
+            std::string(engineTypeName(cfg_.node.cc.engineType));
+        r.execTicks = eq_.curTick();
+        return r;
+    }
     if (!done) {
         // Diagnose: which processors are stuck, and what protocol
         // state is outstanding?
+        dumpDiagnostics(std::cerr);
         std::string stuck;
         for (unsigned i = 0; i < n; ++i) {
             if (!proc(i).finished())
                 stuck += " " + std::to_string(i);
         }
-        for (auto &nd : nodes_)
-            nd->cc().dumpState(std::cerr);
         panic("workload %s wedged at tick %llu (pending events: %llu;"
               " unfinished procs:%s)", w.name().c_str(),
               (unsigned long long)eq_.curTick(),

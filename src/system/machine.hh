@@ -20,6 +20,10 @@
 namespace ccnuma
 {
 
+class CoherenceChecker;
+class FaultInjector;
+class HangWatchdog;
+
 /** Measurements from one workload run (Table 6 inputs). */
 struct RunResult
 {
@@ -74,6 +78,16 @@ class Machine : public MsgRouter
 
     // --- MsgRouter ---
     void deliverMsg(const Msg &msg) override;
+    void onNetSend(Msg &msg) override;
+
+    /** The online invariant checker (null unless enabled). */
+    CoherenceChecker *checker() { return checker_.get(); }
+
+    /** The fault injector (null unless faults are armed). */
+    FaultInjector *injector() { return injector_.get(); }
+
+    /** Write diagnostic state (controllers, queues, procs) to @p os. */
+    void dumpDiagnostics(std::ostream &os);
 
     /**
      * Run @p w to completion (its thread count must equal
@@ -96,6 +110,9 @@ class Machine : public MsgRouter
     Network net_;
     SyncManager sync_;
     std::vector<std::unique_ptr<SmpNode>> nodes_;
+    std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<CoherenceChecker> checker_;
+    std::unique_ptr<HangWatchdog> watchdog_;
     std::uint64_t versionCounter_ = 0;
     unsigned finishedProcs_ = 0;
 };

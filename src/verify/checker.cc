@@ -1,0 +1,361 @@
+#include "verify/checker.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+/** Bounded per-line history depth. */
+constexpr std::size_t historyDepth = 32;
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, format);
+    std::vsnprintf(buf, sizeof(buf), format, args);
+    va_end(args);
+    return buf;
+}
+
+} // namespace
+
+CoherenceChecker::CoherenceChecker(EventQueue &eq, AddressMap &map,
+                                   std::vector<SmpNode *> nodes,
+                                   bool tolerate)
+    : eq_(eq), map_(map), nodes_(std::move(nodes)),
+      tolerate_(tolerate)
+{
+    ccnuma_assert(!nodes_.empty());
+}
+
+void
+CoherenceChecker::record(Addr line, std::string event)
+{
+    LineTrack &t = lines_[line];
+    if (t.history.size() >= historyDepth)
+        t.history.pop_front();
+    t.history.push_back(std::move(event));
+}
+
+std::string
+CoherenceChecker::lineHistory(Addr line) const
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end() || it->second.history.empty())
+        return "  (no recorded events)";
+    std::string out;
+    for (const std::string &e : it->second.history)
+        out += "  " + e + "\n";
+    out.pop_back();
+    return out;
+}
+
+void
+CoherenceChecker::violation(Addr line, const std::string &what)
+{
+    ++violations_;
+    std::string msg =
+        fmt("checker: line %#llx at tick %llu: ",
+            (unsigned long long)line,
+            (unsigned long long)eq_.curTick()) +
+        what + "\nline history (oldest first):\n" +
+        lineHistory(line);
+    if (first_.empty())
+        first_ = msg;
+    if (!tolerate_)
+        panic("%s", msg.c_str());
+    warn("injected-fault detection: %s", msg.c_str());
+    halt_ = true;
+}
+
+void
+CoherenceChecker::stampSend(Msg &msg)
+{
+    PairState &ps = pairs_[pairKey(msg.src, msg.dst)];
+    msg.seq = ++ps.nextSeq;
+    ps.expected.push_back(msg.seq);
+    ++lines_[msg.lineAddr].inflight;
+    record(msg.lineAddr,
+           fmt("%10llu send    %-18s node%u -> node%u req=%u "
+               "ver=%llu seq=%llu",
+               (unsigned long long)eq_.curTick(),
+               msgTypeName(msg.type), msg.src, msg.dst,
+               msg.requester, (unsigned long long)msg.version,
+               (unsigned long long)msg.seq));
+}
+
+bool
+CoherenceChecker::noteDeliver(const Msg &msg)
+{
+    ++deliveries_;
+    record(msg.lineAddr,
+           fmt("%10llu deliver %-18s node%u -> node%u req=%u "
+               "ver=%llu seq=%llu",
+               (unsigned long long)eq_.curTick(),
+               msgTypeName(msg.type), msg.src, msg.dst,
+               msg.requester, (unsigned long long)msg.version,
+               (unsigned long long)msg.seq));
+
+    PairState &ps = pairs_[pairKey(msg.src, msg.dst)];
+    bool faulted = false;
+    if (ps.expected.empty()) {
+        violation(msg.lineAddr,
+                  fmt("duplicate delivery of %s seq=%llu from "
+                      "node%u to node%u (no send outstanding on the "
+                      "pair)", msgTypeName(msg.type),
+                      (unsigned long long)msg.seq, msg.src,
+                      msg.dst));
+        faulted = true;
+    } else if (msg.seq == ps.expected.front()) {
+        ps.expected.pop_front();
+        --lines_[msg.lineAddr].inflight;
+    } else {
+        auto it = std::find(ps.expected.begin(), ps.expected.end(),
+                            msg.seq);
+        if (it != ps.expected.end()) {
+            violation(
+                msg.lineAddr,
+                fmt("out-of-order delivery on pair node%u -> "
+                    "node%u: got seq=%llu while seq=%llu was sent "
+                    "first (per-pair FIFO violated)",
+                    msg.src, msg.dst, (unsigned long long)msg.seq,
+                    (unsigned long long)ps.expected.front()));
+            ps.expected.erase(it);
+            --lines_[msg.lineAddr].inflight;
+        } else {
+            violation(msg.lineAddr,
+                      fmt("duplicate delivery of %s seq=%llu from "
+                          "node%u to node%u (already delivered "
+                          "once)", msgTypeName(msg.type),
+                          (unsigned long long)msg.seq, msg.src,
+                          msg.dst));
+        }
+        faulted = true;
+    }
+
+    if (faulted && tolerate_) {
+        // The injected fault is detected; swallow the delivery so
+        // the protocol (which asserts exactly-once, in-order
+        // delivery) never sees the corrupted stream.
+        return false;
+    }
+    checkLine(msg.lineAddr, "net-deliver");
+    return true;
+}
+
+void
+CoherenceChecker::noteBusComplete(NodeId node, const BusTxn &txn)
+{
+    record(txn.lineAddr,
+           fmt("%10llu bus     %-18s node%u agent=%d ver=%llu",
+               (unsigned long long)eq_.curTick(),
+               busCmdName(txn.cmd), node, txn.requester,
+               (unsigned long long)txn.dataVersion));
+    checkLine(txn.lineAddr, "bus-complete");
+}
+
+void
+CoherenceChecker::checkLine(Addr line, const char *ctx)
+{
+    if (halt_)
+        return;
+
+    // SWMR: at most one Modified copy system-wide, and a Modified
+    // copy excludes every other copy.
+    unsigned modified = 0;
+    unsigned copies = 0;
+    NodeId mod_node = 0;
+    unsigned mod_unit = 0;
+    for (SmpNode *nd : nodes_) {
+        for (unsigned i = 0; i < nd->numProcs(); ++i) {
+            const CacheLine *l =
+                nd->cacheUnit(i).l2().findLine(line);
+            if (l == nullptr)
+                continue;
+            ++copies;
+            if (l->state == LineState::Modified) {
+                ++modified;
+                mod_node = nd->id();
+                mod_unit = i;
+            }
+        }
+    }
+    if (modified > 1) {
+        violation(line, fmt("%s: SWMR violated: %u Modified copies",
+                            ctx, modified));
+        return;
+    }
+    if (modified == 1 && copies > 1) {
+        violation(line,
+                  fmt("%s: SWMR violated: Modified at node%u/unit%u "
+                      "alongside %u other copies",
+                      ctx, mod_node, mod_unit, copies - 1));
+        return;
+    }
+
+    // Home-memory data versions only ever move forward.
+    const NodeId home = map_.homeOf(line);
+    std::uint64_t mem_version = nodes_.at(home)->memory().version(line);
+    LineTrack &t = lines_[line];
+    if (t.memVersionValid && mem_version < t.memVersion) {
+        violation(line,
+                  fmt("%s: home memory version went backwards: "
+                      "%llu -> %llu", ctx,
+                      (unsigned long long)t.memVersion,
+                      (unsigned long long)mem_version));
+        return;
+    }
+    t.memVersion = mem_version;
+    t.memVersionValid = true;
+
+    // The full directory-agreement check is only meaningful once no
+    // transient state references the line anywhere (directory
+    // updates intentionally lag data replies).
+    if (lineQuiescent(line))
+        fullDirectoryCheck(line);
+}
+
+bool
+CoherenceChecker::lineQuiescent(Addr line) const
+{
+    auto it = lines_.find(line);
+    if (it != lines_.end() && it->second.inflight != 0)
+        return false;
+    for (SmpNode *nd : nodes_) {
+        if (!nd->cc().lineQuiet(line))
+            return false;
+        if (nd->bus().lineBusy(line))
+            return false;
+        for (unsigned i = 0; i < nd->numProcs(); ++i) {
+            if (nd->cacheUnit(i).missPendingOn(line))
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+CoherenceChecker::fullDirectoryCheck(Addr line)
+{
+    ++fullChecks_;
+    const NodeId home = map_.homeOf(line);
+    const DirectoryStore &dir = nodes_.at(home)->directory();
+    const DirEntry *e = dir.peek(line);
+
+    // Bus-side 2-bit state must agree with the full-map entry.
+    BusSideDirState bs = dir.busSideState(line);
+    BusSideDirState expect = BusSideDirState::NoRemote;
+    if (e != nullptr) {
+        switch (e->state) {
+          case DirState::Home:
+            expect = BusSideDirState::NoRemote;
+            break;
+          case DirState::SharedRemote:
+            expect = e->sharers != 0 ? BusSideDirState::SharedRemote
+                                     : BusSideDirState::NoRemote;
+            break;
+          case DirState::DirtyRemote:
+            expect = BusSideDirState::DirtyRemote;
+            break;
+        }
+    }
+    if (bs != expect) {
+        violation(line,
+                  fmt("bus-side directory state %d disagrees with "
+                      "full-map state %s (expected bus-side %d)",
+                      (int)bs, e ? dirStateName(e->state) : "(none)",
+                      (int)expect));
+        return;
+    }
+
+    // Every actual holder must be covered by the directory, with the
+    // right ownership; clean copies must match the home memory
+    // version. (The sharer bitmap may over-approximate: silent
+    // Shared evictions do not notify the home.)
+    std::uint64_t mem_version = nodes_.at(home)->memory().version(line);
+    for (SmpNode *nd : nodes_) {
+        for (unsigned i = 0; i < nd->numProcs(); ++i) {
+            const CacheLine *l =
+                nd->cacheUnit(i).l2().findLine(line);
+            if (l == nullptr)
+                continue;
+            const bool remote = nd->id() != home;
+            if (l->state == LineState::Modified) {
+                if (remote &&
+                    (e == nullptr ||
+                     e->state != DirState::DirtyRemote ||
+                     e->owner != nd->id())) {
+                    violation(
+                        line,
+                        fmt("Modified at node%u but directory says "
+                            "%s owner=%u", nd->id(),
+                            e ? dirStateName(e->state) : "(none)",
+                            e ? e->owner : 0));
+                    return;
+                }
+                if (!remote && e != nullptr &&
+                    e->state != DirState::Home &&
+                    !(e->state == DirState::SharedRemote &&
+                      e->sharers == 0)) {
+                    violation(
+                        line,
+                        fmt("Modified at home node%u but directory "
+                            "records remote copies (%s)", nd->id(),
+                            dirStateName(e->state)));
+                    return;
+                }
+                continue;
+            }
+            // Clean copy.
+            if (remote) {
+                if (e == nullptr) {
+                    violation(line,
+                              fmt("cached at remote node%u but the "
+                                  "line never entered the home "
+                                  "directory", nd->id()));
+                    return;
+                }
+                if (e->state == DirState::Home) {
+                    violation(line,
+                              fmt("cached at remote node%u but "
+                                  "directory says Home", nd->id()));
+                    return;
+                }
+                if (e->state == DirState::SharedRemote &&
+                    !e->isSharer(nd->id())) {
+                    violation(line,
+                              fmt("Shared at node%u but missing "
+                                  "from the sharer bitmap",
+                                  nd->id()));
+                    return;
+                }
+                if (e->state == DirState::DirtyRemote &&
+                    e->owner != nd->id()) {
+                    violation(line,
+                              fmt("Shared at node%u under foreign "
+                                  "owner %u", nd->id(), e->owner));
+                    return;
+                }
+            }
+            if (l->version != mem_version) {
+                violation(line,
+                          fmt("clean copy at node%u/unit%u holds "
+                              "version %llu but home memory has "
+                              "%llu", nd->id(), i,
+                              (unsigned long long)l->version,
+                              (unsigned long long)mem_version));
+                return;
+            }
+        }
+    }
+}
+
+} // namespace ccnuma

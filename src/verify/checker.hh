@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Online coherence-invariant checker.
+ *
+ * The checker shadows the machine from outside the timing model: the
+ * router reports every protocol message entering the network
+ * (stampSend) and every delivery (noteDeliver), and each node's bus
+ * reports every completed bus transaction (noteBusComplete). On each
+ * event it asserts, for the affected line:
+ *
+ *  - per-pair FIFO, exactly-once network delivery (the property
+ *    src/net/network.hh documents the protocol relies on), via
+ *    per-(src,dst) send sequence numbers;
+ *  - SWMR: at most one Modified copy system-wide, and never a
+ *    Modified copy alongside other copies;
+ *  - data-version monotonicity at the home memory.
+ *
+ * Whenever a line fully quiesces (no in-flight message, no open bus
+ * transaction, no controller transient, no MSHR on it anywhere), the
+ * checker additionally verifies directory/cache-state agreement: the
+ * controller-side full map, the derived bus-side 2-bit state, and the
+ * actual CacheUnit states must tell one consistent story.
+ *
+ * Violations panic() with a bounded per-line event history. In
+ * tolerate mode (used when corrupting faults are deliberately
+ * injected) a violation is instead recorded as a detection, the
+ * offending delivery is swallowed, and the run halts cleanly.
+ */
+
+#ifndef CCNUMA_VERIFY_CHECKER_HH
+#define CCNUMA_VERIFY_CHECKER_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bus/bus.hh"
+#include "mem/address_map.hh"
+#include "node/smp_node.hh"
+#include "protocol/messages.hh"
+#include "sim/event_queue.hh"
+
+namespace ccnuma
+{
+
+/** The online invariant checker (see file comment). */
+class CoherenceChecker
+{
+  public:
+    /**
+     * @param tolerate record violations as injected-fault detections
+     *        and halt instead of panicking (set when corrupting
+     *        faults are armed)
+     */
+    CoherenceChecker(EventQueue &eq, AddressMap &map,
+                     std::vector<SmpNode *> nodes, bool tolerate);
+
+    /** Stamp @p msg's per-pair seq and record the send (router). */
+    void stampSend(Msg &msg);
+
+    /**
+     * Validate a delivery and run the per-event checks.
+     * @return false when the delivery must be swallowed (tolerate
+     *         mode caught an injected fault with this message).
+     */
+    [[nodiscard]] bool noteDeliver(const Msg &msg);
+
+    /** Run the per-event checks after a bus transaction completes. */
+    void noteBusComplete(NodeId node, const BusTxn &txn);
+
+    /** True once a tolerated violation asks the run to halt. */
+    bool shouldHalt() const { return halt_; }
+
+    /** Violations seen (detections in tolerate mode). */
+    std::uint64_t violations() const { return violations_; }
+
+    /** First violation message (empty if none). */
+    const std::string &firstViolation() const { return first_; }
+
+    /** Full directory-agreement checks performed (liveness probe). */
+    std::uint64_t fullChecks() const { return fullChecks_; }
+
+    /** Deliveries validated (liveness probe for tests). */
+    std::uint64_t deliveries() const { return deliveries_; }
+
+  private:
+    struct PairState
+    {
+        /** Seqs sent but not yet delivered, in send order. */
+        std::deque<std::uint64_t> expected;
+        std::uint64_t nextSeq = 0;
+    };
+
+    struct LineTrack
+    {
+        std::uint64_t memVersion = 0;
+        bool memVersionValid = false;
+        long inflight = 0; ///< messages sent, not yet delivered
+        std::deque<std::string> history;
+    };
+
+    static std::uint64_t
+    pairKey(NodeId src, NodeId dst)
+    {
+        return (static_cast<std::uint64_t>(src) << 32) | dst;
+    }
+
+    void record(Addr line, std::string event);
+    /** Per-event checks for @p line; full check when quiescent. */
+    void checkLine(Addr line, const char *ctx);
+    void fullDirectoryCheck(Addr line);
+    bool lineQuiescent(Addr line) const;
+    /** Raise a violation: panic, or record-and-halt in tolerate. */
+    void violation(Addr line, const std::string &what);
+    std::string lineHistory(Addr line) const;
+
+    EventQueue &eq_;
+    AddressMap &map_;
+    std::vector<SmpNode *> nodes_;
+    bool tolerate_;
+    bool halt_ = false;
+    std::uint64_t violations_ = 0;
+    std::uint64_t fullChecks_ = 0;
+    std::uint64_t deliveries_ = 0;
+    std::string first_;
+    std::unordered_map<std::uint64_t, PairState> pairs_;
+    std::unordered_map<Addr, LineTrack> lines_;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_VERIFY_CHECKER_HH

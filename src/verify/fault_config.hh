@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fault-injection configuration.
+ *
+ * Each knob arms one fault kind; all are off by default. Delay jitter
+ * and engine stalls are *benign*: they perturb timing while
+ * preserving every ordering property the protocol relies on, so any
+ * run must survive them transparently. Reordering, duplication, and
+ * drops are *corrupting*: they violate the network's per-pair FIFO /
+ * exactly-once delivery contract and exist to prove the invariant
+ * checker (and the hang watchdog) actually catch such violations.
+ */
+
+#ifndef CCNUMA_VERIFY_FAULT_CONFIG_HH
+#define CCNUMA_VERIFY_FAULT_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace ccnuma
+{
+
+/** Seeded fault-injection knobs (see file comment). */
+struct FaultConfig
+{
+    /** Seed for the injector's private RNG. */
+    std::uint64_t seed = 1;
+
+    // --- benign faults (must be survived transparently) ---
+
+    /** Probability a message's delivery is delayed. */
+    double delayJitterProb = 0.0;
+    /** Maximum extra delivery delay (ticks, uniform in [0, max]). */
+    Tick delayJitterMax = 0;
+    /** Probability an engine dispatch attempt stalls. */
+    double engineStallProb = 0.0;
+    /** Maximum injected engine stall (ticks, uniform in [1, max]). */
+    Tick engineStallMax = 0;
+
+    // --- corrupting faults (must be *detected* by the checker) ---
+
+    /**
+     * Probability a message is held back without the per-pair FIFO
+     * clamp, letting later messages of the same pair overtake it.
+     */
+    double reorderProb = 0.0;
+    /** Maximum hold-back applied to a reordered message (ticks). */
+    Tick reorderDelayMax = 0;
+    /** Probability a message is delivered a second time. */
+    double duplicateProb = 0.0;
+    /** Delay of the duplicate after the original delivery (ticks). */
+    Tick duplicateDelay = 64;
+    /** Drop every Nth message (0 disables). */
+    unsigned dropEveryN = 0;
+
+    bool
+    anyEnabled() const
+    {
+        return delayJitterProb > 0.0 || engineStallProb > 0.0 ||
+               corrupting();
+    }
+
+    /** True when any fault that breaks protocol guarantees is armed. */
+    bool
+    corrupting() const
+    {
+        return reorderProb > 0.0 || duplicateProb > 0.0 ||
+               dropEveryN != 0;
+    }
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_VERIFY_FAULT_CONFIG_HH

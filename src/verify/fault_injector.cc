@@ -1,0 +1,58 @@
+#include "verify/fault_injector.hh"
+
+namespace ccnuma
+{
+
+bool
+FaultInjector::onDelivery(NodeId src, NodeId dst, Tick &delivered,
+                          Tick &duplicate_at)
+{
+    ++msgCount_;
+
+    if (cfg_.dropEveryN != 0 && msgCount_ % cfg_.dropEveryN == 0) {
+        ++drops_;
+        return false;
+    }
+
+    if (cfg_.delayJitterProb > 0.0) {
+        if (rng_.chance(cfg_.delayJitterProb)) {
+            delivered += rng_.below(cfg_.delayJitterMax + 1);
+            ++delays_;
+        }
+        // Benign jitter must preserve the per-pair FIFO order the
+        // protocol relies on: clamp every message (jittered or not)
+        // to no earlier than the pair's latest scheduled delivery.
+        Tick &last = lastScheduled_[pairKey(src, dst)];
+        if (delivered < last)
+            delivered = last;
+        last = delivered;
+    }
+
+    if (cfg_.reorderProb > 0.0 && rng_.chance(cfg_.reorderProb)) {
+        // Corrupting: hold this message back with NO FIFO clamp, so
+        // later messages of the same pair can overtake it.
+        delivered += 1 + rng_.below(cfg_.reorderDelayMax);
+        ++reorders_;
+    }
+
+    if (cfg_.duplicateProb > 0.0 &&
+        rng_.chance(cfg_.duplicateProb)) {
+        duplicate_at = delivered + cfg_.duplicateDelay;
+        ++duplicates_;
+    }
+
+    return true;
+}
+
+Tick
+FaultInjector::engineStall()
+{
+    if (cfg_.engineStallProb <= 0.0 ||
+        !rng_.chance(cfg_.engineStallProb)) {
+        return 0;
+    }
+    ++stalls_;
+    return 1 + rng_.below(cfg_.engineStallMax);
+}
+
+} // namespace ccnuma

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Seeded fault injector. Hooks into Network::send (as a NetworkTap)
+ * and into the coherence controllers' dispatch queues (via
+ * CoherenceController::setStallHook) to perturb a run according to a
+ * FaultConfig. All randomness comes from one private deterministic
+ * RNG, so a (config, seed) pair replays exactly.
+ */
+
+#ifndef CCNUMA_VERIFY_FAULT_INJECTOR_HH
+#define CCNUMA_VERIFY_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/network.hh"
+#include "sim/random.hh"
+#include "verify/fault_config.hh"
+
+namespace ccnuma
+{
+
+/** Injects network and engine faults per a FaultConfig. */
+class FaultInjector : public NetworkTap
+{
+  public:
+    explicit FaultInjector(const FaultConfig &cfg)
+        : cfg_(cfg), rng_(cfg.seed)
+    {}
+
+    const FaultConfig &config() const { return cfg_; }
+
+    // --- NetworkTap ---
+    bool onDelivery(NodeId src, NodeId dst, Tick &delivered,
+                    Tick &duplicate_at) override;
+
+    /**
+     * Engine-stall hook body (wired through
+     * CoherenceController::setStallHook).
+     * @return extra ticks the engine stays busy before dispatching,
+     *         or 0 for no stall.
+     */
+    Tick engineStall();
+
+    // --- injection counters (test assertions) ---
+    std::uint64_t injectedDelays() const { return delays_; }
+    std::uint64_t injectedStalls() const { return stalls_; }
+    std::uint64_t injectedReorders() const { return reorders_; }
+    std::uint64_t injectedDuplicates() const { return duplicates_; }
+    std::uint64_t injectedDrops() const { return drops_; }
+
+  private:
+    static std::uint64_t
+    pairKey(NodeId src, NodeId dst)
+    {
+        return (static_cast<std::uint64_t>(src) << 32) | dst;
+    }
+
+    FaultConfig cfg_;
+    Random rng_;
+    /** Latest delivery tick scheduled per pair (FIFO clamp). */
+    std::unordered_map<std::uint64_t, Tick> lastScheduled_;
+    std::uint64_t msgCount_ = 0;
+    std::uint64_t delays_ = 0;
+    std::uint64_t stalls_ = 0;
+    std::uint64_t reorders_ = 0;
+    std::uint64_t duplicates_ = 0;
+    std::uint64_t drops_ = 0;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_VERIFY_FAULT_INJECTOR_HH

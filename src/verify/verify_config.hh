@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Verification subsystem configuration: invariant checker, fault
+ * injector, and hang watchdog. Everything is off by default so
+ * benches run at full speed; see DESIGN.md ("Verification
+ * subsystem") for what each part does and how to enable it.
+ */
+
+#ifndef CCNUMA_VERIFY_VERIFY_CONFIG_HH
+#define CCNUMA_VERIFY_VERIFY_CONFIG_HH
+
+#include "sim/types.hh"
+#include "verify/fault_config.hh"
+
+namespace ccnuma
+{
+
+/** Machine-level verification knobs. */
+struct VerifyConfig
+{
+    /**
+     * Run the online CoherenceChecker: per-pair FIFO/duplicate
+     * detection, SWMR, home-version monotonicity on every delivery
+     * and bus completion, and full directory/cache agreement whenever
+     * a line quiesces. (Also enabled by CCNUMA_VERIFY=checker|all.)
+     */
+    bool checker = false;
+
+    /**
+     * Arm the hang watchdog around Machine::run: if no instruction
+     * retires for watchdogBudget ticks, dump diagnostics to stderr
+     * and raise FatalError. (Also CCNUMA_VERIFY=watchdog|all.)
+     */
+    bool watchdog = false;
+
+    /** Ticks without a retired instruction before the watchdog fires. */
+    Tick watchdogBudget = 2'000'000;
+
+    /** Seeded fault injection (off unless a knob is armed). */
+    FaultConfig faults;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_VERIFY_VERIFY_CONFIG_HH

@@ -146,5 +146,44 @@ TEST(EventQueue, CountsProcessed)
     EXPECT_EQ(eq.numPending(), 0u);
 }
 
+TEST(EventQueue, ScheduledEventDestroyedWhileUnwindingIsTolerated)
+{
+    // A still-scheduled event destroyed during exception unwinding
+    // must not abort (that would mask the original error): its queue
+    // entry is cancelled and the exception propagates.
+    EventQueue eq;
+    bool fired = false;
+    struct Boom
+    {
+    };
+    EXPECT_THROW(
+        {
+            EventFunction ev([&] { fired = true; }, "doomed");
+            eq.schedule(&ev, 10);
+            throw Boom{};
+        },
+        Boom);
+    EXPECT_EQ(eq.numPending(), 0u);
+    // The cancelled entry must never fire or touch the dead event.
+    eq.run(100);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(eq.numProcessed(), 0u);
+}
+
+TEST(EventQueue, ThrowingOneShotDoesNotLeak)
+{
+    // A one-shot whose callback throws is still reclaimed by the
+    // queue (scope guard in step()); under ASan/LSan a leak here
+    // fails the test binary.
+    EventQueue eq;
+    struct Boom
+    {
+    };
+    eq.scheduleFunction([] { throw Boom{}; }, 5);
+    EXPECT_THROW(eq.run(), Boom);
+    EXPECT_EQ(eq.numPending(), 0u);
+    EXPECT_EQ(eq.numProcessed(), 1u);
+}
+
 } // namespace
 } // namespace ccnuma

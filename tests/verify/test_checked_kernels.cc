@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Checker-enabled smoke over every SPLASH-2 kernel
+ * re-implementation: the online invariant checker rides along a
+ * clean run of each workload and must find nothing, while provably
+ * having done real work (deliveries validated, full
+ * directory-agreement checks performed).
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/machine.hh"
+#include "verify/checker.hh"
+#include "workload/synthetic.hh"
+#include "workload/workload.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+class CheckedKernel : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CheckedKernel, RunsCleanUnderOnlineChecker)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 4;
+    cfg.node.procsPerNode = 2;
+    cfg.withArch(Arch::PPC);
+    cfg.verify.checker = true;
+
+    WorkloadParams p;
+    p.numThreads = cfg.totalProcs();
+    p.scale = 0.05;
+    auto w = makeWorkload(GetParam(), p);
+
+    Machine m(cfg);
+    RunResult r = m.run(*w, /*check=*/true);
+    EXPECT_GT(r.execTicks, 0u);
+    ASSERT_NE(m.checker(), nullptr);
+    EXPECT_EQ(m.checker()->violations(), 0u)
+        << m.checker()->firstViolation();
+    EXPECT_FALSE(m.checker()->shouldHalt());
+    // The checker must have actually observed this run.
+    EXPECT_GT(m.checker()->deliveries(), 0u);
+    EXPECT_GT(m.checker()->fullChecks(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, CheckedKernel,
+    ::testing::Values("LU", "Cholesky", "Water-Nsq", "Water-Sp",
+                      "Barnes", "FFT", "Radix", "Ocean"),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (auto &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+} // namespace
+} // namespace ccnuma

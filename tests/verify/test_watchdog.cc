@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Hang-watchdog behavior: a run that stops retiring instructions
+ * (here: because a protocol message was dropped on the wire) must be
+ * diagnosed with a full controller-state dump before FatalError; a
+ * healthy run must never trip it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "system/machine.hh"
+#include "workload/synthetic.hh"
+#include "workload/workload.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+TEST(HangWatchdog, FiresOnDroppedMessageAndDumpsState)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 2;
+    cfg.node.procsPerNode = 1;
+    cfg.withArch(Arch::HWC);
+    // Drop every protocol message: the first remote miss wedges its
+    // requester forever. The checker stays off (a drop would trip it
+    // first); the watchdog alone must catch the hang.
+    cfg.verify.faults.dropEveryN = 1;
+    cfg.verify.watchdog = true;
+    cfg.verify.watchdogBudget = 50'000;
+
+    Machine m(cfg);
+    // Thread 0 loads a line homed at node 1; thread 1 spins on
+    // compute so "no retires" unambiguously means thread 0 is stuck.
+    std::vector<std::vector<ThreadOp>> scripts(2);
+    Addr remote = 0x10'0000;
+    while (m.map().homeOf(remote) != 1)
+        remote += 4096;
+    scripts[0].push_back(ThreadOp::load(remote));
+    scripts[1].push_back(ThreadOp::compute(10));
+    WorkloadParams p;
+    p.numThreads = 2;
+    ScriptWorkload w(p, scripts);
+
+    ::testing::internal::CaptureStderr();
+    EXPECT_THROW(m.run(w), FatalError);
+    std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("hang watchdog"), std::string::npos) << err;
+    EXPECT_NE(err.find("machine diagnostics"), std::string::npos)
+        << err;
+    // The dump must name the stuck transient: node 0's controller
+    // still has the request pending for the dropped line.
+    EXPECT_NE(err.find("reqPending("), std::string::npos) << err;
+    EXPECT_NE(err.find("unfinished procs: 0"), std::string::npos)
+        << err;
+}
+
+TEST(HangWatchdog, QuietOnHealthyRun)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 2;
+    cfg.node.procsPerNode = 2;
+    cfg.withArch(Arch::PPC);
+    cfg.verify.watchdog = true;
+    cfg.verify.watchdogBudget = 200'000; // tight, but progress is real
+    Machine m(cfg);
+    WorkloadParams p;
+    p.numThreads = cfg.totalProcs();
+    p.scale = 0.05;
+    auto w = makeWorkload("Ocean", p);
+    RunResult r = m.run(*w, /*check=*/true);
+    EXPECT_GT(r.execTicks, 0u);
+}
+
+TEST(HangWatchdog, ZeroBudgetRejected)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 2;
+    cfg.verify.watchdog = true;
+    cfg.verify.watchdogBudget = 0;
+    EXPECT_THROW(Machine m(cfg), FatalError);
+}
+
+} // namespace
+} // namespace ccnuma
