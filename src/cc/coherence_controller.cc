@@ -12,8 +12,8 @@ CoherenceController::CoherenceController(const std::string &name,
                                          AddressMap &map,
                                          DirectoryStore &dir)
     : name_(name), eq_(eq), node_(node), params_(params), bus_(bus),
-      net_(net), map_(map), dir_(dir), model_(params.engineType),
-      statGroup_(name)
+      net_(net), map_(map), dir_(dir), retries_(params.retry),
+      model_(params.engineType), statGroup_(name)
 {
     if (params.numEngines != 1 && params.numEngines != 2 &&
         params.numEngines != 4) {
@@ -34,6 +34,8 @@ CoherenceController::CoherenceController(const std::string &name,
     statGroup_.add(&statLivelockPromotions);
     statGroup_.add(&statDirectWBs);
     statGroup_.add(&statWbStalls);
+    statGroup_.add(&statNackRetries);
+    statGroup_.add(&statRetryBackoffTicks);
 }
 
 // ---------------------------------------------------------------------
@@ -330,6 +332,14 @@ CoherenceController::sendMsg(MsgType type, Addr line_addr, NodeId dst,
             // Stamp at the true network-entry instant so the
             // checker's sequence numbers reflect wire order.
             router_->onNetSend(m);
+            if (xport_ != nullptr) {
+                // Reliable mode: the transport owns delivery (it
+                // retransmits lost frames, discards duplicates, and
+                // re-establishes per-pair order before handing the
+                // message back to the router).
+                xport_->send(m, bytes);
+                return;
+            }
             Msg delivered = m;
             net_.send(node_, m.dst, bytes,
                       [this, delivered] {
@@ -337,6 +347,25 @@ CoherenceController::sendMsg(MsgType type, Addr line_addr, NodeId dst,
                       });
         },
         depart);
+}
+
+Tick
+CoherenceController::retryDelay(Addr line, const char *what)
+{
+    RetryTracker::Attempt a = retries_.next(line);
+    if (a.exhausted) {
+        // Escalation path: the transient condition never cleared.
+        // A clean diagnostic beats livelocking the machine.
+        fatal("cc %s: %s for line %#llx abandoned after %u retries "
+              "(policy: base %llu ticks, cap %llu ticks); the line "
+              "never left its transient state", name_.c_str(), what,
+              (unsigned long long)line, a.count - 1,
+              (unsigned long long)params_.retry.backoffBase,
+              (unsigned long long)params_.retry.backoffMax);
+    }
+    ++statNackRetries;
+    statRetryBackoffTicks += static_cast<double>(a.delay);
+    return a.delay;
 }
 
 void
@@ -496,7 +525,19 @@ CoherenceController::tryDispatch(unsigned engine_idx)
         Tick stall = stallHook_();
         if (stall > 0) {
             // Injected engine stall: hold the engine busy without
-            // dispatching, then re-attempt.
+            // dispatching, then re-attempt. Under a bounded retry
+            // policy an endless stall streak escalates instead of
+            // silently starving the queues.
+            ++e.stallStreak;
+            if (params_.retry.bounded() &&
+                e.stallStreak > params_.retry.maxRetries) {
+                fatal("cc %s: engine %u starved by %u consecutive "
+                      "injected stalls (retry budget %u); queues "
+                      "%zu/%zu/%zu", name_.c_str(), engine_idx,
+                      e.stallStreak, params_.retry.maxRetries,
+                      e.queues[0].size(), e.queues[1].size(),
+                      e.queues[2].size());
+            }
             e.busy = true;
             e.busyStart = eq_.curTick();
             eq_.scheduleFunctionIn(
@@ -512,6 +553,7 @@ CoherenceController::tryDispatch(unsigned engine_idx)
             return;
         }
     }
+    e.stallStreak = 0;
     DispatchItem item;
     if (!pickItem(e, item))
         return;
@@ -885,6 +927,9 @@ CoherenceController::completeRequesterFill(Addr line_addr,
 {
     auto it = reqPending_.find(line_addr);
     ccnuma_assert(it != reqPending_.end());
+    // The fill succeeded; any home-nack retry streak on the line is
+    // over.
+    retries_.clear(line_addr);
     for (std::uint64_t txn_id : it->second.busTxns)
         bus_.deferredRespond(txn_id, version, t);
     std::deque<DispatchItem> conflicting =
@@ -1221,6 +1266,8 @@ CoherenceController::executeNetItem(unsigned engine_idx,
         ccnuma_assert(hb != homeBusy_.end());
         HomeTxn txn = hb->second;
         ccnuma_assert(txn.localRequest && !txn.excl);
+        retries_.clear(line); // forward finally answered
+
         NodeId owner = msg.src;
         bool retains = msg.ownerRetains;
         std::uint64_t version = msg.version;
@@ -1253,6 +1300,8 @@ CoherenceController::executeNetItem(unsigned engine_idx,
         ccnuma_assert(hb != homeBusy_.end());
         HomeTxn txn = hb->second;
         ccnuma_assert(txn.localRequest && txn.excl);
+        retries_.clear(line); // forward finally answered
+
         std::uint64_t version = msg.version;
         beginHandler(
             engine_idx, HandlerId::OwnerDataToHomeReadExcl, line, 0,
@@ -1285,6 +1334,7 @@ CoherenceController::executeNetItem(unsigned engine_idx,
             HomeTxn txn = hb->second;
             bool retains = msg.ownerRetains;
             std::uint64_t version = msg.version;
+            retries_.clear(line); // forward finally answered
             beginHandler(
                 engine_idx,
                 HandlerId::OwnerWriteBackToHomeRemoteRead, line, 0,
@@ -1341,6 +1391,8 @@ CoherenceController::executeNetItem(unsigned engine_idx,
         ccnuma_assert(hb != homeBusy_.end());
         HomeTxn txn = hb->second;
         ccnuma_assert(txn.excl && !txn.localRequest);
+        retries_.clear(line); // forward finally answered
+
         beginHandler(
             engine_idx, HandlerId::OwnerAckToHomeRemoteReadExcl, line,
             0, CcBusOp::None,
@@ -1386,12 +1438,15 @@ CoherenceController::executeNetItem(unsigned engine_idx,
       case MsgType::HomeNack: {
         // Our request raced ahead of our own ownership fill; redo it
         // from the top (the local probe will now find the copy, or
-        // the retry will stall behind the writeback buffer).
+        // the retry will stall behind the writeback buffer). Under a
+        // bounded retry policy the re-attempt backs off
+        // exponentially and eventually escalates.
         ccnuma_assert(reqPending_.count(line));
+        const Tick backoff = retryDelay(line, "home-nacked request");
         beginHandler(
             engine_idx, HandlerId::OwnerNackAtHome, line, 0,
             CcBusOp::None,
-            [this, line](Exec &, Tick t) {
+            [this, line, backoff](Exec &, Tick t) {
                 auto it = reqPending_.find(line);
                 ccnuma_assert(it != reqPending_.end());
                 ReqPending rp = std::move(it->second);
@@ -1416,7 +1471,7 @@ CoherenceController::executeNetItem(unsigned engine_idx,
                                     /*to_front=*/true);
                         }
                     },
-                    t);
+                    t + backoff);
             });
         return;
       }
@@ -1426,10 +1481,11 @@ CoherenceController::executeNetItem(unsigned engine_idx,
         auto hb = homeBusy_.find(line);
         ccnuma_assert(hb != homeBusy_.end());
         DispatchItem original = hb->second.original;
+        const Tick backoff = retryDelay(line, "owner-nacked forward");
         beginHandler(
             engine_idx, HandlerId::OwnerNackAtHome, line, 0,
             CcBusOp::None,
-            [this, line, original](Exec &, Tick t) {
+            [this, line, original, backoff](Exec &, Tick t) {
                 closeHomeTxn(line, t);
                 eq_.scheduleFunction(
                     [this, original] {
@@ -1438,7 +1494,7 @@ CoherenceController::executeNetItem(unsigned engine_idx,
                                            : QNetRequest,
                                 item, /*to_front=*/true);
                     },
-                    t);
+                    t + backoff);
             });
         return;
       }

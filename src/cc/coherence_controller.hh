@@ -45,9 +45,11 @@
 #include "directory/directory.hh"
 #include "mem/address_map.hh"
 #include "net/network.hh"
+#include "net/reliable.hh"
 #include "protocol/handlers.hh"
 #include "protocol/messages.hh"
 #include "protocol/occupancy.hh"
+#include "protocol/retry.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
@@ -118,6 +120,15 @@ struct CcParams
      * access the directory.
      */
     bool dynamicSplit = false;
+    /**
+     * Retry policy for transient protocol conditions (owner nacks,
+     * home nacks, injected engine stalls). The default reproduces
+     * the paper's immediate, unbounded retry; a bounded policy adds
+     * capped exponential backoff and escalates with a clean
+     * FatalError diagnostic instead of livelocking (see
+     * MachineConfig::withReliableTransport()).
+     */
+    RetryPolicyParams retry;
 };
 
 /**
@@ -141,6 +152,13 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
 
     /** Wire the message router (set by the machine). */
     void setRouter(MsgRouter *router) { router_ = router; }
+
+    /**
+     * Route outgoing messages through a reliable transport instead
+     * of the raw network (set by the machine when recovery is
+     * enabled; null restores the direct path).
+     */
+    void setTransport(ReliableTransport *t) { xport_ = t; }
 
     /**
      * Install an engine-stall hook (fault injection). Consulted each
@@ -227,6 +245,19 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
         "writebacks forwarded on the direct data path"};
     stats::Scalar statWbStalls{"wb_stalls",
         "requests stalled behind an unacknowledged writeback"};
+    stats::Scalar statNackRetries{"nack_retries",
+        "nacked requests re-attempted under the retry policy"};
+    stats::Scalar statRetryBackoffTicks{"retry_backoff_ticks",
+        "total ticks spent waiting out retry backoff"};
+
+    std::uint64_t nackRetries() const
+    {
+        return static_cast<std::uint64_t>(statNackRetries.value());
+    }
+    Tick retryBackoffTicks() const
+    {
+        return static_cast<Tick>(statRetryBackoffTicks.value());
+    }
 
   private:
     /** Dispatch queue identities, in descending priority. */
@@ -261,6 +292,7 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
         bool curLineValid = false;
         std::deque<DispatchItem> queues[NumQueues];
         unsigned netBypass = 0; ///< net requests since a bus request
+        unsigned stallStreak = 0; ///< consecutive injected stalls
         // measurement
         Tick occupancyTicks = 0;
         std::uint64_t arrivals = 0;
@@ -339,6 +371,12 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
     void sendMsg(MsgType type, Addr line_addr, NodeId dst,
                  NodeId requester, std::uint64_t version, bool retains,
                  Tick t);
+    /**
+     * Record a nack-driven retry of @p line and return its backoff
+     * delay; escalates with a FatalError diagnostic when the
+     * bounded policy's budget is exhausted.
+     */
+    Tick retryDelay(Addr line, const char *what);
     bool lineAvailableLocally(Addr line_addr) const;
     /** Post incoming writeback data to the home memory. */
     void writeHomeMemory(Addr line_addr, std::uint64_t version,
@@ -355,7 +393,10 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
     MemoryController *memory_ = nullptr;
     LocalCacheProbe *probe_ = nullptr;
     MsgRouter *router_ = nullptr;
+    ReliableTransport *xport_ = nullptr;
     std::function<Tick()> stallHook_;
+    /** Per-line nack retry bookkeeping (see CcParams::retry). */
+    RetryTracker retries_;
     OccupancyModel model_;
     int busAgentId_ = -1;
 

@@ -1,0 +1,240 @@
+#include "net/reliable.hh"
+
+#include "protocol/retry.hh"
+#include "sim/logging.hh"
+
+namespace ccnuma
+{
+
+ReliableTransport::ReliableTransport(const std::string &name,
+                                     EventQueue &eq, Network &net,
+                                     const ReliableParams &p,
+                                     DeliverFn deliver)
+    : name_(name), eq_(eq), net_(net), params_(p),
+      deliver_(std::move(deliver)), statGroup_(name)
+{
+    if (params_.retransmitTimeout == 0)
+        fatal("%s: retransmitTimeout must be nonzero", name_.c_str());
+    ccnuma_assert(deliver_ != nullptr);
+
+    statGroup_.add(&statDataFrames);
+    statGroup_.add(&statAcks);
+    statGroup_.add(&statRetransmits);
+    statGroup_.add(&statTimeouts);
+    statGroup_.add(&statDupsDropped);
+    statGroup_.add(&statReordersHealed);
+    statGroup_.add(&statBackoffTicks);
+}
+
+Tick
+ReliableTransport::rtoFor(unsigned backoff_level) const
+{
+    return backoffDelay(params_.retransmitTimeout,
+                        params_.retransmitTimeoutMax, backoff_level);
+}
+
+void
+ReliableTransport::send(const Msg &msg, unsigned bytes)
+{
+    PairTx &p = tx_[pairKey(msg.src, msg.dst)];
+    std::uint64_t seq = ++p.nextSeq;
+    TxFrame f;
+    f.msg = msg;
+    f.bytes = bytes;
+    f.firstSend = eq_.curTick();
+    p.unacked.emplace(seq, f);
+    ++statDataFrames;
+    transmit(msg.src, msg.dst, seq, f);
+    if (!p.timerArmed)
+        armTimer(msg.src, msg.dst);
+}
+
+void
+ReliableTransport::transmit(NodeId src, NodeId dst,
+                            std::uint64_t seq, const TxFrame &f)
+{
+    // The network tap (fault injector) sits inside Network::send:
+    // this frame may be dropped, duplicated, or held back there.
+    Msg msg = f.msg;
+    net_.send(src, dst, f.bytes, [this, src, dst, seq, msg] {
+        onDataArrive(src, dst, seq, msg);
+    });
+}
+
+void
+ReliableTransport::onDataArrive(NodeId src, NodeId dst,
+                                std::uint64_t seq, const Msg &msg)
+{
+    PairRx &r = rx_[pairKey(src, dst)];
+    if (seq < r.nextExpected || r.held.count(seq)) {
+        // Retransmitted or injector-duplicated copy of a frame we
+        // already have; discard it but re-ack so the sender's buffer
+        // drains even when the original ack was lost.
+        ++statDupsDropped;
+        scheduleAck(src, dst);
+        return;
+    }
+    if (seq == r.nextExpected) {
+        deliver_(msg);
+        ++r.nextExpected;
+        // A previously buffered run may now be contiguous.
+        while (!r.held.empty() &&
+               r.held.begin()->first == r.nextExpected) {
+            Msg next = r.held.begin()->second;
+            r.held.erase(r.held.begin());
+            deliver_(next);
+            ++r.nextExpected;
+        }
+    } else {
+        // Early arrival: a predecessor was dropped or overtaken.
+        if (r.held.size() >= params_.reorderBufCap) {
+            panic("%s: pair node%u->node%u reorder buffer exceeded "
+                  "%u frames (expecting seq %llu, got %llu)",
+                  name_.c_str(), src, dst, params_.reorderBufCap,
+                  (unsigned long long)r.nextExpected,
+                  (unsigned long long)seq);
+        }
+        r.held.emplace(seq, msg);
+        ++statReordersHealed;
+    }
+    scheduleAck(src, dst);
+}
+
+void
+ReliableTransport::scheduleAck(NodeId src, NodeId dst)
+{
+    // Delayed cumulative ack: coalesce a burst of deliveries into
+    // one ack frame. The cumulative value is read at fire time so
+    // the ack covers everything delivered inside the window.
+    PairRx &r = rx_[pairKey(src, dst)];
+    if (r.ackPending)
+        return;
+    r.ackPending = true;
+    eq_.scheduleFunctionIn(
+        [this, src, dst] {
+            PairRx &rr = rx_[pairKey(src, dst)];
+            rr.ackPending = false;
+            std::uint64_t cum = rr.nextExpected - 1;
+            ++statAcks;
+            net_.send(dst, src, msgHeaderBytes,
+                      [this, src, dst, cum] {
+                          onAckArrive(src, dst, cum);
+                      });
+        },
+        params_.ackDelay);
+}
+
+void
+ReliableTransport::onAckArrive(NodeId src, NodeId dst,
+                               std::uint64_t cum)
+{
+    // Acks are cumulative: duplicated or reordered ack frames are
+    // harmless, and a stale one simply acknowledges nothing new.
+    PairTx &p = tx_[pairKey(src, dst)];
+    bool progress = false;
+    while (!p.unacked.empty() && p.unacked.begin()->first <= cum) {
+        p.unacked.erase(p.unacked.begin());
+        progress = true;
+    }
+    if (progress)
+        p.backoffLevel = 0;
+    if (p.unacked.empty() && p.timerArmed) {
+        // Nothing left to guard; invalidate the pending timer.
+        p.timerArmed = false;
+        ++p.timerGen;
+    }
+}
+
+void
+ReliableTransport::armTimer(NodeId src, NodeId dst)
+{
+    PairTx &p = tx_[pairKey(src, dst)];
+    p.timerArmed = true;
+    std::uint64_t gen = ++p.timerGen;
+    eq_.scheduleFunctionIn(
+        [this, src, dst, gen] { onTimeout(src, dst, gen); },
+        rtoFor(p.backoffLevel));
+}
+
+void
+ReliableTransport::onTimeout(NodeId src, NodeId dst,
+                             std::uint64_t gen)
+{
+    PairTx &p = tx_[pairKey(src, dst)];
+    if (gen != p.timerGen)
+        return; // superseded by a later arm or a full drain
+    if (p.unacked.empty()) {
+        p.timerArmed = false;
+        return;
+    }
+    ++statTimeouts;
+    statBackoffTicks += static_cast<double>(rtoFor(p.backoffLevel));
+    // Go-back-N: retransmit every unacknowledged frame in sequence
+    // order. The receiver discards the ones it already holds, so one
+    // timeout heals any number of losses in the window.
+    for (auto &[seq, f] : p.unacked) {
+        ++f.attempts;
+        if (params_.maxRetransmits != 0 &&
+            f.attempts > params_.maxRetransmits) {
+            // Graceful degradation: the pair is unrecoverable (every
+            // retransmission or its ack was lost). End the run with
+            // a clean diagnostic instead of backing off forever.
+            fatal("%s: pair node%u->node%u presumed dead: %s seq "
+                  "%llu for line %#llx abandoned after %u "
+                  "retransmissions (first sent at tick %llu, now "
+                  "%llu; %zu frame(s) outstanding)",
+                  name_.c_str(), src, dst, msgTypeName(f.msg.type),
+                  (unsigned long long)seq,
+                  (unsigned long long)f.msg.lineAddr, f.attempts - 1,
+                  (unsigned long long)f.firstSend,
+                  (unsigned long long)eq_.curTick(),
+                  p.unacked.size());
+        }
+        ++statRetransmits;
+        transmit(src, dst, seq, f);
+    }
+    if (p.backoffLevel < 32)
+        ++p.backoffLevel;
+    armTimer(src, dst);
+}
+
+bool
+ReliableTransport::idle() const
+{
+    for (const auto &kv : tx_) {
+        if (!kv.second.unacked.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+ReliableTransport::dumpState(std::ostream &os) const
+{
+    os << name_ << ":";
+    bool any = false;
+    for (const auto &[key, p] : tx_) {
+        if (p.unacked.empty())
+            continue;
+        any = true;
+        os << " tx(node" << (key >> 32) << "->node"
+           << (key & 0xffffffffu) << ",unacked="
+           << p.unacked.size() << ",oldest="
+           << p.unacked.begin()->first << ",attempts="
+           << p.unacked.begin()->second.attempts << ",backoff="
+           << p.backoffLevel << ")";
+    }
+    for (const auto &[key, r] : rx_) {
+        if (r.held.empty())
+            continue;
+        any = true;
+        os << " rx(node" << (key >> 32) << "->node"
+           << (key & 0xffffffffu) << ",held=" << r.held.size()
+           << ",expecting=" << r.nextExpected << ")";
+    }
+    if (!any)
+        os << " (all pairs drained)";
+    os << "\n";
+}
+
+} // namespace ccnuma

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Reliable transport sublayer over the point-to-point network.
+ *
+ * The coherence protocol relies on the network delivering every
+ * message exactly once, in per-pair FIFO order (see network.hh).
+ * The fault injector can violate all three properties (drops,
+ * duplicates, reorders). This sublayer restores them end to end, the
+ * way a real coherence controller's network interface would:
+ *
+ *  - the sender stamps each protocol message with a per-(src,dst)
+ *    transport sequence number and keeps it buffered until the
+ *    receiver acknowledges it;
+ *  - the receiver delivers frames strictly in sequence order,
+ *    holding early arrivals in a reorder buffer and discarding
+ *    duplicates, then acknowledges with a delayed cumulative ack;
+ *  - an unacknowledged frame is retransmitted on a per-pair timer
+ *    with capped exponential backoff; after maxRetransmits attempts
+ *    the pair is declared dead and the run ends with a clean
+ *    FatalError diagnostic instead of livelocking.
+ *
+ * Ack frames themselves ride the same lossy network; because acks
+ * are cumulative, a lost or duplicated ack is harmless (the data
+ * retransmission path covers it). The sublayer is off by default
+ * and adds zero cost to the modeled timing when disabled; enabled,
+ * data frames keep their natural delivery timing and only the
+ * ack/retransmit traffic is added on top.
+ */
+
+#ifndef CCNUMA_NET_RELIABLE_HH
+#define CCNUMA_NET_RELIABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+#include "net/network.hh"
+#include "protocol/messages.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace ccnuma
+{
+
+/** Reliable-transport knobs (CCNUMA_RELIABLE force-enables). */
+struct ReliableParams
+{
+    /** Master switch; everything below is inert when false. */
+    bool enabled = false;
+    /**
+     * Base retransmission timeout (ticks). Must comfortably exceed
+     * one data+ack round trip (~80 ticks on the base network) so a
+     * healthy pair never retransmits.
+     */
+    Tick retransmitTimeout = 400;
+    /** Ceiling of the exponential timeout backoff (ticks). */
+    Tick retransmitTimeoutMax = 12'800;
+    /**
+     * Retransmissions of one frame before the pair is declared dead
+     * and the run ends with a FatalError diagnostic.
+     */
+    unsigned maxRetransmits = 16;
+    /** Cumulative-ack coalescing window (ticks). */
+    Tick ackDelay = 8;
+    /** Receive reorder-buffer cap per pair (sanity backstop). */
+    unsigned reorderBufCap = 4096;
+};
+
+/**
+ * The reliable transport. One instance serves the whole machine: it
+ * owns per-(src,dst) sender and receiver state for every pair and
+ * hands cleaned (exactly-once, in-order) messages to the delivery
+ * callback — the same Machine::deliverMsg the controllers would
+ * otherwise be wired to directly.
+ */
+class ReliableTransport
+{
+  public:
+    using DeliverFn = std::function<void(const Msg &)>;
+
+    ReliableTransport(const std::string &name, EventQueue &eq,
+                      Network &net, const ReliableParams &p,
+                      DeliverFn deliver);
+
+    const ReliableParams &params() const { return params_; }
+
+    /**
+     * Send @p msg (wire size @p bytes) reliably from msg.src to
+     * msg.dst. Called at the instant the message enters the network.
+     */
+    void send(const Msg &msg, unsigned bytes);
+
+    /** True when no frame awaits acknowledgement on any pair. */
+    bool idle() const;
+
+    /** Dump per-pair transport state for deadlock diagnosis. */
+    void dumpState(std::ostream &os) const;
+
+    stats::Group &statGroup() { return statGroup_; }
+
+    // --- counters (tests and the recovery scorecard) ---
+    std::uint64_t dataFrames() const
+    {
+        return asCount(statDataFrames);
+    }
+    std::uint64_t acksSent() const { return asCount(statAcks); }
+    std::uint64_t retransmits() const
+    {
+        return asCount(statRetransmits);
+    }
+    std::uint64_t timeouts() const { return asCount(statTimeouts); }
+    std::uint64_t dupsDropped() const
+    {
+        return asCount(statDupsDropped);
+    }
+    std::uint64_t reordersHealed() const
+    {
+        return asCount(statReordersHealed);
+    }
+    Tick backoffTicks() const
+    {
+        return static_cast<Tick>(statBackoffTicks.value());
+    }
+
+    stats::Scalar statDataFrames{"data_frames",
+        "protocol messages sent through the transport"};
+    stats::Scalar statAcks{"acks", "cumulative ack frames sent"};
+    stats::Scalar statRetransmits{"retransmits",
+        "data frames retransmitted"};
+    stats::Scalar statTimeouts{"timeouts",
+        "retransmission timer expirations"};
+    stats::Scalar statDupsDropped{"dups_dropped",
+        "duplicate frames discarded at the receiver"};
+    stats::Scalar statReordersHealed{"reorders_healed",
+        "early frames held until the sequence gap closed"};
+    stats::Scalar statBackoffTicks{"backoff_ticks",
+        "total ticks spent in retransmission backoff"};
+
+  private:
+    /** A sent-but-unacknowledged data frame. */
+    struct TxFrame
+    {
+        Msg msg;
+        unsigned bytes = 0;
+        unsigned attempts = 0; ///< retransmissions so far
+        Tick firstSend = 0;
+    };
+
+    /** Sender-side state of one (src,dst) pair. */
+    struct PairTx
+    {
+        std::uint64_t nextSeq = 0; ///< last assigned
+        std::map<std::uint64_t, TxFrame> unacked;
+        bool timerArmed = false;
+        std::uint64_t timerGen = 0; ///< invalidates stale timers
+        unsigned backoffLevel = 0;
+    };
+
+    /** Receiver-side state of one (src,dst) pair. */
+    struct PairRx
+    {
+        std::uint64_t nextExpected = 1;
+        std::map<std::uint64_t, Msg> held; ///< early arrivals
+        bool ackPending = false;
+    };
+
+    static std::uint64_t
+    pairKey(NodeId src, NodeId dst)
+    {
+        return (static_cast<std::uint64_t>(src) << 32) | dst;
+    }
+
+    static std::uint64_t asCount(const stats::Scalar &s)
+    {
+        return static_cast<std::uint64_t>(s.value());
+    }
+
+    void transmit(NodeId src, NodeId dst, std::uint64_t seq,
+                  const TxFrame &f);
+    void onDataArrive(NodeId src, NodeId dst, std::uint64_t seq,
+                      const Msg &msg);
+    void scheduleAck(NodeId src, NodeId dst);
+    void onAckArrive(NodeId src, NodeId dst, std::uint64_t cum);
+    void armTimer(NodeId src, NodeId dst);
+    void onTimeout(NodeId src, NodeId dst, std::uint64_t gen);
+    Tick rtoFor(unsigned backoff_level) const;
+
+    std::string name_;
+    EventQueue &eq_;
+    Network &net_;
+    ReliableParams params_;
+    DeliverFn deliver_;
+    std::unordered_map<std::uint64_t, PairTx> tx_;
+    std::unordered_map<std::uint64_t, PairRx> rx_;
+    stats::Group statGroup_;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_NET_RELIABLE_HH

@@ -1,0 +1,39 @@
+#include "protocol/retry.hh"
+
+namespace ccnuma
+{
+
+Tick
+backoffDelay(Tick base, Tick max, unsigned level)
+{
+    if (base == 0)
+        return 0;
+    // 2^63 ticks is far past any simulation horizon; saturate the
+    // shift so a long retry streak cannot wrap around to a small
+    // delay.
+    if (level > 32)
+        level = 32;
+    Tick d = base << level;
+    if (d < base)
+        d = maxTick; // overflowed
+    if (max != 0 && d > max)
+        d = max;
+    return d;
+}
+
+RetryTracker::Attempt
+RetryTracker::next(std::uint64_t key)
+{
+    unsigned &c = counts_[key];
+    ++c;
+    Attempt a;
+    a.count = c;
+    if (p_.maxRetries != 0 && c > p_.maxRetries) {
+        a.exhausted = true;
+        return a;
+    }
+    a.delay = backoffDelay(p_.backoffBase, p_.backoffMax, c - 1);
+    return a;
+}
+
+} // namespace ccnuma

@@ -1,0 +1,60 @@
+#include "report/recovery.hh"
+
+#include "report/table.hh"
+
+namespace ccnuma
+{
+namespace report
+{
+
+namespace
+{
+
+std::vector<std::string>
+toCells(const RecoveryRow &r)
+{
+    return {
+        r.workload,
+        fmt("%llu", static_cast<unsigned long long>(r.instructions)),
+        fmt("%llu", static_cast<unsigned long long>(r.faultsInjected)),
+        fmt("%llu", static_cast<unsigned long long>(r.retransmits)),
+        fmt("%llu", static_cast<unsigned long long>(r.timeouts)),
+        fmt("%llu", static_cast<unsigned long long>(r.dupsDropped)),
+        fmt("%llu", static_cast<unsigned long long>(r.reordersHealed)),
+        fmt("%llu", static_cast<unsigned long long>(r.nackRetries)),
+        fmt("%llu", static_cast<unsigned long long>(r.backoffTicks)),
+        r.completed ? "yes" : "NO",
+    };
+}
+
+} // namespace
+
+void
+RecoveryScorecard::print(std::ostream &os) const
+{
+    Table table({"workload", "instrs", "faults", "rexmit", "timeout",
+                 "dup-drop", "reorder", "nack-retry", "backoff-tk",
+                 "done"});
+
+    RecoveryRow total;
+    total.workload = "TOTAL";
+    total.completed = true;
+    for (const RecoveryRow &r : rows_) {
+        table.addRow(toCells(r));
+        total.instructions += r.instructions;
+        total.faultsInjected += r.faultsInjected;
+        total.retransmits += r.retransmits;
+        total.timeouts += r.timeouts;
+        total.dupsDropped += r.dupsDropped;
+        total.reordersHealed += r.reordersHealed;
+        total.nackRetries += r.nackRetries;
+        total.backoffTicks += r.backoffTicks;
+        total.completed = total.completed && r.completed;
+    }
+    if (rows_.size() > 1)
+        table.addRow(toCells(total));
+    table.print(os);
+}
+
+} // namespace report
+} // namespace ccnuma

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Recovery scorecard: per-workload accounting of what the reliable
+ * transport and the bounded NACK-retry policy had to do to finish a
+ * run under injected faults.  One row per workload; print() renders a
+ * paper-style table with a totals line so a fault campaign's cost is
+ * visible at a glance.
+ *
+ * This lives in report/ (which depends only on sim/) so both the
+ * bench harnesses and the tests can build scorecards from plain
+ * numbers without dragging in the whole system layer.
+ */
+
+#ifndef CCNUMA_REPORT_RECOVERY_HH
+#define CCNUMA_REPORT_RECOVERY_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccnuma
+{
+namespace report
+{
+
+/** One workload's recovery accounting. */
+struct RecoveryRow
+{
+    std::string workload;
+
+    /** Retired instructions (for cross-checking against a clean run). */
+    std::uint64_t instructions = 0;
+
+    /** Faults the injector actually fired (drops + dups + reorders). */
+    std::uint64_t faultsInjected = 0;
+
+    /** Transport-level recovery work. */
+    std::uint64_t retransmits = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t dupsDropped = 0;
+    std::uint64_t reordersHealed = 0;
+
+    /** Protocol-level recovery work. */
+    std::uint64_t nackRetries = 0;
+    std::uint64_t backoffTicks = 0;
+
+    /** Did the run retire its full instruction budget? */
+    bool completed = false;
+};
+
+/** Accumulates RecoveryRows and prints them as a table. */
+class RecoveryScorecard
+{
+  public:
+    void addRow(RecoveryRow row) { rows_.push_back(std::move(row)); }
+
+    bool empty() const { return rows_.empty(); }
+    const std::vector<RecoveryRow> &rows() const { return rows_; }
+
+    /** Render the table (plus a totals row when >1 workload). */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<RecoveryRow> rows_;
+};
+
+} // namespace report
+} // namespace ccnuma
+
+#endif // CCNUMA_REPORT_RECOVERY_HH

@@ -29,6 +29,95 @@ MachineConfig::base()
 }
 
 MachineConfig &
+MachineConfig::withReliableTransport()
+{
+    reliable.enabled = true;
+    // Bounded protocol retry: first re-attempt after 32 ticks,
+    // doubling up to 8192, giving up (with a diagnostic) after 64
+    // tries. 64 doublings capped at 8K ticks is far beyond any
+    // transient condition the protocol can produce, so escalation
+    // only fires on genuine livelock.
+    node.cc.retry.backoffBase = 32;
+    node.cc.retry.backoffMax = 8192;
+    node.cc.retry.maxRetries = 64;
+    return *this;
+}
+
+namespace
+{
+
+bool
+isPow2(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+void
+MachineConfig::validate() const
+{
+    if (numNodes == 0)
+        fatal("config: numNodes is zero; a machine needs at least "
+              "one node");
+    if (node.procsPerNode == 0)
+        fatal("config: procsPerNode is zero; each SMP node needs at "
+              "least one processor");
+    if (!isPow2(node.cache.lineBytes))
+        fatal("config: cache line size %u is not a power of two",
+              node.cache.lineBytes);
+    if (node.bus.lineBytes != node.cache.lineBytes ||
+        node.mem.lineBytes != node.cache.lineBytes ||
+        node.dir.lineBytes != node.cache.lineBytes) {
+        fatal("config: inconsistent line sizes (cache %u, bus %u, "
+              "mem %u, dir %u); use withLineBytes() to change them "
+              "together",
+              node.cache.lineBytes, node.bus.lineBytes,
+              node.mem.lineBytes, node.dir.lineBytes);
+    }
+    if (!isPow2(pageBytes))
+        fatal("config: page size %u is not a power of two",
+              pageBytes);
+    if (pageBytes < node.cache.lineBytes)
+        fatal("config: page size %u is smaller than the %u-byte "
+              "cache line",
+              pageBytes, node.cache.lineBytes);
+    if (net.portWidthBytes == 0)
+        fatal("config: network port width is zero bytes; nothing "
+              "could ever be transferred");
+    if (net.portCycle == 0)
+        fatal("config: network port cycle is zero ticks");
+    if (maxTicks == 0)
+        fatal("config: maxTicks is zero; the watchdog would abort "
+              "every run immediately");
+    if (reliable.enabled) {
+        if (reliable.retransmitTimeout == 0)
+            fatal("config: reliable transport enabled with a zero "
+                  "retransmit timeout; every frame would retransmit "
+                  "instantly");
+        if (reliable.retransmitTimeoutMax < reliable.retransmitTimeout)
+            fatal("config: reliable transport retransmit timeout cap "
+                  "%llu is below the base timeout %llu",
+                  static_cast<unsigned long long>(
+                      reliable.retransmitTimeoutMax),
+                  static_cast<unsigned long long>(
+                      reliable.retransmitTimeout));
+        if (reliable.reorderBufCap == 0)
+            fatal("config: reliable transport reorder buffer capacity "
+                  "is zero; no out-of-order frame could ever be held");
+    }
+    if (node.cc.retry.backoffBase != 0 &&
+        node.cc.retry.backoffMax != 0 &&
+        node.cc.retry.backoffMax < node.cc.retry.backoffBase) {
+        fatal("config: retry backoff cap %llu is below the base "
+              "delay %llu",
+              static_cast<unsigned long long>(node.cc.retry.backoffMax),
+              static_cast<unsigned long long>(
+                  node.cc.retry.backoffBase));
+    }
+}
+
+MachineConfig &
 MachineConfig::withArch(Arch a)
 {
     switch (a) {

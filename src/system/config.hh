@@ -10,6 +10,7 @@
 #include <string>
 
 #include "net/network.hh"
+#include "net/reliable.hh"
 #include "node/smp_node.hh"
 #include "verify/verify_config.hh"
 
@@ -52,10 +53,35 @@ struct MachineConfig
     VerifyConfig verify;
 
     /**
+     * End-to-end message recovery (PR 2): reliable transport under
+     * the protocol plus a bounded NACK-retry policy in the
+     * controllers. Off by default so paper-fidelity timing is
+     * unchanged; the CCNUMA_RELIABLE environment variable (1|on)
+     * force-enables it without a config change.
+     */
+    ReliableParams reliable;
+
+    /**
      * The paper's base system: 16 nodes x 4 x 200 MHz processors,
      * 128-byte lines, 100 MHz 16-byte bus, 70 ns network.
      */
     static MachineConfig base();
+
+    /**
+     * Enable the reliable transport sublayer and switch the
+     * controllers from the paper's immediate unbounded NACK retry to
+     * a capped-exponential-backoff bounded policy (escalating to a
+     * FatalError diagnostic instead of livelocking).
+     */
+    MachineConfig &withReliableTransport();
+
+    /**
+     * Sanity-check the configuration, raising FatalError with an
+     * actionable message on nonsense (zero nodes, non-power-of-two
+     * line/page sizes, zero port width/cycle, ...). Machine's
+     * constructor calls this before building anything.
+     */
+    void validate() const;
 
     /** Apply a coherence controller architecture. */
     MachineConfig &withArch(Arch a);

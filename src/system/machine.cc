@@ -5,6 +5,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "net/reliable.hh"
 #include "verify/checker.hh"
 #include "verify/fault_injector.hh"
 #include "verify/watchdog.hh"
@@ -17,13 +18,34 @@ Machine::Machine(const MachineConfig &cfg)
       net_("net", eq_, cfg.numNodes, cfg.net),
       sync_("sync", eq_, cfg.syncBase, cfg.node.bus.lineBytes)
 {
-    map_.setPolicy(cfg.placement);
+    // The CCNUMA_RELIABLE environment knob force-enables end-to-end
+    // message recovery (transport + bounded NACK retry) without a
+    // config change. Must happen before node construction: the nodes
+    // copy their controller retry policy out of cfg_.
+    if (const char *env = std::getenv("CCNUMA_RELIABLE")) {
+        if (!std::strcmp(env, "1") || !std::strcmp(env, "on")) {
+            cfg_.withReliableTransport();
+        } else if (std::strcmp(env, "0") && std::strcmp(env, "off")) {
+            warn("CCNUMA_RELIABLE=%s not recognized (use 1|on|0|off);"
+                 " recovery stays off", env);
+        }
+    }
+    cfg_.validate();
+
+    map_.setPolicy(cfg_.placement);
+    if (cfg_.reliable.enabled) {
+        xport_ = std::make_unique<ReliableTransport>(
+            "xport", eq_, net_, cfg_.reliable,
+            [this](const Msg &m) { deliverMsg(m); });
+    }
     auto next_version = [this] { return nextVersion(); };
-    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+    for (NodeId n = 0; n < cfg_.numNodes; ++n) {
         nodes_.push_back(std::make_unique<SmpNode>(
-            "node" + std::to_string(n), eq_, n, cfg.node, net_, map_,
+            "node" + std::to_string(n), eq_, n, cfg_.node, net_, map_,
             sync_, next_version));
         nodes_.back()->cc().setRouter(this);
+        if (xport_)
+            nodes_.back()->cc().setTransport(xport_.get());
     }
     sync_.setBarrierParticipants(totalProcs());
 
@@ -63,9 +85,13 @@ Machine::Machine(const MachineConfig &cfg)
             ns.push_back(nd.get());
         // With corrupting faults armed, the checker reports
         // violations as injected-fault detections and halts the run
-        // instead of panicking.
-        const bool tolerate =
-            injector_ && injector_->config().corrupting();
+        // instead of panicking -- unless the reliable transport is
+        // active, in which case every corruption must be healed
+        // before delivery and the checker stays strict: a violation
+        // is then a real bug (in the transport or the protocol).
+        const bool tolerate = injector_ &&
+                              injector_->config().corrupting() &&
+                              !xport_;
         checker_ = std::make_unique<CoherenceChecker>(
             eq_, map_, std::move(ns), tolerate);
         for (auto &nd : nodes_) {
@@ -127,8 +153,31 @@ Machine::dumpDiagnostics(std::ostream &os)
             os << " " << i;
     }
     os << "\n";
+    if (xport_)
+        xport_->dumpState(os);
     for (auto &nd : nodes_)
         nd->cc().dumpState(os);
+}
+
+void
+Machine::fillRecoveryStats(RunResult &r)
+{
+    if (injector_) {
+        r.faultsInjected = injector_->injectedDrops() +
+                           injector_->injectedDuplicates() +
+                           injector_->injectedReorders();
+    }
+    if (xport_) {
+        r.xportRetransmits = xport_->retransmits();
+        r.xportTimeouts = xport_->timeouts();
+        r.xportDupsDropped = xport_->dupsDropped();
+        r.xportReordersHealed = xport_->reordersHealed();
+        r.xportAcks = xport_->acksSent();
+    }
+    for (auto &nd : nodes_) {
+        r.nackRetries += nd->cc().nackRetries();
+        r.retryBackoffTicks += nd->cc().retryBackoffTicks();
+    }
 }
 
 RunResult
@@ -175,6 +224,7 @@ Machine::run(Workload &w, bool check)
         r.arch =
             std::string(engineTypeName(cfg_.node.cc.engineType));
         r.execTicks = eq_.curTick();
+        fillRecoveryStats(r);
         return r;
     }
     if (!done) {
@@ -203,6 +253,10 @@ Machine::run(Workload &w, bool check)
             panic("controller %u not idle after drain",
                   nd->id());
         }
+    }
+    if (xport_ && !xport_->idle()) {
+        xport_->dumpState(std::cerr);
+        panic("reliable transport not idle after drain");
     }
 
     if (check)
@@ -240,6 +294,8 @@ Machine::run(Workload &w, bool check)
             ? static_cast<double>(r.ccRequests) /
                   static_cast<double>(numNodes()) / exec_us
             : 0.0;
+    fillRecoveryStats(r);
+    r.completed = true;
     return r;
 }
 
@@ -334,6 +390,8 @@ void
 Machine::printStats(std::ostream &os)
 {
     net_.statGroup().print(os);
+    if (xport_)
+        xport_->statGroup().print(os);
     sync_.statGroup().print(os);
     for (auto &nd : nodes_) {
         nd->bus().statGroup().print(os);

@@ -23,6 +23,7 @@ namespace ccnuma
 class CoherenceChecker;
 class FaultInjector;
 class HangWatchdog;
+class ReliableTransport;
 
 /** Measurements from one workload run (Table 6 inputs). */
 struct RunResult
@@ -38,6 +39,18 @@ struct RunResult
     double avgUtilization = 0.0;  ///< mean per-ctrl occupancy/time
     double avgQueueDelayTicks = 0.0;
     double arrivalsPerUs = 0.0;   ///< per controller per microsecond
+
+    // --- recovery scorecard inputs (PR 2); zero unless faults
+    // and/or the reliable transport are armed ---
+    std::uint64_t faultsInjected = 0;   ///< drops + dups + reorders
+    std::uint64_t xportRetransmits = 0;
+    std::uint64_t xportTimeouts = 0;
+    std::uint64_t xportDupsDropped = 0;
+    std::uint64_t xportReordersHealed = 0;
+    std::uint64_t xportAcks = 0;
+    std::uint64_t nackRetries = 0;      ///< bounded-policy re-attempts
+    Tick retryBackoffTicks = 0;         ///< ticks spent backing off
+    bool completed = false;             ///< retired the full workload
 
     double
     rccpi() const
@@ -86,6 +99,9 @@ class Machine : public MsgRouter
     /** The fault injector (null unless faults are armed). */
     FaultInjector *injector() { return injector_.get(); }
 
+    /** The reliable transport (null unless recovery is enabled). */
+    ReliableTransport *transport() { return xport_.get(); }
+
     /** Write diagnostic state (controllers, queues, procs) to @p os. */
     void dumpDiagnostics(std::ostream &os);
 
@@ -104,11 +120,15 @@ class Machine : public MsgRouter
     void printStats(std::ostream &os);
 
   private:
+    /** Fill the RunResult recovery counters from the live stats. */
+    void fillRecoveryStats(RunResult &r);
+
     MachineConfig cfg_;
     EventQueue eq_;
     AddressMap map_;
     Network net_;
     SyncManager sync_;
+    std::unique_ptr<ReliableTransport> xport_;
     std::vector<std::unique_ptr<SmpNode>> nodes_;
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<CoherenceChecker> checker_;

@@ -71,6 +71,92 @@ TEST(MachineConfigTest, BadPpnRejected)
     EXPECT_THROW(cfg.withProcsPerNode(7), FatalError);
 }
 
+TEST(MachineConfigTest, ValidateAcceptsPresets)
+{
+    EXPECT_NO_THROW(MachineConfig::base().validate());
+    EXPECT_NO_THROW(MachineConfig::base()
+                        .withArch(Arch::TwoPPC)
+                        .withLineBytes(32)
+                        .withReliableTransport()
+                        .validate());
+}
+
+TEST(MachineConfigTest, ValidateRejectsNonsense)
+{
+    {
+        MachineConfig cfg = MachineConfig::base();
+        cfg.numNodes = 0;
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+    {
+        MachineConfig cfg = MachineConfig::base();
+        cfg.node.procsPerNode = 0;
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+    {
+        MachineConfig cfg = MachineConfig::base();
+        cfg.withLineBytes(96); // not a power of two
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+    {
+        MachineConfig cfg = MachineConfig::base();
+        cfg.node.cache.lineBytes = 32; // out of sync with bus/mem/dir
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+    {
+        MachineConfig cfg = MachineConfig::base();
+        cfg.pageBytes = 1000; // not a power of two
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+    {
+        MachineConfig cfg = MachineConfig::base();
+        cfg.pageBytes = 64; // smaller than the 128-byte line
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+    {
+        MachineConfig cfg = MachineConfig::base();
+        cfg.net.portWidthBytes = 0;
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+    {
+        MachineConfig cfg = MachineConfig::base();
+        cfg.net.portCycle = 0;
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+    {
+        MachineConfig cfg = MachineConfig::base();
+        cfg.maxTicks = 0;
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+    {
+        MachineConfig cfg =
+            MachineConfig::base().withReliableTransport();
+        cfg.reliable.retransmitTimeout = 0;
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+    {
+        MachineConfig cfg =
+            MachineConfig::base().withReliableTransport();
+        cfg.reliable.retransmitTimeoutMax = 100; // below the base 400
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+    {
+        MachineConfig cfg =
+            MachineConfig::base().withReliableTransport();
+        cfg.node.cc.retry.backoffMax = 1; // below backoffBase 32
+        EXPECT_THROW(cfg.validate(), FatalError);
+    }
+}
+
+TEST(MachineConfigTest, MachineConstructionValidates)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 2;
+    cfg.node.procsPerNode = 1;
+    cfg.net.portCycle = 0;
+    EXPECT_THROW(Machine m(cfg), FatalError);
+}
+
 TEST(MachinePerf, PpcSlowerThanHwcUnderLoad)
 {
     RunResult hwc = runUniform(Arch::HWC, 4, 4, heavyKnobs());
