@@ -27,7 +27,8 @@ namespace
 using namespace bench;
 
 void
-ablation(const std::string &title, const Options &o, Arch arch,
+ablation(JsonReport &session, const std::string &title,
+         const Options &o, Arch arch,
          const std::function<void(MachineConfig &)> &off_tweak)
 {
     report::Table t({"application", "baseline (ticks)",
@@ -48,7 +49,7 @@ ablation(const std::string &title, const Options &o, Arch arch,
                               1.0)});
     }
     std::cout << "\n" << title << " (" << archName(arch) << ")\n";
-    t.print(std::cout);
+    session.table(title, t);
     std::cout << std::flush;
 }
 
@@ -57,26 +58,31 @@ run(int argc, char **argv)
 {
     Options o = parseOptions(argc, argv);
     printHeader("Ablations: controller design choices", o);
+    JsonReport session("ablations", o);
 
-    ablation("Ablation 1: plain-FIFO dispatch instead of the "
+    ablation(session,
+             "Ablation 1: plain-FIFO dispatch instead of the "
              "priority policy", o, Arch::PPC,
              [](MachineConfig &cfg) {
                  cfg.node.cc.priorityArbitration = false;
              });
 
-    ablation("Ablation 2: no direct writeback data path (handler "
+    ablation(session,
+             "Ablation 2: no direct writeback data path (handler "
              "per writeback)", o, Arch::PPC,
              [](MachineConfig &cfg) {
                  cfg.node.cc.directDataPath = false;
              });
 
-    ablation("Ablation 3: no directory cache (every directory read "
+    ablation(session,
+             "Ablation 3: no directory cache (every directory read "
              "pays DRAM)", o, Arch::HWC,
              [](MachineConfig &cfg) {
                  cfg.node.dir.cacheEnabled = false;
              });
 
-    ablation("Ablation 4: dynamic least-loaded two-engine split "
+    ablation(session,
+             "Ablation 4: dynamic least-loaded two-engine split "
              "(idealized; the paper's static local/remote split is "
              "the baseline)", o, Arch::TwoPPC,
              [](MachineConfig &cfg) {

@@ -19,12 +19,15 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "report/json.hh"
 #include "report/table.hh"
 #include "system/machine.hh"
 #include "workload/splash.hh"
@@ -130,6 +133,81 @@ fmtTicks(Tick t)
 {
     return report::fmt("%llu", (unsigned long long)t);
 }
+
+/**
+ * Machine-readable companion to the text tables: captures every
+ * table a bench emits and, on destruction, writes them to
+ * BENCH_<name>.json in the working directory so the paper-fidelity
+ * numbers (and hence the perf trajectory) can be tracked
+ * run-over-run by scripts instead of eyeballs.
+ *
+ * Use session.table(title, t) wherever the bench would have called
+ * t.print(std::cout) — it prints AND captures.
+ */
+class JsonReport
+{
+  public:
+    JsonReport(std::string bench_name, const Options &o)
+        : name_(std::move(bench_name)), scale_(o.scale),
+          procs_(o.procs)
+    {}
+
+    JsonReport(const JsonReport &) = delete;
+    JsonReport &operator=(const JsonReport &) = delete;
+
+    /** Print @p t to stdout and capture it for the JSON export. */
+    void
+    table(const std::string &title, const report::Table &t)
+    {
+        t.print(std::cout);
+        tables_.emplace_back(title, t);
+    }
+
+    ~JsonReport()
+    {
+        std::string file = "BENCH_" + name_ + ".json";
+        std::ofstream os(file);
+        if (!os) {
+            std::fprintf(stderr, "warning: cannot write %s\n",
+                         file.c_str());
+            return;
+        }
+        report::JsonWriter j(os);
+        j.beginObject();
+        j.key("bench").value(name_);
+        j.key("scale").value(scale_);
+        j.key("procs").value(static_cast<std::uint64_t>(procs_));
+        j.key("tables").beginArray();
+        for (const auto &[title, t] : tables_) {
+            j.beginObject();
+            j.key("title").value(title);
+            j.key("columns").beginArray();
+            for (const auto &h : t.headers())
+                j.value(h);
+            j.endArray();
+            j.key("rows").beginArray();
+            for (const auto &row : t.rows()) {
+                j.beginObject();
+                for (std::size_t c = 0;
+                     c < row.size() && c < t.headers().size(); ++c)
+                    j.key(t.headers()[c]).value(row[c]);
+                j.endObject();
+            }
+            j.endArray();
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+        os << "\n";
+        std::cout << "\nwrote " << file << "\n";
+    }
+
+  private:
+    std::string name_;
+    double scale_;
+    unsigned procs_;
+    std::vector<std::pair<std::string, report::Table>> tables_;
+};
 
 inline void
 printHeader(const std::string &what, const Options &o)

@@ -24,6 +24,7 @@ run(int argc, char **argv)
 {
     Options o = parseOptions(argc, argv);
     printHeader("Figure 10: processors per SMP node sweep", o);
+    JsonReport session("fig10_ppn", o);
 
     const unsigned ppns[] = {1, 2, 4, 8};
 
@@ -59,7 +60,7 @@ run(int argc, char **argv)
         }
         std::cout << "\n" << label
                   << " (execution ticks; PP penalty per row):\n";
-        t.print(std::cout);
+        session.table(label, t);
         if (base > 0.0)
             std::cout << "baseline (HWC @4/node): "
                       << report::fmt("%.0f", base) << " ticks\n";

@@ -25,6 +25,7 @@ run(int argc, char **argv)
 {
     Options o = parseOptions(argc, argv);
     printHeader("Figures 11/12: communication-rate analysis", o);
+    JsonReport session("fig11_12_rccpi", o);
 
     std::vector<std::pair<std::string, double>> variants;
     for (const std::string &app : splashNames()) {
@@ -81,7 +82,7 @@ run(int argc, char **argv)
                  "rate vs communication rate)\n"
                  "(shape check: the PPC series must flatten below "
                  "the HWC series as RCCPI grows)\n";
-    f11.print(std::cout);
+    session.table("Figure 11: controller bandwidth limits", f11);
 
     report::Table f12({"application", "1000xRCCPI", "PP penalty"});
     for (const Point &pt : points) {
@@ -91,7 +92,7 @@ run(int argc, char **argv)
     std::cout << "\nFigure 12: PP penalty vs communication rate\n"
                  "(shape check: penalty grows with RCCPI, with a "
                  "gradual, negative-feedback slope)\n";
-    f12.print(std::cout);
+    session.table("Figure 12: PP penalty vs communication rate", f12);
     return 0;
 }
 

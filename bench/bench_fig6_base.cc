@@ -25,6 +25,7 @@ run(int argc, char **argv)
     bench::printHeader(
         "Figure 6: normalized execution time, base configuration",
         o);
+    bench::JsonReport session("fig6_base", o);
 
     report::Table t5({"application", "data set at this scale",
                       "processors"});
@@ -66,9 +67,9 @@ run(int argc, char **argv)
     }
 
     std::cout << "\nTable 5: benchmark data sets in effect\n";
-    t5.print(std::cout);
+    session.table("Table 5: benchmark data sets", t5);
     std::cout << "\nFigure 6: execution time normalized to HWC\n";
-    t.print(std::cout);
+    session.table("Figure 6: execution time normalized to HWC", t);
     return 0;
 }
 

@@ -22,6 +22,7 @@ run(int argc, char **argv)
 {
     Options o = parseOptions(argc, argv);
     printHeader("Figure 7: 32-byte cache lines", o);
+    JsonReport session("fig7_lines32", o);
 
     auto small_lines = [](MachineConfig &cfg) {
         cfg.withLineBytes(32);
@@ -56,7 +57,7 @@ run(int argc, char **argv)
 
     std::cout << "\nFigure 7: execution time with 32-byte lines, "
                  "normalized to HWC with 128-byte lines\n";
-    t.print(std::cout);
+    session.table("Figure 7: execution time with 32-byte lines, normalized to HWC with 128-byte lines", t);
     return 0;
 }
 

@@ -23,6 +23,7 @@ run(int argc, char **argv)
 {
     Options o = parseOptions(argc, argv);
     printHeader("Figure 8: slow network (1 us point-to-point)", o);
+    JsonReport session("fig8_slownet", o);
 
     auto slow = [](MachineConfig &cfg) {
         cfg.withNetworkLatency(200); // 1 us = 200 cycles
@@ -61,7 +62,7 @@ run(int argc, char **argv)
                  "normalized to HWC on the base system\n"
                  "(paper: Ocean's PP penalty drops from 93% to 28%)"
                  "\n";
-    t.print(std::cout);
+    session.table("Figure 8: execution time with a 1 us network, normalized to HWC on the base system", t);
     return 0;
 }
 

@@ -23,6 +23,7 @@ run(int argc, char **argv)
 {
     Options o = parseOptions(argc, argv);
     printHeader("Figure 9: base vs large data sizes", o);
+    JsonReport session("fig9_datasize", o);
 
     struct Variant
     {
@@ -61,7 +62,7 @@ run(int argc, char **argv)
 
     std::cout << "\nFigure 9: execution time normalized to HWC at "
                  "each data size\n";
-    t.print(std::cout);
+    session.table("Figure 9: execution time normalized to HWC at each data size", t);
     return 0;
 }
 

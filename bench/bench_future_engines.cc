@@ -30,6 +30,7 @@ run(int argc, char **argv)
     Options o = parseOptions(argc, argv);
     printHeader("Future-work evaluation: engine count and the PP+HW "
                 "hybrid", o);
+    JsonReport session("future_engines", o);
 
     struct Variant
     {
@@ -71,7 +72,7 @@ run(int argc, char **argv)
                       ppc > 0 ? report::fmt("%.3f", e / ppc) : "-"});
         }
         std::cout << "\n" << label << ":\n";
-        t.print(std::cout);
+        session.table(label, t);
         std::cout << std::flush;
     }
     std::cout << "\nExpected shape: engine count recovers bandwidth "

@@ -21,6 +21,7 @@ run(int argc, char **argv)
 {
     Options o = parseOptions(argc, argv);
     printHeader("Placement policy: round-robin vs first-touch", o);
+    JsonReport session("placement", o);
 
     report::Table t({"application", "round-robin (ticks)",
                      "first-touch (ticks)", "first-touch slowdown"});
@@ -46,7 +47,7 @@ run(int argc, char **argv)
     }
     std::cout << "\n(paper: slightly inferior performance for most "
                  "applications under first-touch)\n";
-    t.print(std::cout);
+    session.table("Placement policy: round-robin vs first-touch", t);
     return 0;
 }
 

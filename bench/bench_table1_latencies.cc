@@ -110,7 +110,9 @@ run()
 
     std::cout << "\nTable 1: base system no-contention latencies in "
                  "compute processor cycles (5 ns)\n";
-    t.print(std::cout);
+    bench::JsonReport session("table1_latencies", bench::Options{});
+    session.table("Table 1: base system no-contention latencies "
+                  "(compute processor cycles)", t);
     return 0;
 }
 

@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "bench_common.hh"
 #include "protocol/occupancy.hh"
 #include "report/table.hh"
 
@@ -35,6 +36,7 @@ main()
                  "associative search, writes 2 system cycles;\n"
                  " HWC folds conditions/bit ops into other actions)"
               << "\n";
-    t.print(std::cout);
+    bench::JsonReport session("table2_subops", bench::Options{});
+    session.table("Table 2: protocol engine sub-operation occupancies", t);
     return 0;
 }

@@ -59,7 +59,9 @@ run()
 
     std::cout << "\nTable 3: no-contention latency of a read miss to"
                  " a remote line clean at home\n";
-    t.print(std::cout);
+    bench::JsonReport session("table3_readmiss", bench::Options{});
+    session.table("Table 3: no-contention latency of a read miss to "
+                  "a remote line clean at home", t);
 
     // Fixed components for reference.
     MachineConfig cfg = MachineConfig::base();
@@ -80,7 +82,7 @@ run()
               bench::fmtTicks(cfg.node.mem.accessLatency)});
     std::cout << "\nShared fixed components (handler occupancies "
                  "come from the Table 2 model):\n";
-    b.print(std::cout);
+    session.table("Shared fixed components", b);
     return 0;
 }
 

@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench_common.hh"
 #include "protocol/handlers.hh"
 #include "report/table.hh"
 #include "system/config.hh"
@@ -73,7 +74,8 @@ run()
                  "readable in the OCR — the readable anchor is the "
                  "~2.5x total\n PPC/HWC occupancy ratio of Section "
                  "3.3)\n";
-    t.print(std::cout);
+    bench::JsonReport session("table4_handlers", bench::Options{});
+    session.table("Table 4: protocol handler occupancies", t);
     std::cout << report::fmt(
         "\nmean PPC/HWC ratio over the 23 Table 4 handlers: %.2f "
         "(paper anchor: ~2.5)\n",

@@ -24,6 +24,7 @@ run(int argc, char **argv)
 {
     Options o = parseOptions(argc, argv);
     printHeader("Table 6: communication statistics, base system", o);
+    JsonReport session("table6_stats", o);
 
     report::Table t({"application", "PP penalty", "1000xRCCPI",
                      "PPC/HWC occupancy", "HWC util", "PPC util",
@@ -62,7 +63,7 @@ run(int argc, char **argv)
     std::cout << "\nTable 6 (paper anchors: Ocean-258 penalty "
                  "92.88%, 23.2, 2.47, 52.89%/67.72%; ratio ~2.5 "
                  "overall)\n";
-    t.print(std::cout);
+    session.table("Table 6: communication statistics", t);
     return 0;
 }
 

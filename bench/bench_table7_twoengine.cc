@@ -70,6 +70,7 @@ run(int argc, char **argv)
     Options o = parseOptions(argc, argv);
     printHeader(
         "Table 7: two-engine (LPE/RPE) controller statistics", o);
+    JsonReport session("table7_twoengine", o);
 
     report::Table t({"application", "arch", "LPE util", "RPE util",
                      "LPE req%", "RPE req%", "LPE qdelay (ns)",
@@ -100,7 +101,7 @@ run(int argc, char **argv)
     std::cout << "\nTable 7 (paper anchors: RPE gets 53-64% of "
                  "requests; LPE carries the higher occupancy and "
                  "queuing delay)\n";
-    t.print(std::cout);
+    session.table("Table 7: two-engine (LPE/RPE) controller statistics", t);
     return 0;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/tracer.hh"
 #include "sim/logging.hh"
 
 namespace ccnuma
@@ -214,6 +215,12 @@ Bus::deliver(std::uint64_t txn_id, Tick when)
             agents_[txn.requester]->busDone(txn);
             if (completionTap_)
                 completionTap_(txn);
+            if (tracer_) {
+                tracer_->busSpan(tracerNode_, busCmdName(txn.cmd),
+                                 static_cast<std::uint8_t>(txn.cmd),
+                                 txn.lineAddr, txn.issueTick,
+                                 eq_.curTick());
+            }
             if (!pendingGrants_.empty() && !kickScheduled_) {
                 kickScheduled_ = true;
                 eq_.scheduleFunctionIn([this] { kick(); }, 0);

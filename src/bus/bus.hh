@@ -36,6 +36,11 @@
 namespace ccnuma
 {
 
+namespace obs
+{
+class Tracer;
+} // namespace obs
+
 /** Bus transaction commands. */
 enum class BusCmd : std::uint8_t
 {
@@ -233,6 +238,18 @@ class Bus
     }
 
     /**
+     * Record completed transactions with the observability tracer.
+     * The bus does not know which node it belongs to, so the machine
+     * passes the owning node id alongside (null tracer = off).
+     */
+    void
+    setTracer(obs::Tracer *t, NodeId node)
+    {
+        tracer_ = t;
+        tracerNode_ = node;
+    }
+
+    /**
      * @return true if @p txn_id is open and its data delivery is
      * already scheduled (its fill will complete independently).
      */
@@ -282,6 +299,8 @@ class Bus
 
     std::deque<std::uint64_t> pendingGrants_;
     std::function<void(const BusTxn &)> completionTap_;
+    obs::Tracer *tracer_ = nullptr;
+    NodeId tracerNode_ = 0;
     std::unordered_map<std::uint64_t, BusTxn> open_;
     std::uint64_t nextId_ = 1;
     unsigned granted_ = 0;

@@ -1,5 +1,7 @@
 #include "cc/coherence_controller.hh"
 
+#include "obs/tracer.hh"
+
 #include <algorithm>
 
 namespace ccnuma
@@ -446,6 +448,7 @@ CoherenceController::enqueue(unsigned queue, DispatchItem item,
                              bool to_front)
 {
     item.enqueueTick = eq_.curTick();
+    item.srcQueue = queue;
     unsigned e = engineFor(item.lineAddr);
     if (!item.counted) {
         item.counted = true;
@@ -466,6 +469,12 @@ CoherenceController::enqueue(unsigned queue, DispatchItem item,
         engines_[e].queues[queue].push_front(item);
     else
         engines_[e].queues[queue].push_back(item);
+    if (tracer_) {
+        tracer_->queueDepth(node_, e,
+                            engines_[e].queues[0].size() +
+                                engines_[e].queues[1].size() +
+                                engines_[e].queues[2].size());
+    }
     if (!engines_[e].busy) {
         eq_.scheduleFunctionIn([this, e] { tryDispatch(e); }, 0);
     }
@@ -547,6 +556,11 @@ CoherenceController::tryDispatch(unsigned engine_idx)
                     en.busy = false;
                     en.occupancyTicks +=
                         eq_.curTick() - en.busyStart;
+                    if (tracer_) {
+                        tracer_->engineStall(
+                            node_, engine_idx, en.busyStart,
+                            eq_.curTick() - en.busyStart);
+                    }
                     tryDispatch(engine_idx);
                 },
                 stall);
@@ -559,9 +573,15 @@ CoherenceController::tryDispatch(unsigned engine_idx)
         return;
     e.busy = true;
     e.busyStart = eq_.curTick();
+    e.curHandler = 0xff;
+    e.curExtraTargets = 0;
     e.queueDelaySum +=
         static_cast<double>(eq_.curTick() - item.enqueueTick);
     ++e.queueDelayCount;
+    if (tracer_) {
+        tracer_->queueWait(node_, engine_idx, item.srcQueue,
+                           item.enqueueTick, eq_.curTick());
+    }
     startItem(engine_idx, item);
 }
 
@@ -633,6 +653,8 @@ CoherenceController::beginHandler(
     CcBusOp bus_op, std::function<void(Exec &, Tick)> action)
 {
     const HandlerSpec &spec = handlerSpec(h);
+    engines_[engine_idx].curHandler = static_cast<std::uint8_t>(h);
+    engines_[engine_idx].curExtraTargets = extra_targets;
     auto ex = std::make_unique<Exec>();
     ex->engine = engine_idx;
     ex->handler = h;
@@ -707,6 +729,13 @@ CoherenceController::finishHandler(unsigned engine_idx, Tick free_at)
             e.busy = false;
             e.curLineValid = false;
             e.occupancyTicks += eq_.curTick() - e.busyStart;
+            if (tracer_) {
+                tracer_->engineSpan(node_, engine_idx, e.curHandler,
+                                    e.curExtraTargets, e.busyStart,
+                                    eq_.curTick());
+                e.curHandler = 0xff;
+                e.curExtraTargets = 0;
+            }
             tryDispatch(engine_idx);
         },
         free_at);

@@ -56,6 +56,11 @@
 namespace ccnuma
 {
 
+namespace obs
+{
+class Tracer;
+} // namespace obs
+
 /** Functional view of the node's caches, provided by the node. */
 class LocalCacheProbe
 {
@@ -159,6 +164,12 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
      * enabled; null restores the direct path).
      */
     void setTransport(ReliableTransport *t) { xport_ = t; }
+
+    /**
+     * Wire the observability tracer (set by the machine when tracing
+     * is enabled; null keeps every hook to one branch).
+     */
+    void setTracer(obs::Tracer *t) { tracer_ = t; }
 
     /**
      * Install an engine-stall hook (fault injection). Consulted each
@@ -278,6 +289,7 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
         Addr lineAddr = 0;
         BusCmd busCmd = BusCmd::Read;
         Tick enqueueTick = 0;
+        unsigned srcQueue = 0; ///< queue last enqueued on (tracing)
         bool counted = false; ///< already counted as an arrival
     };
 
@@ -293,6 +305,9 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
         std::deque<DispatchItem> queues[NumQueues];
         unsigned netBypass = 0; ///< net requests since a bus request
         unsigned stallStreak = 0; ///< consecutive injected stalls
+        /** Handler in flight for the tracer (0xff = none). */
+        std::uint8_t curHandler = 0xff;
+        int curExtraTargets = 0;
         // measurement
         Tick occupancyTicks = 0;
         std::uint64_t arrivals = 0;
@@ -394,6 +409,7 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
     LocalCacheProbe *probe_ = nullptr;
     MsgRouter *router_ = nullptr;
     ReliableTransport *xport_ = nullptr;
+    obs::Tracer *tracer_ = nullptr;
     std::function<Tick()> stallHook_;
     /** Per-line nack retry bookkeeping (see CcParams::retry). */
     RetryTracker retries_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/tracer.hh"
 #include "sim/logging.hh"
 
 namespace ccnuma
@@ -70,6 +71,8 @@ Network::send(NodeId src, NodeId dst, unsigned bytes,
     ++statMessages;
     statBytes += static_cast<double>(bytes);
     statLatency.sample(static_cast<double>(delivered - now));
+    if (tracer_)
+        tracer_->netSpan(src, dst, bytes, now, delivered);
 
     eq_.scheduleFunction(std::move(on_delivered), delivered);
 }

@@ -28,6 +28,11 @@
 namespace ccnuma
 {
 
+namespace obs
+{
+class Tracer;
+} // namespace obs
+
 /** Network timing parameters. */
 struct NetworkParams
 {
@@ -88,6 +93,9 @@ class Network
     /** Install a delivery tap (fault injection); null to remove. */
     void setTap(NetworkTap *tap) { tap_ = tap; }
 
+    /** Record message flights with the tracer (null = off). */
+    void setTracer(obs::Tracer *t) { tracer_ = t; }
+
     stats::Group &statGroup() { return statGroup_; }
 
     stats::Scalar statMessages{"messages", "messages delivered"};
@@ -108,6 +116,7 @@ class Network
     std::vector<Tick> egressFreeAt_;
     std::vector<Tick> ingressFreeAt_;
     NetworkTap *tap_ = nullptr;
+    obs::Tracer *tracer_ = nullptr;
     stats::Group statGroup_;
 };
 

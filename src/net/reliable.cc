@@ -1,5 +1,6 @@
 #include "net/reliable.hh"
 
+#include "obs/tracer.hh"
 #include "protocol/retry.hh"
 #include "sim/logging.hh"
 
@@ -169,6 +170,10 @@ ReliableTransport::onTimeout(NodeId src, NodeId dst,
     }
     ++statTimeouts;
     statBackoffTicks += static_cast<double>(rtoFor(p.backoffLevel));
+    if (tracer_) {
+        tracer_->xportEvent(obs::SpanKind::XportTimeout, src, dst,
+                            eq_.curTick());
+    }
     // Go-back-N: retransmit every unacknowledged frame in sequence
     // order. The receiver discards the ones it already holds, so one
     // timeout heals any number of losses in the window.
@@ -191,6 +196,10 @@ ReliableTransport::onTimeout(NodeId src, NodeId dst,
                   p.unacked.size());
         }
         ++statRetransmits;
+        if (tracer_) {
+            tracer_->xportEvent(obs::SpanKind::XportRetransmit, src,
+                                dst, eq_.curTick());
+        }
         transmit(src, dst, seq, f);
     }
     if (p.backoffLevel < 32)

@@ -97,6 +97,9 @@ class ReliableTransport
     /** True when no frame awaits acknowledgement on any pair. */
     bool idle() const;
 
+    /** Record timeouts/retransmits with the tracer (null = off). */
+    void setTracer(obs::Tracer *t) { tracer_ = t; }
+
     /** Dump per-pair transport state for deadlock diagnosis. */
     void dumpState(std::ostream &os) const;
 
@@ -196,6 +199,7 @@ class ReliableTransport
     DeliverFn deliver_;
     std::unordered_map<std::uint64_t, PairTx> tx_;
     std::unordered_map<std::uint64_t, PairRx> rx_;
+    obs::Tracer *tracer_ = nullptr;
     stats::Group statGroup_;
 };
 

@@ -1,5 +1,7 @@
 #include "node/processor.hh"
 
+#include "obs/tracer.hh"
+
 namespace ccnuma
 {
 
@@ -112,6 +114,8 @@ Processor::issueMiss(ThreadOp op)
     Tick issue = eq_.curTick();
     bool write = op.kind == ThreadOp::Kind::Store;
     Addr addr = op.addr;
+    if (tracer_)
+        tracer_->missBegin(id_, addr, write, issue);
     eq_.scheduleFunctionIn(
         [this, addr, write, issue] {
             cache_.startMiss(
@@ -119,6 +123,8 @@ Processor::issueMiss(ThreadOp op)
                 [this, addr, write, issue](Tick restart,
                                            std::uint64_t version) {
                     stallTicks_ += restart - issue;
+                    if (tracer_)
+                        tracer_->missEnd(id_, restart);
                     if (!write)
                         checkRead(addr, version);
                     resumeAt(restart);

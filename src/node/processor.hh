@@ -27,6 +27,11 @@
 namespace ccnuma
 {
 
+namespace obs
+{
+class Tracer;
+} // namespace obs
+
 /** Processor timing/behavior parameters. */
 struct ProcessorParams
 {
@@ -59,6 +64,13 @@ class Processor
     /** Begin executing at tick @p when. */
     void start(Tick when);
 
+    /**
+     * Record data-miss spans with the tracer (set by the machine;
+     * null = off). Sync-variable misses stay untraced — the paper's
+     * latency breakdowns cover data references only.
+     */
+    void setTracer(obs::Tracer *t) { tracer_ = t; }
+
     bool finished() const { return finished_; }
     ProcId id() const { return id_; }
     Tick finishTick() const { return finishTick_; }
@@ -89,6 +101,7 @@ class Processor
     ProcessorParams params_;
     OpStream stream_;
     std::function<void()> onFinished_;
+    obs::Tracer *tracer_ = nullptr;
 
     bool finished_ = false;
     Tick finishTick_ = 0;

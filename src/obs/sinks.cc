@@ -1,0 +1,366 @@
+#include "obs/sinks.hh"
+
+#include <cstdio>
+#include <string>
+
+#include "obs/tracer.hh"
+#include "report/json.hh"
+
+namespace ccnuma
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Ticks (5 ns each) to Chrome trace microseconds. */
+std::string
+ticksToUs(Tick t)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  ticksToNs(t) / 1000.0);
+    return buf;
+}
+
+const char *
+queueName(unsigned q)
+{
+    switch (q) {
+      case 0: return "q_net_resp";
+      case 1: return "q_net_req";
+      case 2: return "q_bus_req";
+    }
+    return "q";
+}
+
+std::string
+engineLabel(const Tracer &t, unsigned e)
+{
+    if (t.context().enginesPerCc == 2)
+        return e == 0 ? "LPE" : "RPE";
+    return "engine" + std::to_string(e);
+}
+
+} // namespace
+
+void
+ChromeTraceSink::emitMeta(unsigned pid, unsigned tid,
+                          const char *what, const std::string &name)
+{
+    if (!first_)
+        os_ << ",\n";
+    first_ = false;
+    os_ << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"name\":\"" << what << "\",\"args\":{\"name\":\""
+        << report::jsonEscape(name) << "\"}}";
+}
+
+void
+ChromeTraceSink::begin(const Tracer &t, Tick /*now*/)
+{
+    os_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    const TracerContext &ctx = t.context();
+    for (unsigned n = 0; n < ctx.numNodes; ++n) {
+        emitMeta(n, 0, "process_name",
+                 "node" + std::to_string(n));
+        for (unsigned e = 0; e < ctx.enginesPerCc; ++e) {
+            emitMeta(n, tidEngineBase + e, "thread_name",
+                     engineLabel(t, e));
+            emitMeta(n, tidQueueBase + e, "thread_name",
+                     "queues " + engineLabel(t, e));
+        }
+        emitMeta(n, tidBus, "thread_name", "smp_bus");
+        emitMeta(n, tidNet, "thread_name", "network");
+        emitMeta(n, tidXport, "thread_name", "xport");
+        for (unsigned p = 0; p < ctx.procsPerNode; ++p)
+            emitMeta(n, tidCpuBase + p, "thread_name",
+                     "cpu" + std::to_string(p));
+    }
+}
+
+void
+ChromeTraceSink::emitCommon(const TraceEvent &ev, const char *ph,
+                            const char *name, const char *cat,
+                            unsigned tid)
+{
+    if (!first_)
+        os_ << ",\n";
+    first_ = false;
+    os_ << "{\"ph\":\"" << ph << "\",\"pid\":" << ev.node
+        << ",\"tid\":" << tid << ",\"ts\":" << ticksToUs(ev.start)
+        << ",\"name\":\"" << report::jsonEscape(name)
+        << "\",\"cat\":\"" << cat << '"';
+    if (ph[0] == 'X')
+        os_ << ",\"dur\":" << ticksToUs(ev.dur);
+    if (ph[0] == 'i')
+        os_ << ",\"s\":\"t\"";
+}
+
+void
+ChromeTraceSink::consume(const TraceEvent &ev)
+{
+    char addr[32];
+    std::snprintf(addr, sizeof(addr), "0x%llx",
+                  static_cast<unsigned long long>(ev.lineAddr));
+    switch (ev.kind) {
+      case SpanKind::EngineHandler: {
+        const char *name =
+            ev.a == 0xff
+                ? "dispatch_release"
+                : handlerName(static_cast<HandlerId>(ev.a));
+        emitCommon(ev, "X", name, "engine", tidEngineBase + ev.lane);
+        os_ << ",\"args\":{\"line\":\"" << addr
+            << "\",\"extra_targets\":" << ev.b << "}}";
+        break;
+      }
+      case SpanKind::EngineStall:
+        emitCommon(ev, "X", "stall", "engine",
+                   tidEngineBase + ev.lane);
+        os_ << "}";
+        break;
+      case SpanKind::QueueWait:
+        emitCommon(ev, "X", queueName(ev.a), "queue",
+                   tidQueueBase + ev.lane);
+        os_ << "}";
+        break;
+      case SpanKind::BusTxn:
+        emitCommon(ev, "X", ev.label ? ev.label : "bus_txn", "bus",
+                   tidBus);
+        os_ << ",\"args\":{\"line\":\"" << addr << "\"}}";
+        break;
+      case SpanKind::NetMsg:
+        emitCommon(ev, "X", "msg", "net", tidNet);
+        os_ << ",\"args\":{\"dst\":" << ev.lane
+            << ",\"bytes\":" << ev.b << "}}";
+        break;
+      case SpanKind::Miss:
+        emitCommon(ev, "X",
+                   reqClassName(static_cast<ReqClass>(ev.a)), "miss",
+                   tidCpuBase + ev.lane);
+        os_ << ",\"args\":{\"line\":\"" << addr << "\"}}";
+        break;
+      case SpanKind::XportRetransmit:
+      case SpanKind::XportTimeout:
+        emitCommon(ev, "i", spanKindName(ev.kind), "xport",
+                   tidXport);
+        os_ << ",\"args\":{\"dst\":" << ev.lane << "}}";
+        break;
+    }
+}
+
+void
+ChromeTraceSink::end(const Tracer &t, Tick now)
+{
+    os_ << "\n],\"otherData\":{"
+        << "\"events_recorded\":" << t.ring().size()
+        << ",\"events_dropped\":" << t.ring().dropped()
+        << ",\"sample_every\":" << t.config().sampleEvery
+        << ",\"export_tick\":" << now << "}}\n";
+}
+
+void
+MetricsSink::consume(const TraceEvent &ev)
+{
+    ++kindCounts_[static_cast<unsigned>(ev.kind)];
+}
+
+void
+MetricsSink::end(const Tracer &t, Tick now)
+{
+    if (fmt_ == Format::Json)
+        writeJson(t, now);
+    else
+        writeCsv(t, now);
+}
+
+namespace
+{
+
+void
+jsonDistribution(report::JsonWriter &j, const stats::Distribution &d)
+{
+    j.beginObject();
+    j.key("count").value(d.count());
+    j.key("mean").value(d.mean());
+    j.key("min").value(d.minValue());
+    j.key("max").value(d.maxValue());
+    j.key("p50").value(d.p50());
+    j.key("p90").value(d.p90());
+    j.key("p99").value(d.p99());
+    j.key("underflow").value(d.underflow());
+    j.key("overflow").value(d.overflow());
+    j.endObject();
+}
+
+} // namespace
+
+void
+MetricsSink::writeJson(const Tracer &t, Tick now)
+{
+    const TracerContext &ctx = t.context();
+    report::JsonWriter j(os_);
+    j.beginObject();
+
+    j.key("time_unit").value("ticks");
+    j.key("ns_per_tick").value(nsPerTick);
+    j.key("export_tick").value(static_cast<std::uint64_t>(now));
+    j.key("measure_start_tick")
+        .value(static_cast<std::uint64_t>(t.measureStart()));
+
+    j.key("sampling").beginObject();
+    j.key("every").value(t.config().sampleEvery);
+    j.key("seed").value(t.config().sampleSeed);
+    j.endObject();
+
+    j.key("ring").beginObject();
+    j.key("capacity")
+        .value(static_cast<std::uint64_t>(t.ring().capacity()));
+    j.key("recorded").value(t.ring().pushed());
+    j.key("dropped").value(t.ring().dropped());
+    j.endObject();
+
+    j.key("events").beginObject();
+    for (unsigned k = 0; k < 8; ++k)
+        j.key(spanKindName(static_cast<SpanKind>(k)))
+            .value(kindCounts_[k]);
+    j.endObject();
+
+    j.key("request_classes").beginObject();
+    j.key("misses").value(t.misses());
+    for (unsigned c = 0; c < numReqClasses; ++c) {
+        const auto &d = t.classLatency(static_cast<ReqClass>(c));
+        j.key(reqClassName(static_cast<ReqClass>(c)));
+        jsonDistribution(j, d);
+    }
+    j.endObject();
+
+    Tick window = now > t.measureStart() ? now - t.measureStart() : 0;
+    j.key("engines").beginArray();
+    for (unsigned n = 0; n < ctx.numNodes; ++n) {
+        for (unsigned e = 0; e < ctx.enginesPerCc; ++e) {
+            const EngineAgg &a = t.engineAgg(n, e);
+            j.beginObject();
+            j.key("node").value(n);
+            j.key("engine").value(e);
+            j.key("busy_ticks")
+                .value(static_cast<std::uint64_t>(a.busyTicks));
+            j.key("stall_ticks")
+                .value(static_cast<std::uint64_t>(a.stallTicks));
+            j.key("handlers").value(a.handlers);
+            j.key("utilization")
+                .value(window ? static_cast<double>(a.busyTicks) /
+                                    static_cast<double>(window)
+                              : 0.0);
+            j.key("queue_wait");
+            jsonDistribution(j, a.queueWait);
+            j.key("queue_depth");
+            jsonDistribution(j, a.queueDepth);
+            j.endObject();
+        }
+    }
+    j.endArray();
+
+    j.key("handlers").beginArray();
+    for (unsigned h = 0; h < numHandlers; ++h) {
+        auto id = static_cast<HandlerId>(h);
+        if (!t.handlerCount(id))
+            continue;
+        j.beginObject();
+        j.key("name").value(handlerName(id));
+        j.key("count").value(t.handlerCount(id));
+        j.key("total_ticks")
+            .value(static_cast<std::uint64_t>(t.handlerTicks(id)));
+        j.key("mean_ticks")
+            .value(static_cast<double>(t.handlerTicks(id)) /
+                   static_cast<double>(t.handlerCount(id)));
+        j.endObject();
+    }
+    j.endArray();
+    j.key("dispatch_only_releases").value(t.dispatchOnlyCount());
+
+    j.key("subop_ticks").beginObject();
+    for (unsigned s = 0; s < numSubOps; ++s)
+        j.key(subOpName(static_cast<SubOp>(s)))
+            .value(static_cast<std::uint64_t>(
+                t.subOpTicks(static_cast<SubOp>(s))));
+    j.key("bus_mem_wait")
+        .value(static_cast<std::uint64_t>(t.busMemWaitTicks()));
+    j.endObject();
+
+    j.key("bus").beginObject();
+    j.key("txns").value(t.busTxns());
+    j.key("mean_ticks").value(t.busMeanTicks());
+    j.endObject();
+
+    j.key("net").beginObject();
+    j.key("msgs").value(t.netMsgs());
+    j.key("mean_ticks").value(t.netMeanTicks());
+    j.key("bytes").value(t.netBytes());
+    j.endObject();
+
+    j.key("xport").beginObject();
+    j.key("retransmits").value(t.xportRetransmits());
+    j.key("timeouts").value(t.xportTimeouts());
+    j.endObject();
+
+    j.endObject();
+    os_ << "\n";
+}
+
+void
+MetricsSink::writeCsv(const Tracer &t, Tick now)
+{
+    const TracerContext &ctx = t.context();
+    os_ << "metric,value\n";
+    auto row = [&](const std::string &k, double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        os_ << k << ',' << buf << '\n';
+    };
+    row("export_tick", static_cast<double>(now));
+    row("ring.recorded", static_cast<double>(t.ring().pushed()));
+    row("ring.dropped", static_cast<double>(t.ring().dropped()));
+    row("misses", static_cast<double>(t.misses()));
+    for (unsigned c = 0; c < numReqClasses; ++c) {
+        const auto &d = t.classLatency(static_cast<ReqClass>(c));
+        std::string base = std::string("class.") +
+            reqClassName(static_cast<ReqClass>(c));
+        row(base + ".count", static_cast<double>(d.count()));
+        row(base + ".mean_ticks", d.mean());
+        row(base + ".p50_ticks", d.p50());
+        row(base + ".p90_ticks", d.p90());
+        row(base + ".p99_ticks", d.p99());
+    }
+    Tick window = now > t.measureStart() ? now - t.measureStart() : 0;
+    for (unsigned n = 0; n < ctx.numNodes; ++n) {
+        for (unsigned e = 0; e < ctx.enginesPerCc; ++e) {
+            const EngineAgg &a = t.engineAgg(n, e);
+            std::string base = "engine.n" + std::to_string(n) + ".e" +
+                               std::to_string(e);
+            row(base + ".busy_ticks",
+                static_cast<double>(a.busyTicks));
+            row(base + ".stall_ticks",
+                static_cast<double>(a.stallTicks));
+            row(base + ".handlers", static_cast<double>(a.handlers));
+            row(base + ".utilization",
+                window ? static_cast<double>(a.busyTicks) /
+                             static_cast<double>(window)
+                       : 0.0);
+            row(base + ".queue_wait_mean", a.queueWait.mean());
+            row(base + ".queue_depth_mean", a.queueDepth.mean());
+        }
+    }
+    row("bus.txns", static_cast<double>(t.busTxns()));
+    row("bus.mean_ticks", t.busMeanTicks());
+    row("net.msgs", static_cast<double>(t.netMsgs()));
+    row("net.mean_ticks", t.netMeanTicks());
+    row("net.bytes", static_cast<double>(t.netBytes()));
+    row("xport.retransmits",
+        static_cast<double>(t.xportRetransmits()));
+    row("xport.timeouts", static_cast<double>(t.xportTimeouts()));
+}
+
+} // namespace obs
+} // namespace ccnuma

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Pluggable consumers of the tracer's event record.
+ *
+ * A TraceSink is driven by Tracer::exportTo(): begin(), then one
+ * consume() per buffered event (oldest first), then end(). The two
+ * built-in sinks are:
+ *
+ *  - ChromeTraceSink: Chrome trace-event JSON (the "JSON Array
+ *    Format" with an object root), loadable in Perfetto or
+ *    chrome://tracing. Each node is a process; engines, dispatch
+ *    queues, the SMP bus, the network interface, the reliable
+ *    transport, and each CPU get their own named thread tracks.
+ *
+ *  - MetricsSink: a machine-readable metrics document (JSON or flat
+ *    CSV) built from the tracer's exact aggregates — per-request-
+ *    class latency histograms with p50/p90/p99, per-engine occupancy
+ *    and utilization, handler and sub-op occupancy attribution, and
+ *    the ring-buffer accounting (events recorded/dropped).
+ */
+
+#ifndef CCNUMA_OBS_SINKS_HH
+#define CCNUMA_OBS_SINKS_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "obs/trace_event.hh"
+#include "sim/types.hh"
+
+namespace ccnuma
+{
+namespace obs
+{
+
+class Tracer;
+
+/** Consumer interface over the tracer's bounded event record. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Called once before the event stream. @p now = export time. */
+    virtual void begin(const Tracer &t, Tick now) { (void)t; (void)now; }
+
+    /** Called once per buffered event, oldest first. */
+    virtual void consume(const TraceEvent &ev) = 0;
+
+    /** Called once after the event stream. */
+    virtual void end(const Tracer &t, Tick now) { (void)t; (void)now; }
+};
+
+/** Chrome trace-event JSON exporter (Perfetto-loadable). */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    explicit ChromeTraceSink(std::ostream &os) : os_(os) {}
+
+    void begin(const Tracer &t, Tick now) override;
+    void consume(const TraceEvent &ev) override;
+    void end(const Tracer &t, Tick now) override;
+
+    // Thread-track ids within each node's process.
+    static constexpr unsigned tidEngineBase = 1;  ///< + engine idx
+    static constexpr unsigned tidQueueBase = 50;  ///< + engine idx
+    static constexpr unsigned tidBus = 90;
+    static constexpr unsigned tidNet = 95;
+    static constexpr unsigned tidXport = 96;
+    static constexpr unsigned tidCpuBase = 100;   ///< + local proc
+
+  private:
+    void emitMeta(unsigned pid, unsigned tid, const char *what,
+                  const std::string &name);
+    void emitCommon(const TraceEvent &ev, const char *ph,
+                    const char *name, const char *cat, unsigned tid);
+
+    std::ostream &os_;
+    bool first_ = true;
+};
+
+/** Machine-readable metrics exporter (JSON document or flat CSV). */
+class MetricsSink : public TraceSink
+{
+  public:
+    enum class Format { Json, Csv };
+
+    MetricsSink(std::ostream &os, Format fmt) : os_(os), fmt_(fmt) {}
+
+    void consume(const TraceEvent &ev) override;
+    void end(const Tracer &t, Tick now) override;
+
+  private:
+    void writeJson(const Tracer &t, Tick now);
+    void writeCsv(const Tracer &t, Tick now);
+
+    std::ostream &os_;
+    Format fmt_;
+    /** Events seen in the stream, per SpanKind. */
+    std::uint64_t kindCounts_[8] = {};
+};
+
+} // namespace obs
+} // namespace ccnuma
+
+#endif // CCNUMA_OBS_SINKS_HH

@@ -1,0 +1,44 @@
+#include "obs/trace_event.hh"
+
+namespace ccnuma
+{
+namespace obs
+{
+
+const char *
+spanKindName(SpanKind k)
+{
+    switch (k) {
+      case SpanKind::EngineHandler: return "engine_handler";
+      case SpanKind::EngineStall: return "engine_stall";
+      case SpanKind::QueueWait: return "queue_wait";
+      case SpanKind::BusTxn: return "bus_txn";
+      case SpanKind::NetMsg: return "net_msg";
+      case SpanKind::Miss: return "miss";
+      case SpanKind::XportRetransmit: return "xport_retransmit";
+      case SpanKind::XportTimeout: return "xport_timeout";
+    }
+    return "unknown";
+}
+
+const char *
+reqClassName(ReqClass c)
+{
+    switch (c) {
+      case ReqClass::LocalRead: return "local_read";
+      case ReqClass::LocalWrite: return "local_write";
+      case ReqClass::LocalReadRemote: return "local_read_remote";
+      case ReqClass::LocalWriteRemote: return "local_write_remote";
+      case ReqClass::RemoteReadNear: return "remote_read_near";
+      case ReqClass::RemoteWriteNear: return "remote_write_near";
+      case ReqClass::RemoteReadClean: return "remote_read_clean";
+      case ReqClass::RemoteWriteClean: return "remote_write_clean";
+      case ReqClass::RemoteReadDirty: return "remote_read_dirty";
+      case ReqClass::RemoteWriteDirty: return "remote_write_dirty";
+      case ReqClass::NumClasses: break;
+    }
+    return "unknown";
+}
+
+} // namespace obs
+} // namespace ccnuma

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The observability subsystem's span/event record and the request
+ * classification taxonomy.
+ *
+ * A TraceEvent is a fixed-size POD so the bounded ring buffer never
+ * allocates on the hot path. Interpretation of the generic fields
+ * (lane, a, b) depends on the SpanKind; the sinks own the mapping to
+ * human-readable output.
+ */
+
+#ifndef CCNUMA_OBS_TRACE_EVENT_HH
+#define CCNUMA_OBS_TRACE_EVENT_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace ccnuma
+{
+namespace obs
+{
+
+/** What a recorded event describes. */
+enum class SpanKind : std::uint8_t
+{
+    /** Protocol-engine handler execution. a = HandlerId (or 0xff for
+     *  a dispatch-and-release with no handler), lane = engine. */
+    EngineHandler,
+    /** Injected engine stall interval. lane = engine. */
+    EngineStall,
+    /** Dispatch-queue wait (enqueue to engine grant). lane = engine,
+     *  a = queue index (responses > net requests > bus requests). */
+    QueueWait,
+    /** SMP bus transaction (request to completion). a = BusCmd. */
+    BusTxn,
+    /** Network message flight (send to delivery). lane = dst node,
+     *  b = wire bytes. */
+    NetMsg,
+    /** End-to-end processor miss. lane = local proc index,
+     *  a = ReqClass. */
+    Miss,
+    /** Reliable-transport retransmission (instant). lane = dst. */
+    XportRetransmit,
+    /** Reliable-transport timer expiry (instant). lane = dst. */
+    XportTimeout,
+};
+
+const char *spanKindName(SpanKind k);
+
+/**
+ * Request classes for the per-class latency histograms — the
+ * paper's Table 1/3 breakdown categories. "Local" means the missing
+ * processor sits on the line's home node; "near" means a remote line
+ * was supplied within the requesting node without home involvement.
+ */
+enum class ReqClass : std::uint8_t
+{
+    LocalRead,        ///< local line, served at home
+    LocalWrite,       ///< local line, ownership granted at home
+    LocalReadRemote,  ///< local line, dirty at a remote owner
+    LocalWriteRemote, ///< local line, remote copies recalled
+    RemoteReadNear,   ///< remote line, supplied within the node
+    RemoteWriteNear,  ///< remote line, ownership migrated in-node
+    RemoteReadClean,  ///< remote line, clean at home (Table 3 row)
+    RemoteWriteClean, ///< remote line, uncached/shared at home
+    RemoteReadDirty,  ///< remote line, 3-hop via the owner
+    RemoteWriteDirty, ///< remote line, 3-hop exclusive via owner
+    NumClasses,
+};
+
+constexpr unsigned numReqClasses =
+    static_cast<unsigned>(ReqClass::NumClasses);
+
+const char *reqClassName(ReqClass c);
+
+/** One recorded span or instant event (fixed-size, no ownership). */
+struct TraceEvent
+{
+    Tick start = 0;
+    Tick dur = 0;           ///< 0 for instant events
+    Addr lineAddr = 0;      ///< 0 when not line-associated
+    /**
+     * Optional static-duration display name supplied by the producer
+     * (e.g. the bus command mnemonic). Lets layers above obs label
+     * events with their own enum names without obs depending on their
+     * headers. Null means "derive from kind/a".
+     */
+    const char *label = nullptr;
+    std::uint32_t id = 0;   ///< per-kind sequence / transaction id
+    std::uint16_t node = 0; ///< originating node (Chrome pid)
+    std::uint16_t lane = 0; ///< engine / proc / dst, per SpanKind
+    SpanKind kind = SpanKind::EngineHandler;
+    std::uint8_t a = 0;     ///< kind-specific (handler, class, cmd)
+    std::uint16_t b = 0;    ///< kind-specific (bytes, aux)
+};
+
+} // namespace obs
+} // namespace ccnuma
+
+#endif // CCNUMA_OBS_TRACE_EVENT_HH

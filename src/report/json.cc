@@ -1,0 +1,174 @@
+#include "report/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ccnuma
+{
+namespace report
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (afterKey_)
+        return; // the key already emitted its comma and colon
+    if (!hasValue_.empty() && hasValue_.back())
+        os_ << ',';
+}
+
+void
+JsonWriter::emitted()
+{
+    afterKey_ = false;
+    if (!hasValue_.empty())
+        hasValue_.back() = true;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    afterKey_ = false;
+    os_ << '{';
+    hasValue_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    os_ << '}';
+    hasValue_.pop_back();
+    emitted();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    afterKey_ = false;
+    os_ << '[';
+    hasValue_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    os_ << ']';
+    hasValue_.pop_back();
+    emitted();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    if (!hasValue_.empty() && hasValue_.back())
+        os_ << ',';
+    os_ << '"' << jsonEscape(k) << "\":";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    os_ << '"' << jsonEscape(v) << '"';
+    emitted();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        // JSON has no Infinity/NaN; export as null.
+        os_ << "null";
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        os_ << buf;
+    }
+    emitted();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    os_ << v;
+    emitted();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    os_ << v;
+    emitted();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(unsigned v)
+{
+    return value(static_cast<std::uint64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+    emitted();
+    return *this;
+}
+
+} // namespace report
+} // namespace ccnuma

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal streaming JSON writer shared by the observability sinks
+ * (Chrome trace / metrics export) and the bench JSON reports. It
+ * handles comma placement and string escaping; the caller provides
+ * structure. No reading, no DOM — the simulator only ever emits.
+ */
+
+#ifndef CCNUMA_REPORT_JSON_HH
+#define CCNUMA_REPORT_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccnuma
+{
+namespace report
+{
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Streaming JSON writer. Usage:
+ *
+ *   JsonWriter j(os);
+ *   j.beginObject();
+ *   j.key("name").value("fft");
+ *   j.key("rows").beginArray();
+ *   j.value(1.5);
+ *   j.endArray();
+ *   j.endObject();
+ *
+ * The writer asserts nothing; malformed call sequences produce
+ * malformed JSON. Keep call sites simple.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value or begin*. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(unsigned v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+
+  private:
+    /** Emit a separating comma if a sibling value precedes us. */
+    void separate();
+    /** Note that a value has been emitted at the current depth. */
+    void emitted();
+
+    std::ostream &os_;
+    /** One entry per open container: true once it holds a value. */
+    std::vector<bool> hasValue_;
+    /** A key was just written; the next value follows a colon. */
+    bool afterKey_ = false;
+};
+
+} // namespace report
+} // namespace ccnuma
+
+#endif // CCNUMA_REPORT_JSON_HH

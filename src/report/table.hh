@@ -34,6 +34,15 @@ class Table
 
     void print(std::ostream &os) const;
 
+    const std::vector<std::string> &headers() const
+    {
+        return headers_;
+    }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

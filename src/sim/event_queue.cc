@@ -67,6 +67,8 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->queue_ = this;
     q_.push(Entry{when, ev->priority(), ev->seq_, ev});
     ++pending_;
+    if (pending_ > maxPending_)
+        maxPending_ = pending_;
 }
 
 void

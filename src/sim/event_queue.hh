@@ -144,6 +144,12 @@ class EventQueue
     /** Number of events still pending. */
     std::uint64_t numPending() const { return pending_; }
 
+    /**
+     * High-water mark of pending events over the queue's lifetime
+     * (an event-population gauge for the observability export).
+     */
+    std::uint64_t maxPending() const { return maxPending_; }
+
     /** Total number of events processed so far. */
     std::uint64_t numProcessed() const { return processed_; }
 
@@ -188,6 +194,7 @@ class EventQueue
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t pending_ = 0;
+    std::uint64_t maxPending_ = 0;
     std::uint64_t processed_ = 0;
 };
 

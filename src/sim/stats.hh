@@ -118,6 +118,12 @@ class Distribution : public Stat
     sample(double v)
     {
         avg_.sample(v);
+        if (v < 0) {
+            // Casting a negative double to an unsigned index is UB;
+            // negative samples get their own bucket instead.
+            ++underflow_;
+            return;
+        }
         auto idx = static_cast<std::size_t>(v / bucketSize_);
         if (idx >= buckets_.size())
             ++overflow_;
@@ -127,9 +133,26 @@ class Distribution : public Stat
 
     std::uint64_t count() const { return avg_.count(); }
     double mean() const { return avg_.mean(); }
+    double minValue() const { return avg_.minValue(); }
+    double maxValue() const { return avg_.maxValue(); }
+    std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
     std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
     std::size_t numBuckets() const { return buckets_.size(); }
+    double bucketSize() const { return bucketSize_; }
+
+    /**
+     * Estimate the @p q quantile (0 <= q <= 1) by linear
+     * interpolation within the fixed-width buckets. Samples in the
+     * underflow bucket are treated as sitting at the recorded
+     * minimum; the overflow bucket spans from the last bucket edge to
+     * the recorded maximum. Returns 0 when empty.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p99() const { return quantile(0.99); }
 
     void reset() override;
     void print(std::ostream &os,
@@ -139,6 +162,7 @@ class Distribution : public Stat
     Average avg_{"", ""};
     double bucketSize_;
     std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
 };
 

@@ -12,6 +12,7 @@
 #include "net/network.hh"
 #include "net/reliable.hh"
 #include "node/smp_node.hh"
+#include "obs/obs_config.hh"
 #include "verify/verify_config.hh"
 
 namespace ccnuma
@@ -60,6 +61,16 @@ struct MachineConfig
      * force-enables it without a config change.
      */
     ReliableParams reliable;
+
+    /**
+     * Observability subsystem (per-request tracing, occupancy
+     * timelines, Chrome-trace and metrics export); off by default so
+     * paper-fidelity timing and output are untouched. The
+     * CCNUMA_TRACE environment variable (1|on) force-enables it
+     * without a config change; see obs/obs_config.hh for the
+     * companion CCNUMA_TRACE_* tuning knobs.
+     */
+    ObsConfig obs;
 
     /**
      * The paper's base system: 16 nodes x 4 x 200 MHz processors,

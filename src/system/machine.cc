@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "net/reliable.hh"
+#include "obs/tracer.hh"
 #include "verify/checker.hh"
 #include "verify/fault_injector.hh"
 #include "verify/watchdog.hh"
@@ -102,6 +103,50 @@ Machine::Machine(const MachineConfig &cfg)
                 });
         }
     }
+    // Observability subsystem (off by default; see DESIGN.md). The
+    // CCNUMA_TRACE environment knob force-enables tracing without a
+    // config change; the CCNUMA_TRACE_* knobs tune it.
+    if (const char *env = std::getenv("CCNUMA_TRACE")) {
+        if (!std::strcmp(env, "1") || !std::strcmp(env, "on")) {
+            cfg_.obs.enabled = true;
+        } else if (std::strcmp(env, "0") && std::strcmp(env, "off")) {
+            warn("CCNUMA_TRACE=%s not recognized (use 1|on|0|off); "
+                 "tracing stays off", env);
+        }
+    }
+    if (cfg_.obs.enabled) {
+        if (const char *env = std::getenv("CCNUMA_TRACE_FILE"))
+            cfg_.obs.chromeTraceFile = env;
+        if (const char *env = std::getenv("CCNUMA_TRACE_METRICS"))
+            cfg_.obs.metricsFile = env;
+        if (const char *env = std::getenv("CCNUMA_TRACE_SAMPLE"))
+            cfg_.obs.sampleEvery =
+                std::max<std::uint64_t>(
+                    1, std::strtoull(env, nullptr, 10));
+        if (const char *env = std::getenv("CCNUMA_TRACE_RING"))
+            cfg_.obs.ringCapacity = static_cast<std::size_t>(
+                std::max<std::uint64_t>(
+                    1, std::strtoull(env, nullptr, 10)));
+
+        obs::TracerContext tc;
+        tc.numNodes = cfg_.numNodes;
+        tc.procsPerNode = cfg_.node.procsPerNode;
+        tc.enginesPerCc = cfg_.node.cc.numEngines;
+        tc.lineBytes = cfg_.node.bus.lineBytes;
+        tc.engineType = cfg_.node.cc.engineType;
+        tc.homeOf = [this](Addr a) { return map_.homeOf(a); };
+        tracer_ = std::make_unique<obs::Tracer>(cfg_.obs, tc);
+        net_.setTracer(tracer_.get());
+        if (xport_)
+            xport_->setTracer(tracer_.get());
+        for (auto &nd : nodes_) {
+            nd->cc().setTracer(tracer_.get());
+            nd->bus().setTracer(tracer_.get(), nd->id());
+            for (unsigned i = 0; i < nd->numProcs(); ++i)
+                nd->proc(i).setTracer(tracer_.get());
+        }
+    }
+
     if (vc.watchdog) {
         watchdog_ = std::make_unique<HangWatchdog>(
             eq_, vc.watchdogBudget,
@@ -131,6 +176,8 @@ Machine::deliverMsg(const Msg &msg)
 {
     if (checker_ && !checker_->noteDeliver(msg))
         return; // detected injected fault; delivery swallowed
+    if (tracer_)
+        tracer_->noteDeliver(msg);
     nodes_.at(msg.dst)->cc().netReceive(msg);
 }
 
@@ -225,6 +272,8 @@ Machine::run(Workload &w, bool check)
             std::string(engineTypeName(cfg_.node.cc.engineType));
         r.execTicks = eq_.curTick();
         fillRecoveryStats(r);
+        if (tracer_)
+            tracer_->exportAll(eq_.curTick());
         return r;
     }
     if (!done) {
@@ -296,7 +345,31 @@ Machine::run(Workload &w, bool check)
             : 0.0;
     fillRecoveryStats(r);
     r.completed = true;
+    if (tracer_)
+        tracer_->exportAll(eq_.curTick());
     return r;
+}
+
+void
+Machine::resetStats()
+{
+    net_.statGroup().resetAll();
+    if (xport_)
+        xport_->statGroup().resetAll();
+    sync_.statGroup().resetAll();
+    for (auto &nd : nodes_) {
+        nd->bus().statGroup().resetAll();
+        nd->memory().statGroup().resetAll();
+        nd->directory().statGroup().resetAll();
+        nd->cc().statGroup().resetAll();
+        nd->cc().resetStats();
+        for (unsigned i = 0; i < nd->numProcs(); ++i) {
+            nd->proc(i).statGroup().resetAll();
+            nd->cacheUnit(i).statGroup().resetAll();
+        }
+    }
+    if (tracer_)
+        tracer_->reset(eq_.curTick());
 }
 
 void
@@ -392,6 +465,8 @@ Machine::printStats(std::ostream &os)
     net_.statGroup().print(os);
     if (xport_)
         xport_->statGroup().print(os);
+    if (tracer_)
+        tracer_->statGroup().print(os);
     sync_.statGroup().print(os);
     for (auto &nd : nodes_) {
         nd->bus().statGroup().print(os);

@@ -25,6 +25,11 @@ class FaultInjector;
 class HangWatchdog;
 class ReliableTransport;
 
+namespace obs
+{
+class Tracer;
+} // namespace obs
+
 /** Measurements from one workload run (Table 6 inputs). */
 struct RunResult
 {
@@ -102,6 +107,9 @@ class Machine : public MsgRouter
     /** The reliable transport (null unless recovery is enabled). */
     ReliableTransport *transport() { return xport_.get(); }
 
+    /** The observability tracer (null unless tracing is enabled). */
+    obs::Tracer *tracer() { return tracer_.get(); }
+
     /** Write diagnostic state (controllers, queues, procs) to @p os. */
     void dumpDiagnostics(std::ostream &os);
 
@@ -115,6 +123,15 @@ class Machine : public MsgRouter
 
     /** Verify global coherence invariants; panics on violation. */
     void checkInvariants();
+
+    /**
+     * Discard all measurements collected so far (warm-up exclusion):
+     * controller occupancy/arrival counters, component stat groups,
+     * and — when tracing is enabled — the tracer's histograms, event
+     * ring, and any open spans. Call between a warm-up run() phase
+     * and the measured phase (e.g. via eq().scheduleFunction).
+     */
+    void resetStats();
 
     /** Dump all registered statistics. */
     void printStats(std::ostream &os);
@@ -133,6 +150,7 @@ class Machine : public MsgRouter
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<CoherenceChecker> checker_;
     std::unique_ptr<HangWatchdog> watchdog_;
+    std::unique_ptr<obs::Tracer> tracer_;
     std::uint64_t versionCounter_ = 0;
     unsigned finishedProcs_ = 0;
 };

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/tracer.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+obs::TracerContext
+smallContext()
+{
+    obs::TracerContext ctx;
+    ctx.numNodes = 4;
+    ctx.procsPerNode = 1;
+    ctx.enginesPerCc = 1;
+    ctx.lineBytes = 128;
+    // Lines below 0x1000 live on node 0; everything else on node 1.
+    ctx.homeOf = [](Addr a) {
+        return static_cast<NodeId>(a < 0x1000 ? 0 : 1);
+    };
+    return ctx;
+}
+
+std::vector<std::uint64_t>
+missStarts(const obs::Tracer &t)
+{
+    std::vector<std::uint64_t> starts;
+    t.forEachEvent([&](const obs::TraceEvent &ev) {
+        if (ev.kind == obs::SpanKind::Miss)
+            starts.push_back(ev.start);
+    });
+    return starts;
+}
+
+TEST(Tracer, SamplingIsDeterministicUnderAFixedSeed)
+{
+    ObsConfig cfg;
+    cfg.enabled = true;
+    cfg.sampleEvery = 3;
+    cfg.sampleSeed = 1;
+    cfg.ringCapacity = 256;
+
+    obs::Tracer a(cfg, smallContext());
+    obs::Tracer b(cfg, smallContext());
+    for (unsigned i = 0; i < 30; ++i) {
+        Tick start = 10 * i;
+        for (obs::Tracer *t : {&a, &b}) {
+            t->missBegin(0, 0x100, /*write=*/false, start);
+            t->missEnd(0, start + 5);
+        }
+    }
+
+    // Identical event selection on both runs, and exactly 1-in-3
+    // misses kept: (seq + 1) % 3 == 0 for seq = 2, 5, ..., 29.
+    std::vector<std::uint64_t> sa = missStarts(a);
+    EXPECT_EQ(sa, missStarts(b));
+    ASSERT_EQ(sa.size(), 10u);
+    EXPECT_EQ(sa.front(), 20u);
+    EXPECT_EQ(sa.back(), 290u);
+
+    // The latency histograms are fed by EVERY miss regardless of
+    // sampling, so means stay exact.
+    EXPECT_EQ(a.misses(), 30u);
+    EXPECT_EQ(
+        a.classLatency(obs::ReqClass::LocalRead).count(), 30u);
+    EXPECT_DOUBLE_EQ(
+        a.classLatency(obs::ReqClass::LocalRead).mean(), 5.0);
+}
+
+TEST(Tracer, DifferentSeedSelectsDifferentEvents)
+{
+    ObsConfig cfg;
+    cfg.enabled = true;
+    cfg.sampleEvery = 3;
+    cfg.ringCapacity = 256;
+
+    cfg.sampleSeed = 0;
+    obs::Tracer a(cfg, smallContext());
+    cfg.sampleSeed = 1;
+    obs::Tracer b(cfg, smallContext());
+    for (unsigned i = 0; i < 9; ++i) {
+        Tick start = 10 * i;
+        for (obs::Tracer *t : {&a, &b}) {
+            t->missBegin(0, 0x100, false, start);
+            t->missEnd(0, start + 5);
+        }
+    }
+    EXPECT_NE(missStarts(a), missStarts(b));
+}
+
+TEST(Tracer, ResetDropsPreResetSpans)
+{
+    ObsConfig cfg;
+    cfg.enabled = true;
+    cfg.ringCapacity = 256;
+    obs::Tracer t(cfg, smallContext());
+
+    // A miss and an engine span entirely inside the warm-up.
+    t.missBegin(0, 0x100, false, 100);
+    t.missEnd(0, 150);
+    t.engineSpan(0, 0, 0xff, 0, 120, 140);
+    EXPECT_EQ(t.ring().pushed(), 2u);
+
+    t.reset(200);
+    EXPECT_EQ(t.measureStart(), 200u);
+    EXPECT_TRUE(t.ring().empty());
+    EXPECT_EQ(t.misses(), 0u);
+    EXPECT_EQ(
+        t.classLatency(obs::ReqClass::LocalRead).count(), 0u);
+    EXPECT_EQ(t.engineAgg(0, 0).busyTicks, 0u);
+    EXPECT_EQ(t.dispatchOnlyCount(), 0u);
+
+    // A miss opened before the reset never closes into the record,
+    // even when its restart arrives after it.
+    t.missBegin(0, 0x100, false, 190);
+    t.reset(200);
+    t.missEnd(0, 300);
+    EXPECT_TRUE(t.ring().empty());
+    EXPECT_EQ(
+        t.classLatency(obs::ReqClass::LocalRead).count(), 0u);
+
+    // An engine span straddling the reset keeps only the measured
+    // part in the busy accounting and stays out of the event record.
+    t.engineSpan(0, 0, 0xff, 0, 190, 240);
+    EXPECT_EQ(t.engineAgg(0, 0).busyTicks, 40u);
+    EXPECT_TRUE(t.ring().empty());
+
+    // Post-reset activity is recorded normally.
+    t.missBegin(0, 0x100, false, 250);
+    t.missEnd(0, 300);
+    EXPECT_EQ(missStarts(t), (std::vector<std::uint64_t>{250}));
+    EXPECT_EQ(
+        t.classLatency(obs::ReqClass::LocalRead).count(), 1u);
+}
+
+Msg
+msg(MsgType type, Addr line, NodeId src, NodeId dst,
+    NodeId requester = 0)
+{
+    Msg m;
+    m.type = type;
+    m.lineAddr = line;
+    m.src = src;
+    m.dst = dst;
+    m.requester = requester;
+    return m;
+}
+
+class TracerClassify : public ::testing::Test
+{
+  protected:
+    TracerClassify() : tracer_(config(), smallContext()) {}
+
+    static ObsConfig
+    config()
+    {
+        ObsConfig cfg;
+        cfg.enabled = true;
+        cfg.ringCapacity = 256;
+        return cfg;
+    }
+
+    std::uint64_t
+    classCount(obs::ReqClass c) const
+    {
+        return tracer_.classLatency(c).count();
+    }
+
+    obs::Tracer tracer_;
+};
+
+TEST_F(TracerClassify, LocalReadServedAtHome)
+{
+    tracer_.missBegin(0, 0x130, false, 0); // line 0x100, home 0
+    tracer_.missEnd(0, 40);
+    EXPECT_EQ(classCount(obs::ReqClass::LocalRead), 1u);
+}
+
+TEST_F(TracerClassify, LocalReadNeedingARemoteOwner)
+{
+    tracer_.missBegin(0, 0x100, false, 0);
+    tracer_.noteDeliver(
+        msg(MsgType::OwnerDataToHome, 0x100, 2, 0, /*req=*/0));
+    tracer_.missEnd(0, 120);
+    EXPECT_EQ(classCount(obs::ReqClass::LocalReadRemote), 1u);
+}
+
+TEST_F(TracerClassify, LocalWriteRecallingRemoteCopies)
+{
+    tracer_.missBegin(0, 0x200, true, 0);
+    tracer_.noteDeliver(msg(MsgType::InvalAck, 0x200, 3, 0));
+    tracer_.missEnd(0, 150);
+    EXPECT_EQ(classCount(obs::ReqClass::LocalWriteRemote), 1u);
+}
+
+TEST_F(TracerClassify, RemoteReadSuppliedWithinTheNode)
+{
+    // Home is node 1 but no network request ever left node 0.
+    tracer_.missBegin(0, 0x2000, false, 0);
+    tracer_.missEnd(0, 30);
+    EXPECT_EQ(classCount(obs::ReqClass::RemoteReadNear), 1u);
+}
+
+TEST_F(TracerClassify, RemoteReadCleanAtHome)
+{
+    tracer_.missBegin(0, 0x2000, false, 0);
+    tracer_.noteDeliver(msg(MsgType::ReadReq, 0x2000, 0, 1));
+    tracer_.noteDeliver(msg(MsgType::DataReply, 0x2000, 1, 0));
+    tracer_.missEnd(0, 200);
+    EXPECT_EQ(classCount(obs::ReqClass::RemoteReadClean), 1u);
+}
+
+TEST_F(TracerClassify, RemoteReadDirtyThreeHop)
+{
+    tracer_.missBegin(0, 0x2000, false, 0);
+    tracer_.noteDeliver(msg(MsgType::ReadReq, 0x2000, 0, 1));
+    // Data arrives from node 2, not the home: a dirty owner supplied.
+    tracer_.noteDeliver(
+        msg(MsgType::DataReply, 0x2000, 2, 0, /*req=*/0));
+    tracer_.missEnd(0, 300);
+    EXPECT_EQ(classCount(obs::ReqClass::RemoteReadDirty), 1u);
+}
+
+TEST_F(TracerClassify, RemoteWriteDirtyThreeHop)
+{
+    tracer_.missBegin(0, 0x2000, true, 0);
+    tracer_.noteDeliver(msg(MsgType::ReadExclReq, 0x2000, 0, 1));
+    tracer_.noteDeliver(
+        msg(MsgType::DataExclReply, 0x2000, 2, 0, /*req=*/0));
+    tracer_.missEnd(0, 300);
+    EXPECT_EQ(classCount(obs::ReqClass::RemoteWriteDirty), 1u);
+}
+
+TEST_F(TracerClassify, OtherNodesMessagesDoNotPerturbOurSlot)
+{
+    tracer_.missBegin(0, 0x2000, false, 0);
+    // Node 3's request for the same line is not ours.
+    tracer_.noteDeliver(msg(MsgType::ReadReq, 0x2000, 3, 1));
+    tracer_.missEnd(0, 30);
+    EXPECT_EQ(classCount(obs::ReqClass::RemoteReadNear), 1u);
+}
+
+TEST_F(TracerClassify, MissEndOnAClosedSlotIsIgnored)
+{
+    tracer_.missEnd(0, 500);
+    for (unsigned c = 0; c < obs::numReqClasses; ++c)
+        EXPECT_EQ(classCount(static_cast<obs::ReqClass>(c)), 0u)
+            << "class " << c;
+    EXPECT_TRUE(tracer_.ring().empty());
+}
+
+} // namespace
+} // namespace ccnuma
