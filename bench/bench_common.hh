@@ -8,6 +8,11 @@
  *   --procs=<n>   total processors (default: paper's 64; LU and
  *                 Cholesky always run on 32, as in the paper)
  *   --apps=a,b,c  restrict the application set
+ *   --jobs=<n>    run independent sweep points on n worker threads
+ *                 (--jobs alone = all hardware threads; default 1).
+ *                 Each point is its own Machine, so results are
+ *                 bit-identical to a serial run; only the wall clock
+ *                 changes.
  *
  * Benches print the measured rows next to the paper's readable
  * values; EXPERIMENTS.md records the comparison for the committed
@@ -29,6 +34,7 @@
 
 #include "report/json.hh"
 #include "report/table.hh"
+#include "sim/parallel.hh"
 #include "system/machine.hh"
 #include "workload/splash.hh"
 #include "workload/synthetic.hh"
@@ -43,6 +49,7 @@ struct Options
 {
     double scale = 0.5;
     unsigned procs = 64;
+    unsigned jobs = 1; ///< worker threads for independent sweep points
     std::vector<std::string> apps;
 
     bool
@@ -71,6 +78,12 @@ parseOptions(int argc, char **argv)
         } else if (arg.rfind("--procs=", 0) == 0) {
             o.procs = static_cast<unsigned>(
                 std::stoul(arg.substr(8)));
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            o.jobs = static_cast<unsigned>(std::stoul(arg.substr(7)));
+            if (o.jobs == 0)
+                o.jobs = ThreadPool::hardwareJobs();
+        } else if (arg == "--jobs") {
+            o.jobs = ThreadPool::hardwareJobs();
         } else if (arg.rfind("--apps=", 0) == 0) {
             std::string list = arg.substr(7);
             std::size_t pos = 0;
@@ -127,6 +140,61 @@ runApp(const std::string &app, Arch arch, const Options &o,
 
 constexpr Arch allArchs[] = {Arch::HWC, Arch::PPC, Arch::TwoHWC,
                              Arch::TwoPPC};
+
+/** One (application × architecture) point of a bench sweep. */
+struct SweepPoint
+{
+    std::string app;
+    Arch arch = Arch::HWC;
+    double dataFactor = 1.0;
+    std::function<void(MachineConfig &)> tweak;
+};
+
+/**
+ * Run every sweep point, using o.jobs worker threads when asked, and
+ * return the results in input order. Each point builds an isolated
+ * Machine, so the per-point numbers are identical whether the sweep
+ * runs serial or parallel; with --jobs=1 (the default) no thread is
+ * ever created. @p progress (optional) is invoked from the collection
+ * loop — serially, in input order — as each result becomes available.
+ */
+inline std::vector<RunResult>
+runSweep(const Options &o, const std::vector<SweepPoint> &points,
+         const std::function<void(const SweepPoint &,
+                                  const RunResult &)> &progress =
+             nullptr)
+{
+    std::vector<RunResult> results =
+        parallelMap(o.jobs, points, [&](const SweepPoint &pt) {
+            return runApp(pt.app, pt.arch, o, pt.dataFactor,
+                          pt.tweak);
+        });
+    if (progress) {
+        for (std::size_t i = 0; i < points.size(); ++i)
+            progress(points[i], results[i]);
+    }
+    return results;
+}
+
+/**
+ * The common full-grid sweep: every wanted application on all four
+ * architectures, in (app-major, arch-minor) order.
+ */
+inline std::vector<SweepPoint>
+appArchGrid(const Options &o, const std::vector<std::string> &apps,
+            double data_factor = 1.0,
+            const std::function<void(MachineConfig &)> &tweak =
+                nullptr)
+{
+    std::vector<SweepPoint> points;
+    for (const std::string &app : apps) {
+        if (!o.wantsApp(app))
+            continue;
+        for (Arch arch : allArchs)
+            points.push_back({app, arch, data_factor, tweak});
+    }
+    return points;
+}
 
 inline std::string
 fmtTicks(Tick t)

@@ -38,25 +38,23 @@ run(int argc, char **argv)
         {"Radix", "~46-52%"},  {"Ocean", "93%"},
     };
 
-    for (const std::string &app : splashNames()) {
-        if (!o.wantsApp(app))
-            continue;
-        double exec[4] = {};
-        std::string label;
-        for (int a = 0; a < 4; ++a) {
-            RunResult r = runApp(app, bench::allArchs[a], o);
-            exec[a] = static_cast<double>(r.execTicks);
-            label = r.workload;
-            if (a == 0) {
-                t5.addRow({label,
-                           report::fmt("scale %.2f of Table 5",
-                                       o.scale),
-                           report::fmt(
-                               "%u",
+    // All (app × arch) points are independent Machines; --jobs=N
+    // runs them on N workers with results collected in input order.
+    std::vector<bench::SweepPoint> points =
+        bench::appArchGrid(o, splashNames());
+    std::vector<RunResult> results = bench::runSweep(o, points);
+
+    for (std::size_t i = 0; i + 3 < results.size(); i += 4) {
+        const std::string &app = points[i].app;
+        const std::string &label = results[i].workload;
+        t5.addRow({label,
+                   report::fmt("scale %.2f of Table 5", o.scale),
+                   report::fmt("%u",
                                bench::procsForApp(app, o.procs))});
-            }
-        }
-        double base = exec[0];
+        double base = static_cast<double>(results[i].execTicks);
+        double exec[4];
+        for (std::size_t a = 0; a < 4; ++a)
+            exec[a] = static_cast<double>(results[i + a].execTicks);
         t.addRow({label, "1.000",
                   report::fmt("%.3f", exec[1] / base),
                   report::fmt("%.3f", exec[2] / base),

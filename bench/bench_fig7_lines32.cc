@@ -31,21 +31,28 @@ run(int argc, char **argv)
     report::Table t({"application", "HWC-32/HWC-128", "PPC-32/HWC-128",
                      "2HWC-32/HWC-128", "2PPC-32/HWC-128",
                      "PP penalty @32B", "PP penalty @128B"});
+    // Six independent points per application: HWC/PPC at 128-byte
+    // lines for the normalization base, then all four architectures
+    // at 32 bytes. --jobs=N spreads them over N workers.
+    std::vector<SweepPoint> points;
     for (const std::string &app : splashNames()) {
         if (!o.wantsApp(app))
             continue;
-        double base128 =
-            static_cast<double>(runApp(app, Arch::HWC, o).execTicks);
-        double ppc128 =
-            static_cast<double>(runApp(app, Arch::PPC, o).execTicks);
+        points.push_back({app, Arch::HWC, 1.0, nullptr});
+        points.push_back({app, Arch::PPC, 1.0, nullptr});
+        for (Arch arch : allArchs)
+            points.push_back({app, arch, 1.0, small_lines});
+    }
+    std::vector<RunResult> results = runSweep(o, points);
+
+    for (std::size_t i = 0; i + 5 < results.size(); i += 6) {
+        double base128 = static_cast<double>(results[i].execTicks);
+        double ppc128 = static_cast<double>(results[i + 1].execTicks);
         double exec[4];
-        std::string label;
-        for (int a = 0; a < 4; ++a) {
-            RunResult r =
-                runApp(app, allArchs[a], o, 1.0, small_lines);
-            exec[a] = static_cast<double>(r.execTicks);
-            label = r.workload;
-        }
+        for (std::size_t a = 0; a < 4; ++a)
+            exec[a] =
+                static_cast<double>(results[i + 2 + a].execTicks);
+        const std::string &label = results[i + 2].workload;
         t.addRow({label, report::fmt("%.3f", exec[0] / base128),
                   report::fmt("%.3f", exec[1] / base128),
                   report::fmt("%.3f", exec[2] / base128),

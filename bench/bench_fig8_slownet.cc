@@ -35,20 +35,28 @@ run(int argc, char **argv)
                      "PPC-slow/HWC-base", "2HWC", "2PPC",
                      "PP penalty (slow net)",
                      "PP penalty (base net)"});
+    // Six independent points per application (two base-network
+    // normalizers plus the slow-network grid); --jobs=N parallelizes.
+    std::vector<SweepPoint> points;
     for (const std::string &app : apps) {
         if (!o.wantsApp(app))
             continue;
-        double base =
-            static_cast<double>(runApp(app, Arch::HWC, o).execTicks);
+        points.push_back({app, Arch::HWC, 1.0, nullptr});
+        points.push_back({app, Arch::PPC, 1.0, nullptr});
+        for (Arch arch : allArchs)
+            points.push_back({app, arch, 1.0, slow});
+    }
+    std::vector<RunResult> results = runSweep(o, points);
+
+    for (std::size_t i = 0; i + 5 < results.size(); i += 6) {
+        double base = static_cast<double>(results[i].execTicks);
         double ppc_base =
-            static_cast<double>(runApp(app, Arch::PPC, o).execTicks);
+            static_cast<double>(results[i + 1].execTicks);
         double exec[4];
-        std::string label;
-        for (int a = 0; a < 4; ++a) {
-            RunResult r = runApp(app, allArchs[a], o, 1.0, slow);
-            exec[a] = static_cast<double>(r.execTicks);
-            label = r.workload;
-        }
+        for (std::size_t a = 0; a < 4; ++a)
+            exec[a] =
+                static_cast<double>(results[i + 2 + a].execTicks);
+        const std::string &label = results[i + 2].workload;
         t.addRow({label, report::fmt("%.3f", exec[0] / base),
                   report::fmt("%.3f", exec[1] / base),
                   report::fmt("%.3f", exec[2] / base),

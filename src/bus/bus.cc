@@ -32,6 +32,12 @@ Bus::Bus(const std::string &name, EventQueue &eq, const BusParams &p)
     statGroup_.add(&statDataBusy);
 }
 
+Bus::~Bus()
+{
+    if (kickEvent_.scheduled())
+        eq_.deschedule(&kickEvent_);
+}
+
 int
 Bus::addAgent(BusAgent *agent)
 {
@@ -56,17 +62,14 @@ Bus::request(BusCmd cmd, Addr line_addr, int requester,
     txn.issueTick = eq_.curTick();
     open_.emplace(id, txn);
     pendingGrants_.push_back(id);
-    if (!kickScheduled_) {
-        kickScheduled_ = true;
-        eq_.scheduleFunctionIn([this] { kick(); }, 0);
-    }
+    if (!kickEvent_.scheduled())
+        eq_.scheduleIn(&kickEvent_, 0);
     return id;
 }
 
 void
 Bus::kick()
 {
-    kickScheduled_ = false;
     while (!pendingGrants_.empty() && granted_ < params_.maxOutstanding) {
         std::uint64_t id = pendingGrants_.front();
         pendingGrants_.pop_front();
@@ -221,10 +224,8 @@ Bus::deliver(std::uint64_t txn_id, Tick when)
                                  txn.lineAddr, txn.issueTick,
                                  eq_.curTick());
             }
-            if (!pendingGrants_.empty() && !kickScheduled_) {
-                kickScheduled_ = true;
-                eq_.scheduleFunctionIn([this] { kick(); }, 0);
-            }
+            if (!pendingGrants_.empty() && !kickEvent_.scheduled())
+                eq_.scheduleIn(&kickEvent_, 0);
         },
         when);
 }

@@ -183,6 +183,7 @@ class Bus
 {
   public:
     Bus(const std::string &name, EventQueue &eq, const BusParams &p);
+    ~Bus();
 
     /** Register a snooping agent. @return its agent id. */
     int addAgent(BusAgent *agent);
@@ -306,7 +307,23 @@ class Bus
     unsigned granted_ = 0;
     Tick nextStrobeAllowed_ = 0;
     Tick dataBusFreeAt_ = 0;
-    bool kickScheduled_ = false;
+
+    /**
+     * Reusable arbitration event: request() and deliver() fire one
+     * kick per tick at most, with no per-kick allocation. The event's
+     * scheduled() bit replaces the old kickScheduled_ flag.
+     */
+    class KickEvent : public Event
+    {
+      public:
+        explicit KickEvent(Bus &bus) : bus_(bus) {}
+        void process() override { bus_.kick(); }
+        const char *name() const override { return "bus kick"; }
+
+      private:
+        Bus &bus_;
+    };
+    KickEvent kickEvent_{*this};
 
     stats::Group statGroup_;
 };

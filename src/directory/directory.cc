@@ -63,7 +63,10 @@ DirectoryCache::reset()
 
 DirectoryStore::DirectoryStore(const std::string &name,
                                const DirectoryParams &p)
-    : params_(p), cache_(p), statGroup_(name)
+    // Pre-size the entry table past the directory cache's working
+    // set so steady-state lookups never rehash.
+    : params_(p), entries_(2 * p.cacheEntries), cache_(p),
+      statGroup_(name)
 {
     statGroup_.add(&statReads);
     statGroup_.add(&statWrites);
@@ -80,8 +83,7 @@ DirectoryStore::entry(Addr line_addr)
 const DirEntry *
 DirectoryStore::peek(Addr line_addr) const
 {
-    auto it = entries_.find(line_addr);
-    return it == entries_.end() ? nullptr : &it->second;
+    return entries_.find(line_addr);
 }
 
 BusSideDirState

@@ -23,9 +23,9 @@
 #include <bit>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "directory/line_map.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -162,8 +162,7 @@ class DirectoryStore
     void
     forEach(F &&f) const
     {
-        for (const auto &kv : entries_)
-            f(kv.first, kv.second);
+        entries_.forEach(f);
     }
 
     stats::Group &statGroup() { return statGroup_; }
@@ -176,7 +175,7 @@ class DirectoryStore
 
   private:
     DirectoryParams params_;
-    std::unordered_map<Addr, DirEntry> entries_;
+    LineMap<DirEntry> entries_;
     DirectoryCache cache_;
     Tick dramFreeAt_ = 0;
     stats::Group statGroup_;

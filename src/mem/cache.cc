@@ -53,12 +53,14 @@ SetAssocCache::setIndex(Addr addr) const
 CacheLine *
 SetAssocCache::findLine(Addr addr)
 {
+    // Invalid lines carry kNoLineTag, so tag equality alone decides a
+    // hit; the way loop is branch-per-compare over one contiguous set.
     Addr la = lineAlign(addr);
-    std::size_t base = setIndex(addr) * assoc_;
-    for (unsigned w = 0; w < assoc_; ++w) {
-        CacheLine &line = lines_[base + w];
-        if (lineValid(line.state) && line.lineAddr == la)
-            return &line;
+    CacheLine *line = lines_.data() + setIndex(addr) * assoc_;
+    CacheLine *end = line + assoc_;
+    for (; line != end; ++line) {
+        if (line->lineAddr == la)
+            return line;
     }
     return nullptr;
 }
@@ -111,6 +113,7 @@ SetAssocCache::invalidate(Addr addr)
         return LineState::Invalid;
     LineState prior = line->state;
     line->state = LineState::Invalid;
+    line->lineAddr = kNoLineTag;
     ++statInvalidations;
     return prior;
 }
@@ -118,8 +121,10 @@ SetAssocCache::invalidate(Addr addr)
 void
 SetAssocCache::invalidateAll()
 {
-    for (auto &line : lines_)
+    for (auto &line : lines_) {
         line.state = LineState::Invalid;
+        line.lineAddr = kNoLineTag;
+    }
 }
 
 std::size_t

@@ -42,10 +42,18 @@ lineValid(LineState s)
     return s != LineState::Invalid;
 }
 
+/**
+ * Tag value carried by lines that hold no copy. Never equal to any
+ * line-aligned address, so the hot lookup loop can compare tags alone
+ * without also testing the state byte.
+ */
+inline constexpr Addr kNoLineTag = ~static_cast<Addr>(0);
+
 /** One cache line's tag/state entry. */
 struct CacheLine
 {
-    Addr lineAddr = 0; ///< full line-aligned address (acts as the tag)
+    /** Full line-aligned address (the tag); kNoLineTag when invalid. */
+    Addr lineAddr = kNoLineTag;
     LineState state = LineState::Invalid;
     std::uint64_t lastUse = 0;  ///< LRU timestamp
     std::uint64_t version = 0;  ///< checker: version of held data

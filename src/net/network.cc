@@ -32,9 +32,9 @@ Network::serializeTicks(unsigned bytes) const
     return static_cast<Tick>(std::max(1u, flits)) * params_.portCycle;
 }
 
-void
-Network::send(NodeId src, NodeId dst, unsigned bytes,
-              std::function<void()> on_delivered)
+bool
+Network::planSend(NodeId src, NodeId dst, unsigned bytes,
+                  Tick &delivered, Tick &duplicate_at)
 {
     ccnuma_assert(src < egressFreeAt_.size());
     ccnuma_assert(dst < ingressFreeAt_.size());
@@ -53,28 +53,31 @@ Network::send(NodeId src, NodeId dst, unsigned bytes,
     Tick ingress_start = std::max(head_arrives, ingressFreeAt_[dst]);
     statIngressWait.sample(
         static_cast<double>(ingress_start - head_arrives));
-    Tick delivered = ingress_start + ser;
+    delivered = ingress_start + ser;
     ingressFreeAt_[dst] = delivered;
 
+    duplicate_at = 0;
     if (tap_ != nullptr) {
         // Fault injection: the tap may delay, duplicate, or drop the
         // delivery. Port bookkeeping above stays untouched — the
         // injected perturbation is on top of the modeled timing.
-        Tick duplicate_at = 0;
         if (!tap_->onDelivery(src, dst, delivered, duplicate_at))
-            return;
+            return false;
         ccnuma_assert(delivered >= now);
-        if (duplicate_at != 0)
-            eq_.scheduleFunction(on_delivered, duplicate_at);
     }
+    return true;
+}
 
+void
+Network::recordSend(NodeId src, NodeId dst, unsigned bytes,
+                    Tick delivered)
+{
     ++statMessages;
     statBytes += static_cast<double>(bytes);
-    statLatency.sample(static_cast<double>(delivered - now));
+    statLatency.sample(
+        static_cast<double>(delivered - eq_.curTick()));
     if (tracer_)
-        tracer_->netSpan(src, dst, bytes, now, delivered);
-
-    eq_.scheduleFunction(std::move(on_delivered), delivered);
+        tracer_->netSpan(src, dst, bytes, eq_.curTick(), delivered);
 }
 
 } // namespace ccnuma

@@ -85,10 +85,29 @@ class Network
     /**
      * Send @p bytes from @p src to @p dst; @p on_delivered runs at
      * the tick the message has fully arrived at the destination's
-     * network interface.
+     * network interface. The callback goes straight into the event
+     * queue's one-shot pool: keep captures small (within
+     * SmallCallback::inlineBytes) and this path never allocates.
      */
-    void send(NodeId src, NodeId dst, unsigned bytes,
-              std::function<void()> on_delivered);
+    template <typename F>
+    void
+    send(NodeId src, NodeId dst, unsigned bytes, F &&on_delivered)
+    {
+        Tick delivered = 0;
+        Tick duplicate_at = 0;
+        if (!planSend(src, dst, bytes, delivered, duplicate_at))
+            return; // dropped by the fault-injection tap
+        if (duplicate_at != 0) {
+            // Injected duplicate: scheduled first, as the tap-era
+            // core did, so event ordering stays bit-identical.
+            eq_.scheduleFunction(on_delivered, duplicate_at,
+                                 Event::defaultPriority,
+                                 "net-dup-delivery");
+        }
+        recordSend(src, dst, bytes, delivered);
+        eq_.scheduleFunction(std::forward<F>(on_delivered), delivered,
+                             Event::defaultPriority, "net-delivery");
+    }
 
     /** Install a delivery tap (fault injection); null to remove. */
     void setTap(NetworkTap *tap) { tap_ = tap; }
@@ -109,6 +128,17 @@ class Network
 
   private:
     Tick serializeTicks(unsigned bytes) const;
+
+    /**
+     * Model port/flight timing and consult the tap.
+     * @return false if the tap dropped the message.
+     */
+    bool planSend(NodeId src, NodeId dst, unsigned bytes,
+                  Tick &delivered, Tick &duplicate_at);
+
+    /** Account stats and tracer spans for a non-dropped send. */
+    void recordSend(NodeId src, NodeId dst, unsigned bytes,
+                    Tick delivered);
 
     std::string name_;
     EventQueue &eq_;

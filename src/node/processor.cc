@@ -17,16 +17,22 @@ Processor::Processor(const std::string &name, EventQueue &eq,
     statGroup_.add(&statSyncWaitTicks);
 }
 
+Processor::~Processor()
+{
+    if (runEvent_.scheduled())
+        eq_.deschedule(&runEvent_);
+}
+
 void
 Processor::start(Tick when)
 {
-    eq_.scheduleFunction([this] { run(); }, when);
+    eq_.schedule(&runEvent_, when);
 }
 
 void
 Processor::resumeAt(Tick when)
 {
-    eq_.scheduleFunction([this] { run(); }, when);
+    eq_.schedule(&runEvent_, when);
 }
 
 void

@@ -51,6 +51,7 @@ class Processor
     Processor(const std::string &name, EventQueue &eq, ProcId id,
               CacheUnit &cache, SyncManager &sync,
               const ProcessorParams &p);
+    ~Processor();
 
     /** Install the thread program (before start()). */
     void setProgram(OpStream stream) { stream_ = std::move(stream); }
@@ -115,6 +116,24 @@ class Processor
     Tick syncWaitTicks_ = 0;
 
     std::unordered_map<Addr, std::uint64_t> lastSeen_;
+
+    /**
+     * Reusable execute event: one instance serves every start/resume
+     * of this processor's instruction loop (at most one is ever
+     * outstanding), so the hottest scheduling edge in the simulator
+     * never touches the one-shot pool.
+     */
+    class RunEvent : public Event
+    {
+      public:
+        explicit RunEvent(Processor &p) : proc_(p) {}
+        void process() override { proc_.run(); }
+        const char *name() const override { return "proc run"; }
+
+      private:
+        Processor &proc_;
+    };
+    RunEvent runEvent_{*this};
 
     stats::Group statGroup_;
     stats::Scalar statInstructions{"instructions",

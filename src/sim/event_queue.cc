@@ -1,8 +1,8 @@
 #include "sim/event_queue.hh"
 
+#include <bit>
 #include <cstdio>
 #include <exception>
-#include <memory>
 
 namespace ccnuma
 {
@@ -16,36 +16,119 @@ Event::~Event()
     // for. During exception unwinding, though, aborting here would
     // mask the original error (a PanicError thrown from deep inside
     // a handler unwinds through component owners whose events are
-    // still pending), so tolerate it: cancel the queue entry and let
-    // the original exception propagate.
+    // still pending), so tolerate it: unlink the entry and let the
+    // original exception propagate.
     if (std::uncaught_exceptions() > 0 && queue_ != nullptr) {
         std::fprintf(stderr,
                      "warn: event '%s' destroyed while scheduled "
                      "(exception unwinding); entry cancelled\n",
-                     name().c_str());
+                     name());
         queue_->forgetDestroyed(this);
         return;
     }
     // Cannot throw from a destructor; print and abort instead.
     std::fprintf(stderr,
                  "panic: event '%s' destroyed while scheduled\n",
-                 name().c_str());
+                 name());
     std::abort();
+}
+
+std::vector<EventQueue::Core> &
+EventQueue::coreCache()
+{
+    static thread_local std::vector<Core> cache;
+    return cache;
+}
+
+EventQueue::EventQueue()
+{
+    std::vector<Core> &cache = coreCache();
+    if (!cache.empty()) {
+        Core core = std::move(cache.back());
+        cache.pop_back();
+        buckets_ = std::move(core.buckets);
+        slabs_ = std::move(core.slabs);
+        freeList_ = core.freeList;
+    } else {
+        buckets_.resize(wheelTicks);
+    }
 }
 
 EventQueue::~EventQueue()
 {
-    // Drop remaining entries, freeing auto-delete events that never
-    // fired so that tear-down does not leak.
-    while (!q_.empty()) {
-        Entry e = q_.top();
-        q_.pop();
-        if (cancelled_.erase(e.seq))
-            continue;
-        e.ev->scheduled_ = false;
-        if (e.ev->autoDelete_)
-            delete e.ev;
+    // Pending events must not see scheduled_ == true from their own
+    // destructors after the queue is gone. Occupied buckets are found
+    // through the bitmap so a drained queue's teardown touches
+    // nothing; pooled events still in flight are reset and returned
+    // to the free list so the core below is donated clean.
+    for (unsigned w = 0; w < bitmapWords; ++w) {
+        std::uint64_t bits = bitmap_[w];
+        while (bits != 0) {
+            std::size_t idx = (std::size_t(w) << 6) +
+                              static_cast<std::size_t>(
+                                  std::countr_zero(bits));
+            bits &= bits - 1;
+            Bucket &b = buckets_[idx];
+            for (Event *ev = b.head; ev != nullptr;) {
+                Event *next = ev->next_;
+                ev->scheduled_ = false;
+                ev->queue_ = nullptr;
+                ev->prev_ = nullptr;
+                ev->next_ = nullptr;
+                if (ev->pooled_)
+                    releasePoolEvent(static_cast<PoolEvent *>(ev));
+                ev = next;
+            }
+            b.head = nullptr;
+            b.tail = nullptr;
+        }
     }
+    for (Event *ev = overflowHead_; ev != nullptr;) {
+        Event *next = ev->next_;
+        ev->scheduled_ = false;
+        ev->queue_ = nullptr;
+        ev->prev_ = nullptr;
+        ev->next_ = nullptr;
+        if (ev->pooled_)
+            releasePoolEvent(static_cast<PoolEvent *>(ev));
+        ev = next;
+    }
+    // Donate the cleaned bucket array and pool slabs to the next
+    // queue constructed on this thread (bounded cache).
+    std::vector<Core> &cache = coreCache();
+    if (cache.size() < 4) {
+        cache.push_back(
+            Core{std::move(buckets_), std::move(slabs_), freeList_});
+    }
+}
+
+void
+EventQueue::insertSorted(Bucket &b, Event *ev)
+{
+    // Events in one bucket share a tick; keep the list ordered by
+    // (priority, seq). New events carry the highest seq so far, so
+    // scanning from the tail terminates immediately on the hot path
+    // (uniform priorities); only overflow migration, which re-inserts
+    // older seqs, ever walks further.
+    Event *after = b.tail;
+    while (after != nullptr &&
+           (after->priority_ > ev->priority_ ||
+            (after->priority_ == ev->priority_ &&
+             after->seq_ > ev->seq_))) {
+        after = after->prev_;
+    }
+    ev->prev_ = after;
+    if (after != nullptr) {
+        ev->next_ = after->next_;
+        after->next_ = ev;
+    } else {
+        ev->next_ = b.head;
+        b.head = ev;
+    }
+    if (ev->next_ != nullptr)
+        ev->next_->prev_ = ev;
+    else
+        b.tail = ev;
 }
 
 void
@@ -54,43 +137,74 @@ EventQueue::schedule(Event *ev, Tick when)
     ccnuma_assert(ev != nullptr);
     if (when < curTick_) {
         panic("scheduling event '%s' at tick %llu in the past "
-              "(now %llu)", ev->name().c_str(),
+              "(now %llu)", ev->name(),
               (unsigned long long)when, (unsigned long long)curTick_);
     }
     if (ev->scheduled_) {
         panic("event '%s' scheduled while already pending",
-              ev->name().c_str());
+              ev->name());
     }
     ev->when_ = when;
     ev->seq_ = nextSeq_++;
     ev->scheduled_ = true;
     ev->queue_ = this;
-    q_.push(Entry{when, ev->priority(), ev->seq_, ev});
+    if (inWheel(when)) {
+        std::size_t idx = static_cast<std::size_t>(when & wheelMask);
+        insertSorted(buckets_[idx], ev);
+        bitmap_[idx >> 6] |= std::uint64_t(1) << (idx & 63);
+        ++nearCount_;
+    } else {
+        // Far future: unsorted intrusive overflow list.
+        ev->prev_ = nullptr;
+        ev->next_ = overflowHead_;
+        if (overflowHead_ != nullptr)
+            overflowHead_->prev_ = ev;
+        overflowHead_ = ev;
+        ++overflowCount_;
+    }
     ++pending_;
     if (pending_ > maxPending_)
         maxPending_ = pending_;
 }
 
 void
-EventQueue::forgetDestroyed(Event *ev)
+EventQueue::unlink(Event *ev)
 {
-    ccnuma_assert(ev != nullptr && ev->scheduled_);
+    if (inWheel(ev->when_)) {
+        std::size_t idx =
+            static_cast<std::size_t>(ev->when_ & wheelMask);
+        Bucket &b = buckets_[idx];
+        if (ev->prev_ != nullptr)
+            ev->prev_->next_ = ev->next_;
+        else
+            b.head = ev->next_;
+        if (ev->next_ != nullptr)
+            ev->next_->prev_ = ev->prev_;
+        else
+            b.tail = ev->prev_;
+        if (b.head == nullptr)
+            bitmap_[idx >> 6] &= ~(std::uint64_t(1) << (idx & 63));
+        --nearCount_;
+    } else {
+        if (ev->prev_ != nullptr)
+            ev->prev_->next_ = ev->next_;
+        else
+            overflowHead_ = ev->next_;
+        if (ev->next_ != nullptr)
+            ev->next_->prev_ = ev->prev_;
+        --overflowCount_;
+    }
+    ev->prev_ = nullptr;
+    ev->next_ = nullptr;
     ev->scheduled_ = false;
-    cancelled_.insert(ev->seq_);
     --pending_;
 }
 
 void
-EventQueue::scheduleFunction(std::function<void()> fn, Tick when,
-                             int priority)
+EventQueue::forgetDestroyed(Event *ev)
 {
-    auto ev = std::make_unique<EventFunction>(std::move(fn),
-                                              "one-shot", priority);
-    ev->autoDelete_ = true;
-    // schedule() can panic (e.g. tick in the past); only hand
-    // ownership to the queue once the event is actually enqueued.
-    schedule(ev.get(), when);
-    ev.release();
+    ccnuma_assert(ev != nullptr && ev->scheduled_);
+    unlink(ev);
 }
 
 void
@@ -99,54 +213,165 @@ EventQueue::deschedule(Event *ev)
     ccnuma_assert(ev != nullptr);
     if (!ev->scheduled_)
         panic("descheduling event '%s' that is not pending",
-              ev->name().c_str());
-    ev->scheduled_ = false;
-    cancelled_.insert(ev->seq_);
-    --pending_;
-    // If the event owned itself, nobody else will free it.
-    if (ev->autoDelete_)
-        delete ev;
+              ev->name());
+    unlink(ev);
+    if (ev->pooled_)
+        releasePoolEvent(static_cast<PoolEvent *>(ev));
+}
+
+Event *
+EventQueue::peekWheel() const
+{
+    if (nearCount_ == 0)
+        return nullptr;
+    // All wheel events are at or after curTick_, so scanning the
+    // occupancy bitmap from curTick_'s slot (or the window start if
+    // the window was advanced past curTick_) finds the earliest one.
+    Tick from = curTick_ > wheelBase_ ? curTick_ : wheelBase_;
+    std::size_t idx = static_cast<std::size_t>(from & wheelMask);
+    unsigned word = static_cast<unsigned>(idx >> 6);
+    std::uint64_t bits = bitmap_[word] >> (idx & 63);
+    if (bits != 0) {
+        return buckets_[idx + std::countr_zero(bits)].head;
+    }
+    for (unsigned w = word + 1; w < bitmapWords; ++w) {
+        if (bitmap_[w] != 0) {
+            return buckets_[(std::size_t(w) << 6) +
+                            std::countr_zero(bitmap_[w])]
+                .head;
+        }
+    }
+    return nullptr;
+}
+
+Tick
+EventQueue::overflowMin() const
+{
+    ccnuma_assert(overflowHead_ != nullptr);
+    Tick min = overflowHead_->when_;
+    for (Event *ev = overflowHead_->next_; ev != nullptr;
+         ev = ev->next_) {
+        if (ev->when_ < min)
+            min = ev->when_;
+    }
+    return min;
+}
+
+void
+EventQueue::advanceWheelTo(Tick target)
+{
+    ccnuma_assert(nearCount_ == 0);
+    wheelBase_ = target & ~wheelMask;
+    // Migrate newly-near overflow events into their buckets. They
+    // keep their original seq, so the (tick, priority, seq) ordering
+    // contract is untouched by living in the overflow tier.
+    for (Event *ev = overflowHead_; ev != nullptr;) {
+        Event *next = ev->next_;
+        if (inWheel(ev->when_)) {
+            if (ev->prev_ != nullptr)
+                ev->prev_->next_ = ev->next_;
+            else
+                overflowHead_ = ev->next_;
+            if (ev->next_ != nullptr)
+                ev->next_->prev_ = ev->prev_;
+            --overflowCount_;
+            std::size_t idx =
+                static_cast<std::size_t>(ev->when_ & wheelMask);
+            ev->prev_ = nullptr;
+            ev->next_ = nullptr;
+            insertSorted(buckets_[idx], ev);
+            bitmap_[idx >> 6] |= std::uint64_t(1) << (idx & 63);
+            ++nearCount_;
+        }
+        ev = next;
+    }
+}
+
+Tick
+EventQueue::nextWhen() const
+{
+    const Event *ev = peekWheel();
+    if (ev != nullptr)
+        return ev->when_;
+    if (overflowCount_ != 0)
+        return overflowMin();
+    return maxTick;
+}
+
+EventQueue::PoolEvent *
+EventQueue::acquirePoolEvent()
+{
+    if (freeList_ == nullptr) {
+        constexpr std::size_t slabEvents = 64;
+        slabs_.push_back(std::make_unique<PoolEvent[]>(slabEvents));
+        PoolEvent *slab = slabs_.back().get();
+        for (std::size_t i = 0; i < slabEvents; ++i) {
+            slab[i].pooled_ = true;
+            slab[i].next_ = freeList_;
+            freeList_ = &slab[i];
+        }
+    }
+    PoolEvent *ev = freeList_;
+    freeList_ = static_cast<PoolEvent *>(ev->next_);
+    ev->next_ = nullptr;
+    return ev;
+}
+
+void
+EventQueue::releasePoolEvent(PoolEvent *ev)
+{
+    ev->cb_.reset();
+    ev->next_ = freeList_;
+    freeList_ = ev;
 }
 
 bool
 EventQueue::step()
 {
-    while (!q_.empty()) {
-        Entry e = q_.top();
-        q_.pop();
-        if (cancelled_.erase(e.seq))
-            continue; // lazily removed entry
-        ccnuma_assert(e.when >= curTick_);
-        curTick_ = e.when;
-        Event *ev = e.ev;
-        ev->scheduled_ = false;
-        --pending_;
-        ++processed_;
-        // process() may have rescheduled the event; only delete
-        // self-owned events that are not pending again. A scope
-        // guard keeps that true when process() throws (fatal/panic
-        // from a handler), so the one-shot does not leak.
-        struct Reaper
-        {
-            Event *ev;
-            bool autoDelete;
-            ~Reaper()
-            {
-                if (autoDelete && !ev->scheduled_)
-                    delete ev;
-            }
-        } reaper{ev, ev->autoDelete_};
-        ev->process();
-        return true;
+    Event *ev = peekWheel();
+    if (ev == nullptr) {
+        if (overflowCount_ == 0)
+            return false;
+        // Only far-future events remain: fast-forward the window to
+        // the earliest of them and retry.
+        advanceWheelTo(overflowMin());
+        ev = peekWheel();
+        ccnuma_assert(ev != nullptr);
     }
-    return false;
+    ccnuma_assert(ev->when_ >= curTick_);
+    curTick_ = ev->when_;
+    unlink(ev);
+    ++processed_;
+    // process() may reschedule the event; only return pool-owned
+    // one-shots that are not pending again. A scope guard keeps that
+    // true when process() throws (fatal/panic from a handler), so
+    // the one-shot's captured state does not leak.
+    struct Reaper
+    {
+        EventQueue *q;
+        Event *ev;
+        ~Reaper()
+        {
+            if (ev->pooled_ && !ev->scheduled_)
+                q->releasePoolEvent(static_cast<PoolEvent *>(ev));
+        }
+    } reaper{this, ev};
+    ev->process();
+    return true;
 }
 
 void
 EventQueue::run(Tick limit)
 {
-    while (!q_.empty()) {
-        if (q_.top().when > limit)
+    if (limit == maxTick) {
+        // Drain-to-empty fast path: step() already finds the minimum,
+        // so the extra nextWhen() scan per event would be pure waste.
+        while (step()) {
+        }
+        return;
+    }
+    while (pending_ != 0) {
+        if (nextWhen() > limit)
             return;
         step();
     }
@@ -156,7 +381,7 @@ bool
 EventQueue::runUntil(const std::function<bool()> &done, Tick limit)
 {
     while (!done()) {
-        if (q_.empty() || q_.top().when > limit)
+        if (pending_ == 0 || nextWhen() > limit)
             return false;
         step();
     }

@@ -4,16 +4,30 @@
  *
  * Events scheduled for the same tick are ordered first by priority and
  * then by insertion order, making every simulation fully deterministic.
+ *
+ * The queue is a timing wheel rather than a binary heap: near-horizon
+ * events (the bus, memory, directory, and network latencies that
+ * dominate a coherence simulation are all small constants) live in
+ * per-tick intrusive bucket lists with O(1) schedule/fire/cancel, and
+ * far-future events (watchdog budgets, retransmission timeouts) sit in
+ * an intrusive overflow list that is migrated into the wheel when the
+ * window advances. Cancellation unlinks in place, so there is no
+ * lazy-cancel set to consult on the pop path. One-shot callbacks are
+ * served from a slab-backed free list of pooled events whose callback
+ * storage is inline, so steady-state simulation performs zero heap
+ * allocations per event.
  */
 
 #ifndef CCNUMA_SIM_EVENT_QUEUE_HH
 #define CCNUMA_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <string>
-#include <unordered_set>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -45,7 +59,7 @@ class Event
     virtual void process() = 0;
 
     /** Human-readable description used in error messages. */
-    virtual std::string name() const { return "anonymous event"; }
+    virtual const char *name() const { return "anonymous event"; }
 
     /** @return true while the event sits in an event queue. */
     bool scheduled() const { return scheduled_; }
@@ -58,31 +72,114 @@ class Event
   private:
     friend class EventQueue;
 
+    /** Intrusive links: wheel bucket list or overflow list. */
+    Event *prev_ = nullptr;
+    Event *next_ = nullptr;
     Tick when_ = 0;
     std::uint64_t seq_ = 0;
     int priority_;
     bool scheduled_ = false;
-    bool autoDelete_ = false;
+    bool pooled_ = false;
     /** Queue the event is scheduled on (for dtor cancellation). */
     EventQueue *queue_ = nullptr;
 };
 
-/** Convenience event wrapping a std::function callback. */
+/**
+ * Fixed-footprint type-erased callback: callables up to inlineBytes
+ * are stored in place; larger ones fall back to the heap (counted by
+ * the owning queue so the allocation-free tests can assert the hot
+ * path never takes the fallback).
+ */
+class SmallCallback
+{
+  public:
+    /**
+     * Sized so that a captured DispatchItem-by-value plus a couple of
+     * pointers — the largest hot-path capture in the simulator —
+     * still fits in place.
+     */
+    static constexpr std::size_t inlineBytes = 112;
+
+    SmallCallback() = default;
+    SmallCallback(const SmallCallback &) = delete;
+    SmallCallback &operator=(const SmallCallback &) = delete;
+    ~SmallCallback() { reset(); }
+
+    /**
+     * Install @p fn. @return true if the callable had to be
+     * heap-allocated (capture larger than inlineBytes).
+     */
+    template <typename F>
+    bool
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        ccnuma_assert(invoke_ == nullptr);
+        if constexpr (sizeof(Fn) <= inlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(buf_))
+                Fn(std::forward<F>(fn));
+            invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+            if constexpr (!std::is_trivially_destructible_v<Fn>) {
+                destroy_ = [](void *p) {
+                    static_cast<Fn *>(p)->~Fn();
+                };
+            }
+            return false;
+        } else {
+            Fn *obj = new Fn(std::forward<F>(fn));
+            heap_ = obj;
+            invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+            destroy_ = [](void *p) { delete static_cast<Fn *>(p); };
+            return true;
+        }
+    }
+
+    void
+    operator()()
+    {
+        ccnuma_assert(invoke_ != nullptr);
+        invoke_(heap_ ? heap_ : static_cast<void *>(buf_));
+    }
+
+    void
+    reset()
+    {
+        if (destroy_ != nullptr)
+            destroy_(heap_ ? heap_ : static_cast<void *>(buf_));
+        invoke_ = nullptr;
+        destroy_ = nullptr;
+        heap_ = nullptr;
+    }
+
+  private:
+    void (*invoke_)(void *) = nullptr;
+    void (*destroy_)(void *) = nullptr;
+    void *heap_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[inlineBytes];
+};
+
+/**
+ * Convenience event wrapping a std::function callback, for
+ * caller-owned (typically stack- or member-) events. One-shot
+ * callbacks passed to EventQueue::scheduleFunction do NOT use this
+ * class; they are served from the queue's internal pool.
+ */
 class EventFunction : public Event
 {
   public:
     explicit EventFunction(std::function<void()> fn,
-                           const std::string &name = "function event",
+                           const char *name = "function event",
                            int priority = defaultPriority)
         : Event(priority), fn_(std::move(fn)), name_(name)
     {}
 
     void process() override { fn_(); }
-    std::string name() const override { return name_; }
+    const char *name() const override { return name_; }
 
   private:
     std::function<void()> fn_;
-    std::string name_;
+    const char *name_;
 };
 
 /**
@@ -92,7 +189,7 @@ class EventFunction : public Event
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
     ~EventQueue();
@@ -114,17 +211,41 @@ class EventQueue
 
     /**
      * Schedule a one-shot callback at absolute tick @p when. The
-     * underlying event is heap-allocated and freed after firing.
+     * underlying event comes from the queue's pool and returns to it
+     * after firing: no allocation as long as the capture fits the
+     * SmallCallback inline buffer and the pool is warm. @p name must
+     * be a literal (or otherwise outlive the event).
      */
-    void scheduleFunction(std::function<void()> fn, Tick when,
-                          int priority = Event::defaultPriority);
+    template <typename F>
+    void
+    scheduleFunction(F &&fn, Tick when,
+                     int priority = Event::defaultPriority,
+                     const char *name = "one-shot")
+    {
+        PoolEvent *ev = acquirePoolEvent();
+        if (ev->cb_.emplace(std::forward<F>(fn)))
+            ++callbackHeapFallbacks_;
+        ev->name_ = name;
+        ev->priority_ = priority;
+        // schedule() can panic (e.g. tick in the past); reclaim the
+        // pool slot so the failed call does not leak it.
+        try {
+            schedule(ev, when);
+        } catch (...) {
+            releasePoolEvent(ev);
+            throw;
+        }
+    }
 
     /** Schedule a one-shot callback @p delta ticks from now. */
+    template <typename F>
     void
-    scheduleFunctionIn(std::function<void()> fn, Tick delta,
-                       int priority = Event::defaultPriority)
+    scheduleFunctionIn(F &&fn, Tick delta,
+                       int priority = Event::defaultPriority,
+                       const char *name = "one-shot")
     {
-        scheduleFunction(std::move(fn), curTick_ + delta, priority);
+        scheduleFunction(std::forward<F>(fn), curTick_ + delta,
+                         priority, name);
     }
 
     /** Remove a pending event from the queue without firing it. */
@@ -133,8 +254,8 @@ class EventQueue
     /**
      * Cancel the queue entry of a still-scheduled event whose object
      * is being destroyed during exception unwinding (called only by
-     * Event::~Event). The entry is lazily dropped; the event object
-     * is never touched again.
+     * Event::~Event). The event is unlinked in place and never
+     * touched again.
      */
     void forgetDestroyed(Event *ev);
 
@@ -154,6 +275,19 @@ class EventQueue
     std::uint64_t numProcessed() const { return processed_; }
 
     /**
+     * One-shot callbacks whose capture exceeded the SmallCallback
+     * inline buffer and paid a heap allocation. Hot paths keep their
+     * captures small; the allocation-free test asserts this stays 0.
+     */
+    std::uint64_t callbackHeapFallbacks() const
+    {
+        return callbackHeapFallbacks_;
+    }
+
+    /** Tick of the earliest pending event (maxTick when empty). */
+    Tick nextWhen() const;
+
+    /**
      * Fire the single earliest pending event.
      * @return false if the queue was empty.
      */
@@ -169,33 +303,98 @@ class EventQueue
     bool runUntil(const std::function<bool()> &done,
                   Tick limit = maxTick);
 
-  private:
-    struct Entry
-    {
-        Tick when;
-        int priority;
-        std::uint64_t seq;
-        Event *ev;
+    // --- wheel geometry (exposed for tests/benches) ---
+    // 1024 one-tick buckets: every hot latency constant in the
+    // simulator (bus, memory, directory, network — all < 100 ticks)
+    // lands in the window directly, while keeping the bucket array
+    // small enough (16 KB) that constructing a Machine stays cheap.
+    // Longer delays (watchdog budgets, retransmission timers) park in
+    // the overflow tier and migrate as the window advances.
+    static constexpr unsigned wheelBits = 10;
+    static constexpr Tick wheelTicks = Tick(1) << wheelBits;
 
-        bool
-        operator>(const Entry &o) const
-        {
-            if (when != o.when)
-                return when > o.when;
-            if (priority != o.priority)
-                return priority > o.priority;
-            return seq > o.seq;
-        }
+  private:
+    /** Internal pooled one-shot event (see scheduleFunction). */
+    class PoolEvent : public Event
+    {
+      public:
+        void process() override { cb_(); }
+        const char *name() const override { return name_; }
+
+      private:
+        friend class EventQueue;
+        SmallCallback cb_;
+        const char *name_ = "one-shot";
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> q_;
-    /** Sequence numbers of lazily cancelled entries. */
-    std::unordered_set<std::uint64_t> cancelled_;
+    struct Bucket
+    {
+        Event *head = nullptr;
+        Event *tail = nullptr;
+    };
+
+    static constexpr Tick wheelMask = wheelTicks - 1;
+    static constexpr unsigned bitmapWords =
+        static_cast<unsigned>(wheelTicks / 64);
+
+    bool
+    inWheel(Tick when) const
+    {
+        return when - wheelBase_ < wheelTicks;
+    }
+
+    void insertSorted(Bucket &b, Event *ev);
+    void unlink(Event *ev);
+    /** Earliest pending event, or nullptr. Never mutates the wheel. */
+    Event *peekWheel() const;
+    /** Exact minimum tick over the overflow list (list non-empty). */
+    Tick overflowMin() const;
+    /**
+     * Re-base the wheel window so that @p target falls inside it and
+     * migrate newly-near overflow events into their buckets.
+     * @pre the wheel is empty and target >= curTick_.
+     */
+    void advanceWheelTo(Tick target);
+
+    PoolEvent *acquirePoolEvent();
+    void releasePoolEvent(PoolEvent *ev);
+
+    /**
+     * Recyclable allocation backbone of a queue: the bucket array and
+     * the one-shot pool slabs. Machines are constructed once per
+     * sweep point, so destroyed queues donate these (cleaned) to a
+     * thread-local cache the next queue on the thread draws from,
+     * making EventQueue construction allocation-free in the steady
+     * state of a parallel sweep.
+     */
+    struct Core
+    {
+        std::vector<Bucket> buckets;
+        std::vector<std::unique_ptr<PoolEvent[]>> slabs;
+        PoolEvent *freeList = nullptr;
+    };
+    static std::vector<Core> &coreCache();
+
+    std::vector<Bucket> buckets_;
+    std::uint64_t bitmap_[bitmapWords] = {};
+    /** First tick of the wheel window (aligned to wheelTicks). */
+    Tick wheelBase_ = 0;
+    std::uint64_t nearCount_ = 0;
+
+    /** Far-future events (>= wheelBase_ + wheelTicks), unsorted. */
+    Event *overflowHead_ = nullptr;
+    std::uint64_t overflowCount_ = 0;
+
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t pending_ = 0;
     std::uint64_t maxPending_ = 0;
     std::uint64_t processed_ = 0;
+    std::uint64_t callbackHeapFallbacks_ = 0;
+
+    /** Pool of one-shot events: slab chunks + intrusive free list. */
+    std::vector<std::unique_ptr<PoolEvent[]>> slabs_;
+    PoolEvent *freeList_ = nullptr;
 };
 
 } // namespace ccnuma

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The simulator's original binary-heap event queue, retained as a
+ * test oracle for the timing-wheel EventQueue.
+ *
+ * This is the classic priority_queue + lazy-cancellation design the
+ * wheel replaced: entries are heap-ordered by (tick, priority,
+ * insertion seq), and deschedule() marks the entry's handle in a
+ * cancelled set that the pop path consults and drains. The production
+ * queue no longer needs that set at all (intrusive in-place unlink),
+ * but the differential fuzz test drives both implementations with the
+ * same operation stream and requires identical firing orders, which
+ * makes this ~100-line oracle worth keeping.
+ *
+ * The pop path here also carries the fix for the seed's subtle bug:
+ * the cancelled-set check must be skipped entirely while the set is
+ * empty. The original guard evaluated `cancelled_.count(...)` first,
+ * paying a hash lookup per pop even in the common no-cancellation
+ * case — and, worse, an early-out that tested only the set (not the
+ * heap top) could let a stale top entry survive a drain check.
+ */
+
+#ifndef CCNUMA_SIM_LEGACY_HEAP_QUEUE_HH
+#define CCNUMA_SIM_LEGACY_HEAP_QUEUE_HH
+
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace ccnuma
+{
+
+/**
+ * Handle-based heap queue with the pre-wheel semantics: same
+ * (tick, priority, seq) ordering contract as EventQueue.
+ */
+class LegacyHeapQueue
+{
+  public:
+    using Handle = std::uint64_t;
+
+    /** What fired, as reported by step(). */
+    struct Fired
+    {
+        Handle handle = 0;
+        Tick when = 0;
+        int priority = 0;
+        std::uint64_t seq = 0;
+    };
+
+    Tick curTick() const { return curTick_; }
+    bool empty() const { return live_ == 0; }
+    std::uint64_t numPending() const { return live_; }
+
+    /** Schedule an entry; @return its handle (for deschedule). */
+    Handle
+    schedule(Tick when, int priority)
+    {
+        ccnuma_assert(when >= curTick_);
+        Handle h = nextHandle_++;
+        heap_.push(Entry{when, priority, nextSeq_++, h});
+        ++live_;
+        return h;
+    }
+
+    /** Lazy-cancel @p h; the heap entry dies when it surfaces. */
+    void
+    deschedule(Handle h)
+    {
+        ccnuma_assert(live_ > 0);
+        cancelled_.insert(h);
+        --live_;
+    }
+
+    /** Tick of the earliest live entry (maxTick when none). */
+    Tick
+    nextWhen()
+    {
+        prune();
+        return heap_.empty() ? maxTick : heap_.top().when;
+    }
+
+    /**
+     * Pop the earliest live entry and advance the clock to it.
+     * @return false if nothing live remains.
+     */
+    bool
+    step(Fired &out)
+    {
+        prune();
+        if (heap_.empty())
+            return false;
+        const Entry &e = heap_.top();
+        ccnuma_assert(e.when >= curTick_);
+        curTick_ = e.when;
+        out = Fired{e.handle, e.when, e.priority, e.seq};
+        heap_.pop();
+        --live_;
+        return true;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Handle handle;
+    };
+
+    /** Min-heap order on (when, priority, seq). */
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Discard cancelled entries sitting on top of the heap. */
+    void
+    prune()
+    {
+        // Guard on the set first: while it is empty no top entry can
+        // be stale, so the common path is a single branch with no
+        // hash lookup (the seed's pop guard got this wrong).
+        while (!cancelled_.empty() && !heap_.empty()) {
+            auto it = cancelled_.find(heap_.top().handle);
+            if (it == cancelled_.end())
+                return;
+            cancelled_.erase(it);
+            heap_.pop();
+        }
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<Handle> cancelled_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    Handle nextHandle_ = 1;
+    std::uint64_t live_ = 0;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_SIM_LEGACY_HEAP_QUEUE_HH

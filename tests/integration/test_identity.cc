@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Simulation-core identity pinning: retired instructions and total
+ * execution ticks for all eight SPLASH-2 kernels on all four
+ * architectures, captured from the pre-timing-wheel core (PR 3) and
+ * required to stay bit-identical forever after.
+ *
+ * Any change to the event core (queue implementation, scheduling
+ * order, pooling) that perturbs the deterministic ordering contract
+ * (tick, then priority, then insertion seq) shows up here as a
+ * changed cycle count long before a paper table drifts.
+ *
+ * To regenerate after an *intentional* timing-model change, run with
+ * CCNUMA_REGEN_GOLDENS=1 and paste the printed table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "system/machine.hh"
+#include "workload/workload.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+struct Golden
+{
+    const char *app;
+    Arch arch;
+    std::uint64_t instructions;
+    Tick execTicks;
+};
+
+constexpr Arch kArchs[] = {Arch::HWC, Arch::PPC, Arch::TwoHWC,
+                           Arch::TwoPPC};
+
+const char *
+archEnumName(Arch a)
+{
+    switch (a) {
+      case Arch::HWC: return "Arch::HWC";
+      case Arch::PPC: return "Arch::PPC";
+      case Arch::TwoHWC: return "Arch::TwoHWC";
+      case Arch::TwoPPC: return "Arch::TwoPPC";
+    }
+    return "?";
+}
+
+RunResult
+runPoint(const std::string &app, Arch arch)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 4;
+    cfg.node.procsPerNode = 2;
+    cfg.withArch(arch);
+    WorkloadParams p;
+    p.numThreads = cfg.totalProcs();
+    p.scale = 0.05;
+    auto w = makeWorkload(app, p);
+    Machine m(cfg);
+    return m.run(*w);
+}
+
+/**
+ * Golden values captured from the seed (pre-PR 4) binary-heap core
+ * at scale 0.05 on a 4-node x 2-proc machine.
+ */
+const std::vector<Golden> kGoldens = {
+    // clang-format off
+    // GOLDEN_TABLE_BEGIN
+    {"LU", Arch::HWC, 69216ull, 70547ull},
+    {"LU", Arch::PPC, 69216ull, 78526ull},
+    {"LU", Arch::TwoHWC, 69216ull, 70547ull},
+    {"LU", Arch::TwoPPC, 69216ull, 78526ull},
+    {"Cholesky", Arch::HWC, 1525090ull, 291502ull},
+    {"Cholesky", Arch::PPC, 1525090ull, 344923ull},
+    {"Cholesky", Arch::TwoHWC, 1525090ull, 289598ull},
+    {"Cholesky", Arch::TwoPPC, 1525090ull, 325029ull},
+    {"Water-Nsq", Arch::HWC, 213451ull, 48934ull},
+    {"Water-Nsq", Arch::PPC, 213451ull, 58935ull},
+    {"Water-Nsq", Arch::TwoHWC, 213451ull, 47089ull},
+    {"Water-Nsq", Arch::TwoPPC, 213451ull, 55327ull},
+    {"Water-Sp", Arch::HWC, 91776ull, 13267ull},
+    {"Water-Sp", Arch::PPC, 91776ull, 14313ull},
+    {"Water-Sp", Arch::TwoHWC, 91776ull, 13199ull},
+    {"Water-Sp", Arch::TwoPPC, 91776ull, 14093ull},
+    {"Barnes", Arch::HWC, 4744403ull, 740737ull},
+    {"Barnes", Arch::PPC, 4744403ull, 871479ull},
+    {"Barnes", Arch::TwoHWC, 4744403ull, 715498ull},
+    {"Barnes", Arch::TwoPPC, 4744403ull, 798584ull},
+    {"FFT", Arch::HWC, 31056ull, 17955ull},
+    {"FFT", Arch::PPC, 31056ull, 30506ull},
+    {"FFT", Arch::TwoHWC, 31056ull, 16658ull},
+    {"FFT", Arch::TwoPPC, 31056ull, 27894ull},
+    {"Radix", Arch::HWC, 5959750ull, 1259065ull},
+    {"Radix", Arch::PPC, 5959750ull, 1909722ull},
+    {"Radix", Arch::TwoHWC, 5959750ull, 1201834ull},
+    {"Radix", Arch::TwoPPC, 5959750ull, 1610923ull},
+    {"Ocean", Arch::HWC, 8576ull, 15874ull},
+    {"Ocean", Arch::PPC, 8576ull, 26376ull},
+    {"Ocean", Arch::TwoHWC, 8576ull, 15445ull},
+    {"Ocean", Arch::TwoPPC, 8576ull, 24733ull},
+    // GOLDEN_TABLE_END
+    // clang-format on
+};
+
+TEST(SimCoreIdentity, AllKernelsAllArchsBitIdentical)
+{
+    if (std::getenv("CCNUMA_REGEN_GOLDENS") != nullptr) {
+        const char *apps[] = {"LU",        "Cholesky", "Water-Nsq",
+                              "Water-Sp",  "Barnes",   "FFT",
+                              "Radix",     "Ocean"};
+        for (const char *app : apps) {
+            for (Arch arch : kArchs) {
+                RunResult r = runPoint(app, arch);
+                std::printf("    {\"%s\", %s, %lluull, %lluull},\n",
+                            app, archEnumName(arch),
+                            (unsigned long long)r.instructions,
+                            (unsigned long long)r.execTicks);
+            }
+        }
+        GTEST_SKIP() << "golden regeneration mode";
+    }
+
+    ASSERT_GT(kGoldens.size(), 0u)
+        << "golden table is empty; run with CCNUMA_REGEN_GOLDENS=1 "
+           "and paste the output";
+    for (const Golden &g : kGoldens) {
+        RunResult r = runPoint(g.app, g.arch);
+        EXPECT_EQ(r.instructions, g.instructions)
+            << g.app << " on " << archEnumName(g.arch);
+        EXPECT_EQ(r.execTicks, g.execTicks)
+            << g.app << " on " << archEnumName(g.arch);
+    }
+}
+
+} // namespace
+} // namespace ccnuma

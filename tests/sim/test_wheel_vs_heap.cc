@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Differential fuzz: the timing-wheel EventQueue against the retained
+ * binary-heap oracle (LegacyHeapQueue).
+ *
+ * Both queues promise the same ordering contract — fire by (tick,
+ * priority, insertion seq) — but implement it with nothing in common:
+ * bucketed intrusive lists + an overflow tier versus a priority_queue
+ * with lazy cancellation. The fuzzer drives both with one random
+ * operation stream (schedules at near/far horizons, same-tick pileups,
+ * cancels, destructor-path cancels, pooled one-shots) and demands
+ * identical firing order, clocks, and pending counts at every step.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/legacy_heap_queue.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+class RecordingEvent : public Event
+{
+  public:
+    RecordingEvent(int id, std::vector<int> &log, int priority)
+        : Event(priority), id_(id), log_(log)
+    {}
+
+    void process() override { log_.push_back(id_); }
+    const char *name() const override { return "fuzz event"; }
+
+  private:
+    int id_;
+    std::vector<int> &log_;
+};
+
+class WheelVsHeap : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(WheelVsHeap, IdenticalFiringOrder)
+{
+    std::mt19937 rng(GetParam());
+    EventQueue eq;
+    LegacyHeapQueue heap;
+
+    constexpr int numEvents = 48;
+    constexpr int numOneShots = 4000;
+    const int priorities[] = {50, 100, 100, 100, 150};
+
+    std::vector<int> wheelLog;
+    std::vector<std::unique_ptr<RecordingEvent>> events;
+    std::vector<LegacyHeapQueue::Handle> handleOf(numEvents, 0);
+    std::unordered_map<LegacyHeapQueue::Handle, int> idOf;
+    for (int i = 0; i < numEvents; ++i) {
+        events.push_back(std::make_unique<RecordingEvent>(
+            i, wheelLog, priorities[i % 5]));
+    }
+
+    // Delay mix: same-tick pileups, in-window spreads, and far-future
+    // delays that force overflow parking and window rotations.
+    auto randomDelay = [&rng]() -> Tick {
+        switch (rng() % 8) {
+          case 0: return 0;
+          case 1: case 2: return rng() % 16;
+          case 3: case 4: case 5:
+            return rng() % EventQueue::wheelTicks;
+          case 6: return rng() % (4 * EventQueue::wheelTicks);
+          default: return rng() % (40 * EventQueue::wheelTicks);
+        }
+    };
+
+    int nextOneShot = numEvents;
+    std::size_t heapFired = 0;
+    auto stepBoth = [&]() {
+        ASSERT_EQ(eq.nextWhen(), heap.nextWhen());
+        bool a = eq.step();
+        LegacyHeapQueue::Fired f;
+        bool b = heap.step(f);
+        ASSERT_EQ(a, b);
+        if (!a)
+            return;
+        ++heapFired;
+        ASSERT_EQ(eq.curTick(), heap.curTick());
+        ASSERT_EQ(wheelLog.size(), heapFired);
+        auto it = idOf.find(f.handle);
+        ASSERT_NE(it, idOf.end());
+        ASSERT_EQ(wheelLog.back(), it->second);
+        ASSERT_EQ(eq.curTick(), f.when);
+    };
+
+    for (int iter = 0; iter < 12000; ++iter) {
+        switch (rng() % 6) {
+          case 0:
+          case 1: { // (re)schedule a persistent event
+            int idx = static_cast<int>(rng() % numEvents);
+            RecordingEvent *ev = events[idx].get();
+            if (ev->scheduled())
+                break;
+            Tick when = eq.curTick() + randomDelay();
+            eq.schedule(ev, when);
+            LegacyHeapQueue::Handle h =
+                heap.schedule(when, ev->priority());
+            handleOf[idx] = h;
+            idOf[h] = idx;
+            break;
+          }
+          case 2: { // pooled one-shot callback
+            if (nextOneShot >= numEvents + numOneShots)
+                break;
+            int id = nextOneShot++;
+            Tick delay = randomDelay();
+            int prio =
+                priorities[static_cast<std::size_t>(rng() % 5)];
+            Tick when = eq.curTick() + delay;
+            eq.scheduleFunctionIn(
+                [&wheelLog, id] { wheelLog.push_back(id); }, delay,
+                prio, "fuzz one-shot");
+            idOf[heap.schedule(when, prio)] = id;
+            break;
+          }
+          case 3: { // cancel, through both cancellation paths
+            int idx = static_cast<int>(rng() % numEvents);
+            RecordingEvent *ev = events[idx].get();
+            if (!ev->scheduled())
+                break;
+            if (rng() % 2)
+                eq.deschedule(ev);
+            else
+                eq.forgetDestroyed(ev); // dtor-unwind unlink path
+            heap.deschedule(handleOf[idx]);
+            break;
+          }
+          default:
+            stepBoth();
+        }
+        ASSERT_EQ(eq.numPending(), heap.numPending());
+        ASSERT_EQ(eq.empty(), heap.empty());
+    }
+
+    // Drain; every remaining event must fire in identical order.
+    while (!eq.empty())
+        stepBoth();
+    ASSERT_TRUE(heap.empty());
+    ASSERT_EQ(eq.callbackHeapFallbacks(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WheelVsHeap,
+                         ::testing::Values(1u, 2u, 3u, 0xC0FFEEu));
+
+// The wheel must honor run(limit) exactly: the old heap core could
+// overshoot the limit when cancelled entries masked the true next
+// tick; the wheel computes nextWhen() from live entries only.
+TEST(WheelRunLimit, StopsBeforeLimitAfterCancellation)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    RecordingEvent early(0, log, Event::defaultPriority);
+    RecordingEvent late(1, log, Event::defaultPriority);
+    eq.schedule(&early, 10);
+    eq.schedule(&late, 100);
+    eq.deschedule(&early);
+    eq.run(50);
+    EXPECT_TRUE(log.empty());
+    EXPECT_EQ(eq.numPending(), 1u);
+    eq.run(100);
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0], 1);
+}
+
+} // namespace
+} // namespace ccnuma

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for bench_micro_simcore.
+
+Compares a fresh google-benchmark JSON export against the checked-in
+baseline and fails (exit 1) when any benchmark's items/sec fell more
+than the threshold (default 20%) below the baseline.
+
+Accepts two input shapes:
+  * raw google-benchmark output (object with a "benchmarks" array);
+  * the simplified baseline format checked into bench/baseline/
+    (object with an "items_per_second" name->value map).
+
+Besides the baseline comparison, one machine-independent invariant is
+enforced so the gate still means something when CI hardware drifts
+from the machine that produced the baseline: the timing wheel must
+beat the retained legacy-heap oracle by at least 1.5x on the
+realistic-delay benchmark pair.
+
+Usage: bench_gate.py BASELINE.json FRESH.json [--threshold 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def items_per_second(path):
+    with open(path) as f:
+        data = json.load(f)
+    if "items_per_second" in data:
+        return dict(data["items_per_second"])
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        ips = b.get("items_per_second")
+        if ips:
+            out[b["name"]] = float(ips)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="max fractional items/sec regression")
+    args = ap.parse_args()
+
+    base = items_per_second(args.baseline)
+    fresh = items_per_second(args.fresh)
+
+    failures = []
+    print(f"{'benchmark':40s} {'baseline':>12s} {'fresh':>12s} "
+          f"{'ratio':>7s}")
+    for name in sorted(base):
+        if name not in fresh:
+            print(f"{name:40s} {base[name]:12.3g} {'MISSING':>12s}")
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        ratio = fresh[name] / base[name]
+        flag = ""
+        if ratio < 1.0 - args.threshold:
+            flag = "  << REGRESSION"
+            failures.append(
+                f"{name}: {fresh[name]:.3g} items/s is "
+                f"{(1.0 - ratio) * 100:.1f}% below baseline "
+                f"{base[name]:.3g}")
+        print(f"{name:40s} {base[name]:12.3g} {fresh[name]:12.3g} "
+              f"{ratio:7.2f}{flag}")
+
+    wheel = fresh.get("BM_WheelRealisticDelays")
+    heap = fresh.get("BM_LegacyHeapRealisticDelays")
+    if wheel and heap:
+        ratio = wheel / heap
+        print(f"\nwheel/heap realistic-delay ratio: {ratio:.2f} "
+              f"(require >= 1.50)")
+        if ratio < 1.50:
+            failures.append(
+                f"timing wheel only {ratio:.2f}x the legacy heap "
+                f"(expected >= 1.5x)")
+    else:
+        failures.append(
+            "wheel-vs-heap realistic-delay pair missing from run")
+
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nOK: no items/sec regression beyond "
+          f"{args.threshold * 100:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
