@@ -13,6 +13,11 @@
  *                 Each point is its own Machine, so results are
  *                 bit-identical to a serial run; only the wall clock
  *                 changes.
+ *   --shards=<n>  intra-machine shards per Machine (default 1 =
+ *                 serial scheduler). Results stay bit-identical; the
+ *                 sweep caps its effective --jobs at
+ *                 hardware/shards so the two levels of parallelism
+ *                 compose instead of oversubscribing.
  *
  * Benches print the measured rows next to the paper's readable
  * values; EXPERIMENTS.md records the comparison for the committed
@@ -22,12 +27,14 @@
 #ifndef CCNUMA_BENCH_BENCH_COMMON_HH
 #define CCNUMA_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <utility>
 #include <vector>
@@ -50,7 +57,23 @@ struct Options
     double scale = 0.5;
     unsigned procs = 64;
     unsigned jobs = 1; ///< worker threads for independent sweep points
+    unsigned shards = 1; ///< intra-machine shards per Machine
     std::vector<std::string> apps;
+
+    /**
+     * Sweep-level worker count after accounting for the threads each
+     * sharded Machine spins up itself: jobs * shards never exceeds
+     * the hardware thread count.
+     */
+    unsigned
+    effectiveJobs() const
+    {
+        if (shards <= 1)
+            return jobs;
+        unsigned cap =
+            std::max(1u, ThreadPool::hardwareJobs() / shards);
+        return std::max(1u, std::min(jobs, cap));
+    }
 
     bool
     wantsApp(const std::string &name) const
@@ -84,6 +107,11 @@ parseOptions(int argc, char **argv)
                 o.jobs = ThreadPool::hardwareJobs();
         } else if (arg == "--jobs") {
             o.jobs = ThreadPool::hardwareJobs();
+        } else if (arg.rfind("--shards=", 0) == 0) {
+            o.shards =
+                static_cast<unsigned>(std::stoul(arg.substr(9)));
+            if (o.shards == 0)
+                o.shards = 1;
         } else if (arg.rfind("--apps=", 0) == 0) {
             std::string list = arg.substr(7);
             std::size_t pos = 0;
@@ -125,6 +153,11 @@ runApp(const std::string &app, Arch arch, const Options &o,
     cfg.withArch(arch);
     if (tweak)
         tweak(cfg);
+    if (o.shards > 1 && cfg.shards <= 1) {
+        // Shard counts must divide the node count; fold --shards
+        // down to the nearest divisor rather than rejecting the run.
+        cfg.shards = std::gcd(o.shards, cfg.numNodes);
+    }
 
     WorkloadParams p;
     p.numThreads = procs;
@@ -165,7 +198,8 @@ runSweep(const Options &o, const std::vector<SweepPoint> &points,
              nullptr)
 {
     std::vector<RunResult> results =
-        parallelMap(o.jobs, points, [&](const SweepPoint &pt) {
+        parallelMap(o.effectiveJobs(), points,
+                    [&](const SweepPoint &pt) {
             return runApp(pt.app, pt.arch, o, pt.dataFactor,
                           pt.tweak);
         });

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Sharded-scheduler speedup on the Figure 6 sweep: every point of the
+ * base-configuration grid is run twice — once on the serial scheduler
+ * (shards=1) and once sharded — with the wall clock of each timed and
+ * the results required to be bit-identical (same retired instructions
+ * and execution ticks).
+ *
+ * The speedup rows feed tools/bench_gate.py --sharded, which enforces
+ * the minimum sharded speedup on CI; on hosts with fewer hardware
+ * threads than shards the bench still proves identity but records the
+ * thread count so the gate can skip the (meaningless) timing check.
+ *
+ * Unlike the other benches this one ignores --jobs: points run one at
+ * a time so each Machine gets the whole host and the serial/sharded
+ * wall clocks are comparable.
+ */
+
+#include <chrono>
+
+#include "bench_common.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+using namespace bench;
+
+struct TimedRun
+{
+    RunResult result;
+    double ms = 0.0;
+};
+
+TimedRun
+timedRun(const std::string &app, Arch arch, const Options &o)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    TimedRun t;
+    t.result = runApp(app, arch, o);
+    t.ms = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+               .count();
+    return t;
+}
+
+int
+run(int argc, char **argv)
+{
+    bench::Options o = bench::parseOptions(argc, argv);
+    unsigned hw = ThreadPool::hardwareJobs();
+    if (o.shards <= 1)
+        o.shards = std::min(8u, std::max(2u, hw));
+    bench::Options serial_o = o;
+    serial_o.shards = 1;
+
+    bench::printHeader(
+        report::fmt("Figure 6 sweep, serial vs %u-sharded scheduler",
+                    o.shards),
+        o);
+    std::cout << "hardware threads: " << hw << "\n";
+    bench::JsonReport session("fig6_sharded", o);
+
+    report::Table t({"application", "arch", "serial ms",
+                     "sharded ms", "speedup", "shards used"});
+    double serial_total = 0.0, sharded_total = 0.0;
+    unsigned points = 0, identical = 0, sharded_points = 0;
+
+    for (const std::string &app : splashNames()) {
+        if (!o.wantsApp(app))
+            continue;
+        for (Arch arch : allArchs) {
+            TimedRun s = timedRun(app, arch, serial_o);
+            TimedRun p = timedRun(app, arch, o);
+            ++points;
+            serial_total += s.ms;
+            sharded_total += p.ms;
+            bool same =
+                s.result.instructions == p.result.instructions &&
+                s.result.execTicks == p.result.execTicks;
+            if (same)
+                ++identical;
+            if (p.result.shardsUsed > 1)
+                ++sharded_points;
+            t.addRow({app, std::string(archName(arch)),
+                      report::fmt("%.1f", s.ms),
+                      report::fmt("%.1f", p.ms),
+                      report::fmt("%.2f", s.ms / std::max(p.ms, 1e-9)),
+                      report::fmt("%u", p.result.shardsUsed)});
+            if (!same) {
+                std::fprintf(
+                    stderr,
+                    "FAIL: %s/%s diverged: serial %llu insn / %llu "
+                    "ticks vs sharded %llu insn / %llu ticks (%s)\n",
+                    app.c_str(), archName(arch),
+                    (unsigned long long)s.result.instructions,
+                    (unsigned long long)s.result.execTicks,
+                    (unsigned long long)p.result.instructions,
+                    (unsigned long long)p.result.execTicks,
+                    p.result.shardFallback.empty()
+                        ? "no fallback"
+                        : p.result.shardFallback.c_str());
+            }
+            std::cout << "  finished " << app << "/" << archName(arch)
+                      << "\n"
+                      << std::flush;
+        }
+    }
+
+    double speedup = serial_total / std::max(sharded_total, 1e-9);
+    report::Table summary({"metric", "value"});
+    summary.addRow({"shards requested", report::fmt("%u", o.shards)});
+    summary.addRow({"hardware threads", report::fmt("%u", hw)});
+    summary.addRow(
+        {"points", report::fmt("%u", points)});
+    summary.addRow(
+        {"points bit-identical", report::fmt("%u", identical)});
+    summary.addRow(
+        {"points actually sharded", report::fmt("%u", sharded_points)});
+    summary.addRow(
+        {"serial total ms", report::fmt("%.1f", serial_total)});
+    summary.addRow(
+        {"sharded total ms", report::fmt("%.1f", sharded_total)});
+    summary.addRow({"overall speedup", report::fmt("%.3f", speedup)});
+
+    std::cout << "\nFigure 6 sweep: serial vs sharded wall clock\n";
+    session.table("Figure 6 sweep: serial vs sharded wall clock", t);
+    std::cout << "\nSharded speedup summary\n";
+    session.table("Sharded speedup summary", summary);
+
+    if (identical != points) {
+        std::fprintf(stderr,
+                     "FAIL: %u of %u points were not bit-identical\n",
+                     points - identical, points);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace ccnuma
+
+int
+main(int argc, char **argv)
+{
+    return ccnuma::run(argc, argv);
+}

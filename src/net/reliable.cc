@@ -8,15 +8,37 @@ namespace ccnuma
 {
 
 ReliableTransport::ReliableTransport(const std::string &name,
+                                     const ShardMap &map,
+                                     Network &net,
+                                     const ReliableParams &p,
+                                     DeliverFn deliver)
+    : name_(name), map_(&map), numNodes_(map.numNodes), net_(net),
+      params_(p), deliver_(std::move(deliver)), statGroup_(name)
+{
+    init();
+}
+
+ReliableTransport::ReliableTransport(const std::string &name,
                                      EventQueue &eq, Network &net,
                                      const ReliableParams &p,
                                      DeliverFn deliver)
-    : name_(name), eq_(eq), net_(net), params_(p),
-      deliver_(std::move(deliver)), statGroup_(name)
+    : name_(name), ownMap_(ShardMap::single(eq, net.numNodes())),
+      map_(&ownMap_), numNodes_(net.numNodes()), net_(net),
+      params_(p), deliver_(std::move(deliver)), statGroup_(name)
+{
+    init();
+}
+
+void
+ReliableTransport::init()
 {
     if (params_.retransmitTimeout == 0)
         fatal("%s: retransmitTimeout must be nonzero", name_.c_str());
     ccnuma_assert(deliver_ != nullptr);
+
+    tx_.resize(static_cast<std::size_t>(numNodes_) * numNodes_);
+    rx_.resize(static_cast<std::size_t>(numNodes_) * numNodes_);
+    tracerOfNode_.assign(numNodes_, nullptr);
 
     statGroup_.add(&statDataFrames);
     statGroup_.add(&statAcks);
@@ -25,6 +47,13 @@ ReliableTransport::ReliableTransport(const std::string &name,
     statGroup_.add(&statDupsDropped);
     statGroup_.add(&statReordersHealed);
     statGroup_.add(&statBackoffTicks);
+}
+
+void
+ReliableTransport::setTracers(const std::vector<obs::Tracer *> &per_node)
+{
+    ccnuma_assert(per_node.size() == numNodes_);
+    tracerOfNode_ = per_node;
 }
 
 Tick
@@ -37,14 +66,14 @@ ReliableTransport::rtoFor(unsigned backoff_level) const
 void
 ReliableTransport::send(const Msg &msg, unsigned bytes)
 {
-    PairTx &p = tx_[pairKey(msg.src, msg.dst)];
+    PairTx &p = tx_[pairIdx(msg.src, msg.dst)];
     std::uint64_t seq = ++p.nextSeq;
     TxFrame f;
     f.msg = msg;
     f.bytes = bytes;
-    f.firstSend = eq_.curTick();
+    f.firstSend = map_->of(msg.src).curTick();
     p.unacked.emplace(seq, f);
-    ++statDataFrames;
+    ++p.dataFrames;
     transmit(msg.src, msg.dst, seq, f);
     if (!p.timerArmed)
         armTimer(msg.src, msg.dst);
@@ -66,12 +95,12 @@ void
 ReliableTransport::onDataArrive(NodeId src, NodeId dst,
                                 std::uint64_t seq, const Msg &msg)
 {
-    PairRx &r = rx_[pairKey(src, dst)];
+    PairRx &r = rx_[pairIdx(src, dst)];
     if (seq < r.nextExpected || r.held.count(seq)) {
         // Retransmitted or injector-duplicated copy of a frame we
         // already have; discard it but re-ack so the sender's buffer
         // drains even when the original ack was lost.
-        ++statDupsDropped;
+        ++r.dupsDropped;
         scheduleAck(src, dst);
         return;
     }
@@ -96,7 +125,7 @@ ReliableTransport::onDataArrive(NodeId src, NodeId dst,
                   (unsigned long long)seq);
         }
         r.held.emplace(seq, msg);
-        ++statReordersHealed;
+        ++r.reordersHealed;
     }
     scheduleAck(src, dst);
 }
@@ -106,17 +135,18 @@ ReliableTransport::scheduleAck(NodeId src, NodeId dst)
 {
     // Delayed cumulative ack: coalesce a burst of deliveries into
     // one ack frame. The cumulative value is read at fire time so
-    // the ack covers everything delivered inside the window.
-    PairRx &r = rx_[pairKey(src, dst)];
+    // the ack covers everything delivered inside the window. Both
+    // this call and the fire run on the receiver's (dst's) queue.
+    PairRx &r = rx_[pairIdx(src, dst)];
     if (r.ackPending)
         return;
     r.ackPending = true;
-    eq_.scheduleFunctionIn(
+    map_->of(dst).scheduleFunctionIn(
         [this, src, dst] {
-            PairRx &rr = rx_[pairKey(src, dst)];
+            PairRx &rr = rx_[pairIdx(src, dst)];
             rr.ackPending = false;
             std::uint64_t cum = rr.nextExpected - 1;
-            ++statAcks;
+            ++rr.acks;
             net_.send(dst, src, msgHeaderBytes,
                       [this, src, dst, cum] {
                           onAckArrive(src, dst, cum);
@@ -131,7 +161,8 @@ ReliableTransport::onAckArrive(NodeId src, NodeId dst,
 {
     // Acks are cumulative: duplicated or reordered ack frames are
     // harmless, and a stale one simply acknowledges nothing new.
-    PairTx &p = tx_[pairKey(src, dst)];
+    // Rides a dst->src network delivery, so runs on src's queue.
+    PairTx &p = tx_[pairIdx(src, dst)];
     bool progress = false;
     while (!p.unacked.empty() && p.unacked.begin()->first <= cum) {
         p.unacked.erase(p.unacked.begin());
@@ -149,10 +180,10 @@ ReliableTransport::onAckArrive(NodeId src, NodeId dst,
 void
 ReliableTransport::armTimer(NodeId src, NodeId dst)
 {
-    PairTx &p = tx_[pairKey(src, dst)];
+    PairTx &p = tx_[pairIdx(src, dst)];
     p.timerArmed = true;
     std::uint64_t gen = ++p.timerGen;
-    eq_.scheduleFunctionIn(
+    map_->of(src).scheduleFunctionIn(
         [this, src, dst, gen] { onTimeout(src, dst, gen); },
         rtoFor(p.backoffLevel));
 }
@@ -161,19 +192,18 @@ void
 ReliableTransport::onTimeout(NodeId src, NodeId dst,
                              std::uint64_t gen)
 {
-    PairTx &p = tx_[pairKey(src, dst)];
+    PairTx &p = tx_[pairIdx(src, dst)];
     if (gen != p.timerGen)
         return; // superseded by a later arm or a full drain
     if (p.unacked.empty()) {
         p.timerArmed = false;
         return;
     }
-    ++statTimeouts;
-    statBackoffTicks += static_cast<double>(rtoFor(p.backoffLevel));
-    if (tracer_) {
-        tracer_->xportEvent(obs::SpanKind::XportTimeout, src, dst,
-                            eq_.curTick());
-    }
+    Tick now = map_->of(src).curTick();
+    ++p.timeouts;
+    p.backoffTicks += rtoFor(p.backoffLevel);
+    if (obs::Tracer *t = tracerOfNode_[src])
+        t->xportEvent(obs::SpanKind::XportTimeout, src, dst, now);
     // Go-back-N: retransmit every unacknowledged frame in sequence
     // order. The receiver discards the ones it already holds, so one
     // timeout heals any number of losses in the window.
@@ -192,13 +222,12 @@ ReliableTransport::onTimeout(NodeId src, NodeId dst,
                   (unsigned long long)seq,
                   (unsigned long long)f.msg.lineAddr, f.attempts - 1,
                   (unsigned long long)f.firstSend,
-                  (unsigned long long)eq_.curTick(),
-                  p.unacked.size());
+                  (unsigned long long)now, p.unacked.size());
         }
-        ++statRetransmits;
-        if (tracer_) {
-            tracer_->xportEvent(obs::SpanKind::XportRetransmit, src,
-                                dst, eq_.curTick());
+        ++p.retransmits;
+        if (obs::Tracer *t = tracerOfNode_[src]) {
+            t->xportEvent(obs::SpanKind::XportRetransmit, src, dst,
+                          now);
         }
         transmit(src, dst, seq, f);
     }
@@ -210,8 +239,8 @@ ReliableTransport::onTimeout(NodeId src, NodeId dst,
 bool
 ReliableTransport::idle() const
 {
-    for (const auto &kv : tx_) {
-        if (!kv.second.unacked.empty())
+    for (const PairTx &p : tx_) {
+        if (!p.unacked.empty())
             return false;
     }
     return true;
@@ -222,28 +251,121 @@ ReliableTransport::dumpState(std::ostream &os) const
 {
     os << name_ << ":";
     bool any = false;
-    for (const auto &[key, p] : tx_) {
+    for (std::size_t i = 0; i < tx_.size(); ++i) {
+        const PairTx &p = tx_[i];
         if (p.unacked.empty())
             continue;
         any = true;
-        os << " tx(node" << (key >> 32) << "->node"
-           << (key & 0xffffffffu) << ",unacked="
-           << p.unacked.size() << ",oldest="
-           << p.unacked.begin()->first << ",attempts="
+        os << " tx(node" << (i / numNodes_) << "->node"
+           << (i % numNodes_) << ",unacked=" << p.unacked.size()
+           << ",oldest=" << p.unacked.begin()->first << ",attempts="
            << p.unacked.begin()->second.attempts << ",backoff="
            << p.backoffLevel << ")";
     }
-    for (const auto &[key, r] : rx_) {
+    for (std::size_t i = 0; i < rx_.size(); ++i) {
+        const PairRx &r = rx_[i];
         if (r.held.empty())
             continue;
         any = true;
-        os << " rx(node" << (key >> 32) << "->node"
-           << (key & 0xffffffffu) << ",held=" << r.held.size()
+        os << " rx(node" << (i / numNodes_) << "->node"
+           << (i % numNodes_) << ",held=" << r.held.size()
            << ",expecting=" << r.nextExpected << ")";
     }
     if (!any)
         os << " (all pairs drained)";
     os << "\n";
+}
+
+void
+ReliableTransport::syncStats()
+{
+    statDataFrames.set(static_cast<double>(dataFrames()));
+    statAcks.set(static_cast<double>(acksSent()));
+    statRetransmits.set(static_cast<double>(retransmits()));
+    statTimeouts.set(static_cast<double>(timeouts()));
+    statDupsDropped.set(static_cast<double>(dupsDropped()));
+    statReordersHealed.set(static_cast<double>(reordersHealed()));
+    statBackoffTicks.set(static_cast<double>(backoffTicks()));
+}
+
+void
+ReliableTransport::resetStats()
+{
+    statGroup_.resetAll();
+    for (PairTx &p : tx_) {
+        p.dataFrames = 0;
+        p.retransmits = 0;
+        p.timeouts = 0;
+        p.backoffTicks = 0;
+    }
+    for (PairRx &r : rx_) {
+        r.acks = 0;
+        r.dupsDropped = 0;
+        r.reordersHealed = 0;
+    }
+}
+
+std::uint64_t
+ReliableTransport::dataFrames() const
+{
+    std::uint64_t total = 0;
+    for (const PairTx &p : tx_)
+        total += p.dataFrames;
+    return total;
+}
+
+std::uint64_t
+ReliableTransport::acksSent() const
+{
+    std::uint64_t total = 0;
+    for (const PairRx &r : rx_)
+        total += r.acks;
+    return total;
+}
+
+std::uint64_t
+ReliableTransport::retransmits() const
+{
+    std::uint64_t total = 0;
+    for (const PairTx &p : tx_)
+        total += p.retransmits;
+    return total;
+}
+
+std::uint64_t
+ReliableTransport::timeouts() const
+{
+    std::uint64_t total = 0;
+    for (const PairTx &p : tx_)
+        total += p.timeouts;
+    return total;
+}
+
+std::uint64_t
+ReliableTransport::dupsDropped() const
+{
+    std::uint64_t total = 0;
+    for (const PairRx &r : rx_)
+        total += r.dupsDropped;
+    return total;
+}
+
+std::uint64_t
+ReliableTransport::reordersHealed() const
+{
+    std::uint64_t total = 0;
+    for (const PairRx &r : rx_)
+        total += r.reordersHealed;
+    return total;
+}
+
+Tick
+ReliableTransport::backoffTicks() const
+{
+    std::uint64_t total = 0;
+    for (const PairTx &p : tx_)
+        total += p.backoffTicks;
+    return static_cast<Tick>(total);
 }
 
 } // namespace ccnuma

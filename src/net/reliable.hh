@@ -25,6 +25,14 @@
  * and adds zero cost to the modeled timing when disabled; enabled,
  * data frames keep their natural delivery timing and only the
  * ack/retransmit traffic is added on top.
+ *
+ * Sharding: per-pair state divides cleanly by side. A pair's sender
+ * state (send, ack arrival, retransmission timer) is touched only by
+ * events on the source node's queue; its receiver state (data
+ * arrival, delayed ack) only by events on the destination's. State
+ * lives in flat per-pair arrays so no container ever rehashes under
+ * concurrent access, and counters live in the per-pair pods, folded
+ * into the published stats once threads are quiescent.
  */
 
 #ifndef CCNUMA_NET_RELIABLE_HH
@@ -35,11 +43,12 @@
 #include <map>
 #include <ostream>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "net/network.hh"
 #include "protocol/messages.hh"
 #include "sim/event_queue.hh"
+#include "sim/sharded.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -82,6 +91,11 @@ class ReliableTransport
   public:
     using DeliverFn = std::function<void(const Msg &)>;
 
+    ReliableTransport(const std::string &name, const ShardMap &map,
+                      Network &net, const ReliableParams &p,
+                      DeliverFn deliver);
+
+    /** Single-queue convenience constructor (unit tests). */
     ReliableTransport(const std::string &name, EventQueue &eq,
                       Network &net, const ReliableParams &p,
                       DeliverFn deliver);
@@ -97,37 +111,41 @@ class ReliableTransport
     /** True when no frame awaits acknowledgement on any pair. */
     bool idle() const;
 
-    /** Record timeouts/retransmits with the tracer (null = off). */
-    void setTracer(obs::Tracer *t) { tracer_ = t; }
+    /** Record timeouts/retransmits with one tracer for all nodes. */
+    void setTracer(obs::Tracer *t)
+    {
+        tracerOfNode_.assign(numNodes_, t);
+    }
+
+    /** Per-node tracers (sharded: each node's shard tracer). */
+    void setTracers(const std::vector<obs::Tracer *> &per_node);
 
     /** Dump per-pair transport state for deadlock diagnosis. */
     void dumpState(std::ostream &os) const;
 
     stats::Group &statGroup() { return statGroup_; }
 
+    /**
+     * Fold the per-pair counters into the published stats below.
+     * Idempotent; called once shard threads are quiescent.
+     */
+    void syncStats();
+
+    /**
+     * Zero the published stats and the per-pair counters (warm-up
+     * exclusion). Sequence numbers, unacked buffers, and timers are
+     * live protocol state and are left untouched.
+     */
+    void resetStats();
+
     // --- counters (tests and the recovery scorecard) ---
-    std::uint64_t dataFrames() const
-    {
-        return asCount(statDataFrames);
-    }
-    std::uint64_t acksSent() const { return asCount(statAcks); }
-    std::uint64_t retransmits() const
-    {
-        return asCount(statRetransmits);
-    }
-    std::uint64_t timeouts() const { return asCount(statTimeouts); }
-    std::uint64_t dupsDropped() const
-    {
-        return asCount(statDupsDropped);
-    }
-    std::uint64_t reordersHealed() const
-    {
-        return asCount(statReordersHealed);
-    }
-    Tick backoffTicks() const
-    {
-        return static_cast<Tick>(statBackoffTicks.value());
-    }
+    std::uint64_t dataFrames() const;
+    std::uint64_t acksSent() const;
+    std::uint64_t retransmits() const;
+    std::uint64_t timeouts() const;
+    std::uint64_t dupsDropped() const;
+    std::uint64_t reordersHealed() const;
+    Tick backoffTicks() const;
 
     stats::Scalar statDataFrames{"data_frames",
         "protocol messages sent through the transport"};
@@ -153,7 +171,10 @@ class ReliableTransport
         Tick firstSend = 0;
     };
 
-    /** Sender-side state of one (src,dst) pair. */
+    /**
+     * Sender-side state of one (src,dst) pair; touched only by
+     * events on the source node's queue.
+     */
     struct PairTx
     {
         std::uint64_t nextSeq = 0; ///< last assigned
@@ -161,27 +182,33 @@ class ReliableTransport
         bool timerArmed = false;
         std::uint64_t timerGen = 0; ///< invalidates stale timers
         unsigned backoffLevel = 0;
+        std::uint64_t dataFrames = 0;
+        std::uint64_t retransmits = 0;
+        std::uint64_t timeouts = 0;
+        Tick backoffTicks = 0;
     };
 
-    /** Receiver-side state of one (src,dst) pair. */
+    /**
+     * Receiver-side state of one (src,dst) pair; touched only by
+     * events on the destination node's queue.
+     */
     struct PairRx
     {
         std::uint64_t nextExpected = 1;
         std::map<std::uint64_t, Msg> held; ///< early arrivals
         bool ackPending = false;
+        std::uint64_t acks = 0;
+        std::uint64_t dupsDropped = 0;
+        std::uint64_t reordersHealed = 0;
     };
 
-    static std::uint64_t
-    pairKey(NodeId src, NodeId dst)
+    std::size_t
+    pairIdx(NodeId src, NodeId dst) const
     {
-        return (static_cast<std::uint64_t>(src) << 32) | dst;
+        return static_cast<std::size_t>(src) * numNodes_ + dst;
     }
 
-    static std::uint64_t asCount(const stats::Scalar &s)
-    {
-        return static_cast<std::uint64_t>(s.value());
-    }
-
+    void init();
     void transmit(NodeId src, NodeId dst, std::uint64_t seq,
                   const TxFrame &f);
     void onDataArrive(NodeId src, NodeId dst, std::uint64_t seq,
@@ -193,13 +220,15 @@ class ReliableTransport
     Tick rtoFor(unsigned backoff_level) const;
 
     std::string name_;
-    EventQueue &eq_;
+    ShardMap ownMap_;
+    const ShardMap *map_;
+    unsigned numNodes_;
     Network &net_;
     ReliableParams params_;
     DeliverFn deliver_;
-    std::unordered_map<std::uint64_t, PairTx> tx_;
-    std::unordered_map<std::uint64_t, PairRx> rx_;
-    obs::Tracer *tracer_ = nullptr;
+    std::vector<PairTx> tx_;
+    std::vector<PairRx> rx_;
+    std::vector<obs::Tracer *> tracerOfNode_;
     stats::Group statGroup_;
 };
 

@@ -6,10 +6,10 @@ namespace ccnuma
 {
 
 Processor::Processor(const std::string &name, EventQueue &eq,
-                     ProcId id, CacheUnit &cache, SyncManager &sync,
-                     const ProcessorParams &p)
-    : name_(name), eq_(eq), id_(id), cache_(cache), sync_(sync),
-      params_(p), statGroup_(name)
+                     ProcId id, NodeId node, CacheUnit &cache,
+                     SyncManager &sync, const ProcessorParams &p)
+    : name_(name), eq_(eq), id_(id), node_(node), cache_(cache),
+      sync_(sync), params_(p), statGroup_(name)
 {
     statGroup_.add(&statInstructions);
     statGroup_.add(&statMisses);
@@ -174,34 +174,30 @@ Processor::doSync(ThreadOp op)
       case ThreadOp::Kind::Barrier:
         // Flag-barrier traffic: arrivals read the (shared) barrier
         // line; the releasing arrival writes the flag, invalidating
-        // the spinners, who each re-read it on wake-up.
+        // the spinners, who each re-read it on wake-up. Every
+        // arriver — including the releasing one — sleeps until the
+        // sync manager's deferred grant arrives.
         syncRef(sync_.barrierAddr(id), /*write=*/false, [this, id] {
             syncWaitStart_ = eq_.curTick();
-            bool released = sync_.arrive(id, [this, id] {
+            sync_.arrive(id, node_, [this, id](bool released) {
                 syncWaitTicks_ += eq_.curTick() - syncWaitStart_;
-                syncRef(sync_.barrierAddr(id), /*write=*/false,
+                syncRef(sync_.barrierAddr(id), /*write=*/released,
                         [this] { run(); });
             });
-            if (released) {
-                syncRef(sync_.barrierAddr(id), /*write=*/true,
-                        [this] { run(); });
-            }
         });
         return;
       case ThreadOp::Kind::Lock:
         syncRef(sync_.lockAddr(id), /*write=*/true, [this, id] {
             syncWaitStart_ = eq_.curTick();
-            bool got = sync_.lockAcquire(id, [this] {
+            sync_.lockAcquire(id, node_, [this] {
                 syncWaitTicks_ += eq_.curTick() - syncWaitStart_;
                 run();
             });
-            if (got)
-                resumeAt(eq_.curTick());
         });
         return;
       case ThreadOp::Kind::Unlock:
         syncRef(sync_.lockAddr(id), /*write=*/true, [this, id] {
-            sync_.lockRelease(id);
+            sync_.lockRelease(id, node_);
             run();
         });
         return;

@@ -49,7 +49,7 @@ class Processor
 {
   public:
     Processor(const std::string &name, EventQueue &eq, ProcId id,
-              CacheUnit &cache, SyncManager &sync,
+              NodeId node, CacheUnit &cache, SyncManager &sync,
               const ProcessorParams &p);
     ~Processor();
 
@@ -97,6 +97,7 @@ class Processor
     std::string name_;
     EventQueue &eq_;
     ProcId id_;
+    NodeId node_;
     CacheUnit &cache_;
     SyncManager &sync_;
     ProcessorParams params_;

@@ -28,7 +28,7 @@ SmpNode::SmpNode(const std::string &name, EventQueue &eq, NodeId id,
         ProcId pid =
             id * p.procsPerNode + i; // global numbering by node
         procs_.push_back(std::make_unique<Processor>(
-            cname, eq, pid, *caches_.back(), sync, p.proc));
+            cname, eq, pid, id, *caches_.back(), sync, p.proc));
     }
 }
 

@@ -1,67 +1,177 @@
 #include "node/sync.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace ccnuma
 {
 
-SyncManager::SyncManager(const std::string &name, EventQueue &eq,
+SyncManager::SyncManager(const std::string &name, const ShardMap &map,
                          Addr sync_base, unsigned line_bytes)
-    : eq_(eq), syncBase_(sync_base), lineBytes_(line_bytes),
+    : map_(&map), syncBase_(sync_base), lineBytes_(line_bytes),
       lockRegionOffset_(static_cast<Addr>(line_bytes) * 64 * 1024),
       statGroup_(name)
 {
+    pending_.resize(map_->numShards);
     statGroup_.add(&statBarriers);
     statGroup_.add(&statLockHandoffs);
 }
 
-bool
-SyncManager::arrive(std::uint32_t id, std::function<void()> wake)
+SyncManager::SyncManager(const std::string &name, EventQueue &eq,
+                         Addr sync_base, unsigned line_bytes,
+                         unsigned num_nodes)
+    : ownMap_(ShardMap::single(eq, num_nodes)), map_(&ownMap_),
+      syncBase_(sync_base), lineBytes_(line_bytes),
+      lockRegionOffset_(static_cast<Addr>(line_bytes) * 64 * 1024),
+      statGroup_(name)
 {
-    BarrierState &b = barriers_[id];
-    ++b.arrived;
-    ccnuma_assert(b.arrived <= participants_);
-    if (b.arrived == participants_) {
-        ++statBarriers;
-        std::vector<std::function<void()>> waiting =
-            std::move(b.waiting);
-        barriers_.erase(id);
-        for (auto &w : waiting)
-            eq_.scheduleFunctionIn(std::move(w), 0);
-        return true;
-    }
-    b.waiting.push_back(std::move(wake));
-    return false;
-}
-
-bool
-SyncManager::lockAcquire(std::uint32_t id,
-                         std::function<void()> granted)
-{
-    LockState &l = locks_[id];
-    if (!l.held) {
-        l.held = true;
-        return true;
-    }
-    ++statLockHandoffs;
-    l.waiting.push_back(std::move(granted));
-    return false;
+    pending_.resize(1);
+    statGroup_.add(&statBarriers);
+    statGroup_.add(&statLockHandoffs);
 }
 
 void
-SyncManager::lockRelease(std::uint32_t id)
+SyncManager::arrive(std::uint32_t id, NodeId node,
+                    std::function<void(bool)> wake)
 {
-    auto it = locks_.find(id);
-    ccnuma_assert(it != locks_.end() && it->second.held);
-    LockState &l = it->second;
-    if (!l.waiting.empty()) {
-        auto next = std::move(l.waiting.front());
-        l.waiting.pop_front();
-        // The lock stays held; ownership passes to the waiter.
-        eq_.scheduleFunctionIn(std::move(next), 0);
+    Op op;
+    op.kind = Op::Kind::BarrierArrive;
+    op.id = id;
+    op.node = node;
+    op.tick = map_->of(node).curTick();
+    op.wake = std::move(wake);
+    post(std::move(op));
+}
+
+void
+SyncManager::lockAcquire(std::uint32_t id, NodeId node,
+                         std::function<void()> granted)
+{
+    Op op;
+    op.kind = Op::Kind::LockAcquire;
+    op.id = id;
+    op.node = node;
+    op.tick = map_->of(node).curTick();
+    op.granted = std::move(granted);
+    post(std::move(op));
+}
+
+void
+SyncManager::lockRelease(std::uint32_t id, NodeId node)
+{
+    Op op;
+    op.kind = Op::Kind::LockRelease;
+    op.id = id;
+    op.node = node;
+    op.tick = map_->of(node).curTick();
+    post(std::move(op));
+}
+
+void
+SyncManager::post(Op op)
+{
+    if (!map_->sharded()) {
+        processOp(op);
         return;
     }
-    l.held = false;
+    // Record with the calling event's key; the barrier-time merge
+    // sorts by it, reproducing the order the serial path would have
+    // processed these operations inline.
+    EventQueue &q = map_->of(op.node);
+    EventKey key = q.currentKey();
+    key.sub = q.nextSub();
+    pending_[map_->shardOf(op.node)].push_back(
+        Record{key, std::move(op)});
+}
+
+void
+SyncManager::processPending()
+{
+    std::vector<Record> merged;
+    for (auto &log : pending_) {
+        for (Record &r : log)
+            merged.push_back(std::move(r));
+        log.clear();
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Record &a, const Record &b) {
+                  return a.key < b.key;
+              });
+    for (Record &r : merged)
+        processOp(r.op);
+}
+
+bool
+SyncManager::pendingEmpty() const
+{
+    for (const auto &log : pending_) {
+        if (!log.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+SyncManager::grant(NodeId node, Tick op_tick,
+                   std::function<void()> fn)
+{
+    map_->of(node).scheduleExternal(
+        std::move(fn), op_tick + handoffTicks_,
+        Event::defaultPriority, "sync-grant", op_tick,
+        map_->syncCtx(), syncSeq_++, map_->nodeCtx(node));
+}
+
+void
+SyncManager::processOp(Op &op)
+{
+    switch (op.kind) {
+      case Op::Kind::BarrierArrive: {
+        BarrierState &b = barriers_[op.id];
+        b.arrivals.push_back(
+            BarrierArrival{op.node, std::move(op.wake)});
+        ccnuma_assert(b.arrivals.size() <= participants_);
+        if (b.arrivals.size() < participants_)
+            return;
+        ++statBarriers;
+        std::vector<BarrierArrival> arrivals = std::move(b.arrivals);
+        barriers_.erase(op.id);
+        for (std::size_t i = 0; i < arrivals.size(); ++i) {
+            bool released = (i + 1 == arrivals.size());
+            grant(arrivals[i].node, op.tick,
+                  [w = std::move(arrivals[i].wake), released] {
+                      w(released);
+                  });
+        }
+        return;
+      }
+      case Op::Kind::LockAcquire: {
+        LockState &l = locks_[op.id];
+        if (!l.held) {
+            l.held = true;
+            grant(op.node, op.tick, std::move(op.granted));
+            return;
+        }
+        ++statLockHandoffs;
+        l.waiting.push_back(
+            LockWaiter{op.node, std::move(op.granted)});
+        return;
+      }
+      case Op::Kind::LockRelease: {
+        auto it = locks_.find(op.id);
+        ccnuma_assert(it != locks_.end() && it->second.held);
+        LockState &l = it->second;
+        if (!l.waiting.empty()) {
+            LockWaiter next = std::move(l.waiting.front());
+            l.waiting.pop_front();
+            // The lock stays held; ownership passes to the waiter.
+            grant(next.node, op.tick, std::move(next.granted));
+            return;
+        }
+        l.held = false;
+        return;
+      }
+    }
 }
 
 } // namespace ccnuma

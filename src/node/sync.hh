@@ -9,8 +9,19 @@
  * synchronization generates realistic hot-line protocol traffic at
  * the variable's home node. This manager supplies the *semantics*
  * (who waits, who is released) without unbounded spinning: waiters
- * sleep and are woken by the releasing event, paying one additional
+ * sleep and are woken by the granting event, paying one additional
  * coherence access on the handoff.
+ *
+ * Grants are always deferred: a barrier release or lock handoff
+ * reaches the granted processor handoffTicks after the operation
+ * that caused it — modeling the flag/line propagation delay of a real
+ * sleeping waiter — and the grant event carries an explicit
+ * deterministic key from the sync manager's own context. Deferral is
+ * also what makes the manager shardable: operations performed during
+ * a conservative window are recorded per shard and processed at the
+ * window barrier in (event key) merge order, which is exactly the
+ * order the serial path processes them inline, so grant timing and
+ * sequence numbers are bit-identical in both modes.
  */
 
 #ifndef CCNUMA_NODE_SYNC_HH
@@ -24,6 +35,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/sharded.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -34,12 +46,21 @@ namespace ccnuma
 class SyncManager
 {
   public:
-    SyncManager(const std::string &name, EventQueue &eq,
+    SyncManager(const std::string &name, const ShardMap &map,
                 Addr sync_base, unsigned line_bytes);
+
+    /** Single-queue convenience constructor (unit tests). */
+    SyncManager(const std::string &name, EventQueue &eq,
+                Addr sync_base, unsigned line_bytes,
+                unsigned num_nodes = 4);
 
     /** Number of threads each barrier waits for. */
     void setBarrierParticipants(unsigned n) { participants_ = n; }
     unsigned barrierParticipants() const { return participants_; }
+
+    /** Grant propagation delay (MachineConfig::syncHandoffTicks). */
+    void setHandoffTicks(Tick d) { handoffTicks_ = d; }
+    Tick handoffTicks() const { return handoffTicks_; }
 
     /** Address of barrier @p id's cache line. */
     Addr
@@ -57,24 +78,36 @@ class SyncManager
     }
 
     /**
-     * Record a barrier arrival.
-     * @param wake called (in a fresh event) when the barrier opens;
-     *        not called for the final arriver.
-     * @return true iff this arrival released the barrier.
+     * Record a barrier arrival by @p node. When the last participant
+     * has arrived, every arriver's @p wake runs (in a fresh event on
+     * its own node's queue) handoffTicks after the final arrival;
+     * the final arriver's wake receives released = true.
      */
-    bool arrive(std::uint32_t id, std::function<void()> wake);
+    void arrive(std::uint32_t id, NodeId node,
+                std::function<void(bool released)> wake);
 
     /**
-     * Try to acquire a lock.
-     * @param granted called (in a fresh event) when a queued acquire
-     *        eventually gets the lock; not called on immediate
-     *        success.
-     * @return true iff the lock was free and is now held.
+     * Request a lock. @p granted runs handoffTicks after the
+     * operation that hands @p node the lock: the acquire itself when
+     * the lock is free, the release that reaches this waiter
+     * otherwise.
      */
-    bool lockAcquire(std::uint32_t id, std::function<void()> granted);
+    void lockAcquire(std::uint32_t id, NodeId node,
+                     std::function<void()> granted);
 
     /** Release a lock, handing it to the oldest waiter if any. */
-    void lockRelease(std::uint32_t id);
+    void lockRelease(std::uint32_t id, NodeId node);
+
+    /**
+     * Process operations recorded during the last sharded window, in
+     * deterministic (event key) merge order. Called at the window
+     * barrier with all shard threads quiescent. Serial mode processes
+     * inline and never buffers, so this is then a no-op.
+     */
+    void processPending();
+
+    /** @return true when no recorded operations are buffered. */
+    bool pendingEmpty() const;
 
     stats::Group &statGroup() { return statGroup_; }
 
@@ -83,23 +116,69 @@ class SyncManager
         "lock acquisitions that had to queue"};
 
   private:
+    struct Op
+    {
+        enum class Kind
+        {
+            BarrierArrive,
+            LockAcquire,
+            LockRelease,
+        };
+        Kind kind;
+        std::uint32_t id = 0;
+        NodeId node = 0;
+        Tick tick = 0;
+        std::function<void(bool)> wake;
+        std::function<void()> granted;
+    };
+
+    struct Record
+    {
+        EventKey key;
+        Op op;
+    };
+
+    struct BarrierArrival
+    {
+        NodeId node;
+        std::function<void(bool)> wake;
+    };
+
     struct BarrierState
     {
-        unsigned arrived = 0;
-        std::vector<std::function<void()>> waiting;
+        std::vector<BarrierArrival> arrivals;
+    };
+
+    struct LockWaiter
+    {
+        NodeId node;
+        std::function<void()> granted;
     };
 
     struct LockState
     {
         bool held = false;
-        std::deque<std::function<void()>> waiting;
+        std::deque<LockWaiter> waiting;
     };
 
-    EventQueue &eq_;
+    /** Route one operation: inline (serial) or recorded (sharded). */
+    void post(Op op);
+    /** Apply one operation to barrier/lock state, issuing grants. */
+    void processOp(Op &op);
+    /** Schedule a grant event on @p node's queue with a sync key. */
+    void grant(NodeId node, Tick op_tick, std::function<void()> fn);
+
+    ShardMap ownMap_;
+    const ShardMap *map_;
     Addr syncBase_;
     unsigned lineBytes_;
     Addr lockRegionOffset_;
     unsigned participants_ = 1;
+    Tick handoffTicks_ = 16;
+    /** Per-context grant sequence (advances in processing order). */
+    std::uint64_t syncSeq_ = 0;
+    /** Per-shard operation logs (sharded mode only). */
+    std::vector<std::vector<Record>> pending_;
     std::unordered_map<std::uint32_t, BarrierState> barriers_;
     std::unordered_map<std::uint32_t, LockState> locks_;
     stats::Group statGroup_;

@@ -106,15 +106,22 @@ void
 EventQueue::insertSorted(Bucket &b, Event *ev)
 {
     // Events in one bucket share a tick; keep the list ordered by
-    // (priority, seq). New events carry the highest seq so far, so
-    // scanning from the tail terminates immediately on the hot path
-    // (uniform priorities); only overflow migration, which re-inserts
-    // older seqs, ever walks further.
+    // (priority, schedTick, ctx, seq). Locally scheduled events carry
+    // the highest (schedTick, seq) so far within their context, so
+    // scanning from the tail terminates almost immediately on the hot
+    // path (uniform priorities, one context); overflow migration and
+    // cross-queue injection walk further.
+    auto after_fires_later = [](const Event *a, const Event *e) {
+        if (a->priority_ != e->priority_)
+            return a->priority_ > e->priority_;
+        if (a->schedTick_ != e->schedTick_)
+            return a->schedTick_ > e->schedTick_;
+        if (a->ctx_ != e->ctx_)
+            return a->ctx_ > e->ctx_;
+        return a->seq_ > e->seq_;
+    };
     Event *after = b.tail;
-    while (after != nullptr &&
-           (after->priority_ > ev->priority_ ||
-            (after->priority_ == ev->priority_ &&
-             after->seq_ > ev->seq_))) {
+    while (after != nullptr && after_fires_later(after, ev)) {
         after = after->prev_;
     }
     ev->prev_ = after;
@@ -135,6 +142,16 @@ void
 EventQueue::schedule(Event *ev, Tick when)
 {
     ccnuma_assert(ev != nullptr);
+    ev->schedTick_ = curTick_;
+    ev->ctx_ = curCtx_;
+    ev->seq_ = ctxSeq_[curCtx_]++;
+    ev->fireCtx_ = curCtx_;
+    insertScheduled(ev, when);
+}
+
+void
+EventQueue::insertScheduled(Event *ev, Tick when)
+{
     if (when < curTick_) {
         panic("scheduling event '%s' at tick %llu in the past "
               "(now %llu)", ev->name(),
@@ -145,7 +162,6 @@ EventQueue::schedule(Event *ev, Tick when)
               ev->name());
     }
     ev->when_ = when;
-    ev->seq_ = nextSeq_++;
     ev->scheduled_ = true;
     ev->queue_ = this;
     if (inWheel(when)) {
@@ -342,6 +358,15 @@ EventQueue::step()
     curTick_ = ev->when_;
     unlink(ev);
     ++processed_;
+    // Make the firing event's context current so everything it
+    // schedules is attributed to it, and latch its key so sync
+    // operations it performs can be replayed in deterministic order.
+    curCtx_ = ev->fireCtx_;
+    curPriority_ = ev->priority_;
+    curSchedTick_ = ev->schedTick_;
+    curKeyCtx_ = ev->ctx_;
+    curSeq_ = ev->seq_;
+    curSub_ = 0;
     // process() may reschedule the event; only return pool-owned
     // one-shots that are not pending again. A scope guard keeps that
     // true when process() throws (fatal/panic from a handler), so

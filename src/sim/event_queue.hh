@@ -39,6 +39,47 @@ namespace ccnuma
 class EventQueue;
 
 /**
+ * The full deterministic ordering key of an event. Events at the same
+ * tick fire in (priority, schedTick, ctx, seq) order, where schedTick
+ * is the tick the event was scheduled at, ctx identifies the
+ * scheduling context (a deterministic small integer: one per SMP
+ * node, one per network egress port, one for the sync manager, one
+ * for everything else), and seq is a per-context insertion counter.
+ *
+ * Because every component of the key is computed from the scheduling
+ * context rather than from global insertion order, the key is
+ * identical whether the machine runs on one event queue or on many
+ * sharded queues — which is what makes sharded execution bit-identical
+ * to serial. The sub counter disambiguates multiple side-effect
+ * records (e.g. sync operations) emitted while one event fires.
+ */
+struct EventKey
+{
+    Tick when = 0;
+    int priority = 0;
+    Tick schedTick = 0;
+    std::uint32_t ctx = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t sub = 0;
+
+    friend bool
+    operator<(const EventKey &a, const EventKey &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        if (a.schedTick != b.schedTick)
+            return a.schedTick < b.schedTick;
+        if (a.ctx != b.ctx)
+            return a.ctx < b.ctx;
+        if (a.seq != b.seq)
+            return a.seq < b.seq;
+        return a.sub < b.sub;
+    }
+};
+
+/**
  * Base class for schedulable events. Derived classes implement
  * process(). An event may be rescheduled after it has fired, but it
  * must not be scheduled while already pending.
@@ -76,8 +117,14 @@ class Event
     Event *prev_ = nullptr;
     Event *next_ = nullptr;
     Tick when_ = 0;
+    /** Tick at which the event was scheduled (part of the key). */
+    Tick schedTick_ = 0;
     std::uint64_t seq_ = 0;
     int priority_;
+    /** Scheduling context the key's seq counter belongs to. */
+    std::uint32_t ctx_ = 0;
+    /** Context that becomes current while the event fires. */
+    std::uint32_t fireCtx_ = 0;
     bool scheduled_ = false;
     bool pooled_ = false;
     /** Queue the event is scheduled on (for dtor cancellation). */
@@ -198,6 +245,64 @@ class EventQueue
     Tick curTick() const { return curTick_; }
 
     /**
+     * Declare the number of scheduling contexts this queue will key
+     * events by. Must be called before any event is scheduled. A
+     * fresh queue has a single context (0), which reproduces the
+     * classic global-insertion-order tie-break exactly.
+     */
+    void
+    setNumContexts(std::uint32_t n)
+    {
+        ccnuma_assert(n >= 1 && pending_ == 0);
+        ctxSeq_.assign(n, 0);
+    }
+
+    /**
+     * Grow the context table to at least @p n entries, preserving
+     * existing sequence counters. Safe mid-run; used by the
+     * single-queue convenience constructors (ShardMap::single) so
+     * components built on a shared test queue never index past it.
+     */
+    void
+    ensureContexts(std::uint32_t n)
+    {
+        if (n > ctxSeq_.size())
+            ctxSeq_.resize(n, 0);
+    }
+
+    /**
+     * Set the context that subsequent schedule() calls are attributed
+     * to. The queue switches this automatically to each firing
+     * event's fire-context; explicit calls are only needed for
+     * scheduling done outside event processing (machine start-up).
+     */
+    void
+    setContext(std::uint32_t c)
+    {
+        ccnuma_assert(c < ctxSeq_.size());
+        curCtx_ = c;
+    }
+
+    std::uint32_t context() const { return curCtx_; }
+
+    /**
+     * Full deterministic key of the event currently firing (valid
+     * only while step() is inside process()), with sub = 0.
+     */
+    EventKey
+    currentKey() const
+    {
+        return EventKey{curTick_, curPriority_, curSchedTick_,
+                        curKeyCtx_, curSeq_, 0};
+    }
+
+    /**
+     * Monotone per-firing-event counter for ordering side-effect
+     * records emitted while one event processes.
+     */
+    std::uint32_t nextSub() { return curSub_++; }
+
+    /**
      * Schedule @p ev to fire at absolute tick @p when.
      * @pre when >= curTick() and the event is not already scheduled.
      */
@@ -246,6 +351,39 @@ class EventQueue
     {
         scheduleFunction(std::forward<F>(fn), curTick_ + delta,
                          priority, name);
+    }
+
+    /**
+     * Schedule a one-shot callback with an explicitly supplied
+     * ordering key instead of the implicit (curTick, curCtx,
+     * next-seq) one. This is how cross-queue work — network arrivals
+     * and sync grants — is injected so that its position among
+     * same-tick events is identical no matter which queue (serial or
+     * shard) it lands on. @p fire_ctx becomes the current context
+     * while the callback runs.
+     */
+    template <typename F>
+    void
+    scheduleExternal(F &&fn, Tick when, int priority,
+                     const char *name, Tick sched_tick,
+                     std::uint32_t ctx, std::uint64_t seq,
+                     std::uint32_t fire_ctx)
+    {
+        PoolEvent *ev = acquirePoolEvent();
+        if (ev->cb_.emplace(std::forward<F>(fn)))
+            ++callbackHeapFallbacks_;
+        ev->name_ = name;
+        ev->priority_ = priority;
+        ev->schedTick_ = sched_tick;
+        ev->ctx_ = ctx;
+        ev->seq_ = seq;
+        ev->fireCtx_ = fire_ctx;
+        try {
+            insertScheduled(ev, when);
+        } catch (...) {
+            releasePoolEvent(ev);
+            throw;
+        }
     }
 
     /** Remove a pending event from the queue without firing it. */
@@ -297,6 +435,13 @@ class EventQueue
     void run(Tick limit = maxTick);
 
     /**
+     * Conservative-window helper: fire every pending event strictly
+     * before tick @p end, then return (events at or after @p end stay
+     * pending). Used by the sharded scheduler's lock-step windows.
+     */
+    void runWindow(Tick end) { run(end - 1); }
+
+    /**
      * Run until @p done returns true, the queue drains, or @p limit
      * is exceeded. @return true iff @p done became true.
      */
@@ -344,6 +489,8 @@ class EventQueue
     }
 
     void insertSorted(Bucket &b, Event *ev);
+    /** Insert @p ev at @p when with its key fields already set. */
+    void insertScheduled(Event *ev, Tick when);
     void unlink(Event *ev);
     /** Earliest pending event, or nullptr. Never mutates the wheel. */
     Event *peekWheel() const;
@@ -386,7 +533,15 @@ class EventQueue
     std::uint64_t overflowCount_ = 0;
 
     Tick curTick_ = 0;
-    std::uint64_t nextSeq_ = 0;
+    /** Per-context insertion counters (single context by default). */
+    std::vector<std::uint64_t> ctxSeq_ = {0};
+    std::uint32_t curCtx_ = 0;
+    /** Key of the event currently firing (see currentKey()). */
+    int curPriority_ = 0;
+    Tick curSchedTick_ = 0;
+    std::uint32_t curKeyCtx_ = 0;
+    std::uint64_t curSeq_ = 0;
+    std::uint32_t curSub_ = 0;
     std::uint64_t pending_ = 0;
     std::uint64_t maxPending_ = 0;
     std::uint64_t processed_ = 0;

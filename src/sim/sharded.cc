@@ -1,0 +1,106 @@
+#include "sim/sharded.hh"
+
+namespace ccnuma
+{
+
+ShardMap
+ShardMap::single(EventQueue &eq, unsigned num_nodes)
+{
+    ShardMap m;
+    m.numNodes = num_nodes;
+    m.numShards = 1;
+    m.queueOfShard = {&eq};
+    m.shardOfNode.assign(num_nodes, 0);
+    eq.ensureContexts(m.numContexts());
+    return m;
+}
+
+ShardMap
+ShardMap::partition(const std::vector<EventQueue *> &queues,
+                    unsigned num_nodes)
+{
+    ccnuma_assert(!queues.empty());
+    ccnuma_assert(num_nodes % queues.size() == 0);
+    ShardMap m;
+    m.numNodes = num_nodes;
+    m.numShards = static_cast<unsigned>(queues.size());
+    m.queueOfShard = queues;
+    m.shardOfNode.resize(num_nodes);
+    unsigned per = num_nodes / m.numShards;
+    for (unsigned n = 0; n < num_nodes; ++n)
+        m.shardOfNode[n] = n / per;
+    return m;
+}
+
+ShardTeam::ShardTeam(unsigned shards)
+    : shards_(shards), errors_(shards)
+{
+    ccnuma_assert(shards >= 1);
+    workers_.reserve(shards - 1);
+    for (unsigned s = 1; s < shards; ++s)
+        workers_.emplace_back([this, s] { workerLoop(s); });
+}
+
+ShardTeam::~ShardTeam()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ShardTeam::spinUntil(const std::function<bool()> &ready)
+{
+    while (true) {
+        for (int i = 0; i < 4096; ++i) {
+            if (ready())
+                return;
+        }
+        std::this_thread::yield();
+    }
+}
+
+void
+ShardTeam::workerLoop(unsigned shard)
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        spinUntil([&] {
+            return epoch_.load(std::memory_order_acquire) != seen;
+        });
+        seen = epoch_.load(std::memory_order_acquire);
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+        try {
+            (*fn_)(shard);
+        } catch (...) {
+            errors_[shard] = std::current_exception();
+        }
+        done_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+ShardTeam::run(const std::function<void(unsigned)> &fn)
+{
+    for (auto &e : errors_)
+        e = nullptr;
+    fn_ = &fn;
+    done_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    try {
+        fn(0);
+    } catch (...) {
+        errors_[0] = std::current_exception();
+    }
+    spinUntil([&] {
+        return done_.load(std::memory_order_acquire) == shards_ - 1;
+    });
+    for (auto &e : errors_) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+} // namespace ccnuma

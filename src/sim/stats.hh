@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace ccnuma
@@ -59,6 +60,9 @@ class Scalar : public Stat
     double value() const { return value_; }
     void set(double v) { value_ = v; }
 
+    /** Fold another counter in (sharded per-shard stat folding). */
+    void merge(const Scalar &o) { value_ += o.value_; }
+
     void reset() override { value_ = 0.0; }
     void print(std::ostream &os,
                const std::string &prefix) const override;
@@ -87,6 +91,21 @@ class Average : public Stat
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
     double minValue() const { return count_ ? min_ : 0.0; }
     double maxValue() const { return count_ ? max_ : 0.0; }
+
+    /**
+     * Fold another sample set in. All sampled values in the simulator
+     * are integer tick/byte counts well under 2^53, so the merged sum
+     * is exact and independent of merge order — per-shard samples
+     * fold to bit-identical aggregates.
+     */
+    void
+    merge(const Average &o)
+    {
+        sum_ += o.sum_;
+        count_ += o.count_;
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
 
     void reset() override;
     void print(std::ostream &os,
@@ -153,6 +172,19 @@ class Distribution : public Stat
     double p50() const { return quantile(0.50); }
     double p90() const { return quantile(0.90); }
     double p99() const { return quantile(0.99); }
+
+    /** Fold another distribution in (bucket-wise; same geometry). */
+    void
+    merge(const Distribution &o)
+    {
+        ccnuma_assert(bucketSize_ == o.bucketSize_ &&
+                      buckets_.size() == o.buckets_.size());
+        avg_.merge(o.avg_);
+        underflow_ += o.underflow_;
+        overflow_ += o.overflow_;
+        for (std::size_t i = 0; i < buckets_.size(); ++i)
+            buckets_[i] += o.buckets_[i];
+    }
 
     void reset() override;
     void print(std::ostream &os,

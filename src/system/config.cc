@@ -90,6 +90,13 @@ MachineConfig::validate() const
     if (maxTicks == 0)
         fatal("config: maxTicks is zero; the watchdog would abort "
               "every run immediately");
+    if (shards == 0)
+        fatal("config: shards is zero; use 1 for the serial "
+              "scheduler");
+    if (numNodes % shards != 0)
+        fatal("config: %u nodes cannot be split evenly over %u "
+              "shards",
+              numNodes, shards);
     if (reliable.enabled) {
         if (reliable.retransmitTimeout == 0)
             fatal("config: reliable transport enabled with a zero "

@@ -43,6 +43,24 @@ struct MachineConfig
      */
     PlacementPolicy placement = PlacementPolicy::RoundRobin;
     Addr syncBase = 0x4000'0000;
+    /**
+     * Barrier/lock grant hand-off latency (ticks): every sync grant
+     * reaches its processor this long after the triggering
+     * operation, modeling the flag-propagation delay of a real
+     * flag-based barrier. Also the ceiling of the sharded
+     * scheduler's lookahead window, so it must stay at or below the
+     * network's minimum latency for sharding to pay off.
+     */
+    Tick syncHandoffTicks = 16;
+    /**
+     * Event-queue shards for intra-machine parallel simulation
+     * (PR 5). 1 = the classic serial scheduler; k > 1 partitions the
+     * nodes over k queues advanced in lock-step conservative
+     * windows, with results bit-identical to serial. numNodes must
+     * divide evenly. The CCNUMA_SHARDS environment variable
+     * overrides without a config change.
+     */
+    unsigned shards = 1;
     /** Simulation watchdog: abort if a run exceeds this many ticks. */
     Tick maxTicks = 4'000'000'000ull;
     /**

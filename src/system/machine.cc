@@ -15,9 +15,7 @@ namespace ccnuma
 {
 
 Machine::Machine(const MachineConfig &cfg)
-    : cfg_(cfg), map_(cfg.numNodes, cfg.pageBytes),
-      net_("net", eq_, cfg.numNodes, cfg.net),
-      sync_("sync", eq_, cfg.syncBase, cfg.node.bus.lineBytes)
+    : cfg_(cfg), map_(cfg.numNodes, cfg.pageBytes)
 {
     // The CCNUMA_RELIABLE environment knob force-enables end-to-end
     // message recovery (transport + bounded NACK retry) without a
@@ -31,28 +29,21 @@ Machine::Machine(const MachineConfig &cfg)
                  " recovery stays off", env);
         }
     }
-    cfg_.validate();
-
-    map_.setPolicy(cfg_.placement);
-    if (cfg_.reliable.enabled) {
-        xport_ = std::make_unique<ReliableTransport>(
-            "xport", eq_, net_, cfg_.reliable,
-            [this](const Msg &m) { deliverMsg(m); });
+    // CCNUMA_SHARDS overrides the configured shard count.
+    if (const char *env = std::getenv("CCNUMA_SHARDS")) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1) {
+            cfg_.shards = static_cast<unsigned>(v);
+        } else {
+            warn("CCNUMA_SHARDS=%s not recognized (use a positive "
+                 "integer); shard count stays %u", env, cfg_.shards);
+        }
     }
-    auto next_version = [this] { return nextVersion(); };
-    for (NodeId n = 0; n < cfg_.numNodes; ++n) {
-        nodes_.push_back(std::make_unique<SmpNode>(
-            "node" + std::to_string(n), eq_, n, cfg_.node, net_, map_,
-            sync_, next_version));
-        nodes_.back()->cc().setRouter(this);
-        if (xport_)
-            nodes_.back()->cc().setTransport(xport_.get());
-    }
-    sync_.setBarrierParticipants(totalProcs());
-
     // Verification subsystem (off by default; see DESIGN.md). The
     // CCNUMA_VERIFY environment knob force-enables the checker
-    // and/or watchdog without touching the configuration.
+    // and/or watchdog without touching the configuration. Parsed
+    // before the shard layout is fixed: the checker forces serial.
     if (const char *env = std::getenv("CCNUMA_VERIFY")) {
         if (!std::strcmp(env, "1") || !std::strcmp(env, "checker") ||
             !std::strcmp(env, "all")) {
@@ -68,15 +59,88 @@ Machine::Machine(const MachineConfig &cfg)
                  env);
         }
     }
+    cfg_.validate();
+    shardsRequested_ = cfg_.shards;
+
     const VerifyConfig &vc = cfg_.verify;
-    if (vc.faults.anyEnabled()) {
-        injector_ = std::make_unique<FaultInjector>(vc.faults);
-        net_.setTap(injector_.get());
-        if (vc.faults.engineStallProb > 0.0) {
-            for (auto &nd : nodes_) {
-                nd->cc().setStallHook(
-                    [this] { return injector_->engineStall(); });
-            }
+    if (vc.faults.anyEnabled())
+        injector_ = std::make_unique<FaultInjector>(vc.faults,
+                                                    cfg_.numNodes);
+
+    // Decide the scheduler before anything queue-dependent is built.
+    // Falling back to serial is never silent: the reason is warned,
+    // recorded, and reported in every RunResult.
+    auto fall_back = [this](const char *why) {
+        if (cfg_.shards == 1)
+            return;
+        warn("sharded scheduling (%u shards) disabled: %s; using the "
+             "serial scheduler", cfg_.shards, why);
+        fallbackReason_ = why;
+        cfg_.shards = 1;
+    };
+    if (vc.checker) {
+        fall_back("the coherence invariant checker reads global "
+                  "machine state at every delivery");
+    }
+    if (cfg_.placement == PlacementPolicy::FirstTouch) {
+        fall_back("first-touch placement resolves page homes at miss "
+                  "time, a cross-shard race");
+    }
+    // Conservative lookahead: no shard may outrun another by more
+    // than the earliest possible cross-node interaction — the
+    // network's minimum send-to-arrival gap (shrunk by any early
+    // delivery the fault tap may inject) or a sync grant hand-off,
+    // whichever is smaller.
+    Tick min_net = 2 * cfg_.net.portCycle + cfg_.net.flightLatency;
+    long long w = static_cast<long long>(min_net) +
+                  (injector_ ? injector_->minExtraDelay() : 0);
+    w = std::min(w, static_cast<long long>(cfg_.syncHandoffTicks));
+    if (w <= 0) {
+        fall_back("the conservative lookahead window is empty "
+                  "(network minimum latency, fault-tap early "
+                  "delivery, and sync hand-off leave no safe slack)");
+    }
+    lookahead_ = cfg_.shards > 1 ? static_cast<Tick>(w) : 0;
+
+    for (unsigned s = 0; s < cfg_.shards; ++s)
+        queues_.push_back(std::make_unique<EventQueue>());
+    std::vector<EventQueue *> qs;
+    for (auto &q : queues_)
+        qs.push_back(q.get());
+    shardMap_ = ShardMap::partition(qs, cfg_.numNodes);
+    for (auto &q : queues_)
+        q->setNumContexts(shardMap_.numContexts());
+    if (cfg_.shards > 1)
+        team_ = std::make_unique<ShardTeam>(cfg_.shards);
+
+    map_.setPolicy(cfg_.placement);
+    net_ = std::make_unique<Network>("net", shardMap_, cfg_.net);
+    if (injector_)
+        net_->setTap(injector_.get());
+    sync_ = std::make_unique<SyncManager>(
+        "sync", shardMap_, cfg_.syncBase, cfg_.node.bus.lineBytes);
+    sync_->setHandoffTicks(cfg_.syncHandoffTicks);
+    if (cfg_.reliable.enabled) {
+        xport_ = std::make_unique<ReliableTransport>(
+            "xport", shardMap_, *net_, cfg_.reliable,
+            [this](const Msg &m) { deliverMsg(m); });
+    }
+    auto next_version = [this] { return nextVersion(); };
+    for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+        nodes_.push_back(std::make_unique<SmpNode>(
+            "node" + std::to_string(n), shardMap_.of(n), n, cfg_.node,
+            *net_, map_, *sync_, next_version));
+        nodes_.back()->cc().setRouter(this);
+        if (xport_)
+            nodes_.back()->cc().setTransport(xport_.get());
+    }
+    sync_->setBarrierParticipants(totalProcs());
+
+    if (injector_ && vc.faults.engineStallProb > 0.0) {
+        for (auto &nd : nodes_) {
+            NodeId id = nd->id();
+            nd->cc().setStallHook(
+                [this, id] { return injector_->engineStall(id); });
         }
     }
     if (vc.checker) {
@@ -94,7 +158,7 @@ Machine::Machine(const MachineConfig &cfg)
                               injector_->config().corrupting() &&
                               !xport_;
         checker_ = std::make_unique<CoherenceChecker>(
-            eq_, map_, std::move(ns), tolerate);
+            *queues_[0], map_, std::move(ns), tolerate);
         for (auto &nd : nodes_) {
             NodeId id = nd->id();
             nd->bus().setCompletionTap(
@@ -135,21 +199,30 @@ Machine::Machine(const MachineConfig &cfg)
         tc.lineBytes = cfg_.node.bus.lineBytes;
         tc.engineType = cfg_.node.cc.engineType;
         tc.homeOf = [this](Addr a) { return map_.homeOf(a); };
-        tracer_ = std::make_unique<obs::Tracer>(cfg_.obs, tc);
-        net_.setTracer(tracer_.get());
+        // One tracer per shard so hooks record without locking; a
+        // sharded run merges them into tracers_[0] at the end.
+        for (unsigned s = 0; s < cfg_.shards; ++s)
+            tracers_.push_back(
+                std::make_unique<obs::Tracer>(cfg_.obs, tc));
+        pendingNotes_.resize(cfg_.shards);
+        std::vector<obs::Tracer *> per_node(cfg_.numNodes);
+        for (NodeId n = 0; n < cfg_.numNodes; ++n)
+            per_node[n] = tracers_[shardMap_.shardOf(n)].get();
+        net_->setTracers(per_node);
         if (xport_)
-            xport_->setTracer(tracer_.get());
+            xport_->setTracers(per_node);
         for (auto &nd : nodes_) {
-            nd->cc().setTracer(tracer_.get());
-            nd->bus().setTracer(tracer_.get(), nd->id());
+            obs::Tracer *t = per_node[nd->id()];
+            nd->cc().setTracer(t);
+            nd->bus().setTracer(t, nd->id());
             for (unsigned i = 0; i < nd->numProcs(); ++i)
-                nd->proc(i).setTracer(tracer_.get());
+                nd->proc(i).setTracer(t);
         }
     }
 
     if (vc.watchdog) {
         watchdog_ = std::make_unique<HangWatchdog>(
-            eq_, vc.watchdogBudget,
+            *queues_[0], vc.watchdogBudget,
             [this] {
                 std::uint64_t retired = 0;
                 for (auto &nd : nodes_) {
@@ -176,8 +249,18 @@ Machine::deliverMsg(const Msg &msg)
 {
     if (checker_ && !checker_->noteDeliver(msg))
         return; // detected injected fault; delivery swallowed
-    if (tracer_)
-        tracer_->noteDeliver(msg);
+    if (!tracers_.empty()) {
+        // Classification must see the delivery on every shard whose
+        // procs might have the line's miss open. The destination's
+        // own shard observes it inline (its miss may restart within
+        // this window); the others at the window barrier — safe,
+        // because a cross-shard-flagged miss cannot restart sooner
+        // than a full network flight, i.e. not inside this window.
+        unsigned s = shardMap_.shardOf(msg.dst);
+        tracers_[s]->noteDeliver(msg);
+        if (shardMap_.sharded())
+            pendingNotes_[s].push_back(msg);
+    }
     nodes_.at(msg.dst)->cc().netReceive(msg);
 }
 
@@ -188,12 +271,23 @@ Machine::onNetSend(Msg &msg)
         checker_->stampSend(msg);
 }
 
+Tick
+Machine::now() const
+{
+    Tick t = 0;
+    for (const auto &q : queues_)
+        t = std::max(t, q->curTick());
+    return t;
+}
+
 void
 Machine::dumpDiagnostics(std::ostream &os)
 {
-    os << "=== machine diagnostics at tick " << eq_.curTick()
-       << " ===\n";
-    os << "pending events: " << eq_.numPending() << "\n";
+    os << "=== machine diagnostics at tick " << now() << " ===\n";
+    std::uint64_t pending = 0;
+    for (const auto &q : queues_)
+        pending += q->numPending();
+    os << "pending events: " << pending << "\n";
     os << "unfinished procs:";
     for (unsigned i = 0; i < totalProcs(); ++i) {
         if (!proc(i).finished())
@@ -227,6 +321,55 @@ Machine::fillRecoveryStats(RunResult &r)
     }
 }
 
+bool
+Machine::runWindows(const std::function<bool()> &done, Tick limit)
+{
+    while (!done()) {
+        // GVT skip-ahead: the window starts at the globally earliest
+        // pending event, so fully idle stretches cost nothing.
+        Tick t0 = maxTick;
+        for (auto &q : queues_)
+            t0 = std::min(t0, q->nextWhen());
+        if (t0 == maxTick || t0 > limit)
+            return false;
+        Tick end = limit < maxTick - 1 ? limit + 1 : maxTick;
+        Tick t1 = std::min(t0 + lookahead_, end);
+        team_->run(
+            [this, t1](unsigned s) { queues_[s]->runWindow(t1); });
+        windowBarrier(t1);
+    }
+    return true;
+}
+
+void
+Machine::windowBarrier(Tick window_end)
+{
+    // All shard threads are quiescent here; injection order is
+    // irrelevant because arrivals and grants carry explicit keys.
+    net_->drainMailboxes();
+    sync_->processPending();
+    if (!tracers_.empty()) {
+        for (unsigned s = 0; s < pendingNotes_.size(); ++s) {
+            for (const Msg &m : pendingNotes_[s]) {
+                for (unsigned t = 0; t < tracers_.size(); ++t) {
+                    if (t != s)
+                        tracers_[t]->noteDeliver(m);
+                }
+            }
+            pendingNotes_[s].clear();
+        }
+    }
+    if (watchdog_)
+        watchdog_->poll(window_end - 1);
+}
+
+void
+Machine::mergeTracers()
+{
+    for (std::size_t s = 1; s < tracers_.size(); ++s)
+        tracers_[0]->absorb(*tracers_[s]);
+}
+
 RunResult
 Machine::run(Workload &w, bool check)
 {
@@ -238,31 +381,55 @@ Machine::run(Workload &w, bool check)
     w.place(map_);
 
     unsigned n = totalProcs();
-    finishedProcs_ = 0;
+    unsigned ppn = cfg_.node.procsPerNode;
+    finishedProcs_.store(0, std::memory_order_relaxed);
     for (unsigned i = 0; i < n; ++i) {
         Processor &p = proc(i);
         p.setProgram(w.thread(i));
-        p.setFinishedCallback([this] { ++finishedProcs_; });
+        p.setFinishedCallback([this] {
+            finishedProcs_.fetch_add(1, std::memory_order_release);
+        });
+        // Attribute the start event to the processor's node context
+        // so its key is identical under any queue layout.
+        NodeId node = i / ppn;
+        EventQueue &q = shardMap_.of(node);
+        q.setContext(shardMap_.nodeCtx(node));
         p.start(0);
     }
+    for (auto &q : queues_)
+        q->setContext(shardMap_.externalCtx());
 
     Tick limit = cfg_.maxTicks;
     if (const char *env = std::getenv("CCNUMA_MAX_TICKS"))
         limit = std::strtoull(env, nullptr, 10);
-    if (watchdog_)
-        watchdog_->arm();
-    bool done = eq_.runUntil(
-        [this, n] {
-            return finishedProcs_ == n ||
-                   (checker_ && checker_->shouldHalt());
-        },
-        limit);
+    bool done;
+    if (shardMap_.sharded()) {
+        if (watchdog_)
+            watchdog_->armPolled(0);
+        done = runWindows(
+            [this, n] {
+                return finishedProcs_.load(
+                           std::memory_order_acquire) == n;
+            },
+            limit);
+    } else {
+        if (watchdog_)
+            watchdog_->arm();
+        done = queues_[0]->runUntil(
+            [this, n] {
+                return finishedProcs_.load(
+                           std::memory_order_relaxed) == n ||
+                       (checker_ && checker_->shouldHalt());
+            },
+            limit);
+    }
     if (watchdog_)
         watchdog_->disarm();
     if (checker_ && checker_->shouldHalt()) {
         // An injected fault was detected; the protocol state is no
         // longer trustworthy, so skip the drain and the idle checks
-        // and return a partial result.
+        // and return a partial result. (The checker forces the
+        // serial scheduler, so no merge is needed here.)
         warn("run of %s halted after %llu injected-fault "
              "detection(s)", w.name().c_str(),
              (unsigned long long)checker_->violations());
@@ -270,10 +437,15 @@ Machine::run(Workload &w, bool check)
         r.workload = w.name();
         r.arch =
             std::string(engineTypeName(cfg_.node.cc.engineType));
-        r.execTicks = eq_.curTick();
+        r.execTicks = now();
+        r.shardsRequested = shardsRequested_;
+        r.shardsUsed = shardMap_.numShards;
+        r.shardFallback = fallbackReason_;
         fillRecoveryStats(r);
-        if (tracer_)
-            tracer_->exportAll(eq_.curTick());
+        if (!tracers_.empty()) {
+            mergeTracers();
+            tracers_[0]->exportAll(now());
+        }
         return r;
     }
     if (!done) {
@@ -285,10 +457,13 @@ Machine::run(Workload &w, bool check)
             if (!proc(i).finished())
                 stuck += " " + std::to_string(i);
         }
+        std::uint64_t pending = 0;
+        for (auto &q : queues_)
+            pending += q->numPending();
         panic("workload %s wedged at tick %llu (pending events: %llu;"
               " unfinished procs:%s)", w.name().c_str(),
-              (unsigned long long)eq_.curTick(),
-              (unsigned long long)eq_.numPending(), stuck.c_str());
+              (unsigned long long)now(),
+              (unsigned long long)pending, stuck.c_str());
     }
 
     Tick exec = 0;
@@ -296,7 +471,19 @@ Machine::run(Workload &w, bool check)
         exec = std::max(exec, proc(i).finishTick());
 
     // Drain in-flight protocol traffic (writeback acks etc.).
-    eq_.run(eq_.curTick() + 10'000'000);
+    if (shardMap_.sharded()) {
+        runWindows(
+            [this] {
+                for (auto &q : queues_) {
+                    if (!q->empty())
+                        return false;
+                }
+                return true;
+            },
+            now() + 10'000'000);
+    } else {
+        queues_[0]->run(queues_[0]->curTick() + 10'000'000);
+    }
     for (auto &nd : nodes_) {
         if (!nd->cc().idle()) {
             panic("controller %u not idle after drain",
@@ -345,18 +532,23 @@ Machine::run(Workload &w, bool check)
             : 0.0;
     fillRecoveryStats(r);
     r.completed = true;
-    if (tracer_)
-        tracer_->exportAll(eq_.curTick());
+    r.shardsRequested = shardsRequested_;
+    r.shardsUsed = shardMap_.numShards;
+    r.shardFallback = fallbackReason_;
+    if (!tracers_.empty()) {
+        mergeTracers();
+        tracers_[0]->exportAll(now());
+    }
     return r;
 }
 
 void
 Machine::resetStats()
 {
-    net_.statGroup().resetAll();
+    net_->resetStats();
     if (xport_)
-        xport_->statGroup().resetAll();
-    sync_.statGroup().resetAll();
+        xport_->resetStats();
+    sync_->statGroup().resetAll();
     for (auto &nd : nodes_) {
         nd->bus().statGroup().resetAll();
         nd->memory().statGroup().resetAll();
@@ -368,8 +560,8 @@ Machine::resetStats()
             nd->cacheUnit(i).statGroup().resetAll();
         }
     }
-    if (tracer_)
-        tracer_->reset(eq_.curTick());
+    for (auto &t : tracers_)
+        t->reset(now());
 }
 
 void
@@ -462,12 +654,15 @@ Machine::checkInvariants()
 void
 Machine::printStats(std::ostream &os)
 {
-    net_.statGroup().print(os);
-    if (xport_)
+    net_->syncStats();
+    net_->statGroup().print(os);
+    if (xport_) {
+        xport_->syncStats();
         xport_->statGroup().print(os);
-    if (tracer_)
-        tracer_->statGroup().print(os);
-    sync_.statGroup().print(os);
+    }
+    if (!tracers_.empty())
+        tracers_[0]->statGroup().print(os);
+    sync_->statGroup().print(os);
     for (auto &nd : nodes_) {
         nd->bus().statGroup().print(os);
         nd->memory().statGroup().print(os);

@@ -9,9 +9,12 @@
 #ifndef CCNUMA_SYSTEM_MACHINE_HH
 #define CCNUMA_SYSTEM_MACHINE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "system/config.hh"
@@ -57,6 +60,12 @@ struct RunResult
     Tick retryBackoffTicks = 0;         ///< ticks spent backing off
     bool completed = false;             ///< retired the full workload
 
+    // --- sharded-scheduler accounting (PR 5) ---
+    unsigned shardsRequested = 1; ///< config (or CCNUMA_SHARDS) value
+    unsigned shardsUsed = 1;      ///< after any serial fallback
+    /** Non-empty iff the machine fell back to the serial scheduler. */
+    std::string shardFallback;
+
     double
     rccpi() const
     {
@@ -76,11 +85,27 @@ class Machine : public MsgRouter
     explicit Machine(const MachineConfig &cfg);
     ~Machine() override;
 
-    EventQueue &eq() { return eq_; }
+    /** Shard 0's queue: THE queue when running serially. */
+    EventQueue &eq() { return *queues_[0]; }
     AddressMap &map() { return map_; }
-    Network &network() { return net_; }
-    SyncManager &sync() { return sync_; }
+    Network &network() { return *net_; }
+    SyncManager &sync() { return *sync_; }
     const MachineConfig &config() const { return cfg_; }
+
+    /** Node-to-queue routing and context numbering. */
+    const ShardMap &shardMap() const { return shardMap_; }
+
+    /** Shards actually in use (1 after a serial fallback). */
+    unsigned shardsUsed() const { return shardMap_.numShards; }
+
+    /** Why the machine fell back to serial ("" if it did not). */
+    const std::string &shardFallbackReason() const
+    {
+        return fallbackReason_;
+    }
+
+    /** The conservative lookahead window (ticks; 0 when serial). */
+    Tick lookahead() const { return lookahead_; }
 
     unsigned numNodes() const
     {
@@ -91,8 +116,21 @@ class Machine : public MsgRouter
     unsigned totalProcs() const { return cfg_.totalProcs(); }
     Processor &proc(unsigned global);
 
-    /** Monotonic data-version source for the invariant checker. */
-    std::uint64_t nextVersion() { return ++versionCounter_; }
+    /**
+     * Monotonic data-version source for the invariant checker.
+     * Atomic: shard threads stamp concurrently. Values are not part
+     * of any deterministic output; per-line monotonicity still holds
+     * under sharding because successive writers of one line are
+     * separated by at least a network flight, hence by a window
+     * barrier.
+     */
+    std::uint64_t
+    nextVersion()
+    {
+        return versionCounter_.fetch_add(1,
+                                         std::memory_order_relaxed) +
+               1;
+    }
 
     // --- MsgRouter ---
     void deliverMsg(const Msg &msg) override;
@@ -107,8 +145,15 @@ class Machine : public MsgRouter
     /** The reliable transport (null unless recovery is enabled). */
     ReliableTransport *transport() { return xport_.get(); }
 
-    /** The observability tracer (null unless tracing is enabled). */
-    obs::Tracer *tracer() { return tracer_.get(); }
+    /**
+     * The observability tracer (null unless tracing is enabled).
+     * Sharded runs keep one tracer per shard; this is shard 0's, the
+     * one the end-of-run merge folds the others into.
+     */
+    obs::Tracer *tracer()
+    {
+        return tracers_.empty() ? nullptr : tracers_[0].get();
+    }
 
     /** Write diagnostic state (controllers, queues, procs) to @p os. */
     void dumpDiagnostics(std::ostream &os);
@@ -140,19 +185,43 @@ class Machine : public MsgRouter
     /** Fill the RunResult recovery counters from the live stats. */
     void fillRecoveryStats(RunResult &r);
 
+    /** Max curTick over the shard queues (diagnostics/exports). */
+    Tick now() const;
+
+    /**
+     * Advance lock-step conservative windows until @p done holds at
+     * a barrier, every queue drains, or the earliest pending event
+     * lies beyond @p limit. @return true iff @p done became true.
+     */
+    bool runWindows(const std::function<bool()> &done, Tick limit);
+
+    /** Window-barrier bookkeeping (mailboxes, sync, tracing). */
+    void windowBarrier(Tick window_end);
+
+    /** Fold the sharded tracers into tracer 0 (no-op when serial). */
+    void mergeTracers();
+
     MachineConfig cfg_;
-    EventQueue eq_;
+    std::vector<std::unique_ptr<EventQueue>> queues_;
+    ShardMap shardMap_;
+    std::unique_ptr<ShardTeam> team_;
     AddressMap map_;
-    Network net_;
-    SyncManager sync_;
+    std::unique_ptr<Network> net_;
+    std::unique_ptr<SyncManager> sync_;
     std::unique_ptr<ReliableTransport> xport_;
     std::vector<std::unique_ptr<SmpNode>> nodes_;
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<CoherenceChecker> checker_;
     std::unique_ptr<HangWatchdog> watchdog_;
-    std::unique_ptr<obs::Tracer> tracer_;
-    std::uint64_t versionCounter_ = 0;
-    unsigned finishedProcs_ = 0;
+    /** One per shard; merged into [0] at the end of a sharded run. */
+    std::vector<std::unique_ptr<obs::Tracer>> tracers_;
+    /** Per-shard logs of delivered msgs awaiting cross-shard note. */
+    std::vector<std::vector<Msg>> pendingNotes_;
+    std::atomic<std::uint64_t> versionCounter_{0};
+    std::atomic<unsigned> finishedProcs_{0};
+    Tick lookahead_ = 0;
+    unsigned shardsRequested_ = 1;
+    std::string fallbackReason_;
 };
 
 } // namespace ccnuma

@@ -3,56 +3,118 @@
 namespace ccnuma
 {
 
+FaultInjector::FaultInjector(const FaultConfig &cfg,
+                             unsigned num_nodes)
+    : cfg_(cfg), src_(num_nodes), stall_(num_nodes)
+{
+    // Stream seeding: golden-ratio strides keep the per-node streams
+    // decorrelated while staying a pure function of (seed, node).
+    for (unsigned n = 0; n < num_nodes; ++n) {
+        src_[n].rng = Random(cfg.seed +
+                             0x9E3779B97F4A7C15ull * (n + 1));
+        src_[n].lastScheduled.assign(num_nodes, 0);
+        stall_[n].rng = Random(cfg.seed +
+                               0xC2B2AE3D27D4EB4Full * (n + 1));
+    }
+}
+
 bool
 FaultInjector::onDelivery(NodeId src, NodeId dst, Tick &delivered,
                           Tick &duplicate_at)
 {
-    ++msgCount_;
+    SrcState &s = src_[src];
+    ++s.msgCount;
 
-    if (cfg_.dropEveryN != 0 && msgCount_ % cfg_.dropEveryN == 0) {
-        ++drops_;
+    if (cfg_.dropEveryN != 0 && s.msgCount % cfg_.dropEveryN == 0) {
+        ++s.drops;
         return false;
     }
 
     if (cfg_.delayJitterProb > 0.0) {
-        if (rng_.chance(cfg_.delayJitterProb)) {
-            delivered += rng_.below(cfg_.delayJitterMax + 1);
-            ++delays_;
+        if (s.rng.chance(cfg_.delayJitterProb)) {
+            delivered += s.rng.below(cfg_.delayJitterMax + 1);
+            ++s.delays;
         }
         // Benign jitter must preserve the per-pair FIFO order the
         // protocol relies on: clamp every message (jittered or not)
         // to no earlier than the pair's latest scheduled delivery.
-        Tick &last = lastScheduled_[pairKey(src, dst)];
+        Tick &last = s.lastScheduled[dst];
         if (delivered < last)
             delivered = last;
         last = delivered;
     }
 
-    if (cfg_.reorderProb > 0.0 && rng_.chance(cfg_.reorderProb)) {
+    if (cfg_.reorderProb > 0.0 && s.rng.chance(cfg_.reorderProb)) {
         // Corrupting: hold this message back with NO FIFO clamp, so
         // later messages of the same pair can overtake it.
-        delivered += 1 + rng_.below(cfg_.reorderDelayMax);
-        ++reorders_;
+        delivered += 1 + s.rng.below(cfg_.reorderDelayMax);
+        ++s.reorders;
     }
 
     if (cfg_.duplicateProb > 0.0 &&
-        rng_.chance(cfg_.duplicateProb)) {
+        s.rng.chance(cfg_.duplicateProb)) {
         duplicate_at = delivered + cfg_.duplicateDelay;
-        ++duplicates_;
+        ++s.duplicates;
     }
 
     return true;
 }
 
 Tick
-FaultInjector::engineStall()
+FaultInjector::engineStall(NodeId node)
 {
+    StallState &st = stall_[node];
     if (cfg_.engineStallProb <= 0.0 ||
-        !rng_.chance(cfg_.engineStallProb)) {
+        !st.rng.chance(cfg_.engineStallProb)) {
         return 0;
     }
-    ++stalls_;
-    return 1 + rng_.below(cfg_.engineStallMax);
+    ++st.stalls;
+    return 1 + st.rng.below(cfg_.engineStallMax);
+}
+
+std::uint64_t
+FaultInjector::injectedDelays() const
+{
+    std::uint64_t total = 0;
+    for (const SrcState &s : src_)
+        total += s.delays;
+    return total;
+}
+
+std::uint64_t
+FaultInjector::injectedStalls() const
+{
+    std::uint64_t total = 0;
+    for (const StallState &s : stall_)
+        total += s.stalls;
+    return total;
+}
+
+std::uint64_t
+FaultInjector::injectedReorders() const
+{
+    std::uint64_t total = 0;
+    for (const SrcState &s : src_)
+        total += s.reorders;
+    return total;
+}
+
+std::uint64_t
+FaultInjector::injectedDuplicates() const
+{
+    std::uint64_t total = 0;
+    for (const SrcState &s : src_)
+        total += s.duplicates;
+    return total;
+}
+
+std::uint64_t
+FaultInjector::injectedDrops() const
+{
+    std::uint64_t total = 0;
+    for (const SrcState &s : src_)
+        total += s.drops;
+    return total;
 }
 
 } // namespace ccnuma

@@ -3,15 +3,20 @@
  * Seeded fault injector. Hooks into Network::send (as a NetworkTap)
  * and into the coherence controllers' dispatch queues (via
  * CoherenceController::setStallHook) to perturb a run according to a
- * FaultConfig. All randomness comes from one private deterministic
- * RNG, so a (config, seed) pair replays exactly.
+ * FaultConfig. Randomness is partitioned into one deterministic
+ * stream per source node (network faults) and per node (engine
+ * stalls), each seeded from (config seed, node): a (config, seed)
+ * pair replays exactly, and — because each stream is consumed only by
+ * its own node's execution, whose operation order the event keys pin
+ * down — the injected fault pattern is identical whether the machine
+ * runs serial or sharded.
  */
 
 #ifndef CCNUMA_VERIFY_FAULT_INJECTOR_HH
 #define CCNUMA_VERIFY_FAULT_INJECTOR_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "net/network.hh"
 #include "sim/random.hh"
@@ -24,9 +29,7 @@ namespace ccnuma
 class FaultInjector : public NetworkTap
 {
   public:
-    explicit FaultInjector(const FaultConfig &cfg)
-        : cfg_(cfg), rng_(cfg.seed)
-    {}
+    FaultInjector(const FaultConfig &cfg, unsigned num_nodes);
 
     const FaultConfig &config() const { return cfg_; }
 
@@ -35,37 +38,59 @@ class FaultInjector : public NetworkTap
                     Tick &duplicate_at) override;
 
     /**
-     * Engine-stall hook body (wired through
+     * Every perturbation this injector applies either drops a
+     * message or moves its delivery later (delay jitter, reorder
+     * holds, duplicate echoes); nothing is ever delivered earlier
+     * than the network's natural tick. The sharded scheduler's
+     * lookahead window therefore keeps its full size under fault
+     * injection.
+     */
+    long long minExtraDelay() const override { return 0; }
+
+    /**
+     * Engine-stall hook body for @p node (wired through
      * CoherenceController::setStallHook).
      * @return extra ticks the engine stays busy before dispatching,
      *         or 0 for no stall.
      */
-    Tick engineStall();
+    Tick engineStall(NodeId node);
 
     // --- injection counters (test assertions) ---
-    std::uint64_t injectedDelays() const { return delays_; }
-    std::uint64_t injectedStalls() const { return stalls_; }
-    std::uint64_t injectedReorders() const { return reorders_; }
-    std::uint64_t injectedDuplicates() const { return duplicates_; }
-    std::uint64_t injectedDrops() const { return drops_; }
+    std::uint64_t injectedDelays() const;
+    std::uint64_t injectedStalls() const;
+    std::uint64_t injectedReorders() const;
+    std::uint64_t injectedDuplicates() const;
+    std::uint64_t injectedDrops() const;
 
   private:
-    static std::uint64_t
-    pairKey(NodeId src, NodeId dst)
+    /**
+     * Per-source-node fault state: the RNG stream, the send counter
+     * the drop-every-Nth rule counts, the per-destination FIFO
+     * clamps, and the injection counters. Touched only by the source
+     * node's shard.
+     */
+    struct SrcState
     {
-        return (static_cast<std::uint64_t>(src) << 32) | dst;
-    }
+        Random rng{0};
+        std::uint64_t msgCount = 0;
+        /** Latest delivery tick scheduled per destination. */
+        std::vector<Tick> lastScheduled;
+        std::uint64_t delays = 0;
+        std::uint64_t reorders = 0;
+        std::uint64_t duplicates = 0;
+        std::uint64_t drops = 0;
+    };
+
+    /** Per-node engine-stall state. */
+    struct StallState
+    {
+        Random rng{0};
+        std::uint64_t stalls = 0;
+    };
 
     FaultConfig cfg_;
-    Random rng_;
-    /** Latest delivery tick scheduled per pair (FIFO clamp). */
-    std::unordered_map<std::uint64_t, Tick> lastScheduled_;
-    std::uint64_t msgCount_ = 0;
-    std::uint64_t delays_ = 0;
-    std::uint64_t stalls_ = 0;
-    std::uint64_t reorders_ = 0;
-    std::uint64_t duplicates_ = 0;
-    std::uint64_t drops_ = 0;
+    std::vector<SrcState> src_;
+    std::vector<StallState> stall_;
 };
 
 } // namespace ccnuma

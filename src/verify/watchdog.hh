@@ -36,6 +36,23 @@ class HangWatchdog
     /** Start (or restart) monitoring from the current tick. */
     void arm();
 
+    /**
+     * Start monitoring in polled mode: no check events are
+     * scheduled; the caller invokes poll() periodically instead.
+     * The sharded scheduler uses this — its window barriers are a
+     * natural polling point, and keeping the watchdog out of the
+     * event queues keeps them bit-identical to a serial run.
+     */
+    void armPolled(Tick now);
+
+    /**
+     * Polled-mode check. Fires the hang diagnostic if a full budget
+     * has elapsed since the last observed progress. @p now may
+     * exceed the deadline by a window's length; that slack only
+     * delays detection, never misses a hang.
+     */
+    void poll(Tick now);
+
     /** Stop monitoring; pending check events become no-ops. */
     void disarm();
 
@@ -43,6 +60,7 @@ class HangWatchdog
 
   private:
     void check(std::uint64_t epoch);
+    [[noreturn]] void fire(Tick now);
 
     EventQueue &eq_;
     Tick budget_;
@@ -52,6 +70,8 @@ class HangWatchdog
     std::uint64_t epoch_ = 0;
     std::uint64_t last_ = 0;
     bool armed_ = false;
+    /** Polled mode only: earliest tick the next poll() may fire at. */
+    Tick nextDeadline_ = 0;
 };
 
 } // namespace ccnuma

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Sharded-scheduler identity pinning: running any workload with
+ * CCNUMA_SHARDS > 1 must be *bit-identical* to the serial scheduler —
+ * same retired instructions, same execution ticks, and the same full
+ * statistics dump — because cross-shard work (network arrivals, sync
+ * grants) carries explicit deterministic event keys and is injected
+ * at conservative window barriers in the exact order the serial
+ * scheduler would have processed it.
+ *
+ * Also pinned here: the fault-injection campaign composes with
+ * sharding (per-node RNG streams make the injected fault sequence
+ * layout-independent), and every serial-fallback path is counted,
+ * never silent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "system/machine.hh"
+#include "workload/workload.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+constexpr Arch kArchs[] = {Arch::HWC, Arch::PPC, Arch::TwoHWC,
+                           Arch::TwoPPC};
+constexpr unsigned kShardCounts[] = {1, 2, 4, 8};
+
+/** Everything a run can observably produce. */
+struct Snapshot
+{
+    std::uint64_t instructions = 0;
+    Tick execTicks = 0;
+    std::string stats;
+    unsigned shardsUsed = 0;
+    std::string fallback;
+    RunResult result;
+};
+
+MachineConfig
+shardableConfig(Arch arch, unsigned shards)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 8; // divisible by every tested shard count
+    cfg.node.procsPerNode = 1;
+    cfg.withArch(arch);
+    cfg.shards = shards;
+    return cfg;
+}
+
+Snapshot
+runPoint(const MachineConfig &cfg, const std::string &app,
+         double scale = 0.03)
+{
+    WorkloadParams p;
+    p.numThreads = cfg.totalProcs();
+    p.scale = scale;
+    auto w = makeWorkload(app, p);
+    Machine m(cfg);
+    Snapshot s;
+    s.result = m.run(*w);
+    s.instructions = s.result.instructions;
+    s.execTicks = s.result.execTicks;
+    s.shardsUsed = m.shardsUsed();
+    s.fallback = m.shardFallbackReason();
+    std::ostringstream os;
+    m.printStats(os);
+    s.stats = os.str();
+    return s;
+}
+
+class ShardedKernel : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ShardedKernel, BitIdenticalAcrossShardCounts)
+{
+    for (Arch arch : kArchs) {
+        Snapshot serial =
+            runPoint(shardableConfig(arch, 1), GetParam());
+        ASSERT_GT(serial.instructions, 0u);
+        for (unsigned shards : kShardCounts) {
+            if (shards == 1)
+                continue;
+            Snapshot s =
+                runPoint(shardableConfig(arch, shards), GetParam());
+            SCOPED_TRACE(GetParam() + " on " +
+                         std::string(archName(arch)) + " with " +
+                         std::to_string(shards) + " shards");
+            EXPECT_EQ(s.shardsUsed, shards);
+            EXPECT_TRUE(s.fallback.empty()) << s.fallback;
+            EXPECT_EQ(s.instructions, serial.instructions);
+            EXPECT_EQ(s.execTicks, serial.execTicks);
+            EXPECT_EQ(s.stats, serial.stats);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, ShardedKernel,
+    ::testing::Values("LU", "Cholesky", "Water-Nsq", "Water-Sp",
+                      "Barnes", "FFT", "Radix", "Ocean"),
+    [](const auto &info) {
+        std::string n = info.param;
+        for (auto &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(ShardedFaults, SeededCampaignIsLayoutIndependent)
+{
+    // Corrupting faults healed by the reliable transport, no checker
+    // (the checker forces serial): the injected fault sequence and
+    // the recovery accounting must not depend on the shard layout.
+    auto cfg_for = [](unsigned shards) {
+        MachineConfig cfg =
+            shardableConfig(Arch::PPC, shards).withReliableTransport();
+        cfg.verify.faults.seed = 11;
+        cfg.verify.faults.dropEveryN = 97;
+        cfg.verify.faults.duplicateProb = 0.02;
+        cfg.verify.faults.reorderProb = 0.02;
+        cfg.verify.faults.reorderDelayMax = 300;
+        return cfg;
+    };
+    Snapshot serial = runPoint(cfg_for(1), "FFT", 0.05);
+    ASSERT_TRUE(serial.result.completed);
+    ASSERT_GT(serial.result.faultsInjected, 0u);
+    for (unsigned shards : {2u, 4u, 8u}) {
+        SCOPED_TRACE(std::to_string(shards) + " shards");
+        Snapshot s = runPoint(cfg_for(shards), "FFT", 0.05);
+        EXPECT_EQ(s.shardsUsed, shards);
+        EXPECT_EQ(s.instructions, serial.instructions);
+        EXPECT_EQ(s.execTicks, serial.execTicks);
+        EXPECT_EQ(s.stats, serial.stats);
+        EXPECT_EQ(s.result.faultsInjected,
+                  serial.result.faultsInjected);
+        EXPECT_EQ(s.result.xportRetransmits,
+                  serial.result.xportRetransmits);
+        EXPECT_EQ(s.result.xportTimeouts, serial.result.xportTimeouts);
+        EXPECT_EQ(s.result.xportDupsDropped,
+                  serial.result.xportDupsDropped);
+        EXPECT_EQ(s.result.xportReordersHealed,
+                  serial.result.xportReordersHealed);
+        EXPECT_EQ(s.result.nackRetries, serial.result.nackRetries);
+        EXPECT_EQ(s.result.retryBackoffTicks,
+                  serial.result.retryBackoffTicks);
+    }
+}
+
+TEST(ShardedFallback, ZeroLookaheadFallsBackToSerialWithDiagnostic)
+{
+    // A zero sync hand-off empties the conservative window: the
+    // machine must fall back to the serial scheduler and say so in
+    // the RunResult — never silently.
+    MachineConfig cfg = shardableConfig(Arch::PPC, 4);
+    cfg.syncHandoffTicks = 0;
+    Snapshot s = runPoint(cfg, "LU");
+    EXPECT_EQ(s.shardsUsed, 1u);
+    EXPECT_FALSE(s.fallback.empty());
+    EXPECT_EQ(s.result.shardsRequested, 4u);
+    EXPECT_EQ(s.result.shardsUsed, 1u);
+    EXPECT_FALSE(s.result.shardFallback.empty());
+    EXPECT_GT(s.instructions, 0u);
+}
+
+TEST(ShardedFallback, CheckerForcesSerial)
+{
+    MachineConfig cfg = shardableConfig(Arch::PPC, 4);
+    cfg.verify.checker = true;
+    Snapshot s = runPoint(cfg, "LU");
+    EXPECT_EQ(s.shardsUsed, 1u);
+    EXPECT_FALSE(s.result.shardFallback.empty());
+}
+
+TEST(ShardedFallback, FirstTouchPlacementForcesSerial)
+{
+    MachineConfig cfg = shardableConfig(Arch::PPC, 2);
+    cfg.placement = PlacementPolicy::FirstTouch;
+    Snapshot s = runPoint(cfg, "LU");
+    EXPECT_EQ(s.shardsUsed, 1u);
+    EXPECT_FALSE(s.result.shardFallback.empty());
+}
+
+TEST(ShardedConfig, UnevenShardCountIsRejected)
+{
+    MachineConfig cfg = shardableConfig(Arch::PPC, 3); // 8 % 3 != 0
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+} // namespace
+} // namespace ccnuma

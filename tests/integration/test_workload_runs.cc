@@ -112,14 +112,17 @@ TEST(ControllerBehavior, AblationKnobsChangeOutcomes)
         p.numThreads = cfg.totalProcs();
         p.scale = 0.05;
         auto w = makeWorkload("Ocean", p);
-        return m.run(*w, /*check=*/true).execTicks;
+        return m.run(*w, /*check=*/true);
     };
-    Tick base = run(true, true);
-    // Disabling the direct writeback path costs engine occupancy;
-    // it should never make things faster.
-    EXPECT_GE(run(true, false), base);
+    RunResult base = run(true, true);
+    // Disabling the direct writeback path costs engine occupancy
+    // (total execution time can wobble either way on a machine this
+    // small, so the occupancy is the stable signal).
+    RunResult no_direct = run(true, false);
+    EXPECT_GT(no_direct.execTicks, 0u);
+    EXPECT_GT(no_direct.ccOccupancy, base.ccOccupancy);
     // FIFO dispatch must still complete correctly.
-    EXPECT_GT(run(false, true), 0u);
+    EXPECT_GT(run(false, true).execTicks, 0u);
 }
 
 TEST(ControllerBehavior, DynamicSplitRunsCoherently)

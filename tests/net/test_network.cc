@@ -86,6 +86,7 @@ TEST_F(NetFixture, StatsTrackTraffic)
     net->send(0, 1, 144, [] {});
     net->send(1, 0, 16, [] {});
     eq.run();
+    net->syncStats();
     EXPECT_EQ(net->statMessages.value(), 2.0);
     EXPECT_EQ(net->statBytes.value(), 160.0);
     EXPECT_GT(net->statLatency.mean(), 0.0);

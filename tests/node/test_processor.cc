@@ -55,8 +55,8 @@ struct ProcFixture : ::testing::Test
         cache = std::make_unique<CacheUnit>(
             "c", eq, *bus, map, 0, p,
             [this] { return ++versions; });
-        proc = std::make_unique<Processor>("p", eq, 0, *cache, sync,
-                                           ProcessorParams{});
+        proc = std::make_unique<Processor>("p", eq, 0, 0, *cache,
+                                           sync, ProcessorParams{});
         sync.setBarrierParticipants(1);
     }
 

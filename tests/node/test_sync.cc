@@ -27,66 +27,143 @@ TEST_F(SyncFixture, BarrierReleasesOnLastArrival)
 {
     sync.setBarrierParticipants(3);
     std::vector<int> woken;
-    EXPECT_FALSE(sync.arrive(0, [&] { woken.push_back(1); }));
-    EXPECT_FALSE(sync.arrive(0, [&] { woken.push_back(2); }));
-    EXPECT_TRUE(woken.empty());
-    EXPECT_TRUE(sync.arrive(0, [&] { woken.push_back(3); }));
+    sync.arrive(0, 0, [&](bool r) { woken.push_back(r ? 10 : 1); });
+    sync.arrive(0, 1, [&](bool r) { woken.push_back(r ? 20 : 2); });
     eq.run();
-    // Wakers 1 and 2 fire; the final arriver is not re-woken.
-    EXPECT_EQ(woken.size(), 2u);
+    // Nobody wakes before the final participant arrives.
+    EXPECT_TRUE(woken.empty());
+    sync.arrive(0, 2, [&](bool r) { woken.push_back(r ? 30 : 3); });
+    eq.run();
+    // Every arriver wakes in arrival order; only the final arriver
+    // observes released = true.
+    EXPECT_EQ(woken, (std::vector<int>{1, 2, 30}));
     EXPECT_EQ(sync.statBarriers.value(), 1.0);
+}
+
+TEST_F(SyncFixture, WakesAreDeferredByHandoffTicks)
+{
+    sync.setBarrierParticipants(1);
+    sync.setHandoffTicks(7);
+    Tick woke_at = 0;
+    sync.arrive(0, 0, [&](bool r) {
+        EXPECT_TRUE(r);
+        woke_at = eq.curTick();
+    });
+    eq.run();
+    EXPECT_EQ(woke_at, 7u);
 }
 
 TEST_F(SyncFixture, BarrierReusableAcrossEpisodes)
 {
     sync.setBarrierParticipants(2);
     int woken = 0;
-    EXPECT_FALSE(sync.arrive(5, [&] { ++woken; }));
-    EXPECT_TRUE(sync.arrive(5, [&] { ++woken; }));
-    eq.run();
-    EXPECT_FALSE(sync.arrive(5, [&] { ++woken; }));
-    EXPECT_TRUE(sync.arrive(5, [&] { ++woken; }));
+    sync.arrive(5, 0, [&](bool) { ++woken; });
+    sync.arrive(5, 1, [&](bool) { ++woken; });
     eq.run();
     EXPECT_EQ(woken, 2);
+    sync.arrive(5, 2, [&](bool) { ++woken; });
+    sync.arrive(5, 3, [&](bool) { ++woken; });
+    eq.run();
+    EXPECT_EQ(woken, 4);
     EXPECT_EQ(sync.statBarriers.value(), 2.0);
 }
 
 TEST_F(SyncFixture, DistinctBarriersIndependent)
 {
     sync.setBarrierParticipants(2);
-    EXPECT_FALSE(sync.arrive(1, [] {}));
-    EXPECT_FALSE(sync.arrive(2, [] {}));
-    EXPECT_TRUE(sync.arrive(1, [] {}));
-    EXPECT_TRUE(sync.arrive(2, [] {}));
+    int a = 0;
+    int b = 0;
+    sync.arrive(1, 0, [&](bool) { ++a; });
+    sync.arrive(2, 1, [&](bool) { ++b; });
+    eq.run();
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 0);
+    sync.arrive(1, 2, [&](bool) { ++a; });
+    sync.arrive(2, 3, [&](bool) { ++b; });
+    eq.run();
+    EXPECT_EQ(a, 2);
+    EXPECT_EQ(b, 2);
 }
 
 TEST_F(SyncFixture, LockImmediateWhenFree)
 {
-    EXPECT_TRUE(sync.lockAcquire(0, [] {}));
-    sync.lockRelease(0);
-    EXPECT_TRUE(sync.lockAcquire(0, [] {}));
+    int grants = 0;
+    sync.lockAcquire(0, 0, [&] { ++grants; });
+    eq.run();
+    EXPECT_EQ(grants, 1);
+    sync.lockRelease(0, 0);
+    sync.lockAcquire(0, 1, [&] { ++grants; });
+    eq.run();
+    EXPECT_EQ(grants, 2);
+    EXPECT_EQ(sync.statLockHandoffs.value(), 0.0);
 }
 
 TEST_F(SyncFixture, LockQueuesAndHandsOffFifo)
 {
     std::vector<int> order;
-    EXPECT_TRUE(sync.lockAcquire(0, [] {}));
-    EXPECT_FALSE(sync.lockAcquire(0, [&] { order.push_back(1); }));
-    EXPECT_FALSE(sync.lockAcquire(0, [&] { order.push_back(2); }));
-    sync.lockRelease(0);
+    sync.lockAcquire(0, 0, [&] { order.push_back(0); });
+    sync.lockAcquire(0, 1, [&] { order.push_back(1); });
+    sync.lockAcquire(0, 2, [&] { order.push_back(2); });
     eq.run();
-    EXPECT_EQ(order, (std::vector<int>{1}));
-    sync.lockRelease(0);
+    // The free-lock acquire is granted; the other two queue.
+    EXPECT_EQ(order, (std::vector<int>{0}));
+    sync.lockRelease(0, 0);
     eq.run();
-    EXPECT_EQ(order, (std::vector<int>{1, 2}));
-    sync.lockRelease(0); // now free again
-    EXPECT_TRUE(sync.lockAcquire(0, [] {}));
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    sync.lockRelease(0, 1);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    sync.lockRelease(0, 2); // now free again
+    int again = 0;
+    sync.lockAcquire(0, 3, [&] { ++again; });
+    eq.run();
+    EXPECT_EQ(again, 1);
     EXPECT_EQ(sync.statLockHandoffs.value(), 2.0);
 }
 
 TEST_F(SyncFixture, ReleaseUnheldPanics)
 {
-    EXPECT_THROW(sync.lockRelease(9), PanicError);
+    EXPECT_THROW(sync.lockRelease(9, 0), PanicError);
+}
+
+// Sharded mode: operations recorded during a window are processed at
+// the barrier in event-key order, i.e. exactly the order the serial
+// scheduler would have processed them inline.
+TEST(SyncSharded, RecordedOpsProcessInKeyOrder)
+{
+    EventQueue q0;
+    EventQueue q1;
+    std::vector<EventQueue *> qs{&q0, &q1};
+    ShardMap map = ShardMap::partition(qs, 4);
+    q0.setNumContexts(map.numContexts());
+    q1.setNumContexts(map.numContexts());
+    SyncManager sync("sync", map, 0x4000'0000, 128);
+    sync.setBarrierParticipants(2);
+
+    bool n0_released = false;
+    bool n2_released = false;
+    // Node 2 (shard 1) arrives at tick 5, node 0 (shard 0) at tick 7:
+    // the merge must see node 2 first even though shard 0 runs first,
+    // so node 0 is the releasing (final) arriver.
+    q1.setContext(map.nodeCtx(2));
+    q1.scheduleFunction(
+        [&] { sync.arrive(0, 2, [&](bool r) { n2_released = r; }); },
+        5);
+    q0.setContext(map.nodeCtx(0));
+    q0.scheduleFunction(
+        [&] { sync.arrive(0, 0, [&](bool r) { n0_released = r; }); },
+        7);
+
+    q0.runWindow(16);
+    q1.runWindow(16);
+    EXPECT_FALSE(sync.pendingEmpty());
+    sync.processPending();
+    EXPECT_TRUE(sync.pendingEmpty());
+    q0.runWindow(64);
+    q1.runWindow(64);
+    EXPECT_TRUE(n0_released);
+    EXPECT_FALSE(n2_released);
+    EXPECT_EQ(sync.statBarriers.value(), 1.0);
 }
 
 } // namespace

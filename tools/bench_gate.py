@@ -16,7 +16,16 @@ from the machine that produced the baseline: the timing wheel must
 beat the retained legacy-heap oracle by at least 1.5x on the
 realistic-delay benchmark pair.
 
+A second machine-independent invariant gates the sharded scheduler:
+pass --sharded BENCH_fig6_sharded.json and the grid's overall
+serial-vs-sharded speedup must reach --min-speedup (default 1.5x).
+The check is skipped (with a note) when the producing host had fewer
+hardware threads than requested shards — identity is still enforced
+by the bench itself, but the timing comparison is meaningless there.
+
 Usage: bench_gate.py BASELINE.json FRESH.json [--threshold 0.20]
+                     [--sharded BENCH_fig6_sharded.json]
+                     [--min-speedup 1.5]
 """
 
 import argparse
@@ -39,12 +48,56 @@ def items_per_second(path):
     return out
 
 
+def sharded_summary(path):
+    """Return the metric->value map of the sharded bench's summary
+    table, or None if the file doesn't contain one."""
+    with open(path) as f:
+        data = json.load(f)
+    for table in data.get("tables", []):
+        if "speedup summary" not in table.get("title", "").lower():
+            continue
+        return {row.get("metric"): row.get("value")
+                for row in table.get("rows", [])}
+    return None
+
+
+def check_sharded(path, min_speedup, failures):
+    summary = sharded_summary(path)
+    if summary is None:
+        failures.append(f"{path}: no 'speedup summary' table")
+        return
+    points = int(summary.get("points", 0))
+    identical = int(summary.get("points bit-identical", -1))
+    if identical != points or points == 0:
+        failures.append(
+            f"sharded identity: {identical}/{points} points "
+            "bit-identical")
+    shards = int(summary.get("shards requested", 0))
+    hw = int(summary.get("hardware threads", 0))
+    speedup = float(summary.get("overall speedup", 0.0))
+    print(f"\nsharded fig6: {identical}/{points} bit-identical, "
+          f"{shards} shards on {hw} hardware threads, "
+          f"speedup {speedup:.2f} (require >= {min_speedup:.2f})")
+    if hw < shards:
+        print("  (timing check skipped: host has fewer hardware "
+              "threads than shards)")
+        return
+    if speedup < min_speedup:
+        failures.append(
+            f"sharded scheduler only {speedup:.2f}x serial "
+            f"(expected >= {min_speedup:.2f}x on {hw} threads)")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
     ap.add_argument("fresh")
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="max fractional items/sec regression")
+    ap.add_argument("--sharded", metavar="JSON",
+                    help="BENCH_fig6_sharded.json to gate on")
+    ap.add_argument("--min-speedup", type=float, default=1.5,
+                    help="min sharded-vs-serial wall-clock speedup")
     args = ap.parse_args()
 
     base = items_per_second(args.baseline)
@@ -82,6 +135,9 @@ def main():
     else:
         failures.append(
             "wheel-vs-heap realistic-delay pair missing from run")
+
+    if args.sharded:
+        check_sharded(args.sharded, args.min_speedup, failures)
 
     if failures:
         print("\nFAIL:")
