@@ -60,6 +60,11 @@ Bus::request(BusCmd cmd, Addr line_addr, int requester,
     txn.fromCC = from_cc;
     txn.dataVersion = data_version;
     txn.issueTick = eq_.curTick();
+    ccnuma_trace(line_addr,
+                 "%8llu %s open txn=%llu %s req=%d fromCC=%d",
+                 (unsigned long long)eq_.curTick(), name_.c_str(),
+                 (unsigned long long)id, busCmdName(cmd), requester,
+                 (int)from_cc);
     open_.emplace(id, txn);
     pendingGrants_.push_back(id);
     if (!kickEvent_.scheduled())
@@ -154,6 +159,11 @@ Bus::addressPhase(std::uint64_t txn_id)
           }
           case SupplyDecision::Deferred:
             ++statDeferred;
+            ccnuma_trace(txn.lineAddr,
+                         "%8llu %s defer txn=%llu req=%d fromCC=%d",
+                         (unsigned long long)eq_.curTick(),
+                         name_.c_str(), (unsigned long long)txn_id,
+                         txn.requester, (int)txn.fromCC);
             // The coherence controller calls deferredRespond later.
             break;
           case SupplyDecision::NoData:
@@ -213,6 +223,11 @@ Bus::deliver(std::uint64_t txn_id, Tick when)
             auto it = open_.find(txn_id);
             ccnuma_assert(it != open_.end());
             BusTxn txn = it->second;
+            ccnuma_trace(txn.lineAddr,
+                         "%8llu %s done txn=%llu %s req=%d",
+                         (unsigned long long)eq_.curTick(),
+                         name_.c_str(), (unsigned long long)txn_id,
+                         busCmdName(txn.cmd), txn.requester);
             open_.erase(it);
             --granted_;
             agents_[txn.requester]->busDone(txn);
@@ -239,6 +254,10 @@ Bus::deferredRespond(std::uint64_t txn_id, std::uint64_t data_version,
         panic("bus %s: deferred response for unknown txn %llu",
               name_.c_str(), (unsigned long long)txn_id);
     BusTxn &txn = it->second;
+    ccnuma_trace(txn.lineAddr,
+                 "%8llu %s defresp txn=%llu req=%d",
+                 (unsigned long long)eq_.curTick(), name_.c_str(),
+                 (unsigned long long)txn_id, txn.requester);
     txn.dataVersion = data_version;
     Tick first_beat = scheduleData(txn, earliest);
     deliver(txn_id, first_beat);

@@ -261,6 +261,12 @@ class Bus
         return it != open_.end() && it->second.fillScheduled;
     }
 
+    /** @return true while @p txn_id has not completed. */
+    bool isOpen(std::uint64_t txn_id) const
+    {
+        return open_.count(txn_id) != 0;
+    }
+
     stats::Group &statGroup() { return statGroup_; }
 
     stats::Scalar statTxns{"transactions", "address phases issued"};

@@ -3,6 +3,7 @@
 #include "obs/tracer.hh"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace ccnuma
 {
@@ -38,6 +39,16 @@ CoherenceController::CoherenceController(const std::string &name,
     statGroup_.add(&statWbStalls);
     statGroup_.add(&statNackRetries);
     statGroup_.add(&statRetryBackoffTicks);
+    statGroup_.add(&statCrashes);
+    statGroup_.add(&statCrashDropped);
+    statGroup_.add(&statRecoveryNacks);
+    statGroup_.add(&statDirRebuilds);
+    statGroup_.add(&statRebuildLines);
+    statGroup_.add(&statMissTimeouts);
+    statGroup_.add(&statTimeoutResends);
+    statGroup_.add(&statRecoveryProbes);
+    statGroup_.add(&statDegradedEntries);
+    statGroup_.add(&statStrayDrops);
 }
 
 // ---------------------------------------------------------------------
@@ -100,6 +111,68 @@ CoherenceController::busObserve(BusTxn &txn, SnoopResult combined)
     }
 
     // Processor-issued transaction.
+    if (state_ != CcState::Normal) {
+        // The controller card is dark or rebuilding its directory.
+        // Transactions the snooping bus completes within the node
+        // (cache-to-cache supplies, writebacks into local memory)
+        // proceed as usual — the bus-side data path survives a
+        // controller crash. Anything that needs the controller's
+        // dispatch logic or a trustworthy directory parks until the
+        // restart replays it.
+        switch (txn.cmd) {
+          case BusCmd::Inval:
+            return SupplyDecision::NoData;
+          case BusCmd::WriteBack:
+            if (local)
+                return SupplyDecision::Memory;
+            wbBuffer_[line] = WbEntry{txn.dataVersion};
+            return SupplyDecision::NoData;
+          case BusCmd::Read:
+          case BusCmd::ReadExcl:
+            if (combined == SnoopResult::DirtySupply) {
+                if (local) {
+                    return txn.cmd == BusCmd::Read
+                               ? SupplyDecision::CacheReflect
+                               : SupplyDecision::Cache;
+                }
+                if (txn.cmd == BusCmd::Read) {
+                    // The demotion already happened in the snoop;
+                    // the dirty data must travel home now. The
+                    // direct data path needs no protocol engine.
+                    Tick data_time =
+                        eq_.curTick() + bus_.params().c2cDataLatency +
+                        static_cast<Tick>(
+                            bus_.params().lineBytes /
+                            bus_.params().busWidthBytes) *
+                            bus_.params().beatTicks;
+                    wbBuffer_[line] = WbEntry{txn.dataVersion};
+                    ++statDirectWBs;
+                    sendMsg(MsgType::SharingWB, line,
+                            map_.homeOf(line), node_, txn.dataVersion,
+                            /*retains=*/true, data_time);
+                }
+                return SupplyDecision::Cache;
+            }
+            // Only a plain Read may complete off a Shared copy: an
+            // upgrade needs the home to invalidate remote sharers
+            // and record ownership, so it parks like any other
+            // controller-dependent transaction.
+            if (combined == SnoopResult::SharedSupply && !local &&
+                txn.cmd == BusCmd::Read) {
+                return SupplyDecision::Cache;
+            }
+            break;
+        }
+        DispatchItem item;
+        item.isBus = true;
+        item.busTxnId = txn.id;
+        item.lineAddr = line;
+        item.busCmd = txn.cmd;
+        item.crashResend = true;
+        crashReplay_.push_back(item);
+        ++statParked;
+        return SupplyDecision::Deferred;
+    }
     const bool busy = homeBusy_.count(line) != 0 ||
                       deferredLocal_.count(line) != 0 ||
                       (homeWaiting_.count(line) &&
@@ -293,6 +366,13 @@ void
 CoherenceController::busDone(BusTxn &txn)
 {
     auto it = fetches_.find(txn.id);
+    if (it == fetches_.end() && params_.recoveryEnabled) {
+        // The handler that issued this fetch died in a crash; its
+        // originating request was collected for replay and will
+        // fetch again from scratch.
+        ++statStrayDrops;
+        return;
+    }
     ccnuma_assert(it != fetches_.end());
     std::unique_ptr<Exec> ex = std::move(it->second);
     fetches_.erase(it);
@@ -311,7 +391,8 @@ CoherenceController::busDone(BusTxn &txn)
 void
 CoherenceController::sendMsg(MsgType type, Addr line_addr, NodeId dst,
                              NodeId requester, std::uint64_t version,
-                             bool retains, Tick t)
+                             bool retains, Tick t,
+                             bool recovery_resend)
 {
     Msg m;
     m.type = type;
@@ -321,6 +402,7 @@ CoherenceController::sendMsg(MsgType type, Addr line_addr, NodeId dst,
     m.requester = requester;
     m.version = version;
     m.ownerRetains = retains;
+    m.recoveryResend = recovery_resend;
     ccnuma_trace(line_addr,
                  "%8llu %s send %s -> node%u req=%u ver=%llu ret=%d",
                  (unsigned long long)t, name_.c_str(),
@@ -373,6 +455,30 @@ CoherenceController::retryDelay(Addr line, const char *what)
 void
 CoherenceController::netReceive(const Msg &msg)
 {
+    if (state_ == CcState::Crashed || deadForever_) {
+        // Dark. The reliable transport's receive fence normally
+        // drops frames before they reach us (unacknowledged, so the
+        // sender re-delivers after the restart); anything already in
+        // flight past the fence is dropped here the same way.
+        ++statCrashDropped;
+        return;
+    }
+
+    // Home-liveness probes are answered at the network interface,
+    // below the dispatch queues: a probe must tell the requester
+    // whether the card is alive even when its engines are saturated
+    // or busy rebuilding the directory.
+    if (msg.type == MsgType::RecoveryProbe) {
+        sendMsg(MsgType::RecoveryProbeAck, msg.lineAddr, msg.src,
+                msg.requester, 0, false, eq_.curTick());
+        return;
+    }
+    if (msg.type == MsgType::RecoveryProbeAck) {
+        // The home is alive, just slow: give it a fresh ladder.
+        missLadders_.erase(msg.lineAddr);
+        return;
+    }
+
     // Writeback acknowledgements retire writeback-buffer entries;
     // that is network-interface bookkeeping, not protocol handler
     // work — no engine dispatch, no occupancy.
@@ -401,6 +507,7 @@ CoherenceController::netReceive(const Msg &msg)
       case MsgType::FwdReadExcl:
       case MsgType::InvalReq:
       case MsgType::WriteBack:
+      case MsgType::DirProbe:
         enqueue(QNetRequest, item);
         break;
       default:
@@ -447,6 +554,13 @@ void
 CoherenceController::enqueue(unsigned queue, DispatchItem item,
                              bool to_front)
 {
+    if (state_ == CcState::Crashed || deadForever_) {
+        // A pre-crash continuation (direct-path fallback, replay
+        // drain) landed after the card went dark: park it with the
+        // rest of the outage's work.
+        crashReplay_.push_back(item);
+        return;
+    }
     item.enqueueTick = eq_.curTick();
     item.srcQueue = queue;
     unsigned e = engineFor(item.lineAddr);
@@ -526,7 +640,7 @@ void
 CoherenceController::tryDispatch(unsigned engine_idx)
 {
     Engine &e = engines_[engine_idx];
-    if (e.busy)
+    if (e.busy || state_ == CcState::Crashed || deadForever_)
         return;
     if (stallHook_ &&
         (!e.queues[0].empty() || !e.queues[1].empty() ||
@@ -550,7 +664,9 @@ CoherenceController::tryDispatch(unsigned engine_idx)
             e.busy = true;
             e.busyStart = eq_.curTick();
             eq_.scheduleFunctionIn(
-                [this, engine_idx] {
+                [this, engine_idx, ep = epoch_] {
+                    if (ep != epoch_)
+                        return; // engine died in a crash
                     Engine &en = engines_[engine_idx];
                     ccnuma_assert(en.busy);
                     en.busy = false;
@@ -590,6 +706,8 @@ CoherenceController::startItem(unsigned engine_idx, DispatchItem item)
 {
     engines_[engine_idx].curLine = item.lineAddr;
     engines_[engine_idx].curLineValid = true;
+    engines_[engine_idx].curItem = item;
+    engines_[engine_idx].curItemValid = true;
     if (item.isBus && item.busCmd != BusCmd::WriteBack &&
         map_.homeOf(item.lineAddr) == node_) {
         auto it = deferredLocal_.find(item.lineAddr);
@@ -631,7 +749,9 @@ CoherenceController::drainHomeWaiting(Addr line_addr, Tick t)
         return;
     std::deque<DispatchItem> waiting = std::move(it->second);
     homeWaiting_.erase(it);
-    // Replay in arrival order; push_front in reverse order.
+    // Replay in arrival order; push_front in reverse order. (No
+    // epoch guard: if a crash lands first, enqueue parks the items
+    // with the rest of the outage's replay work.)
     eq_.scheduleFunction(
         [this, waiting] {
             for (auto rit = waiting.rbegin(); rit != waiting.rend();
@@ -679,7 +799,13 @@ CoherenceController::beginHandler(
         }
         Exec *raw = ex.release();
         eq_.scheduleFunction(
-            [this, raw, bc, line] {
+            [this, raw, bc, line, ep = epoch_] {
+                if (ep != epoch_) {
+                    // The handler died in a crash before its bus
+                    // operation issued; its request replays fresh.
+                    delete raw;
+                    return;
+                }
                 std::uint64_t id = bus_.request(bc, line, busAgentId_,
                                                 0, /*from_cc=*/true);
                 fetches_[id].reset(raw);
@@ -695,8 +821,10 @@ CoherenceController::respondPhase(std::unique_ptr<Exec> ex, Tick t)
 {
     Exec *raw = ex.release();
     eq_.scheduleFunction(
-        [this, raw] {
+        [this, raw, ep = epoch_] {
             std::unique_ptr<Exec> e(raw);
+            if (ep != epoch_)
+                return; // handler died in a crash
             Tick now = eq_.curTick();
             if (e->action)
                 e->action(*e, now);
@@ -723,11 +851,14 @@ void
 CoherenceController::finishHandler(unsigned engine_idx, Tick free_at)
 {
     eq_.scheduleFunction(
-        [this, engine_idx] {
+        [this, engine_idx, ep = epoch_] {
+            if (ep != epoch_)
+                return; // engine died in a crash
             Engine &e = engines_[engine_idx];
             ccnuma_assert(e.busy);
             e.busy = false;
             e.curLineValid = false;
+            e.curItemValid = false;
             e.occupancyTicks += eq_.curTick() - e.busyStart;
             if (tracer_) {
                 tracer_->engineSpan(node_, engine_idx, e.curHandler,
@@ -934,14 +1065,16 @@ CoherenceController::executeBusItem(unsigned engine_idx,
     rp.excl = excl;
     rp.busTxns.push_back(item.busTxnId);
     reqPending_[line] = rp;
+    const bool resend = item.crashResend;
     beginHandler(engine_idx,
                  excl ? HandlerId::BusReadExclRemote
                       : HandlerId::BusReadRemote,
                  line, 0, CcBusOp::None,
-                 [this, line, home, excl](Exec &, Tick t) {
+                 [this, line, home, excl, resend](Exec &, Tick t) {
                      sendMsg(excl ? MsgType::ReadExclReq
                                   : MsgType::ReadReq,
-                             line, home, node_, 0, false, t);
+                             line, home, node_, 0, false, t,
+                             /*recovery_resend=*/resend);
                  });
 }
 
@@ -992,6 +1125,22 @@ CoherenceController::executeNetItem(unsigned engine_idx,
       case MsgType::ReadReq:
       case MsgType::ReadExclReq: {
         // We are the home node.
+        if (state_ == CcState::Recovering) {
+            // The directory is being rebuilt; nothing it says about
+            // this line can be trusted yet. Bounce the request with
+            // a distinct nack so the requester's bounded-retry
+            // policy re-presents it after the rebuild.
+            const NodeId req = msg.requester;
+            ++statRecoveryNacks;
+            beginHandler(
+                engine_idx, HandlerId::OwnerNackAtHome, line, 0,
+                CcBusOp::None,
+                [this, line, req](Exec &, Tick t) {
+                    sendMsg(MsgType::RecoveryNack, line, req, req, 0,
+                            false, t);
+                });
+            return;
+        }
         if (homeBusy_.count(line)) {
             parkAtHome(engine_idx, item);
             return;
@@ -999,6 +1148,44 @@ CoherenceController::executeNetItem(unsigned engine_idx,
         const bool excl = msg.type == MsgType::ReadExclReq;
         const NodeId req = msg.requester;
         DirEntry &d = dir_.entry(line);
+
+        if (d.state == DirState::DirtyRemote && d.owner == req &&
+            msg.recoveryResend) {
+            // The recorded owner lost its grant (a crash killed its
+            // in-flight fill, or the reply died with our own card)
+            // and is asking again: re-grant from memory, which still
+            // holds the last version the owner ever confirmed.
+            HomeTxn txn;
+            txn.requester = req;
+            txn.excl = excl;
+            txn.original = item;
+            homeBusy_[line] = txn;
+            beginHandler(
+                engine_idx,
+                excl ? HandlerId::RemoteReadExclToHomeUncached
+                     : HandlerId::RemoteReadToHomeClean,
+                line, 0,
+                excl ? CcBusOp::FetchReadExcl : CcBusOp::FetchRead,
+                [this, line, req, excl](Exec &ex, Tick t) {
+                    ccnuma_assert(!ex.fetchFailed);
+                    sendMsg(excl ? MsgType::DataExclReply
+                                 : MsgType::DataReply,
+                            line, req, req, ex.version, false, t);
+                    DirEntry &e = dir_.entry(line);
+                    if (excl) {
+                        e.state = DirState::DirtyRemote;
+                        e.owner = req;
+                        e.sharers = 0;
+                    } else {
+                        e.state = DirState::SharedRemote;
+                        e.sharers = 0;
+                        e.addSharer(req);
+                    }
+                    dir_.scheduleWrite(line, t);
+                    closeHomeTxn(line, t);
+                });
+            return;
+        }
 
         if (d.state == DirState::DirtyRemote && d.owner != req) {
             NodeId owner = d.owner;
@@ -1233,6 +1420,10 @@ CoherenceController::executeNetItem(unsigned engine_idx,
 
       case MsgType::InvalAck: {
         auto hb = homeBusy_.find(line);
+        if (hb == homeBusy_.end() && strayDrop("InvalAck")) {
+            finishHandler(engine_idx, eq_.curTick());
+            return;
+        }
         ccnuma_assert(hb != homeBusy_.end());
         ccnuma_assert(hb->second.acksExpected > 0);
         if (--hb->second.acksExpected > 0) {
@@ -1277,13 +1468,30 @@ CoherenceController::executeNetItem(unsigned engine_idx,
 
       case MsgType::DataReply:
       case MsgType::DataExclReply: {
+        if (!reqPending_.count(line) && strayDrop("data reply")) {
+            // The requester state died in a crash; the replayed
+            // request will be re-granted (Msg::recoveryResend).
+            finishHandler(engine_idx, eq_.curTick());
+            return;
+        }
         const bool excl = msg.type == MsgType::DataExclReply;
         std::uint64_t version = msg.version;
+        // An exclusive grant whose request was parked behind an
+        // earlier read transaction may find Shared copies that local
+        // fills re-established after the upgrade's original bus
+        // snoop; they must die before the Modified fill (the home
+        // only invalidates REMOTE sharers). In the unconflicted path
+        // no local copy can exist here — the requester dropped its
+        // own copy at miss issue and the snoop killed the rest — so
+        // the extra bus invalidation never fires.
+        const bool stale_local = excl && probe_ != nullptr &&
+                                 probe_->lineCachedLocally(line);
         beginHandler(
             engine_idx,
             excl ? HandlerId::DataReplyForRemoteReadExcl
                  : HandlerId::DataReplyForRemoteRead,
-            line, 0, CcBusOp::None,
+            line, 0,
+            stale_local ? CcBusOp::InvalOnly : CcBusOp::None,
             [this, line, version](Exec &, Tick t) {
                 completeRequesterFill(line, version, t);
             });
@@ -1292,6 +1500,10 @@ CoherenceController::executeNetItem(unsigned engine_idx,
 
       case MsgType::OwnerDataToHome: {
         auto hb = homeBusy_.find(line);
+        if (hb == homeBusy_.end() && strayDrop("OwnerDataToHome")) {
+            finishHandler(engine_idx, eq_.curTick());
+            return;
+        }
         ccnuma_assert(hb != homeBusy_.end());
         HomeTxn txn = hb->second;
         ccnuma_assert(txn.localRequest && !txn.excl);
@@ -1326,6 +1538,11 @@ CoherenceController::executeNetItem(unsigned engine_idx,
 
       case MsgType::OwnerDataExclToHome: {
         auto hb = homeBusy_.find(line);
+        if (hb == homeBusy_.end() &&
+            strayDrop("OwnerDataExclToHome")) {
+            finishHandler(engine_idx, eq_.curTick());
+            return;
+        }
         ccnuma_assert(hb != homeBusy_.end());
         HomeTxn txn = hb->second;
         ccnuma_assert(txn.localRequest && txn.excl);
@@ -1347,6 +1564,17 @@ CoherenceController::executeNetItem(unsigned engine_idx,
       }
 
       case MsgType::SharingWB: {
+        if (state_ == CcState::Recovering) {
+            // The owner/sharer picture is still being rebuilt; hold
+            // the writeback until the directory can judge whether it
+            // applies. The sender's buffer entry stays reserved
+            // until we ack, preserving request-follows-writeback
+            // ordering across the outage.
+            rebuildParkedWb_.push_back(msg);
+            finishHandler(engine_idx,
+                          eq_.curTick() + params_.dispatchLatency);
+            return;
+        }
         auto hb = homeBusy_.find(line);
         DirEntry &d = dir_.entry(line);
         const NodeId owner = msg.src;
@@ -1417,6 +1645,10 @@ CoherenceController::executeNetItem(unsigned engine_idx,
 
       case MsgType::OwnershipAck: {
         auto hb = homeBusy_.find(line);
+        if (hb == homeBusy_.end() && strayDrop("OwnershipAck")) {
+            finishHandler(engine_idx, eq_.curTick());
+            return;
+        }
         ccnuma_assert(hb != homeBusy_.end());
         HomeTxn txn = hb->second;
         ccnuma_assert(txn.excl && !txn.localRequest);
@@ -1437,6 +1669,12 @@ CoherenceController::executeNetItem(unsigned engine_idx,
       }
 
       case MsgType::WriteBack: {
+        if (state_ == CcState::Recovering) {
+            rebuildParkedWb_.push_back(msg);
+            finishHandler(engine_idx,
+                          eq_.curTick() + params_.dispatchLatency);
+            return;
+        }
         DirEntry &d = dir_.entry(line);
         const NodeId owner = msg.src;
         bool applies = d.state == DirState::DirtyRemote &&
@@ -1464,14 +1702,25 @@ CoherenceController::executeNetItem(unsigned engine_idx,
         panic("cc %s: WriteBackAck reached the dispatch path",
               name_.c_str());
 
-      case MsgType::HomeNack: {
-        // Our request raced ahead of our own ownership fill; redo it
-        // from the top (the local probe will now find the copy, or
-        // the retry will stall behind the writeback buffer). Under a
+      case MsgType::HomeNack:
+      case MsgType::RecoveryNack: {
+        // HomeNack: our request raced ahead of our own ownership
+        // fill; redo it from the top (the local probe will now find
+        // the copy, or the retry will stall behind the writeback
+        // buffer). RecoveryNack: the home fenced us out while it
+        // rebuilds its directory; same teardown-and-retry, so the
+        // bounded backoff naturally rides out the rebuild. Under a
         // bounded retry policy the re-attempt backs off
         // exponentially and eventually escalates.
+        if (!reqPending_.count(line) && strayDrop("nack")) {
+            finishHandler(engine_idx, eq_.curTick());
+            return;
+        }
         ccnuma_assert(reqPending_.count(line));
-        const Tick backoff = retryDelay(line, "home-nacked request");
+        const Tick backoff = retryDelay(
+            line, msg.type == MsgType::RecoveryNack
+                      ? "request nacked by a recovering home"
+                      : "home-nacked request");
         beginHandler(
             engine_idx, HandlerId::OwnerNackAtHome, line, 0,
             CcBusOp::None,
@@ -1506,8 +1755,12 @@ CoherenceController::executeNetItem(unsigned engine_idx,
       }
 
       case MsgType::OwnerNack: {
-        ++statNacks;
         auto hb = homeBusy_.find(line);
+        if (hb == homeBusy_.end() && strayDrop("OwnerNack")) {
+            finishHandler(engine_idx, eq_.curTick());
+            return;
+        }
+        ++statNacks;
         ccnuma_assert(hb != homeBusy_.end());
         DispatchItem original = hb->second.original;
         const Tick backoff = retryDelay(line, "owner-nacked forward");
@@ -1527,9 +1780,510 @@ CoherenceController::executeNetItem(unsigned engine_idx,
             });
         return;
       }
+
+      case MsgType::DirProbe: {
+        // A restarted home is rebuilding its directory: report every
+        // local copy of a line homed there.
+        const Msg m = msg;
+        beginHandler(engine_idx, HandlerId::DirProbeAtSharer, line, 0,
+                     CcBusOp::None,
+                     [this, m](Exec &, Tick t) {
+                         answerDirProbe(m, t);
+                     });
+        return;
+      }
+
+      case MsgType::DirProbeResp: {
+        const Msg m = msg;
+        beginHandler(engine_idx, HandlerId::DirProbeRespAtHome, line,
+                     0, CcBusOp::None,
+                     [this, m](Exec &, Tick t) {
+                         applyProbeResp(m);
+                         dir_.scheduleWrite(m.lineAddr, t);
+                         maybeAdvanceRebuild(t);
+                     });
+        return;
+      }
+
+      case MsgType::DirProbeDone: {
+        const Msg m = msg;
+        beginHandler(
+            engine_idx, HandlerId::DirProbeRespAtHome, line, 0,
+            CcBusOp::None,
+            [this, m](Exec &, Tick t) {
+                ccnuma_assert(state_ == CcState::Recovering);
+                ccnuma_assert(probeDonesOutstanding_ > 0);
+                --probeDonesOutstanding_;
+                probeRespsExpected_ += m.version;
+                maybeAdvanceRebuild(t);
+            });
+        return;
+      }
+
+      case MsgType::RecoveryProbe:
+      case MsgType::RecoveryProbeAck:
+        // Answered below dispatch in netReceive.
+        panic("cc %s: %s reached the dispatch path", name_.c_str(),
+              msgTypeName(msg.type));
     }
     panic("cc %s: unhandled message type %s", name_.c_str(),
           msgTypeName(msg.type));
+}
+
+// ---------------------------------------------------------------------
+// Fail-stop crash recovery (PR 6)
+// ---------------------------------------------------------------------
+
+void
+CoherenceController::crash(bool lose_directory)
+{
+    ccnuma_assert(params_.recoveryEnabled);
+    ccnuma_assert(state_ == CcState::Normal && !deadForever_);
+    ++statCrashes;
+    // Invalidate every scheduled continuation of in-flight handlers:
+    // their lambdas captured the old epoch and now no-op (the one
+    // holding a raw Exec deletes it). Pre-crash sendMsg events are
+    // deliberately not guarded — those messages already left the
+    // card's protocol logic for the network interface.
+    ++epoch_;
+    state_ = CcState::Crashed;
+    dirLost_ = lose_directory;
+    if (xport_ != nullptr)
+        xport_->fenceNode(node_, true);
+
+    // Collect everything this controller still owes an answer for:
+    // local processor transactions awaiting a deferred response and
+    // home-side requests it accepted responsibility for. Network
+    // items are dropped — the transport re-delivers them after the
+    // fence lifts. Bus transaction ids dedup the sweep (one request
+    // can appear both in a transient map and in an engine).
+    std::unordered_set<std::uint64_t> seen;
+    auto keep = [&](const DispatchItem &it) {
+        if (!it.isBus) {
+            // A frame the transport already delivered (and
+            // acknowledged) is never re-delivered, so anything whose
+            // sender waits indefinitely must be parked for replay:
+            // writebacks (the sender's buffer entry stays reserved
+            // until we ack) and home-issued forwards/invalidations
+            // (the home transaction blocks until we answer; homes
+            // run no retry timer). Plain requests are re-sent by the
+            // requester's miss ladder and stale responses by the
+            // recovery-resend path, so those are safely dropped.
+            switch (it.msg.type) {
+              case MsgType::WriteBack:
+              case MsgType::SharingWB:
+              case MsgType::FwdRead:
+              case MsgType::FwdReadExcl:
+              case MsgType::InvalReq:
+                crashReplay_.push_back(it);
+                break;
+              default:
+                ++statCrashDropped;
+            }
+            return;
+        }
+        if (it.busTxnId != 0 && !seen.insert(it.busTxnId).second)
+            return;
+        DispatchItem r = it;
+        r.crashResend = true;
+        crashReplay_.push_back(r);
+    };
+
+    for (auto &e : engines_) {
+        if (e.curItemValid)
+            keep(e.curItem);
+        e.busy = false;
+        e.curItemValid = false;
+        e.curLineValid = false;
+        e.curHandler = 0xff;
+        e.curExtraTargets = 0;
+        e.netBypass = 0;
+        e.stallStreak = 0;
+        for (auto &q : e.queues) {
+            for (auto &it : q)
+                keep(it);
+            q.clear();
+        }
+    }
+    for (auto &[line, hb] : homeBusy_) {
+        // A local request still needs its bus response. A remote
+        // requester's transaction is simply dropped: the requester's
+        // miss timer resends it with Msg::recoveryResend set.
+        if (hb.localRequest)
+            keep(hb.original);
+        else
+            ++statCrashDropped;
+    }
+    homeBusy_.clear();
+    for (auto &[line, q] : homeWaiting_) {
+        for (auto &it : q)
+            keep(it);
+    }
+    homeWaiting_.clear();
+    for (auto &[line, q] : wbWaiting_) {
+        for (auto &it : q)
+            keep(it);
+    }
+    wbWaiting_.clear();
+    for (auto &[line, rp] : reqPending_) {
+        for (std::uint64_t txn : rp.busTxns) {
+            DispatchItem it;
+            it.isBus = true;
+            it.busTxnId = txn;
+            it.lineAddr = line;
+            it.busCmd = rp.excl ? BusCmd::ReadExcl : BusCmd::Read;
+            keep(it);
+        }
+        for (auto &c : rp.conflicting)
+            keep(c);
+    }
+    reqPending_.clear();
+    deferredLocal_.clear();
+    fetches_.clear();
+    missLadders_.clear();
+    // All in-flight operations died with the card; their per-line
+    // retry streaks are meaningless now.
+    retries_.clearAll();
+    // The writeback buffer survives: it is bus-side data-path SRAM,
+    // and its entries are the only copy of evicted dirty lines.
+
+    if (lose_directory)
+        dir_.invalidateAll();
+
+    ccnuma_trace(0, "%8llu %s CRASH (directory %s), %zu items parked",
+                 (unsigned long long)eq_.curTick(), name_.c_str(),
+                 lose_directory ? "lost" : "intact",
+                 crashReplay_.size());
+}
+
+void
+CoherenceController::restart()
+{
+    ccnuma_assert(state_ == CcState::Crashed && !deadForever_);
+    restartTick_ = eq_.curTick();
+    if (xport_ != nullptr)
+        xport_->fenceNode(node_, false);
+    if (!dirLost_) {
+        state_ = CcState::Normal;
+        replayAfterRestart(eq_.curTick());
+        return;
+    }
+    dirLost_ = false;
+    state_ = CcState::Recovering;
+    probePendingPeers_.clear();
+    probeDonesOutstanding_ = 0;
+    probeRespsExpected_ = 0;
+    probeRespsApplied_ = 0;
+    for (NodeId n = 0; n < map_.numNodes(); ++n) {
+        if (n != node_)
+            probePendingPeers_.push_back(n);
+    }
+    ccnuma_trace(0, "%8llu %s RESTART: rebuilding directory from %zu "
+                 "peers", (unsigned long long)eq_.curTick(),
+                 name_.c_str(), probePendingPeers_.size());
+    if (probePendingPeers_.empty())
+        finishRebuild(eq_.curTick());
+    else
+        sendNextProbeWave(eq_.curTick());
+}
+
+void
+CoherenceController::sendNextProbeWave(Tick t)
+{
+    ccnuma_assert(state_ == CcState::Recovering);
+    unsigned wave =
+        params_.probeFanout == 0
+            ? static_cast<unsigned>(probePendingPeers_.size())
+            : params_.probeFanout;
+    while (wave-- > 0 && !probePendingPeers_.empty()) {
+        NodeId peer = probePendingPeers_.front();
+        probePendingPeers_.pop_front();
+        ++probeDonesOutstanding_;
+        sendMsg(MsgType::DirProbe, 0, peer, node_, 0, false, t);
+    }
+}
+
+void
+CoherenceController::answerDirProbe(const Msg &msg, Tick t)
+{
+    const NodeId home = msg.src;
+    std::uint64_t count = 0;
+    // Msg::ownerRetains doubles as the dirty flag in a probe
+    // response: true means this node holds the only valid data.
+    if (cacheScan_) {
+        cacheScan_(home, [&](Addr l, bool modified,
+                             std::uint64_t ver) {
+            sendMsg(MsgType::DirProbeResp, l, home, node_, ver,
+                    /*retains=*/modified, t);
+            ++count;
+        });
+    }
+    // The writeback buffer holds evicted dirty lines whose WriteBack
+    // message the crashed home never absorbed; report them as owned
+    // here so the rebuilt directory accepts the parked writeback.
+    for (const auto &[l, wb] : wbBuffer_) {
+        if (map_.homeOf(l) == home) {
+            sendMsg(MsgType::DirProbeResp, l, home, node_,
+                    wb.version, /*retains=*/true, t);
+            ++count;
+        }
+    }
+    sendMsg(MsgType::DirProbeDone, 0, home, node_, count, false, t);
+}
+
+void
+CoherenceController::applyProbeResp(const Msg &msg)
+{
+    ccnuma_assert(state_ == CcState::Recovering);
+    DirEntry &e = dir_.entry(msg.lineAddr);
+    if (msg.ownerRetains) {
+        // Dirty at the responder: it is the owner.
+        e.state = DirState::DirtyRemote;
+        e.owner = msg.src;
+        e.sharers = 0;
+    } else if (e.state != DirState::DirtyRemote) {
+        e.state = DirState::SharedRemote;
+        e.addSharer(msg.src);
+    }
+    ++probeRespsApplied_;
+    ++statRebuildLines;
+}
+
+void
+CoherenceController::maybeAdvanceRebuild(Tick t)
+{
+    if (state_ != CcState::Recovering)
+        return;
+    if (probeDonesOutstanding_ > 0 ||
+        probeRespsApplied_ < probeRespsExpected_)
+        return;
+    if (!probePendingPeers_.empty())
+        sendNextProbeWave(t);
+    else
+        finishRebuild(t);
+}
+
+void
+CoherenceController::finishRebuild(Tick t)
+{
+    ccnuma_assert(state_ == CcState::Recovering);
+    ++statDirRebuilds;
+    const Tick latency = t - restartTick_;
+    reconstructionTicksMax_ =
+        std::max(reconstructionTicksMax_, latency);
+    ccnuma_trace(0, "%8llu %s REBUILD complete in %llu ticks",
+                 (unsigned long long)t, name_.c_str(),
+                 (unsigned long long)latency);
+    // Cross-check the rebuilt map against the checker's shadow
+    // directory before trusting it with live traffic.
+    if (rebuildCheckHook_)
+        rebuildCheckHook_(node_);
+    state_ = CcState::Normal;
+    replayAfterRestart(t);
+}
+
+void
+CoherenceController::replayAfterRestart(Tick t)
+{
+    ccnuma_assert(state_ == CcState::Normal);
+    std::deque<DispatchItem> items = std::move(crashReplay_);
+    crashReplay_.clear();
+    std::deque<Msg> wbs = std::move(rebuildParkedWb_);
+    rebuildParkedWb_.clear();
+    if (items.empty() && wbs.empty())
+        return;
+    eq_.scheduleFunction(
+        [this, items, wbs] {
+            // Writebacks first: they carry data the rebuilt
+            // directory already expects from their senders.
+            for (const auto &m : wbs) {
+                DispatchItem it;
+                it.msg = m;
+                it.lineAddr = m.lineAddr;
+                enqueue(m.type == MsgType::WriteBack ? QNetRequest
+                                                     : QNetResponse,
+                        it);
+            }
+            for (const auto &it : items) {
+                // A deferred read the card answered in its final
+                // ticks before the crash (response issued, engine
+                // not yet released) needs nothing more: the data
+                // phase completes on the bus regardless. Replaying
+                // it would answer the transaction twice. WriteBack
+                // and Inval items keep their network obligations
+                // even though their address phases closed long ago.
+                if (it.isBus && it.busTxnId != 0 &&
+                    (it.busCmd == BusCmd::Read ||
+                     it.busCmd == BusCmd::ReadExcl) &&
+                    (!bus_.isOpen(it.busTxnId) ||
+                     bus_.fillScheduled(it.busTxnId))) {
+                    ccnuma_trace(it.lineAddr,
+                                 "%8llu %s replay elides answered "
+                                 "bus txn %llu",
+                                 (unsigned long long)eq_.curTick(),
+                                 name_.c_str(),
+                                 (unsigned long long)it.busTxnId);
+                    continue;
+                }
+                unsigned q = QBusRequest;
+                if (!it.isBus) {
+                    q = it.msg.type == MsgType::SharingWB
+                            ? QNetResponse
+                            : QNetRequest;
+                }
+                enqueue(q, it);
+            }
+        },
+        t);
+}
+
+void
+CoherenceController::missTimeout(Addr line_addr)
+{
+    if (!params_.recoveryEnabled || state_ != CcState::Normal ||
+        deadForever_) {
+        return;
+    }
+    auto it = reqPending_.find(line_addr);
+    if (it == reqPending_.end())
+        return; // the timer raced with the fill
+    ++statMissTimeouts;
+    MissLadder &lad = missLadders_[line_addr];
+    const NodeId home = map_.homeOf(line_addr);
+    const bool excl = it->second.excl;
+    if (lad.resends < params_.timeoutRetries) {
+        ++lad.resends;
+        ++statTimeoutResends;
+        sendMsg(excl ? MsgType::ReadExclReq : MsgType::ReadReq,
+                line_addr, home, node_, 0, false, eq_.curTick(),
+                /*recovery_resend=*/true);
+        return;
+    }
+    if (lad.probes < params_.probeRetries) {
+        ++lad.probes;
+        ++statRecoveryProbes;
+        sendMsg(MsgType::RecoveryProbe, line_addr, home, node_, 0,
+                false, eq_.curTick());
+        return;
+    }
+    // The home answered neither resends nor liveness probes: it is
+    // gone. Degraded mode fences it and migrates its pages.
+    ++statDegradedEntries;
+    missLadders_.erase(line_addr);
+    ccnuma_trace(line_addr,
+                 "%8llu %s DEGRADED: home node%u presumed dead",
+                 (unsigned long long)eq_.curTick(), name_.c_str(),
+                 home);
+    if (degradedHook_)
+        degradedHook_(home);
+}
+
+bool
+CoherenceController::strayDrop(const char *what)
+{
+    if (!params_.recoveryEnabled)
+        return false;
+    ++statStrayDrops;
+    ccnuma_trace(0, "%8llu %s stray %s dropped",
+                 (unsigned long long)eq_.curTick(), name_.c_str(),
+                 what);
+    return true;
+}
+
+std::vector<std::pair<Addr, std::uint64_t>>
+CoherenceController::drainWbHomedAt(NodeId home)
+{
+    std::vector<std::pair<Addr, std::uint64_t>> out;
+    for (auto it = wbBuffer_.begin(); it != wbBuffer_.end();) {
+        const Addr line = it->first;
+        if (map_.homeOf(line) != home) {
+            ++it;
+            continue;
+        }
+        out.emplace_back(line, it->second.version);
+        it = wbBuffer_.erase(it);
+        // The writeback is as absorbed as it will ever be; release
+        // requests stalled behind it.
+        auto wit = wbWaiting_.find(line);
+        if (wit == wbWaiting_.end())
+            continue;
+        std::deque<DispatchItem> waiting = std::move(wit->second);
+        wbWaiting_.erase(wit);
+        for (auto rit = waiting.rbegin(); rit != waiting.rend();
+             ++rit) {
+            enqueue(QBusRequest, *rit, /*to_front=*/true);
+        }
+    }
+    return out;
+}
+
+void
+CoherenceController::replayPendingHomedAt(NodeId home)
+{
+    std::deque<DispatchItem> items;
+    for (auto it = reqPending_.begin(); it != reqPending_.end();) {
+        const Addr line = it->first;
+        if (map_.homeOf(line) != home) {
+            ++it;
+            continue;
+        }
+        for (std::uint64_t txn : it->second.busTxns) {
+            DispatchItem di;
+            di.isBus = true;
+            di.busTxnId = txn;
+            di.lineAddr = line;
+            di.busCmd =
+                it->second.excl ? BusCmd::ReadExcl : BusCmd::Read;
+            items.push_back(di);
+        }
+        for (auto &c : it->second.conflicting)
+            items.push_back(c);
+        missLadders_.erase(line);
+        retries_.clear(line);
+        it = reqPending_.erase(it);
+    }
+    if (items.empty())
+        return;
+    // Deferred so the caller can flip the address-map remap first;
+    // the replays then route to the successor home.
+    eq_.scheduleFunction(
+        [this, items] {
+            for (const auto &di : items)
+                enqueue(QBusRequest, di);
+        },
+        eq_.curTick());
+}
+
+void
+CoherenceController::shutdownPermanently()
+{
+    ++epoch_;
+    deadForever_ = true;
+    state_ = CcState::Crashed;
+    for (auto &e : engines_) {
+        e.busy = false;
+        e.curItemValid = false;
+        e.curLineValid = false;
+        e.curHandler = 0xff;
+        e.curExtraTargets = 0;
+        for (auto &q : e.queues)
+            q.clear();
+    }
+    homeBusy_.clear();
+    homeWaiting_.clear();
+    reqPending_.clear();
+    wbBuffer_.clear();
+    wbWaiting_.clear();
+    deferredLocal_.clear();
+    fetches_.clear();
+    crashReplay_.clear();
+    rebuildParkedWb_.clear();
+    missLadders_.clear();
+    probePendingPeers_.clear();
+    probeDonesOutstanding_ = 0;
+    probeRespsExpected_ = 0;
+    probeRespsApplied_ = 0;
+    retries_.clearAll();
 }
 
 // ---------------------------------------------------------------------
@@ -1539,6 +2293,12 @@ CoherenceController::executeNetItem(unsigned engine_idx,
 bool
 CoherenceController::idle() const
 {
+    if (deadForever_)
+        return true; // permanently retired: nothing will ever move
+    if (state_ != CcState::Normal || !crashReplay_.empty() ||
+        !rebuildParkedWb_.empty()) {
+        return false;
+    }
     if (!homeBusy_.empty() || !reqPending_.empty() ||
         !fetches_.empty() || !wbBuffer_.empty() ||
         !deferredLocal_.empty()) {
@@ -1566,6 +2326,16 @@ CoherenceController::idle() const
 bool
 CoherenceController::lineQuiet(Addr line_addr) const
 {
+    if (state_ != CcState::Normal && !deadForever_)
+        return false;
+    for (const auto &it : crashReplay_) {
+        if (it.lineAddr == line_addr)
+            return false;
+    }
+    for (const auto &m : rebuildParkedWb_) {
+        if (m.lineAddr == line_addr)
+            return false;
+    }
     if (homeBusy_.count(line_addr) || reqPending_.count(line_addr) ||
         wbBuffer_.count(line_addr) ||
         deferredLocal_.count(line_addr)) {
@@ -1652,6 +2422,17 @@ void
 CoherenceController::dumpState(std::ostream &os) const
 {
     os << name_ << ":";
+    if (deadForever_) {
+        os << " DEAD(degraded-mode fence)";
+    } else if (state_ == CcState::Crashed) {
+        os << " CRASHED(parked=" << crashReplay_.size() << ")";
+    } else if (state_ == CcState::Recovering) {
+        os << " RECOVERING(donesPending=" << probeDonesOutstanding_
+           << ",peersLeft=" << probePendingPeers_.size()
+           << ",resps=" << probeRespsApplied_ << "/"
+           << probeRespsExpected_
+           << ",parkedWb=" << rebuildParkedWb_.size() << ")";
+    }
     for (const auto &[line, hb] : homeBusy_) {
         os << " homeBusy(" << std::hex << line << std::dec
            << ",req=" << hb.requester << ",excl=" << hb.excl

@@ -39,6 +39,7 @@
 #include <ostream>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bus/bus.hh"
@@ -134,6 +135,21 @@ struct CcParams
      * MachineConfig::withReliableTransport()).
      */
     RetryPolicyParams retry;
+
+    /**
+     * Fail-stop crash recovery (PR 6). Off by default; the machine
+     * copies MachineConfig::recovery into these knobs when enabled.
+     * When off, every recovery code path stays behind one branch.
+     */
+    bool recoveryEnabled = false;
+    /** Ticks between a controller crash and its restart. */
+    Tick repairTicks = 25'000;
+    /** Timeout ladder: request resends before probing the home. */
+    unsigned timeoutRetries = 2;
+    /** Timeout ladder: probes before declaring the home dead. */
+    unsigned probeRetries = 2;
+    /** Directory-probe wave size during a rebuild (0 = all peers). */
+    unsigned probeFanout = 0;
 };
 
 /**
@@ -182,6 +198,99 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
     {
         stallHook_ = std::move(hook);
     }
+
+    // --- fail-stop crash recovery (PR 6) ---
+
+    /**
+     * Controller lifecycle under fail-stop faults. The controller
+     * card dies and restarts; the node's caches, bus, and memory
+     * survive throughout.
+     */
+    enum class CcState : std::uint8_t
+    {
+        Normal,     ///< healthy
+        Crashed,    ///< dark: no dispatch, no receive, bus parked
+        Recovering, ///< restarted, rebuilding the directory
+    };
+
+    CcState ccState() const { return state_; }
+
+    /**
+     * Fail-stop crash: every protocol engine and all transient
+     * handler state dies instantly. Queued and in-flight work for
+     * which this controller is still responsible (local processor
+     * requests, parked home-side requests) is remembered for replay
+     * after restart; network-side items are dropped — the reliable
+     * transport's receive fence guarantees their re-delivery. With
+     * @p lose_directory the directory SRAM content is lost too and
+     * the restart enters a rebuild epoch.
+     */
+    void crash(bool lose_directory);
+
+    /**
+     * Restart the controller repairTicks after the crash. If the
+     * directory survived, service resumes immediately; otherwise the
+     * home enters Recovering and broadcasts DirProbe to rebuild the
+     * full-map directory from its peers' cached copies.
+     */
+    void restart();
+
+    /**
+     * Miss-timeout escalation ladder, driven by the requesting cache
+     * unit's per-miss timer: resend the request (timeoutRetries
+     * times), then probe the home for liveness (probeRetries times),
+     * then declare the home dead via the degraded hook.
+     */
+    void missTimeout(Addr line_addr);
+
+    /** Called when the timeout ladder exhausts against a home. */
+    using DegradedHook = std::function<void(NodeId dead_home)>;
+    void setDegradedHook(DegradedHook fn)
+    {
+        degradedHook_ = std::move(fn);
+    }
+
+    /** Cross-check hook run when a directory rebuild completes. */
+    using RebuildCheckHook = std::function<void(NodeId home)>;
+    void setRebuildCheckHook(RebuildCheckHook fn)
+    {
+        rebuildCheckHook_ = std::move(fn);
+    }
+
+    /**
+     * Functional scan of the node's caches for DirProbe responses:
+     * emit(line, modified, version) for every valid local copy of a
+     * line homed at @p home. Installed by the node.
+     */
+    using CacheScanFn = std::function<void(
+        NodeId home,
+        const std::function<void(Addr, bool, std::uint64_t)> &emit)>;
+    void setCacheScan(CacheScanFn fn) { cacheScan_ = std::move(fn); }
+
+    /**
+     * Degraded-mode migration support: hand the recovery manager
+     * every writeback-buffer entry whose line is homed at @p home
+     * (the dead node), erasing them and releasing any requests
+     * stalled behind them. The manager posts the data to the
+     * successor's memory.
+     */
+    std::vector<std::pair<Addr, std::uint64_t>>
+    drainWbHomedAt(NodeId home);
+
+    /**
+     * Degraded-mode migration support: tear down every pending
+     * requester-side transaction whose line is homed at @p home and
+     * re-enqueue the underlying processor requests. Called after the
+     * address map remap, so the replays route to the successor.
+     */
+    void replayPendingHomedAt(NodeId home);
+
+    /**
+     * Permanently retire a dead node's controller: drop all state
+     * with no replay and no restart. The node's pages have been
+     * migrated to a successor and its network pairs fenced dead.
+     */
+    void shutdownPermanently();
 
     NodeId node() const { return node_; }
     const CcParams &params() const { return params_; }
@@ -261,6 +370,71 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
     stats::Scalar statRetryBackoffTicks{"retry_backoff_ticks",
         "total ticks spent waiting out retry backoff"};
 
+    // --- fail-stop recovery statistics (PR 6) ---
+    stats::Scalar statCrashes{"crashes",
+        "fail-stop controller crashes injected"};
+    stats::Scalar statCrashDropped{"crash_dropped_items",
+        "queued network items dropped at a crash (re-delivered by "
+        "the transport)"};
+    stats::Scalar statRecoveryNacks{"recovery_nacks",
+        "requests nacked while the home rebuilt its directory"};
+    stats::Scalar statDirRebuilds{"dir_rebuilds",
+        "directory reconstructions completed"};
+    stats::Scalar statRebuildLines{"rebuild_lines",
+        "directory entries rebuilt from peer probe responses"};
+    stats::Scalar statMissTimeouts{"miss_timeouts",
+        "miss timers expired at the requesting cache"};
+    stats::Scalar statTimeoutResends{"timeout_resends",
+        "requests resent by the timeout ladder"};
+    stats::Scalar statRecoveryProbes{"recovery_probes",
+        "home-liveness probes sent by the timeout ladder"};
+    stats::Scalar statDegradedEntries{"degraded_entries",
+        "timeout ladders exhausted into degraded mode"};
+    stats::Scalar statStrayDrops{"stray_drops",
+        "stale responses for state lost in a crash, dropped"};
+
+    std::uint64_t crashes() const
+    {
+        return static_cast<std::uint64_t>(statCrashes.value());
+    }
+    std::uint64_t dirRebuilds() const
+    {
+        return static_cast<std::uint64_t>(statDirRebuilds.value());
+    }
+    std::uint64_t rebuildLines() const
+    {
+        return static_cast<std::uint64_t>(statRebuildLines.value());
+    }
+    std::uint64_t recoveryNacks() const
+    {
+        return static_cast<std::uint64_t>(statRecoveryNacks.value());
+    }
+    std::uint64_t missTimeouts() const
+    {
+        return static_cast<std::uint64_t>(statMissTimeouts.value());
+    }
+    std::uint64_t timeoutResends() const
+    {
+        return static_cast<std::uint64_t>(statTimeoutResends.value());
+    }
+    std::uint64_t recoveryProbes() const
+    {
+        return static_cast<std::uint64_t>(statRecoveryProbes.value());
+    }
+    std::uint64_t degradedEntries() const
+    {
+        return static_cast<std::uint64_t>(statDegradedEntries.value());
+    }
+    std::uint64_t strayDrops() const
+    {
+        return static_cast<std::uint64_t>(statStrayDrops.value());
+    }
+    /** Longest restart-to-rebuild-complete latency seen (ticks). */
+    Tick reconstructionTicksMax() const
+    {
+        return reconstructionTicksMax_;
+    }
+
     std::uint64_t nackRetries() const
     {
         return static_cast<std::uint64_t>(statNackRetries.value());
@@ -291,6 +465,13 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
         Tick enqueueTick = 0;
         unsigned srcQueue = 0; ///< queue last enqueued on (tracing)
         bool counted = false; ///< already counted as an arrival
+        /**
+         * Replayed after a crash (or resent on a miss timeout): the
+         * outgoing request carries Msg::recoveryResend so a home that
+         * already granted this node ownership re-grants from memory
+         * instead of nacking the apparent duplicate.
+         */
+        bool crashResend = false;
     };
 
     /** A protocol engine (FSM or protocol processor). */
@@ -308,6 +489,13 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
         /** Handler in flight for the tracer (0xff = none). */
         std::uint8_t curHandler = 0xff;
         int curExtraTargets = 0;
+        /**
+         * Item in flight (valid while busy): a crash replays it from
+         * scratch after the restart, since the handler's scheduled
+         * continuations die with the epoch.
+         */
+        DispatchItem curItem;
+        bool curItemValid = false;
         // measurement
         Tick occupancyTicks = 0;
         std::uint64_t arrivals = 0;
@@ -385,7 +573,7 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
                                Tick t);
     void sendMsg(MsgType type, Addr line_addr, NodeId dst,
                  NodeId requester, std::uint64_t version, bool retains,
-                 Tick t);
+                 Tick t, bool recovery_resend = false);
     /**
      * Record a nack-driven retry of @p line and return its backoff
      * delay; escalates with a FatalError diagnostic when the
@@ -396,6 +584,29 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
     /** Post incoming writeback data to the home memory. */
     void writeHomeMemory(Addr line_addr, std::uint64_t version,
                          Tick t);
+
+    // crash-recovery helpers (PR 6)
+    /** Issue the next DirProbe wave of the active rebuild. */
+    void sendNextProbeWave(Tick t);
+    /** All probes answered: cross-check, go Normal, replay. */
+    void finishRebuild(Tick t);
+    /** Re-enqueue everything parked across the outage. */
+    void replayAfterRestart(Tick t);
+    /** Answer a peer's DirProbe from local caches + wb buffer. */
+    void answerDirProbe(const Msg &msg, Tick t);
+    /** Apply one DirProbeResp to the rebuilding directory. */
+    void applyProbeResp(const Msg &msg);
+    /**
+     * Advance the rebuild once the current wave is fully absorbed:
+     * every Done received AND every counted response applied.
+     */
+    void maybeAdvanceRebuild(Tick t);
+    /**
+     * True when a response-type message refers to transient state
+     * this controller no longer holds (lost in a crash): count and
+     * drop it instead of asserting.
+     */
+    bool strayDrop(const char *what);
 
     std::string name_;
     EventQueue &eq_;
@@ -432,6 +643,53 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
     std::unordered_map<Addr, std::deque<DispatchItem>> wbWaiting_;
     /** Bus fetches in flight, by bus transaction id. */
     std::unordered_map<std::uint64_t, std::unique_ptr<Exec>> fetches_;
+
+    // --- crash-recovery state (PR 6) ---
+    CcState state_ = CcState::Normal;
+    /**
+     * Bumped at each crash. Scheduled continuation lambdas capture
+     * the epoch they were created in and no-op when it is stale, so
+     * a handler's tail can never touch post-crash engine state.
+     */
+    std::uint64_t epoch_ = 0;
+    /**
+     * Work the controller still owes an answer for, collected at
+     * crash time and parked across the outage; replayed once the
+     * restart (and any directory rebuild) completes.
+     */
+    std::deque<DispatchItem> crashReplay_;
+    /** Directory SRAM content died with the crash. */
+    bool dirLost_ = false;
+    /** WriteBack/SharingWB messages parked during a rebuild. */
+    std::deque<Msg> rebuildParkedWb_;
+    /** Peers not yet sent a DirProbe, during a rebuild. */
+    std::deque<NodeId> probePendingPeers_;
+    /** DirProbeDone responses still outstanding. */
+    unsigned probeDonesOutstanding_ = 0;
+    /**
+     * Per-line DirProbeResp accounting across the rebuild: each
+     * DirProbeDone carries how many responses its peer sent, and the
+     * rebuild may only complete once every counted response has been
+     * applied — on a two-engine controller the Done can overtake a
+     * response still occupying the other engine.
+     */
+    std::uint64_t probeRespsExpected_ = 0;
+    std::uint64_t probeRespsApplied_ = 0;
+    /** Tick the controller restarted (reconstruction latency). */
+    Tick restartTick_ = 0;
+    Tick reconstructionTicksMax_ = 0;
+    /** Per-line miss-timeout escalation ladder. */
+    struct MissLadder
+    {
+        unsigned resends = 0;
+        unsigned probes = 0;
+    };
+    std::unordered_map<Addr, MissLadder> missLadders_;
+    DegradedHook degradedHook_;
+    RebuildCheckHook rebuildCheckHook_;
+    CacheScanFn cacheScan_;
+    /** Permanently retired (degraded mode); never serves again. */
+    bool deadForever_ = false;
 
     stats::Group statGroup_;
 };

@@ -155,6 +155,18 @@ class DirectoryStore
     /** Account a (posted, write-through) directory write. */
     void scheduleWrite(Addr line_addr, Tick when);
 
+    /**
+     * Fail-stop SRAM/DRAM content loss: forget every full-map entry
+     * and invalidate the directory cache. The recovering home
+     * rebuilds the map from DirProbe responses.
+     */
+    void
+    invalidateAll()
+    {
+        entries_.clear();
+        cache_.reset();
+    }
+
     const DirectoryParams &params() const { return params_; }
 
     /** Visit all entries (invariant checker). */

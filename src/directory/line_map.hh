@@ -92,6 +92,14 @@ class LineMap
     std::size_t size() const { return store_.size(); }
     std::size_t capacity() const { return table_.size(); }
 
+    /** Drop every entry, keeping the table capacity. */
+    void
+    clear()
+    {
+        table_.assign(table_.size(), Slot{});
+        store_.clear();
+    }
+
     /** Visit (key, value) pairs in insertion order. */
     template <typename F>
     void

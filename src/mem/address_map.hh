@@ -56,7 +56,7 @@ class AddressMap
         if (policy_ == PlacementPolicy::FirstTouch) {
             std::uint64_t page = addr / pageBytes_;
             auto [it, inserted] = placed_.try_emplace(page, toucher);
-            return it->second;
+            return applyRemap(it->second);
         }
         return homeOf(addr);
     }
@@ -71,9 +71,27 @@ class AddressMap
         std::uint64_t page = addr / pageBytes_;
         auto it = placed_.find(page);
         if (it != placed_.end())
-            return it->second;
-        return static_cast<NodeId>(page % numNodes_);
+            return applyRemap(it->second);
+        return applyRemap(static_cast<NodeId>(page % numNodes_));
     }
+
+    /**
+     * Degraded mode: every page homed at @p dead is served by
+     * @p successor from now on. The recovery manager migrates the
+     * dead home's memory image and directory entries first.
+     */
+    void
+    setNodeRemap(NodeId dead, NodeId successor)
+    {
+        ccnuma_assert(dead < numNodes_ && successor < numNodes_);
+        ccnuma_assert(dead != successor);
+        remapFrom_ = dead;
+        remapTo_ = successor;
+        remapActive_ = true;
+    }
+
+    /** True once a degraded-mode remap is in force. */
+    bool remapActive() const { return remapActive_; }
 
     /** Pin the page containing @p addr to @p home. */
     void
@@ -98,10 +116,21 @@ class AddressMap
     std::size_t numPlaced() const { return placed_.size(); }
 
   private:
+    NodeId
+    applyRemap(NodeId home) const
+    {
+        if (remapActive_ && home == remapFrom_)
+            return remapTo_;
+        return home;
+    }
+
     unsigned numNodes_;
     unsigned pageBytes_;
     PlacementPolicy policy_ = PlacementPolicy::RoundRobin;
     std::unordered_map<std::uint64_t, NodeId> placed_;
+    bool remapActive_ = false;
+    NodeId remapFrom_ = 0;
+    NodeId remapTo_ = 0;
 };
 
 } // namespace ccnuma

@@ -77,6 +77,15 @@ class MemoryController
         versions_[line_addr] = v;
     }
 
+    /**
+     * All recorded line versions (degraded-mode migration copies a
+     * dead home's memory image to its successor).
+     */
+    const std::unordered_map<Addr, std::uint64_t> &versions() const
+    {
+        return versions_;
+    }
+
     stats::Group &statGroup() { return statGroup_; }
 
     stats::Scalar statReads{"reads", "line reads serviced"};

@@ -39,6 +39,8 @@ ReliableTransport::init()
     tx_.resize(static_cast<std::size_t>(numNodes_) * numNodes_);
     rx_.resize(static_cast<std::size_t>(numNodes_) * numNodes_);
     tracerOfNode_.assign(numNodes_, nullptr);
+    fenced_.assign(numNodes_, 0);
+    dead_.assign(numNodes_, 0);
 
     statGroup_.add(&statDataFrames);
     statGroup_.add(&statAcks);
@@ -64,10 +66,52 @@ ReliableTransport::rtoFor(unsigned backoff_level) const
 }
 
 void
+ReliableTransport::fenceNode(NodeId node, bool fenced)
+{
+    ccnuma_assert(node < numNodes_);
+    fenced_[node] = fenced ? 1 : 0;
+}
+
+void
+ReliableTransport::fenceNodeDead(NodeId node)
+{
+    ccnuma_assert(node < numNodes_);
+    dead_[node] = 1;
+    fenced_[node] = 0;
+    // Drain every pair touching the dead node now; frames already in
+    // flight are discarded on arrival, and armed timers find their
+    // buffers empty.
+    for (NodeId peer = 0; peer < numNodes_; ++peer) {
+        for (std::size_t i :
+             {pairIdx(node, peer), pairIdx(peer, node)}) {
+            PairTx &p = tx_[i];
+            fenceDrops_ += p.unacked.size();
+            p.unacked.clear();
+            if (p.timerArmed) {
+                p.timerArmed = false;
+                ++p.timerGen;
+            }
+            rx_[i].held.clear();
+        }
+    }
+}
+
+void
 ReliableTransport::send(const Msg &msg, unsigned bytes)
 {
+    if (dead_[msg.src] || dead_[msg.dst]) {
+        // A pre-crash scheduled send firing after degraded-mode
+        // migration; the line has a new home by now.
+        ++fenceDrops_;
+        return;
+    }
     PairTx &p = tx_[pairIdx(msg.src, msg.dst)];
     std::uint64_t seq = ++p.nextSeq;
+    ccnuma_trace(msg.lineAddr,
+                 "%8llu xport send %s n%u->n%u seq=%llu",
+                 (unsigned long long)map_->of(msg.src).curTick(),
+                 msgTypeName(msg.type), msg.src, msg.dst,
+                 (unsigned long long)seq);
     TxFrame f;
     f.msg = msg;
     f.bytes = bytes;
@@ -95,16 +139,41 @@ void
 ReliableTransport::onDataArrive(NodeId src, NodeId dst,
                                 std::uint64_t seq, const Msg &msg)
 {
+    if (fenced_[dst] || dead_[dst] || dead_[src]) {
+        // The destination's receive logic is dark (crashed) or gone
+        // (degraded). No processing, no ack: for a temporary fence
+        // the sender's retransmission timer re-delivers everything
+        // after restart.
+        ccnuma_trace(msg.lineAddr,
+                     "%8llu xport fence-drop %s n%u->n%u seq=%llu",
+                     (unsigned long long)map_->of(dst).curTick(),
+                     msgTypeName(msg.type), src, dst,
+                     (unsigned long long)seq);
+        ++fenceDrops_;
+        return;
+    }
     PairRx &r = rx_[pairIdx(src, dst)];
     if (seq < r.nextExpected || r.held.count(seq)) {
         // Retransmitted or injector-duplicated copy of a frame we
         // already have; discard it but re-ack so the sender's buffer
         // drains even when the original ack was lost.
+        ccnuma_trace(msg.lineAddr,
+                     "%8llu xport dup-drop %s n%u->n%u seq=%llu "
+                     "(expect %llu)",
+                     (unsigned long long)map_->of(dst).curTick(),
+                     msgTypeName(msg.type), src, dst,
+                     (unsigned long long)seq,
+                     (unsigned long long)r.nextExpected);
         ++r.dupsDropped;
         scheduleAck(src, dst);
         return;
     }
     if (seq == r.nextExpected) {
+        ccnuma_trace(msg.lineAddr,
+                     "%8llu xport deliver %s n%u->n%u seq=%llu",
+                     (unsigned long long)map_->of(dst).curTick(),
+                     msgTypeName(msg.type), src, dst,
+                     (unsigned long long)seq);
         deliver_(msg);
         ++r.nextExpected;
         // A previously buffered run may now be contiguous.
@@ -209,6 +278,15 @@ ReliableTransport::onTimeout(NodeId src, NodeId dst,
     // timeout heals any number of losses in the window.
     for (auto &[seq, f] : p.unacked) {
         ++f.attempts;
+        if (params_.maxRetransmits != 0 &&
+            f.attempts > params_.maxRetransmits &&
+            pairDeadHook_ && pairDeadHook_(src, dst)) {
+            // The destination is crash-fenced and a restart or
+            // migration is coming: keep retransmitting instead of
+            // declaring the pair dead.
+            f.attempts = 0;
+            ++pairDeadDeferrals_;
+        }
         if (params_.maxRetransmits != 0 &&
             f.attempts > params_.maxRetransmits) {
             // Graceful degradation: the pair is unrecoverable (every

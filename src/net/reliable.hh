@@ -111,6 +111,48 @@ class ReliableTransport
     /** True when no frame awaits acknowledgement on any pair. */
     bool idle() const;
 
+    // --- crash-recovery hooks (PR 6) ---
+
+    /**
+     * Receive-fence @p node: while fenced, data frames arriving at it
+     * are dropped without processing or acknowledgement, exactly as
+     * if the crashed controller's receive logic were dark. Senders
+     * keep retransmitting on their timers, so everything dropped is
+     * re-delivered (in order, exactly once) after the fence lifts —
+     * this is why crash faults require the reliable transport.
+     */
+    void fenceNode(NodeId node, bool fenced);
+
+    /**
+     * Permanently fence a dead node: frames to or from it are
+     * discarded and its pairs' unacked buffers drain on their next
+     * timer instead of retransmitting. Used by degraded mode once the
+     * node's pages have been migrated to a successor.
+     */
+    void fenceNodeDead(NodeId node);
+
+    /**
+     * Called when a frame exhausts maxRetransmits. Return true to
+     * defer the pair-dead escalation (the destination is known to be
+     * crash-fenced and will be restarted or migrated): the frame's
+     * attempt count resets and retransmission continues. Returning
+     * false keeps the PR 2 behavior — FatalError.
+     */
+    using PairDeadHook = std::function<bool(NodeId src, NodeId dst)>;
+    void setPairDeadHook(PairDeadHook fn)
+    {
+        pairDeadHook_ = std::move(fn);
+    }
+
+    /** Frames dropped at a fence (tests). */
+    std::uint64_t fenceDrops() const { return fenceDrops_; }
+
+    /** Pair-dead escalations deferred by the hook (tests). */
+    std::uint64_t pairDeadDeferrals() const
+    {
+        return pairDeadDeferrals_;
+    }
+
     /** Record timeouts/retransmits with one tracer for all nodes. */
     void setTracer(obs::Tracer *t)
     {
@@ -229,6 +271,11 @@ class ReliableTransport
     std::vector<PairTx> tx_;
     std::vector<PairRx> rx_;
     std::vector<obs::Tracer *> tracerOfNode_;
+    std::vector<char> fenced_;   ///< receive-fenced (crashed) nodes
+    std::vector<char> dead_;     ///< permanently fenced nodes
+    PairDeadHook pairDeadHook_;
+    std::uint64_t fenceDrops_ = 0;
+    std::uint64_t pairDeadDeferrals_ = 0;
     stats::Group statGroup_;
 };
 

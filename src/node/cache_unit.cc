@@ -91,6 +91,29 @@ CacheUnit::startMiss(Addr addr, bool write,
     mshr_.onRestart = std::move(on_restart);
     mshr_.busTxnId = bus_.request(
         write ? BusCmd::ReadExcl : BusCmd::Read, line, agentId_);
+    armMissTimer();
+}
+
+void
+CacheUnit::armMissTimer()
+{
+    if (params_.missTimeoutTicks == 0 || !missTimeoutHook_)
+        return;
+    const std::uint64_t gen = ++missGen_;
+    const Addr line = mshr_.lineAddr;
+    eq_.scheduleFunctionIn(
+        [this, gen, line] {
+            if (gen != missGen_ || !mshr_.valid ||
+                mshr_.lineAddr != line) {
+                return; // the miss completed; stale timer
+            }
+            missTimeoutHook_(line);
+            // Still stuck: re-arm so the escalation ladder keeps
+            // climbing until the fill lands or degraded mode fences
+            // the home.
+            armMissTimer();
+        },
+        params_.missTimeoutTicks);
 }
 
 bool
@@ -266,6 +289,8 @@ CacheUnit::installFill(Addr line_addr, bool write, const BusTxn &txn)
 void
 CacheUnit::busDone(BusTxn &txn)
 {
+    if (dead_)
+        return;
     // Writeback transaction completed: the data moved on the bus and
     // was absorbed by memory or captured by the coherence controller.
     for (auto it = wbBuffer_.begin(); it != wbBuffer_.end(); ++it) {
@@ -289,6 +314,7 @@ CacheUnit::busDone(BusTxn &txn)
     }
     auto cb = std::move(mshr_.onRestart);
     mshr_.valid = false;
+    ++missGen_; // retire any armed miss timer
     cb(eq_.curTick() + params_.fillRestart, consumed);
 }
 

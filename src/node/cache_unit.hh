@@ -38,6 +38,13 @@ struct CacheUnitParams
     Tick l2HitLatency = 8;
     /** Extra ticks after the critical beat before restart. */
     Tick fillRestart = 4;
+    /**
+     * Per-miss request timer (PR 6): while a miss is outstanding,
+     * fire the timeout hook every this many ticks so the coherence
+     * controller can escalate a stuck miss through its recovery
+     * ladder. 0 (the default) disables the timer entirely.
+     */
+    Tick missTimeoutTicks = 0;
 };
 
 /**
@@ -90,8 +97,61 @@ class CacheUnit : public BusAgent
     /** Functional probe: does this unit hold a supplyable copy? */
     bool hasLine(Addr addr) const;
 
+    /**
+     * Install the miss-timeout hook (PR 6): called with the stuck
+     * miss's line address each time the per-miss timer expires. The
+     * node wires it to the coherence controller's escalation ladder.
+     */
+    void
+    setMissTimeoutHook(std::function<void(Addr)> hook)
+    {
+        missTimeoutHook_ = std::move(hook);
+    }
+
+    /**
+     * Degraded-mode fence of a dead node: functionally drop every
+     * cached line and writeback-buffer entry. The recovery manager
+     * migrates Modified data to the lines' homes first.
+     */
+    void
+    invalidateAll()
+    {
+        l1_.invalidateAll();
+        l2_.invalidateAll();
+        wbBuffer_.clear();
+    }
+
+    /**
+     * Fail-stop node death: drop all cached state and stop reacting
+     * to bus completions (a fill already in flight for the dead
+     * node's MSHR must not re-install a line the migration no longer
+     * tracks). The processors are killed alongside, so no new access
+     * ever arrives.
+     */
+    void
+    shutdown()
+    {
+        dead_ = true;
+        invalidateAll();
+        mshr_.valid = false;
+        ++missGen_;
+    }
+
     /** Functional peek at the L2 state (checker). */
     const SetAssocCache &l2() const { return l2_; }
+
+    /**
+     * Visit writeback-buffer entries as (line, version) pairs. The
+     * recovery paths treat these as dirty copies: an evicted Modified
+     * line lives only here until its writeback data moves on the bus.
+     */
+    template <typename F>
+    void
+    forEachWb(F &&f) const
+    {
+        for (const auto &wb : wbBuffer_)
+            f(wb.lineAddr, wb.version);
+    }
 
     // --- BusAgent ---
     bool busRetryCheck(const BusTxn &txn) const override;
@@ -111,6 +171,7 @@ class CacheUnit : public BusAgent
   private:
     void installFill(Addr line_addr, bool write, const BusTxn &txn);
     SnoopResult wbSupply(BusTxn &txn);
+    void armMissTimer();
 
     struct Mshr
     {
@@ -142,6 +203,11 @@ class CacheUnit : public BusAgent
     SetAssocCache l2_;
     Mshr mshr_;
     std::vector<WbEntry> wbBuffer_;
+    std::function<void(Addr)> missTimeoutHook_;
+    /** Invalidates timers of retired misses. */
+    std::uint64_t missGen_ = 0;
+    /** Set by shutdown(): the node fail-stopped permanently. */
+    bool dead_ = false;
 
     stats::Group statGroup_;
 };

@@ -32,7 +32,21 @@ Processor::start(Tick when)
 void
 Processor::resumeAt(Tick when)
 {
+    if (killed_)
+        return;
     eq_.schedule(&runEvent_, when);
+}
+
+void
+Processor::kill()
+{
+    if (killed_)
+        return;
+    killed_ = true;
+    if (runEvent_.scheduled())
+        eq_.deschedule(&runEvent_);
+    if (!finished_)
+        finish();
 }
 
 void
@@ -54,6 +68,8 @@ Processor::checkRead(Addr addr, std::uint64_t version)
 void
 Processor::run()
 {
+    if (killed_)
+        return;
     Tick delta = 0;
     ThreadOp op;
     while (true) {
@@ -116,6 +132,8 @@ Processor::run()
 void
 Processor::issueMiss(ThreadOp op)
 {
+    if (killed_)
+        return;
     ++misses_;
     Tick issue = eq_.curTick();
     bool write = op.kind == ThreadOp::Kind::Store;
@@ -142,6 +160,8 @@ Processor::issueMiss(ThreadOp op)
 void
 Processor::syncRef(Addr addr, bool write, std::function<void()> then)
 {
+    if (killed_)
+        return;
     ++instructions_;
     if (write)
         ++stores_;

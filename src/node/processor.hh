@@ -66,6 +66,14 @@ class Processor
     void start(Tick when);
 
     /**
+     * Fail-stop node death (PR 6 degraded mode): stop executing
+     * immediately and count as finished so the run can complete with
+     * the survivors. Instructions retired so far are kept; any
+     * in-flight miss or sync continuation becomes a no-op.
+     */
+    void kill();
+
+    /**
      * Record data-miss spans with the tracer (set by the machine;
      * null = off). Sync-variable misses stay untraced — the paper's
      * latency breakdowns cover data references only.
@@ -106,6 +114,7 @@ class Processor
     obs::Tracer *tracer_ = nullptr;
 
     bool finished_ = false;
+    bool killed_ = false;
     Tick finishTick_ = 0;
     Tick syncWaitStart_ = 0;
 

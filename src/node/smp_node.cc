@@ -1,5 +1,8 @@
 #include "node/smp_node.hh"
 
+#include <unordered_map>
+#include <utility>
+
 namespace ccnuma
 {
 
@@ -29,6 +32,56 @@ SmpNode::SmpNode(const std::string &name, EventQueue &eq, NodeId id,
             id * p.procsPerNode + i; // global numbering by node
         procs_.push_back(std::make_unique<Processor>(
             cname, eq, pid, id, *caches_.back(), sync, p.proc));
+    }
+
+    if (p.cc.recoveryEnabled) {
+        // Stuck-miss escalation: each cache unit's per-miss timer
+        // drives the controller's retry/probe/degraded ladder.
+        for (auto &c : caches_) {
+            c->setMissTimeoutHook(
+                [this](Addr line) { cc_->missTimeout(line); });
+        }
+        // Directory reconstruction: a recovering peer probes us for
+        // every local copy of a line homed there. The controller's
+        // own writeback buffer is scanned separately; here we report
+        // cache and cache-writeback-buffer copies.
+        AddressMap *amap = &map;
+        cc_->setCacheScan(
+            [this, amap](NodeId home,
+                         const std::function<void(
+                             Addr, bool, std::uint64_t)> &emit) {
+                // One response per line, dirty dominating: collapse
+                // per-processor copies so the rebuilding home is not
+                // told about the same line twice.
+                std::unordered_map<Addr, std::pair<bool,
+                                                   std::uint64_t>>
+                    seen;
+                auto note = [&](Addr line, bool dirty,
+                                std::uint64_t ver) {
+                    if (amap->homeOf(line) != home)
+                        return;
+                    auto [it, inserted] = seen.try_emplace(
+                        line, std::make_pair(dirty, ver));
+                    if (!inserted && dirty)
+                        it->second = {true, ver};
+                };
+                for (const auto &c : caches_) {
+                    c->l2().forEachLine([&](const CacheLine &l) {
+                        note(l.lineAddr,
+                             l.state == LineState::Modified,
+                             l.version);
+                    });
+                    // Evicted Modified lines still in the cache-level
+                    // writeback buffer are the line's only copy:
+                    // report them as dirty so the rebuilt entry
+                    // matches the WriteBack that is about to arrive.
+                    c->forEachWb([&](Addr line, std::uint64_t ver) {
+                        note(line, true, ver);
+                    });
+                }
+                for (const auto &[line, v] : seen)
+                    emit(line, v.first, v.second);
+            });
     }
 }
 

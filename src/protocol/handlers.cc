@@ -257,6 +257,29 @@ buildSpecs()
         CcBusOp::None,
         {{SO::Compute, 1}});
 
+    // ---- recovery handlers ----
+    // A peer scanning its caches for lines homed at the recovering
+    // prober: the scan itself is off the engine (cache tag walk); the
+    // handler cost covers decoding the probe and queueing one
+    // response send per reported line.
+    def(HandlerId::DirProbeAtSharer,
+        "directory probe received at sharer", false,
+        {{SO::DispatchHandler, 1}, {SO::ReadRegister, 1},
+         {SO::ReadAssocRegs, 1}, {SO::Condition, 1}},
+        CcBusOp::None,
+        {{SO::Compute, 1}},
+        {{SO::WriteRegister, 1}, {SO::Compute, 1}});
+
+    // The recovering home folding one reported line into the rebuilt
+    // full-map entry: a directory read-modify-write plus bookkeeping.
+    def(HandlerId::DirProbeRespAtHome,
+        "directory probe response at recovering home", true,
+        {{SO::DispatchHandler, 1}, {SO::ReadRegister, 1},
+         {SO::DirectoryRead, 1}, {SO::Condition, 1}},
+        CcBusOp::None,
+        {{SO::DirectoryWrite, 1}, {SO::BitFieldOp, 1},
+         {SO::Compute, 1}});
+
     // Handlers that move a full cache line through the controller.
     for (HandlerId id : {
              HandlerId::BusReadExclLocalCachedRemote,

@@ -69,6 +69,9 @@ enum class HandlerId : std::uint8_t
     SharingWriteBackAtHome,
     WriteBackAckAtOwner,
     OwnerNackAtHome,
+    // --- recovery handlers (PR 6, Table 2 sub-op conventions) ---
+    DirProbeAtSharer,   ///< scan caches, report lines homed at prober
+    DirProbeRespAtHome, ///< fold one reported line into the rebuild
     NumHandlers,
 };
 

@@ -23,6 +23,12 @@ msgTypeName(MsgType t)
       case MsgType::WriteBack: return "WriteBack";
       case MsgType::WriteBackAck: return "WriteBackAck";
       case MsgType::HomeNack: return "HomeNack";
+      case MsgType::RecoveryNack: return "RecoveryNack";
+      case MsgType::DirProbe: return "DirProbe";
+      case MsgType::DirProbeResp: return "DirProbeResp";
+      case MsgType::DirProbeDone: return "DirProbeDone";
+      case MsgType::RecoveryProbe: return "RecoveryProbe";
+      case MsgType::RecoveryProbeAck: return "RecoveryProbeAck";
     }
     return "?";
 }

@@ -55,6 +55,19 @@ enum class MsgType : std::uint8_t
 
     // home -> requester
     HomeNack,       ///< you own this line; serve the request locally
+
+    // recovery (PR 6) -- all header-only
+    // home -> requester
+    RecoveryNack,    ///< home is rebuilding its directory; back off
+    // recovering home -> peer
+    DirProbe,        ///< report every line of mine you hold
+    // peer -> recovering home
+    DirProbeResp,    ///< one cached/dirty line homed at the prober
+    DirProbeDone,    ///< probe scan finished (version = line count)
+    // requester -> home (timeout ladder)
+    RecoveryProbe,   ///< are you alive? answer out-of-band
+    // home -> requester
+    RecoveryProbeAck,///< home is alive and serving
 };
 
 const char *msgTypeName(MsgType t);
@@ -84,6 +97,13 @@ struct Msg
      * relies on and detect duplicated deliveries.
      */
     std::uint64_t seq = 0;
+    /**
+     * Set on requests re-issued by crash-replay or the miss-timeout
+     * ladder. A home that already granted ownership to the sender
+     * re-grants from memory instead of bouncing with HomeNack — the
+     * original grant died with the crashed controller.
+     */
+    bool recoveryResend = false;
 };
 
 /** Network sizes in bytes. */

@@ -69,6 +69,9 @@ class RetryTracker
     /** The operation succeeded: forget the key's retry history. */
     void clear(std::uint64_t key) { counts_.erase(key); }
 
+    /** Fail-stop crash: all in-flight operations died with it. */
+    void clearAll() { counts_.clear(); }
+
     const RetryPolicyParams &params() const { return p_; }
 
   private:

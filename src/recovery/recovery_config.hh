@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Configuration for the fail-stop fault-containment and recovery
+ * subsystem (PR 6).
+ *
+ * A CrashFault kills one node's coherence controller at a chosen
+ * tick: every in-flight handler, dispatch queue entry, and transient
+ * protocol map on that controller is dropped on the floor, and
+ * (optionally) the directory SRAM contents are lost too. The node's
+ * processor caches, snooping bus, and network interface survive — the
+ * fault models a controller card fail-stop, not a node power cut.
+ *
+ * RecoveryConfig arms the machinery that heals such a crash:
+ * restart after repairTicks, a RECOVERING epoch with DirProbe-based
+ * directory reconstruction when the SRAM was lost, per-miss request
+ * timers at the cache units with a retry -> recovery-probe ->
+ * degraded-mode escalation ladder, and (for permanent faults) page
+ * remapping away from the dead home. Everything is off by default;
+ * `MachineConfig::withCrashRecovery()` or CCNUMA_RECOVERY=1 turns it
+ * on, matching the PR 1-3 opt-in convention.
+ */
+
+#ifndef CCNUMA_RECOVERY_RECOVERY_CONFIG_HH
+#define CCNUMA_RECOVERY_RECOVERY_CONFIG_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace ccnuma
+{
+
+/** One seeded fail-stop fault against a coherence controller. */
+struct CrashFault
+{
+    /** Node whose coherence controller fail-stops. */
+    NodeId node = 0;
+
+    /** Tick at which the controller dies. */
+    Tick atTick = 0;
+
+    /**
+     * Lose the directory SRAM contents too: on restart the home
+     * enters a RECOVERING epoch and rebuilds the full map from
+     * DirProbe responses before serving requests again.
+     */
+    bool loseDirectory = false;
+
+    /**
+     * The controller never restarts. The timeout ladder at the
+     * requesting cache units escalates to degraded mode: the dead
+     * home is fenced off and its pages are remapped to a successor.
+     */
+    bool permanent = false;
+};
+
+/** Knobs for crash recovery. All off / inert by default. */
+struct RecoveryConfig
+{
+    /** Master switch for the recovery machinery. */
+    bool enabled = false;
+
+    /** Ticks between a (non-permanent) crash and controller restart. */
+    Tick repairTicks = 25'000;
+
+    /**
+     * Per-miss request timer at the requesting CacheUnit; 0 disables.
+     * Must exceed the reliable transport's maximum RTO so a timeout
+     * implies protocol-level loss, not a late retransmission.
+     */
+    Tick missTimeoutTicks = 200'000;
+
+    /** Timeouts answered by re-sending the request (ladder rung 1). */
+    unsigned timeoutRetries = 2;
+
+    /** Further timeouts answered by RecoveryProbe (ladder rung 2). */
+    unsigned probeRetries = 2;
+
+    /**
+     * DirProbe broadcast wave size during directory reconstruction;
+     * 0 means probe all peers at once.
+     */
+    unsigned probeFanout = 0;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_RECOVERY_RECOVERY_CONFIG_HH

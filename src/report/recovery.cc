@@ -1,5 +1,7 @@
 #include "report/recovery.hh"
 
+#include <algorithm>
+
 #include "report/table.hh"
 
 namespace ccnuma
@@ -54,6 +56,81 @@ RecoveryScorecard::print(std::ostream &os) const
     if (rows_.size() > 1)
         table.addRow(toCells(total));
     table.print(os);
+}
+
+namespace
+{
+
+std::vector<std::string>
+toCells(const CrashRow &r)
+{
+    return {
+        r.workload,
+        r.arch,
+        fmt("%llu", static_cast<unsigned long long>(r.crashTick)),
+        fmt("%llu", static_cast<unsigned long long>(r.instructions)),
+        fmt("%llu", static_cast<unsigned long long>(r.crashes)),
+        fmt("%llu", static_cast<unsigned long long>(r.dirRebuilds)),
+        fmt("%llu", static_cast<unsigned long long>(r.rebuildLines)),
+        fmt("%llu", static_cast<unsigned long long>(
+                        r.reconstructionTicksMax)),
+        fmt("%llu", static_cast<unsigned long long>(r.recoveryNacks)),
+        fmt("%llu", static_cast<unsigned long long>(r.missTimeouts)),
+        fmt("%llu",
+            static_cast<unsigned long long>(r.timeoutResends)),
+        fmt("%llu",
+            static_cast<unsigned long long>(r.recoveryProbes)),
+        fmt("%llu",
+            static_cast<unsigned long long>(r.degradedEntries)),
+        fmt("%llu", static_cast<unsigned long long>(r.migrations)),
+        r.instructionsMatch ? "yes" : "NO",
+        r.completed ? "yes" : "NO",
+    };
+}
+
+} // namespace
+
+void
+CrashScorecard::print(std::ostream &os) const
+{
+    toTable().print(os);
+}
+
+Table
+CrashScorecard::toTable() const
+{
+    Table table({"workload", "arch", "crash-tk", "instrs", "crashes",
+                 "rebuilds", "lines", "rebuild-tk", "nacks",
+                 "timeouts", "resends", "probes", "degraded",
+                 "migrations", "instr-ok", "done"});
+
+    CrashRow total;
+    total.workload = "TOTAL";
+    total.arch = "-";
+    total.instructionsMatch = true;
+    total.completed = true;
+    for (const CrashRow &r : rows_) {
+        table.addRow(toCells(r));
+        total.instructions += r.instructions;
+        total.crashes += r.crashes;
+        total.dirRebuilds += r.dirRebuilds;
+        total.rebuildLines += r.rebuildLines;
+        total.reconstructionTicksMax =
+            std::max(total.reconstructionTicksMax,
+                     r.reconstructionTicksMax);
+        total.recoveryNacks += r.recoveryNacks;
+        total.missTimeouts += r.missTimeouts;
+        total.timeoutResends += r.timeoutResends;
+        total.recoveryProbes += r.recoveryProbes;
+        total.degradedEntries += r.degradedEntries;
+        total.migrations += r.migrations;
+        total.instructionsMatch =
+            total.instructionsMatch && r.instructionsMatch;
+        total.completed = total.completed && r.completed;
+    }
+    if (rows_.size() > 1)
+        table.addRow(toCells(total));
+    return table;
 }
 
 } // namespace report

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "report/table.hh"
+
 namespace ccnuma
 {
 namespace report
@@ -63,6 +65,53 @@ class RecoveryScorecard
 
   private:
     std::vector<RecoveryRow> rows_;
+};
+
+/**
+ * One crash-campaign configuration's accounting: what the fail-stop
+ * recovery subsystem (PR 6) did to survive an injected controller
+ * crash and still retire the same instructions as a clean run.
+ */
+struct CrashRow
+{
+    std::string workload;
+    std::string arch;
+    std::uint64_t crashTick = 0;    ///< injection point (0 = clean)
+
+    std::uint64_t instructions = 0;
+    std::uint64_t crashes = 0;      ///< fail-stop kills fired
+    std::uint64_t dirRebuilds = 0;  ///< DirProbe reconstructions
+    std::uint64_t rebuildLines = 0; ///< directory lines rebuilt
+    std::uint64_t reconstructionTicksMax = 0; ///< worst rebuild time
+    std::uint64_t recoveryNacks = 0;
+    std::uint64_t missTimeouts = 0;
+    std::uint64_t timeoutResends = 0;
+    std::uint64_t recoveryProbes = 0;
+    std::uint64_t degradedEntries = 0;
+    std::uint64_t migrations = 0;
+
+    /** Retired the same instruction count as the clean baseline? */
+    bool instructionsMatch = false;
+    bool completed = false;
+};
+
+/** Accumulates CrashRows and prints them as a table. */
+class CrashScorecard
+{
+  public:
+    void addRow(CrashRow row) { rows_.push_back(std::move(row)); }
+
+    bool empty() const { return rows_.empty(); }
+    const std::vector<CrashRow> &rows() const { return rows_; }
+
+    /** Render the table (plus a totals row when >1 row). */
+    void print(std::ostream &os) const;
+
+    /** The rendered table (for JSON capture by the benches). */
+    Table toTable() const;
+
+  private:
+    std::vector<CrashRow> rows_;
 };
 
 } // namespace report

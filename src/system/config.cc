@@ -43,6 +43,15 @@ MachineConfig::withReliableTransport()
     return *this;
 }
 
+MachineConfig &
+MachineConfig::withCrashRecovery()
+{
+    recovery.enabled = true;
+    // A crashed controller drops undelivered frames on the floor and
+    // relies on sender retransmission to replay them after restart.
+    return withReliableTransport();
+}
+
 namespace
 {
 
@@ -121,6 +130,47 @@ MachineConfig::validate() const
               static_cast<unsigned long long>(node.cc.retry.backoffMax),
               static_cast<unsigned long long>(
                   node.cc.retry.backoffBase));
+    }
+    if (!verify.faults.crashes.empty()) {
+        if (!recovery.enabled)
+            fatal("config: crash faults are listed but recovery is "
+                  "disabled; call withCrashRecovery() (or set "
+                  "CCNUMA_RECOVERY=1) so the machine can survive "
+                  "them");
+        if (!reliable.enabled)
+            fatal("config: crash faults require the reliable "
+                  "transport: a crashed controller fences its "
+                  "receive side and depends on sender retransmission "
+                  "to re-deliver dropped frames; use "
+                  "withCrashRecovery() which enables both");
+        for (const CrashFault &c : verify.faults.crashes) {
+            if (c.node >= numNodes)
+                fatal("config: crash fault targets node %u but the "
+                      "machine has only %u nodes",
+                      c.node, numNodes);
+        }
+    }
+    if (recovery.enabled) {
+        if (recovery.repairTicks == 0)
+            fatal("config: recovery.repairTicks is zero; a crashed "
+                  "controller would restart in the same tick it "
+                  "died, making the crash a no-op");
+        if (recovery.missTimeoutTicks != 0 && reliable.enabled &&
+            recovery.missTimeoutTicks <= reliable.retransmitTimeoutMax)
+            fatal("config: recovery.missTimeoutTicks %llu must exceed "
+                  "the reliable transport's maximum retransmission "
+                  "timeout %llu, or a slow-but-healthy home would be "
+                  "escalated as dead while the transport is still "
+                  "retrying",
+                  static_cast<unsigned long long>(
+                      recovery.missTimeoutTicks),
+                  static_cast<unsigned long long>(
+                      reliable.retransmitTimeoutMax));
+        if (recovery.probeFanout > numNodes - 1)
+            fatal("config: recovery.probeFanout %u exceeds the %u "
+                  "peer nodes a recovering home could probe; use 0 "
+                  "to probe all peers at once",
+                  recovery.probeFanout, numNodes - 1);
     }
 }
 

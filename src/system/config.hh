@@ -13,6 +13,7 @@
 #include "net/reliable.hh"
 #include "node/smp_node.hh"
 #include "obs/obs_config.hh"
+#include "recovery/recovery_config.hh"
 #include "verify/verify_config.hh"
 
 namespace ccnuma
@@ -81,6 +82,17 @@ struct MachineConfig
     ReliableParams reliable;
 
     /**
+     * Fail-stop crash recovery (PR 6): controller restart, directory
+     * reconstruction, the miss-timeout escalation ladder, and
+     * degraded-mode page remapping. Off by default; crash faults are
+     * listed in verify.faults.crashes and rejected by validate()
+     * unless this is enabled together with the reliable transport.
+     * The CCNUMA_RECOVERY environment variable (1|on) force-enables
+     * it (implying the reliable transport) without a config change.
+     */
+    RecoveryConfig recovery;
+
+    /**
      * Observability subsystem (per-request tracing, occupancy
      * timelines, Chrome-trace and metrics export); off by default so
      * paper-fidelity timing and output are untouched. The
@@ -103,6 +115,15 @@ struct MachineConfig
      * FatalError diagnostic instead of livelocking).
      */
     MachineConfig &withReliableTransport();
+
+    /**
+     * Enable the fail-stop crash-recovery subsystem. Implies
+     * withReliableTransport(): a crashed controller fences its
+     * receive side and relies on sender retransmission to re-deliver
+     * what it dropped, so recovery without the transport is rejected
+     * by validate().
+     */
+    MachineConfig &withCrashRecovery();
 
     /**
      * Sanity-check the configuration, raising FatalError with an

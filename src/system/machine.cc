@@ -7,6 +7,7 @@
 
 #include "net/reliable.hh"
 #include "obs/tracer.hh"
+#include "recovery/recovery_manager.hh"
 #include "verify/checker.hh"
 #include "verify/fault_injector.hh"
 #include "verify/watchdog.hh"
@@ -28,6 +29,30 @@ Machine::Machine(const MachineConfig &cfg)
             warn("CCNUMA_RELIABLE=%s not recognized (use 1|on|0|off);"
                  " recovery stays off", env);
         }
+    }
+    // The CCNUMA_RECOVERY environment knob force-enables the
+    // fail-stop crash-recovery subsystem (implying the reliable
+    // transport) without a config change. Same before-node-construction
+    // requirement: the knobs below travel into cfg_.node.
+    if (const char *env = std::getenv("CCNUMA_RECOVERY")) {
+        if (!std::strcmp(env, "1") || !std::strcmp(env, "on")) {
+            cfg_.withCrashRecovery();
+        } else if (std::strcmp(env, "0") && std::strcmp(env, "off")) {
+            warn("CCNUMA_RECOVERY=%s not recognized (use 1|on|0|off);"
+                 " crash recovery stays off", env);
+        }
+    }
+    // Recovery knobs reach the node components through the config:
+    // the controllers copy their CcParams and the cache units their
+    // per-miss timer out of cfg_.node at construction.
+    if (cfg_.recovery.enabled) {
+        cfg_.node.cc.recoveryEnabled = true;
+        cfg_.node.cc.repairTicks = cfg_.recovery.repairTicks;
+        cfg_.node.cc.timeoutRetries = cfg_.recovery.timeoutRetries;
+        cfg_.node.cc.probeRetries = cfg_.recovery.probeRetries;
+        cfg_.node.cc.probeFanout = cfg_.recovery.probeFanout;
+        cfg_.node.cache.missTimeoutTicks =
+            cfg_.recovery.missTimeoutTicks;
     }
     // CCNUMA_SHARDS overrides the configured shard count.
     if (const char *env = std::getenv("CCNUMA_SHARDS")) {
@@ -85,6 +110,11 @@ Machine::Machine(const MachineConfig &cfg)
     if (cfg_.placement == PlacementPolicy::FirstTouch) {
         fall_back("first-touch placement resolves page homes at miss "
                   "time, a cross-shard race");
+    }
+    if (!vc.faults.crashes.empty()) {
+        fall_back("crash recovery mutates cross-node state (receive "
+                  "fences, directory rebuilds, page remaps) "
+                  "synchronously at the crash and repair events");
     }
     // Conservative lookahead: no shard may outrun another by more
     // than the earliest possible cross-node interaction — the
@@ -166,6 +196,16 @@ Machine::Machine(const MachineConfig &cfg)
                     checker_->noteBusComplete(id, txn);
                 });
         }
+    }
+    if (cfg_.recovery.enabled) {
+        std::vector<SmpNode *> ns;
+        ns.reserve(nodes_.size());
+        for (auto &nd : nodes_)
+            ns.push_back(nd.get());
+        recovery_ = std::make_unique<RecoveryManager>(
+            *queues_[0], map_, std::move(ns), xport_.get(),
+            injector_.get(), checker_.get(), cfg_.recovery);
+        recovery_->arm();
     }
     // Observability subsystem (off by default; see DESIGN.md). The
     // CCNUMA_TRACE environment knob force-enables tracing without a
@@ -288,6 +328,33 @@ Machine::dumpDiagnostics(std::ostream &os)
     for (const auto &q : queues_)
         pending += q->numPending();
     os << "pending events: " << pending << "\n";
+    // Shard-aware scheduler state: when a sharded run hangs, the
+    // per-shard clocks and event horizons show which queue stalled
+    // the lock-step window barrier.
+    os << "scheduler: " << shardMap_.numShards << " shard(s)";
+    if (shardsRequested_ != shardMap_.numShards) {
+        os << " (requested " << shardsRequested_ << "; fallback: "
+           << fallbackReason_ << ")";
+    }
+    if (shardMap_.sharded())
+        os << ", lookahead window " << lookahead_ << " ticks";
+    os << "\n";
+    for (unsigned s = 0; s < queues_.size(); ++s) {
+        os << "  shard " << s << ": tick " << queues_[s]->curTick()
+           << ", pending " << queues_[s]->numPending()
+           << ", next event ";
+        Tick nw = queues_[s]->nextWhen();
+        if (nw == maxTick)
+            os << "(none)";
+        else
+            os << "at " << nw;
+        os << ", nodes";
+        for (NodeId n = 0; n < static_cast<NodeId>(numNodes()); ++n) {
+            if (shardMap_.shardOf(n) == s)
+                os << " " << static_cast<unsigned>(n);
+        }
+        os << "\n";
+    }
     os << "unfinished procs:";
     for (unsigned i = 0; i < totalProcs(); ++i) {
         if (!proc(i).finished())
@@ -316,8 +383,23 @@ Machine::fillRecoveryStats(RunResult &r)
         r.xportAcks = xport_->acksSent();
     }
     for (auto &nd : nodes_) {
-        r.nackRetries += nd->cc().nackRetries();
-        r.retryBackoffTicks += nd->cc().retryBackoffTicks();
+        CoherenceController &cc = nd->cc();
+        r.nackRetries += cc.nackRetries();
+        r.retryBackoffTicks += cc.retryBackoffTicks();
+        r.dirRebuilds += cc.dirRebuilds();
+        r.rebuildLines += cc.rebuildLines();
+        r.reconstructionTicksMax = std::max(
+            r.reconstructionTicksMax, cc.reconstructionTicksMax());
+        r.recoveryNacks += cc.recoveryNacks();
+        r.missTimeouts += cc.missTimeouts();
+        r.timeoutResends += cc.timeoutResends();
+        r.recoveryProbes += cc.recoveryProbes();
+        r.degradedEntries += cc.degradedEntries();
+        r.strayDrops += cc.strayDrops();
+    }
+    if (recovery_) {
+        r.crashesInjected = recovery_->crashesFired();
+        r.migrations = recovery_->migrations();
     }
 }
 
@@ -486,6 +568,7 @@ Machine::run(Workload &w, bool check)
     }
     for (auto &nd : nodes_) {
         if (!nd->cc().idle()) {
+            nd->cc().dumpState(std::cerr);
             panic("controller %u not idle after drain",
                   nd->id());
         }

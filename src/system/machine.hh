@@ -26,6 +26,7 @@ namespace ccnuma
 class CoherenceChecker;
 class FaultInjector;
 class HangWatchdog;
+class RecoveryManager;
 class ReliableTransport;
 
 namespace obs
@@ -59,6 +60,21 @@ struct RunResult
     std::uint64_t nackRetries = 0;      ///< bounded-policy re-attempts
     Tick retryBackoffTicks = 0;         ///< ticks spent backing off
     bool completed = false;             ///< retired the full workload
+
+    // --- crash-recovery scorecard inputs (PR 6); zero unless the
+    // recovery subsystem and/or crash faults are armed ---
+    std::uint64_t crashesInjected = 0; ///< fail-stop controller kills
+    std::uint64_t dirRebuilds = 0;     ///< DirProbe reconstructions
+    std::uint64_t rebuildLines = 0;    ///< directory lines rebuilt
+    Tick reconstructionTicksMax = 0;   ///< worst restart-to-rebuilt
+    std::uint64_t recoveryNacks = 0;   ///< requests fenced off while
+                                       ///< a home was rebuilding
+    std::uint64_t missTimeouts = 0;    ///< per-miss timer expiries
+    std::uint64_t timeoutResends = 0;  ///< ladder rung 1: re-sends
+    std::uint64_t recoveryProbes = 0;  ///< ladder rung 2: probes
+    std::uint64_t degradedEntries = 0; ///< ladder exhaustions
+    std::uint64_t strayDrops = 0;      ///< stale responses dropped
+    std::uint64_t migrations = 0;      ///< dead homes remapped
 
     // --- sharded-scheduler accounting (PR 5) ---
     unsigned shardsRequested = 1; ///< config (or CCNUMA_SHARDS) value
@@ -145,6 +161,9 @@ class Machine : public MsgRouter
     /** The reliable transport (null unless recovery is enabled). */
     ReliableTransport *transport() { return xport_.get(); }
 
+    /** The crash-recovery manager (null unless crash recovery is on). */
+    RecoveryManager *recoveryManager() { return recovery_.get(); }
+
     /**
      * The observability tracer (null unless tracing is enabled).
      * Sharded runs keep one tracer per shard; this is shard 0's, the
@@ -212,6 +231,7 @@ class Machine : public MsgRouter
     std::vector<std::unique_ptr<SmpNode>> nodes_;
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<CoherenceChecker> checker_;
+    std::unique_ptr<RecoveryManager> recovery_;
     std::unique_ptr<HangWatchdog> watchdog_;
     /** One per shard; merged into [0] at the end of a sharded run. */
     std::vector<std::unique_ptr<obs::Tracer>> tracers_;

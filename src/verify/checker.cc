@@ -243,6 +243,55 @@ CoherenceChecker::lineQuiescent(Addr line) const
 }
 
 void
+CoherenceChecker::verifyRebuiltDirectory(NodeId home)
+{
+    ++rebuildChecks_;
+    const DirectoryStore &dir = nodes_.at(home)->directory();
+    for (SmpNode *nd : nodes_) {
+        if (nd->id() == home)
+            continue; // home-local copies are not directory-tracked
+        for (unsigned i = 0; i < nd->numProcs(); ++i) {
+            nd->cacheUnit(i).l2().forEachLine(
+                [&](const CacheLine &l) {
+                    if (map_.homeOf(l.lineAddr) != home)
+                        return;
+                    const DirEntry *e = dir.peek(l.lineAddr);
+                    if (l.state == LineState::Modified) {
+                        if (e == nullptr ||
+                            e->state != DirState::DirtyRemote ||
+                            e->owner != nd->id()) {
+                            violation(
+                                l.lineAddr,
+                                fmt("rebuilt directory at node%u "
+                                    "misses Modified copy at node%u "
+                                    "(entry: %s owner=%u)", home,
+                                    nd->id(),
+                                    e ? dirStateName(e->state)
+                                      : "(none)",
+                                    e ? e->owner : 0));
+                        }
+                        return;
+                    }
+                    if (e == nullptr ||
+                        e->state == DirState::Home ||
+                        (e->state == DirState::SharedRemote &&
+                         !e->isSharer(nd->id())) ||
+                        (e->state == DirState::DirtyRemote &&
+                         e->owner != nd->id())) {
+                        violation(
+                            l.lineAddr,
+                            fmt("rebuilt directory at node%u misses "
+                                "clean copy at node%u (entry: %s)",
+                                home, nd->id(),
+                                e ? dirStateName(e->state)
+                                  : "(none)"));
+                    }
+                });
+        }
+    }
+}
+
+void
 CoherenceChecker::fullDirectoryCheck(Addr line)
 {
     ++fullChecks_;

@@ -82,6 +82,18 @@ class CoherenceChecker
     /** Full directory-agreement checks performed (liveness probe). */
     std::uint64_t fullChecks() const { return fullChecks_; }
 
+    /**
+     * Line-by-line cross-check of a reconstructed directory (PR 6):
+     * after a crashed home finishes its DirProbe rebuild, every
+     * actual cached copy of a line homed at @p home must be covered
+     * by the rebuilt full map with the right ownership. Wired to the
+     * controller's rebuild-check hook by the machine.
+     */
+    void verifyRebuiltDirectory(NodeId home);
+
+    /** Rebuild cross-checks performed (tests). */
+    std::uint64_t rebuildChecks() const { return rebuildChecks_; }
+
     /** Deliveries validated (liveness probe for tests). */
     std::uint64_t deliveries() const { return deliveries_; }
 
@@ -123,6 +135,7 @@ class CoherenceChecker
     bool halt_ = false;
     std::uint64_t violations_ = 0;
     std::uint64_t fullChecks_ = 0;
+    std::uint64_t rebuildChecks_ = 0;
     std::uint64_t deliveries_ = 0;
     std::string first_;
     std::unordered_map<std::uint64_t, PairState> pairs_;

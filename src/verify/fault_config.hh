@@ -15,7 +15,9 @@
 #define CCNUMA_VERIFY_FAULT_CONFIG_HH
 
 #include <cstdint>
+#include <vector>
 
+#include "recovery/recovery_config.hh"
 #include "sim/types.hh"
 
 namespace ccnuma
@@ -54,11 +56,22 @@ struct FaultConfig
     /** Drop every Nth message (0 disables). */
     unsigned dropEveryN = 0;
 
+    // --- fail-stop faults (healed by the recovery subsystem) ---
+
+    /**
+     * Scheduled coherence-controller crashes. Unlike the knobs above
+     * these are not probabilistic: each entry fail-stops one named
+     * controller at one tick, which keeps campaign points exactly
+     * reproducible. Requires recovery.enabled and the reliable
+     * transport (validate() enforces both).
+     */
+    std::vector<CrashFault> crashes;
+
     bool
     anyEnabled() const
     {
         return delayJitterProb > 0.0 || engineStallProb > 0.0 ||
-               corrupting();
+               corrupting() || !crashes.empty();
     }
 
     /** True when any fault that breaks protocol guarantees is armed. */

@@ -55,12 +55,24 @@ class FaultInjector : public NetworkTap
      */
     Tick engineStall(NodeId node);
 
+    // --- fail-stop crash faults (driven by the recovery manager) ---
+
+    /** Scheduled controller crashes, in config order. */
+    const std::vector<CrashFault> &crashes() const
+    {
+        return cfg_.crashes;
+    }
+
+    /** The recovery manager reports each crash it actually fired. */
+    void noteCrashInjected() { ++crashesInjected_; }
+
     // --- injection counters (test assertions) ---
     std::uint64_t injectedDelays() const;
     std::uint64_t injectedStalls() const;
     std::uint64_t injectedReorders() const;
     std::uint64_t injectedDuplicates() const;
     std::uint64_t injectedDrops() const;
+    std::uint64_t injectedCrashes() const { return crashesInjected_; }
 
   private:
     /**
@@ -91,6 +103,7 @@ class FaultInjector : public NetworkTap
     FaultConfig cfg_;
     std::vector<SrcState> src_;
     std::vector<StallState> stall_;
+    std::uint64_t crashesInjected_ = 0;
 };
 
 } // namespace ccnuma

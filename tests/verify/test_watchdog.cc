@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 
 #include "system/machine.hh"
@@ -73,6 +74,70 @@ TEST(HangWatchdog, QuietOnHealthyRun)
     auto w = makeWorkload("Ocean", p);
     RunResult r = m.run(*w, /*check=*/true);
     EXPECT_GT(r.execTicks, 0u);
+}
+
+TEST(HangWatchdog, DiagnosticsShowSerialSchedulerState)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 2;
+    cfg.node.procsPerNode = 1;
+    Machine m(cfg);
+    std::ostringstream os;
+    m.dumpDiagnostics(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("scheduler: 1 shard(s)"), std::string::npos)
+        << s;
+    EXPECT_NE(s.find("shard 0: tick"), std::string::npos) << s;
+    // A fresh machine has no pending events and no fallback note.
+    EXPECT_NE(s.find("next event (none)"), std::string::npos) << s;
+    EXPECT_EQ(s.find("fallback:"), std::string::npos) << s;
+}
+
+TEST(HangWatchdog, DiagnosticsShowPerShardQueueState)
+{
+    // When a hang strikes a sharded run, the dump must show each
+    // shard's clock, backlog, event horizon, and node set so a stuck
+    // window barrier can be attributed to one queue.
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 4;
+    cfg.node.procsPerNode = 1;
+    cfg.shards = 2;
+    Machine m(cfg);
+    ASSERT_EQ(m.shardsUsed(), 2u) << m.shardFallbackReason();
+    std::ostringstream os;
+    m.dumpDiagnostics(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("scheduler: 2 shard(s)"), std::string::npos)
+        << s;
+    EXPECT_NE(s.find("lookahead window"), std::string::npos) << s;
+    EXPECT_NE(s.find("shard 0: tick"), std::string::npos) << s;
+    EXPECT_NE(s.find("shard 1: tick"), std::string::npos) << s;
+    EXPECT_NE(s.find("nodes 0 1"), std::string::npos) << s;
+    EXPECT_NE(s.find("nodes 2 3"), std::string::npos) << s;
+}
+
+TEST(HangWatchdog, DiagnosticsNameSerialFallbackReason)
+{
+    // Crash faults force the serial scheduler (the recovery manager
+    // mutates cross-node state synchronously); the dump must say so.
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 4;
+    cfg.node.procsPerNode = 1;
+    cfg.shards = 2;
+    cfg.withCrashRecovery();
+    CrashFault f;
+    f.node = 1;
+    f.atTick = 1'000;
+    cfg.verify.faults.crashes.push_back(f);
+    Machine m(cfg);
+    EXPECT_EQ(m.shardsUsed(), 1u);
+    EXPECT_FALSE(m.shardFallbackReason().empty());
+    std::ostringstream os;
+    m.dumpDiagnostics(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("requested 2; fallback:"), std::string::npos)
+        << s;
+    EXPECT_NE(s.find("crash recovery"), std::string::npos) << s;
 }
 
 TEST(HangWatchdog, ZeroBudgetRejected)

@@ -23,9 +23,19 @@ The check is skipped (with a note) when the producing host had fewer
 hardware threads than requested shards — identity is still enforced
 by the bench itself, but the timing comparison is meaningless there.
 
-Usage: bench_gate.py BASELINE.json FRESH.json [--threshold 0.20]
+A third machine-independent invariant gates the crash-recovery
+subsystem: pass --recovery BENCH_crash_campaign.json and every
+campaign run must have completed ("done" == yes) with retired
+instructions identical to its clean baseline ("instr-ok" == yes),
+and no directory reconstruction may have taken longer than
+--max-rebuild-ticks. Correctness checks are host-independent, so
+--recovery works standalone (no baseline/fresh pair needed).
+
+Usage: bench_gate.py [BASELINE.json FRESH.json] [--threshold 0.20]
                      [--sharded BENCH_fig6_sharded.json]
                      [--min-speedup 1.5]
+                     [--recovery BENCH_crash_campaign.json]
+                     [--max-rebuild-ticks 50000]
 """
 
 import argparse
@@ -88,64 +98,124 @@ def check_sharded(path, min_speedup, failures):
             f"(expected >= {min_speedup:.2f}x on {hw} threads)")
 
 
+def crash_rows(path):
+    """Return the per-run rows of the crash-campaign table (the
+    TOTAL row excluded), or None if the file doesn't contain one."""
+    with open(path) as f:
+        data = json.load(f)
+    for table in data.get("tables", []):
+        if "crash campaign" not in table.get("title", "").lower():
+            continue
+        return [row for row in table.get("rows", [])
+                if row.get("workload") != "TOTAL"]
+    return None
+
+
+def check_recovery(path, max_rebuild_ticks, failures):
+    rows = crash_rows(path)
+    if rows is None:
+        failures.append(f"{path}: no 'crash campaign' table")
+        return
+    if not rows:
+        failures.append(f"{path}: crash campaign table is empty")
+        return
+    worst_rebuild = 0
+    bad = 0
+    for row in rows:
+        tag = (f"{row.get('workload')}/{row.get('arch')}"
+               f"@{row.get('crash-tk')}")
+        if row.get("done") != "yes":
+            failures.append(f"crash campaign {tag}: did not complete")
+            bad += 1
+        if row.get("instr-ok") != "yes":
+            failures.append(
+                f"crash campaign {tag}: retired instructions differ "
+                "from the clean baseline")
+            bad += 1
+        worst_rebuild = max(worst_rebuild,
+                            int(row.get("rebuild-tk", 0)))
+    print(f"\ncrash campaign: {len(rows)} runs, {bad} failures, "
+          f"worst directory reconstruction {worst_rebuild} ticks "
+          f"(require <= {max_rebuild_ticks})")
+    if worst_rebuild > max_rebuild_ticks:
+        failures.append(
+            f"directory reconstruction took {worst_rebuild} ticks "
+            f"(ceiling {max_rebuild_ticks})")
+
+
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("baseline")
-    ap.add_argument("fresh")
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("fresh", nargs="?")
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="max fractional items/sec regression")
     ap.add_argument("--sharded", metavar="JSON",
                     help="BENCH_fig6_sharded.json to gate on")
     ap.add_argument("--min-speedup", type=float, default=1.5,
                     help="min sharded-vs-serial wall-clock speedup")
+    ap.add_argument("--recovery", metavar="JSON",
+                    help="BENCH_crash_campaign.json to gate on")
+    ap.add_argument("--max-rebuild-ticks", type=int, default=50000,
+                    help="max directory reconstruction time")
     args = ap.parse_args()
 
-    base = items_per_second(args.baseline)
-    fresh = items_per_second(args.fresh)
+    if bool(args.baseline) != bool(args.fresh):
+        ap.error("BASELINE and FRESH must be given together")
+    if not args.baseline and not args.sharded and not args.recovery:
+        ap.error("nothing to gate: give BASELINE FRESH, --sharded, "
+                 "or --recovery")
 
     failures = []
-    print(f"{'benchmark':40s} {'baseline':>12s} {'fresh':>12s} "
-          f"{'ratio':>7s}")
-    for name in sorted(base):
-        if name not in fresh:
-            print(f"{name:40s} {base[name]:12.3g} {'MISSING':>12s}")
-            failures.append(f"{name}: missing from fresh run")
-            continue
-        ratio = fresh[name] / base[name]
-        flag = ""
-        if ratio < 1.0 - args.threshold:
-            flag = "  << REGRESSION"
-            failures.append(
-                f"{name}: {fresh[name]:.3g} items/s is "
-                f"{(1.0 - ratio) * 100:.1f}% below baseline "
-                f"{base[name]:.3g}")
-        print(f"{name:40s} {base[name]:12.3g} {fresh[name]:12.3g} "
-              f"{ratio:7.2f}{flag}")
+    if args.baseline:
+        base = items_per_second(args.baseline)
+        fresh = items_per_second(args.fresh)
 
-    wheel = fresh.get("BM_WheelRealisticDelays")
-    heap = fresh.get("BM_LegacyHeapRealisticDelays")
-    if wheel and heap:
-        ratio = wheel / heap
-        print(f"\nwheel/heap realistic-delay ratio: {ratio:.2f} "
-              f"(require >= 1.50)")
-        if ratio < 1.50:
+        print(f"{'benchmark':40s} {'baseline':>12s} {'fresh':>12s} "
+              f"{'ratio':>7s}")
+        for name in sorted(base):
+            if name not in fresh:
+                print(f"{name:40s} {base[name]:12.3g} "
+                      f"{'MISSING':>12s}")
+                failures.append(f"{name}: missing from fresh run")
+                continue
+            ratio = fresh[name] / base[name]
+            flag = ""
+            if ratio < 1.0 - args.threshold:
+                flag = "  << REGRESSION"
+                failures.append(
+                    f"{name}: {fresh[name]:.3g} items/s is "
+                    f"{(1.0 - ratio) * 100:.1f}% below baseline "
+                    f"{base[name]:.3g}")
+            print(f"{name:40s} {base[name]:12.3g} "
+                  f"{fresh[name]:12.3g} {ratio:7.2f}{flag}")
+
+        wheel = fresh.get("BM_WheelRealisticDelays")
+        heap = fresh.get("BM_LegacyHeapRealisticDelays")
+        if wheel and heap:
+            ratio = wheel / heap
+            print(f"\nwheel/heap realistic-delay ratio: {ratio:.2f} "
+                  f"(require >= 1.50)")
+            if ratio < 1.50:
+                failures.append(
+                    f"timing wheel only {ratio:.2f}x the legacy "
+                    f"heap (expected >= 1.5x)")
+        else:
             failures.append(
-                f"timing wheel only {ratio:.2f}x the legacy heap "
-                f"(expected >= 1.5x)")
-    else:
-        failures.append(
-            "wheel-vs-heap realistic-delay pair missing from run")
+                "wheel-vs-heap realistic-delay pair missing from run")
 
     if args.sharded:
         check_sharded(args.sharded, args.min_speedup, failures)
+
+    if args.recovery:
+        check_recovery(args.recovery, args.max_rebuild_ticks,
+                       failures)
 
     if failures:
         print("\nFAIL:")
         for f in failures:
             print(f"  - {f}")
         return 1
-    print("\nOK: no items/sec regression beyond "
-          f"{args.threshold * 100:.0f}%")
+    print("\nOK: all gates passed")
     return 0
 
 
