@@ -29,7 +29,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -239,9 +241,11 @@ fmtTicks(Tick t)
 /**
  * Machine-readable companion to the text tables: captures every
  * table a bench emits and, on destruction, writes them to
- * BENCH_<name>.json in the working directory so the paper-fidelity
- * numbers (and hence the perf trajectory) can be tracked
- * run-over-run by scripts instead of eyeballs.
+ * bench/out/BENCH_<name>.json (CCNUMA_BENCH_OUT overrides the
+ * directory) so the paper-fidelity numbers (and hence the perf
+ * trajectory) can be tracked run-over-run by scripts instead of
+ * eyeballs. The output directory is a git-ignored artifact drop:
+ * committed history stays free of machine-generated numbers.
  *
  * Use session.table(title, t) wherever the bench would have called
  * t.print(std::cout) — it prints AND captures.
@@ -267,7 +271,22 @@ class JsonReport
 
     ~JsonReport()
     {
-        std::string file = "BENCH_" + name_ + ".json";
+        namespace fs = std::filesystem;
+        fs::path dir = "bench/out";
+        if (const char *env = std::getenv("CCNUMA_BENCH_OUT"))
+            dir = env;
+        std::error_code ec;
+        fs::create_directories(dir, ec);
+        if (ec) {
+            std::fprintf(stderr,
+                         "warning: cannot create %s (%s); writing "
+                         "to the working directory\n",
+                         dir.string().c_str(),
+                         ec.message().c_str());
+            dir = ".";
+        }
+        std::string file =
+            (dir / ("BENCH_" + name_ + ".json")).string();
         std::ofstream os(file);
         if (!os) {
             std::fprintf(stderr, "warning: cannot write %s\n",

@@ -49,6 +49,31 @@ CoherenceController::CoherenceController(const std::string &name,
     statGroup_.add(&statRecoveryProbes);
     statGroup_.add(&statDegradedEntries);
     statGroup_.add(&statStrayDrops);
+    statGroup_.add(&statPoisonNacks);
+}
+
+// ---------------------------------------------------------------------
+// Line poisoning (PR 7)
+// ---------------------------------------------------------------------
+
+void
+CoherenceController::markLineDead(Addr line_addr)
+{
+    deadLines_.insert(line_addr);
+    // Reset the directory view: no holder anywhere. The checker's
+    // coverage invariant exempts dead lines explicitly; the Home
+    // state keeps the bus-side directory logic self-consistent
+    // (requests are intercepted before it is consulted anyway).
+    DirEntry &e = dir_.entry(line_addr);
+    e.state = DirState::Home;
+    e.sharers = 0;
+    ccnuma_trace(line_addr, "%8llu %s LINE DEAD %#llx",
+                 (unsigned long long)eq_.curTick(), name_.c_str(),
+                 (unsigned long long)line_addr);
+    if (tracer_) {
+        tracer_->faultEvent(obs::FaultKind::LineDead, node_,
+                            line_addr, eq_.curTick());
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -203,7 +228,10 @@ CoherenceController::busObserve(BusTxn &txn, SnoopResult combined)
                 return SupplyDecision::Deferred;
             }
             BusSideDirState bs = dir_.busSideState(line);
-            if (bs == BusSideDirState::DirtyRemote) {
+            if (bs == BusSideDirState::DirtyRemote ||
+                isLineDead(line)) {
+                // A poisoned line must never fill from the stale
+                // memory image; the engine bounces it instead.
                 DispatchItem item;
                 item.isBus = true;
                 item.busTxnId = txn.id;
@@ -275,7 +303,8 @@ CoherenceController::busObserve(BusTxn &txn, SnoopResult combined)
                 return SupplyDecision::Deferred;
             }
             BusSideDirState bs = dir_.busSideState(line);
-            if (bs == BusSideDirState::NoRemote) {
+            if (bs == BusSideDirState::NoRemote &&
+                !isLineDead(line)) {
                 return SupplyDecision::Memory;
             }
             DispatchItem item;
@@ -904,6 +933,29 @@ CoherenceController::executeBusItem(unsigned engine_idx,
             parkAtHome(engine_idx, item);
             return;
         }
+        if (isLineDead(line)) {
+            // Local processor request for a poisoned local line: the
+            // machine's poison fence kills the blocked processors
+            // and aborts their misses, then the deferred bus
+            // transaction drains without installing anything (the
+            // cache unit drops it via its poison-abort list).
+            std::uint64_t bus_txn = item.busTxnId;
+            ++statPoisonNacks;
+            if (tracer_) {
+                tracer_->faultEvent(obs::FaultKind::Poison, node_,
+                                    line, eq_.curTick());
+            }
+            beginHandler(
+                engine_idx, HandlerId::OwnerNackAtHome, line, 0,
+                CcBusOp::None,
+                [this, line, bus_txn](Exec &, Tick t) {
+                    if (poisonFence_)
+                        poisonFence_(line);
+                    bus_.deferredRespond(bus_txn, 0, t);
+                    drainHomeWaiting(line, t);
+                });
+            return;
+        }
         DirEntry &d = dir_.entry(line);
         switch (d.state) {
           case DirState::DirtyRemote: {
@@ -967,6 +1019,19 @@ CoherenceController::executeBusItem(unsigned engine_idx,
             [[fallthrough]];
           case DirState::Home: {
             std::uint64_t bus_txn = item.busTxnId;
+            // Hold a home transaction across the fetch: once this
+            // engine dispatched, the deferredLocal_ guard is gone,
+            // and without homeBusy_ a fresh local ReadExcl would
+            // sail past busObserve and fill Modified straight from
+            // memory while the fetch below carries the same line's
+            // data to the parked requester — two Modified copies.
+            HomeTxn txn;
+            txn.requester = node_;
+            txn.excl = excl;
+            txn.localRequest = true;
+            txn.busTxnId = item.busTxnId;
+            txn.original = item;
+            homeBusy_[line] = txn;
             beginHandler(
                 engine_idx,
                 excl ? HandlerId::ReadExclFromOwnerForHome
@@ -976,9 +1041,7 @@ CoherenceController::executeBusItem(unsigned engine_idx,
                 [this, line, bus_txn](Exec &ex, Tick t) {
                     ccnuma_assert(!ex.fetchFailed);
                     bus_.deferredRespond(bus_txn, ex.version, t);
-                    // No home transaction was opened; release any
-                    // requests that parked behind this one.
-                    drainHomeWaiting(line, t);
+                    closeHomeTxn(line, t);
                 });
             return;
           }
@@ -1137,6 +1200,25 @@ CoherenceController::executeNetItem(unsigned engine_idx,
                 CcBusOp::None,
                 [this, line, req](Exec &, Tick t) {
                     sendMsg(MsgType::RecoveryNack, line, req, req, 0,
+                            false, t);
+                });
+            return;
+        }
+        if (isLineDead(line)) {
+            // The line's only up-to-date copy was consumed by an
+            // uncorrectable error: fence the requester off the dead
+            // data with a terminal nack (no retry will ever help).
+            const NodeId req = msg.requester;
+            ++statPoisonNacks;
+            if (tracer_) {
+                tracer_->faultEvent(obs::FaultKind::Poison, node_,
+                                    line, eq_.curTick());
+            }
+            beginHandler(
+                engine_idx, HandlerId::OwnerNackAtHome, line, 0,
+                CcBusOp::None,
+                [this, line, req](Exec &, Tick t) {
+                    sendMsg(MsgType::PoisonNack, line, req, req, 0,
                             false, t);
                 });
             return;
@@ -1754,6 +1836,39 @@ CoherenceController::executeNetItem(unsigned engine_idx,
         return;
       }
 
+      case MsgType::PoisonNack: {
+        // The home fenced us off a dead line: the data is gone for
+        // good and no retry will resurrect it. Tear down everything
+        // pending on the line, let the machine's poison fence kill
+        // the processors blocked on it, and complete the deferred
+        // bus transactions with a dummy response so the bus drains
+        // (the cache units drop them via their poison-abort lists).
+        auto it = reqPending_.find(line);
+        if (it == reqPending_.end() && strayDrop("PoisonNack")) {
+            finishHandler(engine_idx, eq_.curTick());
+            return;
+        }
+        ccnuma_assert(it != reqPending_.end());
+        ReqPending rp = std::move(it->second);
+        reqPending_.erase(it);
+        missLadders_.erase(line);
+        retries_.clear(line);
+        beginHandler(
+            engine_idx, HandlerId::OwnerNackAtHome, line, 0,
+            CcBusOp::None,
+            [this, line, rp](Exec &, Tick t) {
+                if (poisonFence_)
+                    poisonFence_(line);
+                for (std::uint64_t txn : rp.busTxns)
+                    bus_.deferredRespond(txn, 0, t);
+                for (const auto &c : rp.conflicting) {
+                    if (c.busTxnId != 0)
+                        bus_.deferredRespond(c.busTxnId, 0, t);
+                }
+            });
+        return;
+      }
+
       case MsgType::OwnerNack: {
         auto hb = homeBusy_.find(line);
         if (hb == homeBusy_.end() && strayDrop("OwnerNack")) {
@@ -1840,6 +1955,10 @@ CoherenceController::crash(bool lose_directory)
     ccnuma_assert(params_.recoveryEnabled);
     ccnuma_assert(state_ == CcState::Normal && !deadForever_);
     ++statCrashes;
+    if (tracer_) {
+        tracer_->faultEvent(obs::FaultKind::Crash, node_, 0,
+                            eq_.curTick());
+    }
     // Invalidate every scheduled continuation of in-flight handlers:
     // their lambdas captured the old epoch and now no-op (the one
     // holding a raw Exec deletes it). Pre-crash sendMsg events are
@@ -1961,6 +2080,10 @@ CoherenceController::restart()
 {
     ccnuma_assert(state_ == CcState::Crashed && !deadForever_);
     restartTick_ = eq_.curTick();
+    if (tracer_) {
+        tracer_->faultEvent(obs::FaultKind::Restart, node_, 0,
+                            eq_.curTick());
+    }
     if (xport_ != nullptr)
         xport_->fenceNode(node_, false);
     if (!dirLost_) {
@@ -1991,6 +2114,10 @@ void
 CoherenceController::sendNextProbeWave(Tick t)
 {
     ccnuma_assert(state_ == CcState::Recovering);
+    if (tracer_) {
+        tracer_->faultEvent(obs::FaultKind::RebuildWave, node_, 0,
+                            t);
+    }
     unsigned wave =
         params_.probeFanout == 0
             ? static_cast<unsigned>(probePendingPeers_.size())
@@ -2068,6 +2195,10 @@ CoherenceController::finishRebuild(Tick t)
 {
     ccnuma_assert(state_ == CcState::Recovering);
     ++statDirRebuilds;
+    if (tracer_) {
+        tracer_->faultEvent(obs::FaultKind::RebuildDone, node_, 0,
+                            t);
+    }
     const Tick latency = t - restartTick_;
     reconstructionTicksMax_ =
         std::max(reconstructionTicksMax_, latency);

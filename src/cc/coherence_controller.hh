@@ -39,6 +39,7 @@
 #include <ostream>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -292,6 +293,43 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
      */
     void shutdownPermanently();
 
+    // --- integrity: line poisoning (PR 7) ---
+
+    /**
+     * Mark a local line dead: an uncorrectable corruption consumed
+     * its only up-to-date copy and no rebuild can resurrect the
+     * data. The directory entry is reset to Home with no sharers
+     * (keeping the invariant checker's directory-coverage view
+     * consistent) and every future request for the line — local bus
+     * requests and remote ReadReq/ReadExclReq alike — is bounced
+     * with PoisonNack so the corruption can never propagate.
+     */
+    void markLineDead(Addr line_addr);
+
+    /** True when @p line_addr has been poisoned at this home. */
+    bool
+    isLineDead(Addr line_addr) const
+    {
+        return !deadLines_.empty() &&
+               deadLines_.count(line_addr) != 0;
+    }
+
+    /**
+     * Requester-side poison fence, installed by the machine: called
+     * when a PoisonNack arrives (or a local request hits a dead
+     * local line) after the controller has torn down its own pending
+     * state for the line. The machine kills the processors blocked
+     * on the line and aborts their cache-unit misses.
+     */
+    using PoisonFence = std::function<void(Addr line)>;
+    void setPoisonFence(PoisonFence fn)
+    {
+        poisonFence_ = std::move(fn);
+    }
+
+    /** Lines poisoned at this home. */
+    std::uint64_t linesDead() const { return deadLines_.size(); }
+
     NodeId node() const { return node_; }
     const CcParams &params() const { return params_; }
 
@@ -392,6 +430,15 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
         "timeout ladders exhausted into degraded mode"};
     stats::Scalar statStrayDrops{"stray_drops",
         "stale responses for state lost in a crash, dropped"};
+
+    // --- integrity statistics (PR 7) ---
+    stats::Scalar statPoisonNacks{"poison_nacks",
+        "requests bounced off a poisoned (dead) line"};
+
+    std::uint64_t poisonNacks() const
+    {
+        return static_cast<std::uint64_t>(statPoisonNacks.value());
+    }
 
     std::uint64_t crashes() const
     {
@@ -688,6 +735,9 @@ class CoherenceController : public BusAgent, public BusCoherenceHook
     DegradedHook degradedHook_;
     RebuildCheckHook rebuildCheckHook_;
     CacheScanFn cacheScan_;
+    /** Poisoned local lines (PR 7); requests bounce forever. */
+    std::unordered_set<Addr> deadLines_;
+    PoisonFence poisonFence_;
     /** Permanently retired (degraded mode); never serves again. */
     bool deadForever_ = false;
 

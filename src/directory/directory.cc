@@ -77,12 +77,17 @@ DirectoryStore::DirectoryStore(const std::string &name,
 DirEntry &
 DirectoryStore::entry(Addr line_addr)
 {
+    // Every read-or-write path into an entry funnels through here or
+    // peek(): resolving first guarantees no handler ever observes (or
+    // builds on) a corrupted word.
+    resolvePending();
     return entries_[line_addr];
 }
 
 const DirEntry *
 DirectoryStore::peek(Addr line_addr) const
 {
+    resolvePending();
     return entries_.find(line_addr);
 }
 
@@ -118,6 +123,84 @@ DirectoryStore::scheduleRead(Addr line_addr, Tick earliest, bool *hit)
     Tick begin = std::max(earliest, dramFreeAt_);
     dramFreeAt_ = begin + params_.dramBusy;
     return begin + params_.dramLatency;
+}
+
+std::uint64_t
+DirectoryStore::packWord(const DirEntry &e, unsigned w)
+{
+    if (w == 0)
+        return e.sharers;
+    return static_cast<std::uint64_t>(e.state) |
+           (static_cast<std::uint64_t>(e.owner) << 8);
+}
+
+void
+DirectoryStore::unpackWord(DirEntry &e, unsigned w, std::uint64_t v)
+{
+    if (w == 0) {
+        e.sharers = v;
+    } else {
+        e.state = static_cast<DirState>(v & 0xff);
+        e.owner = static_cast<NodeId>(v >> 8);
+    }
+}
+
+DirFlipResult
+DirectoryStore::injectFlip(Random &rng, unsigned bits)
+{
+    DirFlipResult res;
+    if (entries_.size() == 0)
+        return res; // nothing at rest to corrupt
+    std::size_t pick = static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(entries_.size())));
+    std::size_t i = 0;
+    Addr victim = 0;
+    entries_.forEach([&](Addr line, const DirEntry &) {
+        if (i++ == pick)
+            victim = line;
+    });
+    res.applied = true;
+    res.line = victim;
+    unsigned word = static_cast<unsigned>(rng.below(2));
+    if (bits >= 2) {
+        // Uncorrectable: SECDED detects it at the next access, and
+        // the entry cannot be reconstructed from the codeword. The
+        // caller escalates (crash + directory rebuild wipes the whole
+        // map), so there is nothing useful to mutate here.
+        res.uncorrectable = true;
+        return res;
+    }
+    // Correctable: corrupt the live word, park the correction.
+    DirEntry &e = entries_[victim];
+    std::uint64_t data = packWord(e, word);
+    PendingCe ce;
+    ce.line = victim;
+    ce.word = word;
+    ce.shadow = data;
+    std::uint8_t check = ecc::encode(data);
+    unsigned k = static_cast<unsigned>(rng.below(ecc::codewordBits));
+    ecc::flipBit(data, check, k);
+    ce.check = check;
+    ce.corrupted = data;
+    unpackWord(e, word, data);
+    pendingCe_.push_back(ce);
+    return res;
+}
+
+void
+DirectoryStore::resolvePendingSlow() const
+{
+    std::vector<PendingCe> pending;
+    pending.swap(pendingCe_);
+    for (const PendingCe &ce : pending) {
+        DirEntry &e = entries_[ce.line];
+        ecc::EccResult r = ecc::decode(ce.corrupted, ce.check);
+        ccnuma_assert(r.status == ecc::EccStatus::CorrectedData ||
+                      r.status == ecc::EccStatus::CorrectedCheck);
+        ccnuma_assert(r.data == ce.shadow);
+        unpackWord(e, ce.word, r.data);
+        ++eccCorrected_;
+    }
 }
 
 void

@@ -27,8 +27,10 @@
 
 #include "directory/line_map.hh"
 #include "sim/logging.hh"
+#include "sim/random.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "verify/ecc.hh"
 
 namespace ccnuma
 {
@@ -127,9 +129,26 @@ class DirectoryCache
     std::uint64_t misses_ = 0;
 };
 
+/** Outcome of a directory bit-flip injection (PR 7 integrity). */
+struct DirFlipResult
+{
+    bool applied = false;       ///< false = directory empty, no victim
+    bool uncorrectable = false; ///< double flip: entry is lost
+    Addr line = 0;              ///< the victim line
+};
+
 /**
  * The home node's directory: authoritative full-map entries plus the
  * DRAM timing model and the directory cache.
+ *
+ * Integrity model (PR 7): each entry is conceptually two SECDED(72,64)
+ * codewords — word 0 the sharer bitmap, word 1 the state and owner.
+ * Check bytes are pure functions of the stored words, so only flips
+ * need materializing: a correctable (single-bit) flip corrupts the
+ * live word and parks the corrupted check byte in a pending side
+ * table, and *every* accessor resolves pending corrections before the
+ * entry is observed — the corrupted value is never served. The
+ * background scrubber resolves them the same way on its own clock.
  */
 class DirectoryStore
 {
@@ -163,6 +182,10 @@ class DirectoryStore
     void
     invalidateAll()
     {
+        // Pending corrections die with the entries they would have
+        // repaired; count them so the integrity ledger still closes.
+        pendingDropped_ += pendingCe_.size();
+        pendingCe_.clear();
         entries_.clear();
         cache_.reset();
     }
@@ -174,8 +197,39 @@ class DirectoryStore
     void
     forEach(F &&f) const
     {
+        resolvePending();
         entries_.forEach(f);
     }
+
+    // --- integrity (PR 7) ---
+
+    /**
+     * Inject a seeded bit flip into one existing entry: @p bits = 1
+     * corrupts the live word and parks the correction in the pending
+     * table; @p bits = 2 is uncorrectable — the entry is reported
+     * lost for the caller to escalate (nothing is mutated, since the
+     * escalation wipes the whole directory for a rebuild anyway).
+     */
+    DirFlipResult injectFlip(Random &rng, unsigned bits);
+
+    /**
+     * Background scrub pass: resolve every pending correction now.
+     * @return the number of words corrected.
+     */
+    std::uint64_t
+    scrubNow()
+    {
+        std::uint64_t before = eccCorrected_;
+        resolvePending();
+        return eccCorrected_ - before;
+    }
+
+    /** Single-bit flips corrected (at access or by scrub). */
+    std::uint64_t eccCorrected() const { return eccCorrected_; }
+    /** Pending corrections dropped by invalidateAll (rebuilds). */
+    std::uint64_t pendingDropped() const { return pendingDropped_; }
+    /** Corrections still latent (tests). */
+    std::size_t pendingCount() const { return pendingCe_.size(); }
 
     stats::Group &statGroup() { return statGroup_; }
 
@@ -186,10 +240,49 @@ class DirectoryStore
         "directory cache misses"};
 
   private:
+    /** One latent single-bit corruption awaiting correction. */
+    struct PendingCe
+    {
+        Addr line = 0;
+        unsigned word = 0;          ///< 0 = sharers, 1 = state/owner
+        std::uint8_t check = 0;     ///< check byte seen by decode
+        std::uint64_t shadow = 0;   ///< pristine word (cross-check)
+        /**
+         * The corrupted codeword as the SRAM would hold it. The live
+         * entry only mirrors the flip as far as its packed fields
+         * can represent it, so resolution decodes this saved image
+         * (the entry cannot change in between: every access resolves
+         * first).
+         */
+        std::uint64_t corrupted = 0;
+    };
+
+    /**
+     * Apply every pending correction. Logically const: it restores
+     * the semantic value the store already represents, so the const
+     * accessors may call it before observing an entry. The inline
+     * empty() test keeps the cost of a clean configuration to one
+     * never-taken branch per directory access.
+     */
+    void
+    resolvePending() const
+    {
+        if (!pendingCe_.empty())
+            resolvePendingSlow();
+    }
+
+    void resolvePendingSlow() const;
+
+    static std::uint64_t packWord(const DirEntry &e, unsigned w);
+    static void unpackWord(DirEntry &e, unsigned w, std::uint64_t v);
+
     DirectoryParams params_;
-    LineMap<DirEntry> entries_;
+    mutable LineMap<DirEntry> entries_;
     DirectoryCache cache_;
     Tick dramFreeAt_ = 0;
+    mutable std::vector<PendingCe> pendingCe_;
+    mutable std::uint64_t eccCorrected_ = 0;
+    std::uint64_t pendingDropped_ = 0;
     stats::Group statGroup_;
 };
 

@@ -53,6 +53,9 @@ SetAssocCache::setIndex(Addr addr) const
 CacheLine *
 SetAssocCache::findLine(Addr addr)
 {
+    // Resolve before the tag compare: a corrupted tag must never
+    // produce a false hit (or mask a true one).
+    resolvePending();
     // Invalid lines carry kNoLineTag, so tag equality alone decides a
     // hit; the way loop is branch-per-compare over one contiguous set.
     Addr la = lineAlign(addr);
@@ -74,6 +77,7 @@ SetAssocCache::findLine(Addr addr) const
 CacheLine *
 SetAssocCache::allocate(Addr addr, LineState st, Victim *victim)
 {
+    resolvePending();
     Addr la = lineAlign(addr);
     ccnuma_assert(findLine(addr) == nullptr);
     std::size_t base = setIndex(addr) * assoc_;
@@ -121,6 +125,9 @@ SetAssocCache::invalidate(Addr addr)
 void
 SetAssocCache::invalidateAll()
 {
+    // Correct first, then drop: pending repairs of lines about to be
+    // discarded still count as corrected, keeping the ledger closed.
+    resolvePending();
     for (auto &line : lines_) {
         line.state = LineState::Invalid;
         line.lineAddr = kNoLineTag;
@@ -130,12 +137,86 @@ SetAssocCache::invalidateAll()
 std::size_t
 SetAssocCache::numValid() const
 {
+    resolvePending();
     std::size_t n = 0;
     for (const auto &line : lines_) {
         if (lineValid(line.state))
             ++n;
     }
     return n;
+}
+
+std::uint64_t
+SetAssocCache::packWord(const CacheLine &l, unsigned w)
+{
+    switch (w) {
+      case 0: return l.lineAddr;
+      case 1: return l.version;
+      default: return static_cast<std::uint64_t>(l.state);
+    }
+}
+
+void
+SetAssocCache::unpackWord(CacheLine &l, unsigned w, std::uint64_t v)
+{
+    switch (w) {
+      case 0: l.lineAddr = v; break;
+      case 1: l.version = v; break;
+      default: l.state = static_cast<LineState>(v & 0xff); break;
+    }
+}
+
+Addr
+SetAssocCache::injectCeFlip(Random &rng)
+{
+    resolvePending();
+    std::size_t valid = numValid();
+    if (valid == 0)
+        return kNoLineTag;
+    std::size_t pick = static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(valid)));
+    std::size_t idx = lines_.size();
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        if (!lineValid(lines_[i].state))
+            continue;
+        if (pick-- == 0) {
+            idx = i;
+            break;
+        }
+    }
+    ccnuma_assert(idx < lines_.size());
+    CacheLine &l = lines_[idx];
+    Addr victim_addr = l.lineAddr;
+    unsigned word = static_cast<unsigned>(rng.below(3));
+    std::uint64_t data = packWord(l, word);
+    PendingCe ce;
+    ce.lineIdx = idx;
+    ce.word = word;
+    ce.shadow = data;
+    std::uint8_t check = ecc::encode(data);
+    unsigned k = static_cast<unsigned>(rng.below(ecc::codewordBits));
+    ecc::flipBit(data, check, k);
+    ce.check = check;
+    ce.corrupted = data;
+    unpackWord(l, word, data);
+    pendingCe_.push_back(ce);
+    return victim_addr;
+}
+
+void
+SetAssocCache::resolvePendingSlow() const
+{
+    std::vector<PendingCe> pending;
+    pending.swap(pendingCe_);
+    for (const PendingCe &ce : pending) {
+        CacheLine &l = lines_[ce.lineIdx];
+        ecc::EccResult r = ecc::decode(ce.corrupted, ce.check);
+        ccnuma_assert(r.status == ecc::EccStatus::CorrectedData ||
+                      r.status == ecc::EccStatus::CorrectedCheck);
+        ccnuma_assert(r.data == ce.shadow);
+        unpackWord(l, ce.word, r.data);
+        ++eccCorrected_;
+    }
 }
 
 } // namespace ccnuma

@@ -17,8 +17,10 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "sim/random.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "verify/ecc.hh"
 
 namespace ccnuma
 {
@@ -123,6 +125,7 @@ class SetAssocCache
     void
     forEachLine(F &&f) const
     {
+        resolvePending();
         for (const auto &line : lines_) {
             if (lineValid(line.state))
                 f(line);
@@ -134,6 +137,36 @@ class SetAssocCache
 
     /** Count of currently valid lines. */
     std::size_t numValid() const;
+
+    // --- integrity (PR 7) ---
+
+    /**
+     * Inject a correctable (single-bit) flip into one SECDED word of
+     * a random valid line: the live word (tag, version, or state) is
+     * corrupted in place and the correction parked in the pending
+     * table. Every accessor resolves pending corrections before
+     * observing any line, so the corrupted value is never served.
+     * @return the victim line address, or kNoLineTag if the cache
+     *         holds nothing to corrupt.
+     */
+    Addr injectCeFlip(Random &rng);
+
+    /**
+     * Background scrub pass: resolve every pending correction now.
+     * @return the number of words corrected.
+     */
+    std::uint64_t
+    scrubNow()
+    {
+        std::uint64_t before = eccCorrected_;
+        resolvePending();
+        return eccCorrected_ - before;
+    }
+
+    /** Single-bit flips corrected (at access or by scrub). */
+    std::uint64_t eccCorrected() const { return eccCorrected_; }
+    /** Corrections still latent (tests). */
+    std::size_t pendingCount() const { return pendingCe_.size(); }
 
     stats::Group &statGroup() { return statGroup_; }
 
@@ -147,13 +180,50 @@ class SetAssocCache
   private:
     std::size_t setIndex(Addr addr) const;
 
+    /** One latent single-bit corruption awaiting correction. */
+    struct PendingCe
+    {
+        std::size_t lineIdx = 0;  ///< index into lines_
+        unsigned word = 0;        ///< 0 = tag, 1 = version, 2 = state
+        std::uint8_t check = 0;   ///< check byte seen by decode
+        std::uint64_t shadow = 0; ///< pristine word (cross-check)
+        /**
+         * The corrupted codeword as the SRAM would hold it. The live
+         * line only mirrors the flip as far as its packed fields can
+         * represent it, so resolution decodes this saved image (the
+         * line cannot change in between: every access resolves
+         * first).
+         */
+        std::uint64_t corrupted = 0;
+    };
+
+    /**
+     * Apply every pending correction before any observation of the
+     * tag array (logically const — it restores the semantic value).
+     * The inline empty() test keeps a clean configuration's cost to
+     * one never-taken branch per lookup.
+     */
+    void
+    resolvePending() const
+    {
+        if (!pendingCe_.empty())
+            resolvePendingSlow();
+    }
+
+    void resolvePendingSlow() const;
+
+    static std::uint64_t packWord(const CacheLine &l, unsigned w);
+    static void unpackWord(CacheLine &l, unsigned w, std::uint64_t v);
+
     std::string name_;
     unsigned lineBytes_;
     unsigned assoc_;
     unsigned numSets_;
     unsigned lineShift_;
-    std::vector<CacheLine> lines_; ///< numSets_ * assoc_, set-major
+    mutable std::vector<CacheLine> lines_; ///< set-major
     std::uint64_t useClock_ = 0;
+    mutable std::vector<PendingCe> pendingCe_;
+    mutable std::uint64_t eccCorrected_ = 0;
     stats::Group statGroup_;
 };
 

@@ -47,6 +47,7 @@
 
 #include "net/network.hh"
 #include "protocol/messages.hh"
+#include "protocol/wire.hh"
 #include "sim/event_queue.hh"
 #include "sim/sharded.hh"
 #include "sim/stats.hh"
@@ -77,6 +78,14 @@ struct ReliableParams
     Tick ackDelay = 8;
     /** Receive reorder-buffer cap per pair (sanity backstop). */
     unsigned reorderBufCap = 4096;
+    /**
+     * Carry each data frame as a packed wire image with a CRC-32
+     * (PR 7 integrity). A receiver that sees a CRC mismatch treats
+     * the frame as lost — no processing, no ack — and go-back-N
+     * re-delivers a pristine copy from the sender's unacked buffer.
+     * The modeled wire size is unchanged, so timing is identical.
+     */
+    bool crc = false;
 };
 
 /**
@@ -147,6 +156,23 @@ class ReliableTransport
     /** Frames dropped at a fence (tests). */
     std::uint64_t fenceDrops() const { return fenceDrops_; }
 
+    // --- integrity hooks (PR 7) ---
+
+    /**
+     * Corruption hook, wired to the fault injector when CRC frames
+     * are on: called with every packed frame image at transmit time
+     * (original sends and retransmissions alike) and may flip bits in
+     * place. Returns the number of bits it flipped.
+     */
+    using CorruptFn =
+        std::function<unsigned(NodeId src, wire::FrameImage &)>;
+    void setCorruptHook(CorruptFn fn) { corruptHook_ = std::move(fn); }
+
+    /** Frames whose CRC was verified at the receiver. */
+    std::uint64_t crcChecked() const;
+    /** Frames discarded for a CRC mismatch (treated as losses). */
+    std::uint64_t crcDetected() const;
+
     /** Pair-dead escalations deferred by the hook (tests). */
     std::uint64_t pairDeadDeferrals() const
     {
@@ -202,6 +228,10 @@ class ReliableTransport
         "early frames held until the sequence gap closed"};
     stats::Scalar statBackoffTicks{"backoff_ticks",
         "total ticks spent in retransmission backoff"};
+    stats::Scalar statCrcChecked{"crc_checked",
+        "frames whose CRC was verified at the receiver"};
+    stats::Scalar statCrcDetected{"crc_detected",
+        "frames discarded for a CRC mismatch"};
 
   private:
     /** A sent-but-unacknowledged data frame. */
@@ -242,6 +272,8 @@ class ReliableTransport
         std::uint64_t acks = 0;
         std::uint64_t dupsDropped = 0;
         std::uint64_t reordersHealed = 0;
+        std::uint64_t crcChecked = 0;
+        std::uint64_t crcDetected = 0;
     };
 
     std::size_t
@@ -253,6 +285,8 @@ class ReliableTransport
     void init();
     void transmit(NodeId src, NodeId dst, std::uint64_t seq,
                   const TxFrame &f);
+    void onFrameArrive(NodeId src, NodeId dst,
+                       const wire::FrameImage &frame);
     void onDataArrive(NodeId src, NodeId dst, std::uint64_t seq,
                       const Msg &msg);
     void scheduleAck(NodeId src, NodeId dst);
@@ -274,6 +308,7 @@ class ReliableTransport
     std::vector<char> fenced_;   ///< receive-fenced (crashed) nodes
     std::vector<char> dead_;     ///< permanently fenced nodes
     PairDeadHook pairDeadHook_;
+    CorruptFn corruptHook_;
     std::uint64_t fenceDrops_ = 0;
     std::uint64_t pairDeadDeferrals_ = 0;
     stats::Group statGroup_;

@@ -287,6 +287,17 @@ CacheUnit::installFill(Addr line_addr, bool write, const BusTxn &txn)
 }
 
 void
+CacheUnit::poisonAbort(Addr line)
+{
+    if (!mshr_.valid || mshr_.lineAddr != line)
+        return;
+    poisonedTxns_.push_back(mshr_.busTxnId);
+    mshr_.valid = false;
+    mshr_.onRestart = nullptr;
+    ++missGen_; // retire any armed miss timer
+}
+
+void
 CacheUnit::busDone(BusTxn &txn)
 {
     if (dead_)
@@ -298,6 +309,15 @@ CacheUnit::busDone(BusTxn &txn)
             wbBuffer_.erase(it);
             return;
         }
+    }
+
+    // A poison-aborted miss's transaction draining (deferredRespond
+    // after a PoisonNack): nothing to install, nobody to restart.
+    auto pit = std::find(poisonedTxns_.begin(), poisonedTxns_.end(),
+                         txn.id);
+    if (pit != poisonedTxns_.end()) {
+        poisonedTxns_.erase(pit);
+        return;
     }
 
     ccnuma_assert(mshr_.valid && mshr_.busTxnId == txn.id);

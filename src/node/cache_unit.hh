@@ -140,6 +140,44 @@ class CacheUnit : public BusAgent
     /** Functional peek at the L2 state (checker). */
     const SetAssocCache &l2() const { return l2_; }
 
+    // --- integrity (PR 7) ---
+
+    /**
+     * Inject a correctable bit flip into one word of a random valid
+     * L2 line (see SetAssocCache::injectCeFlip).
+     * @return the victim line address, or kNoLineTag if empty.
+     */
+    Addr injectCeFlip(Random &rng) { return l2_.injectCeFlip(rng); }
+
+    /**
+     * Uncorrectable-flip containment for a *clean* copy: silently
+     * drop the line from both levels. Indistinguishable from a
+     * silent clean eviction, which the protocol already tolerates
+     * (the directory may list non-holders).
+     */
+    void
+    discardLine(Addr line)
+    {
+        l2_.invalidate(line);
+        l1_.invalidate(line);
+    }
+
+    /** L2 scrub pass; @return corrections applied. */
+    std::uint64_t scrubL2() { return l2_.scrubNow(); }
+
+    /** L2 single-bit corrections (access + scrub). */
+    std::uint64_t eccCorrected() const { return l2_.eccCorrected(); }
+
+    /**
+     * PoisonNack containment: abandon the outstanding miss on a dead
+     * @p line. The MSHR is cleared without an install and its bus
+     * transaction id is remembered so the eventual (deferred) bus
+     * completion drains without touching the cache — the processor
+     * behind the miss is killed by the caller, so the restart
+     * callback is dropped.
+     */
+    void poisonAbort(Addr line);
+
     /**
      * Visit writeback-buffer entries as (line, version) pairs. The
      * recovery paths treat these as dirty copies: an evicted Modified
@@ -203,6 +241,8 @@ class CacheUnit : public BusAgent
     SetAssocCache l2_;
     Mshr mshr_;
     std::vector<WbEntry> wbBuffer_;
+    /** Bus txns of poison-aborted misses still draining (PR 7). */
+    std::vector<std::uint64_t> poisonedTxns_;
     std::function<void(Addr)> missTimeoutHook_;
     /** Invalidates timers of retired misses. */
     std::uint64_t missGen_ = 0;

@@ -74,6 +74,7 @@ ChromeTraceSink::begin(const Tracer &t, Tick /*now*/)
         emitMeta(n, tidBus, "thread_name", "smp_bus");
         emitMeta(n, tidNet, "thread_name", "network");
         emitMeta(n, tidXport, "thread_name", "xport");
+        emitMeta(n, tidFaults, "thread_name", "faults");
         for (unsigned p = 0; p < ctx.procsPerNode; ++p)
             emitMeta(n, tidCpuBase + p, "thread_name",
                      "cpu" + std::to_string(p));
@@ -146,6 +147,12 @@ ChromeTraceSink::consume(const TraceEvent &ev)
         emitCommon(ev, "i", spanKindName(ev.kind), "xport",
                    tidXport);
         os_ << ",\"args\":{\"dst\":" << ev.lane << "}}";
+        break;
+      case SpanKind::FaultEvent:
+        emitCommon(ev, "i",
+                   faultKindName(static_cast<FaultKind>(ev.a)),
+                   "fault", tidFaults);
+        os_ << ",\"args\":{\"line\":\"" << addr << "\"}}";
         break;
     }
 }
@@ -222,7 +229,7 @@ MetricsSink::writeJson(const Tracer &t, Tick now)
     j.endObject();
 
     j.key("events").beginObject();
-    for (unsigned k = 0; k < 8; ++k)
+    for (unsigned k = 0; k < numSpanKinds; ++k)
         j.key(spanKindName(static_cast<SpanKind>(k)))
             .value(kindCounts_[k]);
     j.endObject();
@@ -303,6 +310,14 @@ MetricsSink::writeJson(const Tracer &t, Tick now)
     j.key("xport").beginObject();
     j.key("retransmits").value(t.xportRetransmits());
     j.key("timeouts").value(t.xportTimeouts());
+    j.endObject();
+
+    j.key("faults").beginObject();
+    j.key("total").value(t.faultEvents());
+    for (unsigned k = 0; k < numFaultKinds; ++k) {
+        auto fk = static_cast<FaultKind>(k);
+        j.key(faultKindName(fk)).value(t.faultEvents(fk));
+    }
     j.endObject();
 
     j.endObject();

@@ -67,6 +67,7 @@ class ChromeTraceSink : public TraceSink
     static constexpr unsigned tidBus = 90;
     static constexpr unsigned tidNet = 95;
     static constexpr unsigned tidXport = 96;
+    static constexpr unsigned tidFaults = 97;
     static constexpr unsigned tidCpuBase = 100;   ///< + local proc
 
   private:
@@ -97,7 +98,7 @@ class MetricsSink : public TraceSink
     std::ostream &os_;
     Format fmt_;
     /** Events seen in the stream, per SpanKind. */
-    std::uint64_t kindCounts_[8] = {};
+    std::uint64_t kindCounts_[numSpanKinds] = {};
 };
 
 } // namespace obs

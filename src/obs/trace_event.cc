@@ -17,6 +17,28 @@ spanKindName(SpanKind k)
       case SpanKind::Miss: return "miss";
       case SpanKind::XportRetransmit: return "xport_retransmit";
       case SpanKind::XportTimeout: return "xport_timeout";
+      case SpanKind::FaultEvent: return "fault_event";
+    }
+    return "unknown";
+}
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::Crash: return "crash";
+      case FaultKind::Restart: return "restart";
+      case FaultKind::RebuildWave: return "rebuild_wave";
+      case FaultKind::RebuildDone: return "rebuild_done";
+      case FaultKind::Migration: return "migration";
+      case FaultKind::FlipInjected: return "flip_injected";
+      case FaultKind::CrcDrop: return "crc_drop";
+      case FaultKind::ScrubCorrection: return "scrub_correction";
+      case FaultKind::Poison: return "poison";
+      case FaultKind::LineDead: return "line_dead";
+      case FaultKind::ProcKill: return "proc_kill";
+      case FaultKind::Escalation: return "escalation";
+      case FaultKind::NumKinds: break;
     }
     return "unknown";
 }

@@ -44,9 +44,41 @@ enum class SpanKind : std::uint8_t
     XportRetransmit,
     /** Reliable-transport timer expiry (instant). lane = dst. */
     XportTimeout,
+    /** Fault/recovery lifecycle event (instant). a = FaultKind. */
+    FaultEvent,
 };
 
+constexpr unsigned numSpanKinds = 9;
+
 const char *spanKindName(SpanKind k);
+
+/**
+ * What a FaultEvent describes: the fault-injection and
+ * recovery/integrity lifecycle (PR 6 crashes and rebuilds, PR 7
+ * corruption, scrubbing, and poisoning), rendered as a dedicated
+ * instant-event track in the Chrome/Perfetto export.
+ */
+enum class FaultKind : std::uint8_t
+{
+    Crash,           ///< controller fail-stopped
+    Restart,         ///< controller back up, rebuild starting
+    RebuildWave,     ///< directory-reconstruction probe wave sent
+    RebuildDone,     ///< directory rebuilt, requests resume
+    Migration,       ///< degraded mode: pages migrated off a node
+    FlipInjected,    ///< a seeded bit flip landed
+    CrcDrop,         ///< transport frame failed its CRC (re-sent)
+    ScrubCorrection, ///< background scrub corrected a single flip
+    Poison,          ///< PoisonNack fenced a requester
+    LineDead,        ///< sole dirty copy lost; line marked dead
+    ProcKill,        ///< processor killed by poison containment
+    Escalation,      ///< directory UE escalated to crash recovery
+    NumKinds,
+};
+
+constexpr unsigned numFaultKinds =
+    static_cast<unsigned>(FaultKind::NumKinds);
+
+const char *faultKindName(FaultKind k);
 
 /**
  * Request classes for the per-class latency histograms — the

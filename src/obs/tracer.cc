@@ -316,6 +316,22 @@ Tracer::xportEvent(SpanKind kind, NodeId src, NodeId dst, Tick now)
 }
 
 void
+Tracer::faultEvent(FaultKind kind, NodeId node, Addr line, Tick now)
+{
+    if (now >= measureStart_) {
+        ++faultEvents_;
+        ++faultKindCount_[static_cast<unsigned>(kind)];
+    }
+    TraceEvent ev;
+    ev.kind = SpanKind::FaultEvent;
+    ev.start = now;
+    ev.lineAddr = line;
+    ev.node = static_cast<std::uint16_t>(node);
+    ev.a = static_cast<std::uint8_t>(kind);
+    record(ev);
+}
+
+void
 Tracer::reset(Tick now)
 {
     measureStart_ = now;
@@ -333,6 +349,8 @@ Tracer::reset(Tick now)
     netBytes_ = 0;
     xportRetx_ = 0;
     xportTo_ = 0;
+    faultEvents_ = 0;
+    faultKindCount_.fill(0);
     missSeq_ = 0;
     busSeq_ = 0;
     netSeq_ = 0;
@@ -361,6 +379,9 @@ Tracer::absorb(Tracer &other)
     netBytes_ += other.netBytes_;
     xportRetx_ += other.xportRetx_;
     xportTo_ += other.xportTo_;
+    faultEvents_ += other.faultEvents_;
+    for (unsigned k = 0; k < numFaultKinds; ++k)
+        faultKindCount_[k] += other.faultKindCount_[k];
     missSeq_ += other.missSeq_;
     busSeq_ += other.busSeq_;
     netSeq_ += other.netSeq_;

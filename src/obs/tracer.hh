@@ -154,6 +154,15 @@ class Tracer
     /** A reliable-transport retransmission or timeout (instant). */
     void xportEvent(SpanKind kind, NodeId src, NodeId dst, Tick now);
 
+    // ---- fault / recovery / integrity lifecycle hooks ----
+
+    /**
+     * A fault-lifecycle instant on @p node (crash, rebuild wave,
+     * scrub correction, poison, ...). Always recorded — these are
+     * rare and each one matters to a post-mortem.
+     */
+    void faultEvent(FaultKind kind, NodeId node, Addr line, Tick now);
+
     // ---- lifecycle ----
 
     /**
@@ -233,6 +242,11 @@ class Tracer
     std::uint64_t netBytes() const { return netBytes_; }
     std::uint64_t xportRetransmits() const { return xportRetx_; }
     std::uint64_t xportTimeouts() const { return xportTo_; }
+    std::uint64_t faultEvents() const { return faultEvents_; }
+    std::uint64_t faultEvents(FaultKind k) const
+    {
+        return faultKindCount_[static_cast<unsigned>(k)];
+    }
 
     stats::Group &statGroup() { return statGroup_; }
     const stats::Group &statGroup() const { return statGroup_; }
@@ -286,6 +300,8 @@ class Tracer
     std::uint64_t netBytes_ = 0;
     std::uint64_t xportRetx_ = 0;
     std::uint64_t xportTo_ = 0;
+    std::uint64_t faultEvents_ = 0;
+    std::array<std::uint64_t, numFaultKinds> faultKindCount_{};
 
     // per-kind sampling sequences
     std::uint64_t missSeq_ = 0;

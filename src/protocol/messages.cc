@@ -29,6 +29,7 @@ msgTypeName(MsgType t)
       case MsgType::DirProbeDone: return "DirProbeDone";
       case MsgType::RecoveryProbe: return "RecoveryProbe";
       case MsgType::RecoveryProbeAck: return "RecoveryProbeAck";
+      case MsgType::PoisonNack: return "PoisonNack";
     }
     return "?";
 }

@@ -68,6 +68,11 @@ enum class MsgType : std::uint8_t
     RecoveryProbe,   ///< are you alive? answer out-of-band
     // home -> requester
     RecoveryProbeAck,///< home is alive and serving
+
+    // integrity (PR 7) -- header-only
+    // home -> requester
+    PoisonNack,      ///< line is dead (uncorrectable corruption ate
+                     ///< its only copy); the requester must fence
 };
 
 const char *msgTypeName(MsgType t);

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Wire image of a transport frame (PR 7 integrity).
+ *
+ * When the integrity subsystem is armed, the reliable transport packs
+ * every message into this fixed little-endian byte image, stamps a
+ * CRC-32 over the payload, and delivers from the unpacked image at
+ * the receiver — so an injected bit flip in flight corrupts exactly
+ * what a real link would corrupt, and the CRC check at the receiver
+ * is the only thing standing between the flip and the protocol. The
+ * timing model is unchanged: the frame's modeled wire size is still
+ * msgBytes() (the CRC rides in reserved header space).
+ *
+ * Header-only; the transport (src/net) and the tests use it without
+ * new library edges.
+ */
+
+#ifndef CCNUMA_PROTOCOL_WIRE_HH
+#define CCNUMA_PROTOCOL_WIRE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "protocol/messages.hh"
+#include "verify/ecc.hh"
+
+namespace ccnuma
+{
+namespace wire
+{
+
+/** CRC-protected payload bytes (message fields + transport seq). */
+constexpr unsigned framePayloadBytes = 48;
+/** Full frame image: payload + trailing CRC-32. */
+constexpr unsigned frameBytes = framePayloadBytes + 4;
+
+using FrameImage = std::array<std::uint8_t, frameBytes>;
+
+namespace detail
+{
+
+inline void
+put32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline void
+put64(std::uint8_t *p, std::uint64_t v)
+{
+    put32(p, static_cast<std::uint32_t>(v));
+    put32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline std::uint32_t
+get32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline std::uint64_t
+get64(const std::uint8_t *p)
+{
+    return static_cast<std::uint64_t>(get32(p)) |
+           (static_cast<std::uint64_t>(get32(p + 4)) << 32);
+}
+
+} // namespace detail
+
+/** Pack @p msg + transport seq @p xseq and stamp the CRC. */
+inline FrameImage
+packFrame(const Msg &msg, std::uint64_t xseq)
+{
+    FrameImage f{};
+    f[0] = static_cast<std::uint8_t>(msg.type);
+    f[1] = static_cast<std::uint8_t>((msg.ownerRetains ? 1 : 0) |
+                                     (msg.recoveryResend ? 2 : 0));
+    // f[2..3] reserved (zero)
+    detail::put32(&f[4], msg.src);
+    detail::put32(&f[8], msg.dst);
+    detail::put32(&f[12], msg.requester);
+    detail::put64(&f[16], msg.lineAddr);
+    detail::put64(&f[24], msg.version);
+    detail::put64(&f[32], msg.seq);
+    detail::put64(&f[40], xseq);
+    detail::put32(&f[framePayloadBytes],
+                  ecc::crc32(f.data(), framePayloadBytes));
+    return f;
+}
+
+/** @return true when the stored CRC matches the payload. */
+inline bool
+frameCrcOk(const FrameImage &f)
+{
+    return detail::get32(&f[framePayloadBytes]) ==
+           ecc::crc32(f.data(), framePayloadBytes);
+}
+
+/** Unpack a frame whose CRC passed. */
+inline Msg
+unpackFrame(const FrameImage &f, std::uint64_t &xseq)
+{
+    Msg m;
+    m.type = static_cast<MsgType>(f[0]);
+    m.ownerRetains = (f[1] & 1) != 0;
+    m.recoveryResend = (f[1] & 2) != 0;
+    m.src = detail::get32(&f[4]);
+    m.dst = detail::get32(&f[8]);
+    m.requester = detail::get32(&f[12]);
+    m.lineAddr = detail::get64(&f[16]);
+    m.version = detail::get64(&f[24]);
+    m.seq = detail::get64(&f[32]);
+    xseq = detail::get64(&f[40]);
+    return m;
+}
+
+/** Flip payload bit @p k (0 .. framePayloadBytes*8-1) of @p f. */
+inline void
+flipPayloadBit(FrameImage &f, unsigned k)
+{
+    f[k / 8] ^= static_cast<std::uint8_t>(1u << (k % 8));
+}
+
+} // namespace wire
+} // namespace ccnuma
+
+#endif // CCNUMA_PROTOCOL_WIRE_HH

@@ -1,0 +1,82 @@
+#include "report/integrity.hh"
+
+#include "report/table.hh"
+
+namespace ccnuma
+{
+namespace report
+{
+
+namespace
+{
+
+std::vector<std::string>
+toCells(const CorruptionRow &r)
+{
+    return {
+        r.workload,
+        r.arch,
+        r.domain,
+        fmt("%u", r.bits),
+        fmt("%llu", static_cast<unsigned long long>(r.instructions)),
+        fmt("%llu", static_cast<unsigned long long>(r.flipsInjected)),
+        fmt("%llu", static_cast<unsigned long long>(r.flipsSkipped)),
+        fmt("%llu", static_cast<unsigned long long>(r.crcDetected)),
+        fmt("%llu", static_cast<unsigned long long>(r.eccCorrected)),
+        fmt("%llu",
+            static_cast<unsigned long long>(r.scrubCorrections)),
+        fmt("%llu",
+            static_cast<unsigned long long>(r.containedDiscards)),
+        fmt("%llu", static_cast<unsigned long long>(r.linesPoisoned)),
+        fmt("%llu", static_cast<unsigned long long>(r.escalations)),
+        fmt("%lld", static_cast<long long>(r.escaped)),
+        r.instructionsMatch ? "yes" : "NO",
+        r.completed ? "yes" : "NO",
+    };
+}
+
+} // namespace
+
+void
+CorruptionScorecard::print(std::ostream &os) const
+{
+    toTable().print(os);
+}
+
+Table
+CorruptionScorecard::toTable() const
+{
+    Table table({"workload", "arch", "domain", "bits", "instrs",
+                 "flips", "skipped", "crc-det", "ecc-fix", "scrubbed",
+                 "discards", "poisoned", "escalated", "escaped",
+                 "instr-ok", "done"});
+
+    CorruptionRow total;
+    total.workload = "TOTAL";
+    total.arch = "-";
+    total.domain = "-";
+    total.instructionsMatch = true;
+    total.completed = true;
+    for (const CorruptionRow &r : rows_) {
+        table.addRow(toCells(r));
+        total.instructions += r.instructions;
+        total.flipsInjected += r.flipsInjected;
+        total.flipsSkipped += r.flipsSkipped;
+        total.crcDetected += r.crcDetected;
+        total.eccCorrected += r.eccCorrected;
+        total.scrubCorrections += r.scrubCorrections;
+        total.containedDiscards += r.containedDiscards;
+        total.linesPoisoned += r.linesPoisoned;
+        total.escalations += r.escalations;
+        total.escaped += r.escaped;
+        total.instructionsMatch =
+            total.instructionsMatch && r.instructionsMatch;
+        total.completed = total.completed && r.completed;
+    }
+    if (rows_.size() > 1)
+        table.addRow(toCells(total));
+    return table;
+}
+
+} // namespace report
+} // namespace ccnuma

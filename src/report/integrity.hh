@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Corruption-campaign scorecard (PR 7): per-configuration accounting
+ * of what the integrity defenses (frame CRC, SECDED ECC + scrubbing,
+ * line poisoning) did with each injected bit flip.  The headline
+ * column is `escaped`, which must be zero on every row: a corruption
+ * that is neither detected, corrected, contained, nor escalated has
+ * silently reached computation.
+ *
+ * Lives in report/ (depends only on sim/) so the bench harness and
+ * the tests can build scorecards from plain numbers without the
+ * system layer.
+ */
+
+#ifndef CCNUMA_REPORT_INTEGRITY_HH
+#define CCNUMA_REPORT_INTEGRITY_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "report/table.hh"
+
+namespace ccnuma
+{
+namespace report
+{
+
+/** One corruption-campaign configuration's accounting. */
+struct CorruptionRow
+{
+    std::string workload;
+    std::string arch;
+    std::string domain;  ///< message | directory | cache
+    unsigned bits = 0;   ///< 1 (CE) or 2 (UE)
+
+    std::uint64_t instructions = 0;
+    std::uint64_t flipsInjected = 0;  ///< corruptions applied
+    std::uint64_t flipsSkipped = 0;   ///< armed, found no victim
+    std::uint64_t crcDetected = 0;    ///< frames dropped by CRC
+    std::uint64_t eccCorrected = 0;   ///< words fixed (access+scrub)
+    std::uint64_t scrubCorrections = 0;
+    std::uint64_t containedDiscards = 0;
+    std::uint64_t linesPoisoned = 0;
+    std::uint64_t escalations = 0;    ///< directory-UE rebuilds
+    std::int64_t escaped = 0;         ///< MUST be zero
+
+    /** Retired the same instruction count as the clean baseline? */
+    bool instructionsMatch = false;
+    bool completed = false;
+};
+
+/** Accumulates CorruptionRows and prints them as a table. */
+class CorruptionScorecard
+{
+  public:
+    void addRow(CorruptionRow row) { rows_.push_back(std::move(row)); }
+
+    bool empty() const { return rows_.empty(); }
+    const std::vector<CorruptionRow> &rows() const { return rows_; }
+
+    /** Render the table (plus a totals row when >1 row). */
+    void print(std::ostream &os) const;
+
+    /** The rendered table (for JSON capture by the benches). */
+    Table toTable() const;
+
+  private:
+    std::vector<CorruptionRow> rows_;
+};
+
+} // namespace report
+} // namespace ccnuma
+
+#endif // CCNUMA_REPORT_INTEGRITY_HH

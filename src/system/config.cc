@@ -52,6 +52,16 @@ MachineConfig::withCrashRecovery()
     return withReliableTransport();
 }
 
+MachineConfig &
+MachineConfig::withIntegrity()
+{
+    integrity.enabled = true;
+    // Corruption-as-loss needs the CRC check on every frame, and a
+    // directory UE escalates through the crash-recovery machinery.
+    reliable.crc = true;
+    return withCrashRecovery();
+}
+
 namespace
 {
 
@@ -148,6 +158,42 @@ MachineConfig::validate() const
                 fatal("config: crash fault targets node %u but the "
                       "machine has only %u nodes",
                       c.node, numNodes);
+        }
+    }
+    if (integrity.enabled) {
+        if (!reliable.enabled || !reliable.crc)
+            fatal("config: integrity is enabled but the reliable "
+                  "transport's CRC check is not; a corrupted frame "
+                  "could only be detected as a loss, so use "
+                  "withIntegrity() (or CCNUMA_INTEGRITY=1) which "
+                  "enables both");
+        if (integrity.scrubIntervalTicks == 0)
+            fatal("config: integrity.scrubIntervalTicks is zero; a "
+                  "latent correctable error would never be scrubbed");
+    }
+    if (!verify.faults.flips.empty()) {
+        if (!integrity.enabled)
+            fatal("config: bit-flip faults are listed but the "
+                  "integrity subsystem is disabled; an injected flip "
+                  "would be a guaranteed silent corruption, so call "
+                  "withIntegrity() (or set CCNUMA_INTEGRITY=1) "
+                  "first");
+        for (const FlipFault &f : verify.faults.flips) {
+            if (f.node >= numNodes)
+                fatal("config: flip fault targets node %u but the "
+                      "machine has only %u nodes",
+                      f.node, numNodes);
+            if (f.bits != 1 && f.bits != 2)
+                fatal("config: flip fault flips %u bits; the SECDED "
+                      "fault model covers 1 (correctable) or 2 "
+                      "(uncorrectable)",
+                      f.bits);
+            if (f.bits == 2 && f.domain != FlipDomain::Message &&
+                !recovery.enabled)
+                fatal("config: an uncorrectable directory or cache "
+                      "flip escalates through the crash-recovery "
+                      "subsystem, which is disabled; use "
+                      "withIntegrity() which enables it");
         }
     }
     if (recovery.enabled) {

@@ -14,6 +14,7 @@
 #include "node/smp_node.hh"
 #include "obs/obs_config.hh"
 #include "recovery/recovery_config.hh"
+#include "verify/integrity_config.hh"
 #include "verify/verify_config.hh"
 
 namespace ccnuma
@@ -93,6 +94,18 @@ struct MachineConfig
     RecoveryConfig recovery;
 
     /**
+     * End-to-end data integrity (PR 7): CRC-32 on transport frames,
+     * SECDED ECC on directory entries and cache lines with a
+     * background scrubber, and line poisoning for uncorrectable
+     * errors. Off by default; bit flips are listed in
+     * verify.faults.flips and rejected by validate() unless this is
+     * enabled. The CCNUMA_INTEGRITY environment variable (1|on)
+     * force-enables it (implying the reliable transport) without a
+     * config change.
+     */
+    IntegrityConfig integrity;
+
+    /**
      * Observability subsystem (per-request tracing, occupancy
      * timelines, Chrome-trace and metrics export); off by default so
      * paper-fidelity timing and output are untouched. The
@@ -124,6 +137,17 @@ struct MachineConfig
      * by validate().
      */
     MachineConfig &withCrashRecovery();
+
+    /**
+     * Enable the data-integrity subsystem: per-frame CRC-32 on the
+     * reliable transport (implies withReliableTransport(): a
+     * corrupted frame is discarded as a loss and re-delivered by
+     * retransmission), SECDED ECC + scrubbing on directories and
+     * caches, and line poisoning. Directory-UE escalation rebuilds
+     * through the crash-recovery subsystem, so this implies
+     * withCrashRecovery() too.
+     */
+    MachineConfig &withIntegrity();
 
     /**
      * Sanity-check the configuration, raising FatalError with an

@@ -10,6 +10,7 @@
 #include "recovery/recovery_manager.hh"
 #include "verify/checker.hh"
 #include "verify/fault_injector.hh"
+#include "verify/integrity_manager.hh"
 #include "verify/watchdog.hh"
 
 namespace ccnuma
@@ -40,6 +41,18 @@ Machine::Machine(const MachineConfig &cfg)
         } else if (std::strcmp(env, "0") && std::strcmp(env, "off")) {
             warn("CCNUMA_RECOVERY=%s not recognized (use 1|on|0|off);"
                  " crash recovery stays off", env);
+        }
+    }
+    // The CCNUMA_INTEGRITY environment knob force-enables the
+    // data-integrity subsystem (frame CRC, ECC scrubbing, line
+    // poisoning — implying crash recovery and the reliable
+    // transport) without a config change.
+    if (const char *env = std::getenv("CCNUMA_INTEGRITY")) {
+        if (!std::strcmp(env, "1") || !std::strcmp(env, "on")) {
+            cfg_.withIntegrity();
+        } else if (std::strcmp(env, "0") && std::strcmp(env, "off")) {
+            warn("CCNUMA_INTEGRITY=%s not recognized (use "
+                 "1|on|0|off); integrity stays off", env);
         }
     }
     // Recovery knobs reach the node components through the config:
@@ -116,6 +129,11 @@ Machine::Machine(const MachineConfig &cfg)
                   "fences, directory rebuilds, page remaps) "
                   "synchronously at the crash and repair events");
     }
+    if (!vc.faults.flips.empty()) {
+        fall_back("integrity fault injection mutates cross-node "
+                  "state (ECC words, line poisoning, processor "
+                  "kills) synchronously at each flip event");
+    }
     // Conservative lookahead: no shard may outrun another by more
     // than the earliest possible cross-node interaction — the
     // network's minimum send-to-arrival gap (shrunk by any early
@@ -154,6 +172,12 @@ Machine::Machine(const MachineConfig &cfg)
         xport_ = std::make_unique<ReliableTransport>(
             "xport", shardMap_, *net_, cfg_.reliable,
             [this](const Msg &m) { deliverMsg(m); });
+        if (injector_) {
+            xport_->setCorruptHook(
+                [this](NodeId src, wire::FrameImage &f) {
+                    return injector_->corruptFrame(src, f);
+                });
+        }
     }
     auto next_version = [this] { return nextVersion(); };
     for (NodeId n = 0; n < cfg_.numNodes; ++n) {
@@ -257,6 +281,41 @@ Machine::Machine(const MachineConfig &cfg)
             nd->bus().setTracer(t, nd->id());
             for (unsigned i = 0; i < nd->numProcs(); ++i)
                 nd->proc(i).setTracer(t);
+        }
+    }
+
+    if (cfg_.integrity.enabled) {
+        std::vector<SmpNode *> ns;
+        ns.reserve(nodes_.size());
+        for (auto &nd : nodes_)
+            ns.push_back(nd.get());
+        integrity_ = std::make_unique<IntegrityManager>(
+            *queues_[0], map_, std::move(ns), injector_.get(),
+            cfg_.integrity, cfg_.recovery.repairTicks);
+        integrity_->setTracer(tracer());
+        integrity_->arm();
+        // The poison fence: when a requester bounces off a dead
+        // line, every local processor whose miss targets it is
+        // killed and every local copy discarded — the corruption is
+        // contained to the processors that asked for the lost data.
+        for (auto &nd : nodes_) {
+            SmpNode *np = nd.get();
+            np->cc().setPoisonFence([this, np](Addr line) {
+                for (unsigned i = 0; i < np->numProcs(); ++i) {
+                    CacheUnit &cu = np->cacheUnit(i);
+                    if (cu.missPendingOn(line)) {
+                        cu.poisonAbort(line);
+                        np->proc(i).kill();
+                        integrity_->notePoisonKill();
+                        if (obs::Tracer *t = tracer()) {
+                            t->faultEvent(obs::FaultKind::ProcKill,
+                                          np->id(), line,
+                                          queues_[0]->curTick());
+                        }
+                    }
+                    cu.discardLine(line);
+                }
+            });
         }
     }
 
@@ -400,6 +459,38 @@ Machine::fillRecoveryStats(RunResult &r)
     if (recovery_) {
         r.crashesInjected = recovery_->crashesFired();
         r.migrations = recovery_->migrations();
+    }
+    if (xport_) {
+        r.crcChecked = xport_->crcChecked();
+        r.crcDetected = xport_->crcDetected();
+    }
+    for (auto &nd : nodes_) {
+        r.eccCorrected += nd->directory().eccCorrected();
+        r.eccPendingDropped += nd->directory().pendingDropped();
+        r.poisonNacks += nd->cc().poisonNacks();
+        for (unsigned i = 0; i < nd->numProcs(); ++i)
+            r.eccCorrected += nd->cacheUnit(i).eccCorrected();
+    }
+    if (integrity_) {
+        std::uint64_t frames =
+            injector_ ? injector_->framesCorrupted() : 0;
+        r.flipsInjected = integrity_->flipsApplied() + frames;
+        r.flipsSkipped =
+            integrity_->flipsSkipped() +
+            (integrity_->messageFlipsArmed() - frames);
+        r.scrubCorrections = integrity_->scrubCorrections();
+        r.containedDiscards = integrity_->containedDiscards();
+        r.linesPoisoned = integrity_->linesDead();
+        r.procsKilledPoison = integrity_->procsKilled();
+        r.integrityEscalations = integrity_->escalations();
+        // Every applied corruption must be answered by exactly one
+        // defense; anything left over escaped detection.
+        r.escapedCorruptions =
+            static_cast<std::int64_t>(r.flipsInjected) -
+            static_cast<std::int64_t>(
+                r.crcDetected + r.eccCorrected +
+                r.eccPendingDropped + r.containedDiscards +
+                r.linesPoisoned + r.integrityEscalations);
     }
 }
 
@@ -577,6 +668,10 @@ Machine::run(Workload &w, bool check)
         xport_->dumpState(std::cerr);
         panic("reliable transport not idle after drain");
     }
+    // Close the integrity ledger: a flip landing after the last
+    // access and the last periodic pass would otherwise stay latent.
+    if (integrity_)
+        integrity_->finalScrub();
 
     if (check)
         checkInvariants();
@@ -667,6 +762,12 @@ Machine::checkInvariants()
         }
     }
     for (const auto &[line, hs] : holders) {
+        // A poisoned (dead) line is outside the coherence domain:
+        // its only up-to-date copy was lost to an uncorrectable
+        // error and every cached copy was discarded by the fence, so
+        // nothing about it can be checked against memory.
+        if (nodes_.at(map_.homeOf(line))->cc().isLineDead(line))
+            continue;
         unsigned modified = 0;
         for (const auto &h : hs) {
             if (h.state == LineState::Modified)

@@ -26,6 +26,7 @@ namespace ccnuma
 class CoherenceChecker;
 class FaultInjector;
 class HangWatchdog;
+class IntegrityManager;
 class RecoveryManager;
 class ReliableTransport;
 
@@ -75,6 +76,25 @@ struct RunResult
     std::uint64_t degradedEntries = 0; ///< ladder exhaustions
     std::uint64_t strayDrops = 0;      ///< stale responses dropped
     std::uint64_t migrations = 0;      ///< dead homes remapped
+
+    // --- data-integrity scorecard inputs (PR 7); zero unless the
+    // integrity subsystem and/or flip faults are armed. The ledger
+    // must close: every applied corruption is accounted for by
+    // exactly one defense, so escapedCorruptions stays zero. ---
+    std::uint64_t flipsInjected = 0;   ///< corruptions applied
+    std::uint64_t flipsSkipped = 0;    ///< armed, found no victim
+    std::uint64_t crcChecked = 0;      ///< frames CRC-verified
+    std::uint64_t crcDetected = 0;     ///< frames dropped by CRC
+    std::uint64_t eccCorrected = 0;    ///< words fixed (access+scrub)
+    std::uint64_t scrubCorrections = 0;///< subset fixed by scrubber
+    std::uint64_t eccPendingDropped = 0;///< latent CEs voided by crash
+    std::uint64_t poisonNacks = 0;     ///< bounces off dead lines
+    std::uint64_t containedDiscards = 0;///< clean-UE silent discards
+    std::uint64_t linesPoisoned = 0;   ///< dirty-UE dead lines
+    std::uint64_t procsKilledPoison = 0;///< processors fenced dead
+    std::uint64_t integrityEscalations = 0;///< directory-UE rebuilds
+    /** applied − detected − corrected − contained − escalated. */
+    std::int64_t escapedCorruptions = 0;
 
     // --- sharded-scheduler accounting (PR 5) ---
     unsigned shardsRequested = 1; ///< config (or CCNUMA_SHARDS) value
@@ -164,6 +184,9 @@ class Machine : public MsgRouter
     /** The crash-recovery manager (null unless crash recovery is on). */
     RecoveryManager *recoveryManager() { return recovery_.get(); }
 
+    /** The data-integrity manager (null unless integrity is on). */
+    IntegrityManager *integrityManager() { return integrity_.get(); }
+
     /**
      * The observability tracer (null unless tracing is enabled).
      * Sharded runs keep one tracer per shard; this is shard 0's, the
@@ -232,6 +255,7 @@ class Machine : public MsgRouter
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<CoherenceChecker> checker_;
     std::unique_ptr<RecoveryManager> recovery_;
+    std::unique_ptr<IntegrityManager> integrity_;
     std::unique_ptr<HangWatchdog> watchdog_;
     /** One per shard; merged into [0] at the end of a sharded run. */
     std::vector<std::unique_ptr<obs::Tracer>> tracers_;

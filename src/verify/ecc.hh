@@ -1,0 +1,243 @@
+/**
+ * @file
+ * SECDED (72,64) Hamming codec and CRC-32, the two detection codes of
+ * the data-integrity subsystem (PR 7).
+ *
+ * The (72,64) code protects 64-bit words at rest (directory entries,
+ * cache line metadata): 7 Hamming check bits plus one overall parity
+ * bit correct any single flipped bit and detect — but cannot correct —
+ * any double flip, exactly like the ECC SRAM/DRAM of the machines the
+ * paper models. The CRC-32 (IEEE 802.3, reflected) protects frames in
+ * flight on the interconnect: for frames far below the code's Hamming
+ * distance horizon it detects every 1- and 2-bit error, so a failed
+ * check can be treated as a frame loss and healed by the reliable
+ * transport's go-back-N retransmission.
+ *
+ * Header-only and dependency-free so both the storage layers
+ * (src/directory, src/mem) and the transport (src/net) can use it
+ * without creating library cycles.
+ */
+
+#ifndef CCNUMA_VERIFY_ECC_HH
+#define CCNUMA_VERIFY_ECC_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ccnuma
+{
+namespace ecc
+{
+
+/** Total protected bits per word: 64 data + 8 check. */
+constexpr unsigned codewordBits = 72;
+
+/** Outcome of decoding a (data, check) pair. */
+enum class EccStatus : std::uint8_t
+{
+    Ok,              ///< no error
+    CorrectedData,   ///< single flip in a data bit, corrected
+    CorrectedCheck,  ///< single flip in a check/parity bit, corrected
+    Uncorrectable,   ///< double flip detected; data is poison
+};
+
+/** Decode result: status plus the corrected word. */
+struct EccResult
+{
+    EccStatus status = EccStatus::Ok;
+    std::uint64_t data = 0;
+    std::uint8_t check = 0;
+};
+
+namespace detail
+{
+
+/**
+ * Codeword positions run 1..71 with Hamming check bits at the powers
+ * of two (1,2,4,8,16,32,64) and data bits at the remaining 64
+ * positions in index order; check bit 7 is the overall parity over
+ * positions 1..71 and itself.
+ */
+constexpr bool
+isCheckPos(unsigned p)
+{
+    return (p & (p - 1)) == 0; // power of two
+}
+
+/** Position (1..71) of data bit @p i (0..63). */
+constexpr std::array<unsigned, 64>
+makeDataPos()
+{
+    std::array<unsigned, 64> a{};
+    unsigned i = 0;
+    for (unsigned p = 1; p <= 71; ++p) {
+        if (!isCheckPos(p))
+            a[i++] = p;
+    }
+    return a;
+}
+
+inline constexpr std::array<unsigned, 64> dataPos = makeDataPos();
+
+/** Data bit index for position @p p, or 64 when @p p is a check pos. */
+constexpr std::array<std::uint8_t, 72>
+makePosData()
+{
+    std::array<std::uint8_t, 72> a{};
+    for (auto &v : a)
+        v = 64;
+    for (unsigned i = 0; i < 64; ++i)
+        a[dataPos[i]] = static_cast<std::uint8_t>(i);
+    return a;
+}
+
+inline constexpr std::array<std::uint8_t, 72> posData = makePosData();
+
+/** Check-bit slot (0..6) for check position @p p (1,2,4,...,64). */
+constexpr unsigned
+checkSlot(unsigned p)
+{
+    unsigned s = 0;
+    while ((1u << (s + 1)) <= p)
+        ++s;
+    return s;
+}
+
+} // namespace detail
+
+/** Compute the 8 check bits protecting @p data. */
+inline std::uint8_t
+encode(std::uint64_t data)
+{
+    // Syndrome contribution of the data bits: XOR of the positions of
+    // every set bit. Check bit j (at position 2^j) then equals bit j
+    // of that XOR, giving even parity over each position class.
+    unsigned syn = 0;
+    unsigned ones = 0;
+    for (unsigned i = 0; i < 64; ++i) {
+        if ((data >> i) & 1) {
+            syn ^= detail::dataPos[i];
+            ++ones;
+        }
+    }
+    std::uint8_t check = static_cast<std::uint8_t>(syn & 0x7f);
+    // Overall parity (bit 7): even parity over all 72 bits, i.e. the
+    // parity bit equals the parity of data + check bits.
+    unsigned total = ones;
+    for (unsigned j = 0; j < 7; ++j)
+        total += (check >> j) & 1;
+    if (total & 1)
+        check |= 0x80;
+    return check;
+}
+
+/**
+ * Decode a possibly corrupted (data, check) pair. Single flips are
+ * corrected in the returned copy; double flips report Uncorrectable
+ * with the inputs returned untouched.
+ */
+inline EccResult
+decode(std::uint64_t data, std::uint8_t check)
+{
+    EccResult r;
+    r.data = data;
+    r.check = check;
+
+    unsigned syn = 0;
+    unsigned total = 0;
+    for (unsigned i = 0; i < 64; ++i) {
+        if ((data >> i) & 1) {
+            syn ^= detail::dataPos[i];
+            ++total;
+        }
+    }
+    for (unsigned j = 0; j < 7; ++j) {
+        if ((check >> j) & 1) {
+            syn ^= 1u << j;
+            ++total;
+        }
+    }
+    total += (check >> 7) & 1;
+    const bool parityOdd = (total & 1) != 0;
+
+    if (syn == 0 && !parityOdd) {
+        r.status = EccStatus::Ok;
+        return r;
+    }
+    if (parityOdd) {
+        // Odd number of flips: with the SECDED fault model that is a
+        // single flip, located by the syndrome.
+        if (syn == 0) {
+            // The overall parity bit itself flipped.
+            r.check ^= 0x80;
+            r.status = EccStatus::CorrectedCheck;
+        } else if (detail::isCheckPos(syn)) {
+            r.check ^= static_cast<std::uint8_t>(
+                1u << detail::checkSlot(syn));
+            r.status = EccStatus::CorrectedCheck;
+        } else if (syn <= 71) {
+            r.data ^= 1ull << detail::posData[syn];
+            r.status = EccStatus::CorrectedData;
+        } else {
+            r.status = EccStatus::Uncorrectable;
+        }
+        return r;
+    }
+    // Non-zero syndrome with even parity: two flips.
+    r.status = EccStatus::Uncorrectable;
+    return r;
+}
+
+/**
+ * Flip logical codeword bit @p k (0..71): bits 0..63 are the data
+ * word, 64..71 the check byte. The injector's unit of corruption.
+ */
+inline void
+flipBit(std::uint64_t &data, std::uint8_t &check, unsigned k)
+{
+    if (k < 64)
+        data ^= 1ull << k;
+    else
+        check ^= static_cast<std::uint8_t>(1u << (k - 64));
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320)
+// ---------------------------------------------------------------------
+
+namespace detail
+{
+
+constexpr std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+inline constexpr std::array<std::uint32_t, 256> crcTable =
+    makeCrcTable();
+
+} // namespace detail
+
+/** CRC-32 over @p n bytes at @p p. */
+inline std::uint32_t
+crc32(const std::uint8_t *p, std::size_t n)
+{
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = detail::crcTable[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace ecc
+} // namespace ccnuma
+
+#endif // CCNUMA_VERIFY_ECC_HH

@@ -23,6 +23,41 @@
 namespace ccnuma
 {
 
+/** Where a seeded bit flip lands (PR 7 integrity faults). */
+enum class FlipDomain : std::uint8_t
+{
+    Message,   ///< a transport frame in flight from @c node
+    Directory, ///< a directory entry at rest on @c node
+    Cache,     ///< a cache line at rest on @c node
+};
+
+/**
+ * One scheduled bit-flip fault: at @c atTick, flip @c bits bits of one
+ * ECC-protected word (or one in-flight frame) in @c domain on
+ * @c node. A single flip models a correctable error (CE) the SECDED
+ * code repairs at the next access or scrub; a double flip models an
+ * uncorrectable error (UE) that must be detected and contained or
+ * escalated. Both flips of a UE land in the same protected word, as
+ * the SECDED fault model requires.
+ */
+struct FlipFault
+{
+    FlipDomain domain = FlipDomain::Message;
+    NodeId node = 0;
+    Tick atTick = 1;
+    /** Bits to flip in the victim word/frame: 1 (CE) or 2 (UE). */
+    unsigned bits = 1;
+    /** Private seed for victim/bit selection. */
+    std::uint64_t seed = 1;
+    /**
+     * Cache-domain UEs only: restrict victim selection to clean
+     * (non-Modified) lines so containment is a silent discard and no
+     * processor has to die. Campaigns keep this on; the poisoning
+     * tests turn it off to exercise the line-death path.
+     */
+    bool preferClean = true;
+};
+
 /** Seeded fault-injection knobs (see file comment). */
 struct FaultConfig
 {
@@ -67,11 +102,21 @@ struct FaultConfig
      */
     std::vector<CrashFault> crashes;
 
+    /**
+     * Scheduled silent-data-corruption bit flips (PR 7). Like
+     * crashes, each entry is a deterministic single fault event:
+     * at one tick it flips 1 or 2 bits of one protected word in one
+     * domain. Requires integrity.enabled (validate() enforces it);
+     * the defenses (CRC, SECDED ECC, scrubbing, line poisoning) must
+     * leave zero escaped corruptions.
+     */
+    std::vector<FlipFault> flips;
+
     bool
     anyEnabled() const
     {
         return delayJitterProb > 0.0 || engineStallProb > 0.0 ||
-               corrupting() || !crashes.empty();
+               corrupting() || !crashes.empty() || !flips.empty();
     }
 
     /** True when any fault that breaks protocol guarantees is armed. */

@@ -5,7 +5,8 @@ namespace ccnuma
 
 FaultInjector::FaultInjector(const FaultConfig &cfg,
                              unsigned num_nodes)
-    : cfg_(cfg), src_(num_nodes), stall_(num_nodes)
+    : cfg_(cfg), src_(num_nodes), stall_(num_nodes),
+      pendingFlip_(num_nodes)
 {
     // Stream seeding: golden-ratio strides keep the per-node streams
     // decorrelated while staying a pure function of (seed, node).
@@ -58,6 +59,42 @@ FaultInjector::onDelivery(NodeId src, NodeId dst, Tick &delivered,
     }
 
     return true;
+}
+
+void
+FaultInjector::armMessageFlip(NodeId node, unsigned bits,
+                              std::uint64_t seed)
+{
+    if (node >= pendingFlip_.size())
+        return;
+    pendingFlip_[node] = PendingFlip{bits, seed};
+}
+
+unsigned
+FaultInjector::corruptFrame(NodeId src, wire::FrameImage &frame)
+{
+    if (src >= pendingFlip_.size() || pendingFlip_[src].bits == 0)
+        return 0;
+    PendingFlip pf = pendingFlip_[src];
+    pendingFlip_[src] = PendingFlip{};
+
+    // Flip pf.bits *distinct* payload bits of the packed image: the
+    // CRC must see exactly the modeled error weight.
+    Random rng(pf.seed);
+    const unsigned payload_bits = wire::framePayloadBytes * 8;
+    std::vector<unsigned> picked;
+    while (picked.size() < pf.bits) {
+        unsigned k = static_cast<unsigned>(rng.below(payload_bits));
+        bool dup = false;
+        for (unsigned p : picked)
+            dup = dup || (p == k);
+        if (dup)
+            continue;
+        picked.push_back(k);
+        wire::flipPayloadBit(frame, k);
+    }
+    ++framesCorrupted_;
+    return pf.bits;
 }
 
 Tick

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "net/network.hh"
+#include "protocol/wire.hh"
 #include "sim/random.hh"
 #include "verify/fault_config.hh"
 
@@ -66,6 +67,37 @@ class FaultInjector : public NetworkTap
     /** The recovery manager reports each crash it actually fired. */
     void noteCrashInjected() { ++crashesInjected_; }
 
+    // --- bit-flip faults (driven by the integrity manager) ---
+
+    /** Scheduled bit flips, in config order. */
+    const std::vector<FlipFault> &flips() const { return cfg_.flips; }
+
+    /**
+     * Arm a message-domain flip: the next transport frame sent by
+     * @p node has @p bits distinct payload bits flipped (chosen by a
+     * Random stream over @p seed). One armed flip corrupts exactly
+     * one frame; arming again replaces any still-pending flip.
+     */
+    void armMessageFlip(NodeId node, unsigned bits,
+                        std::uint64_t seed);
+
+    /**
+     * Transport hook body: apply the pending flip for @p src to the
+     * packed frame image, if one is armed.
+     * @return the number of bits flipped (0 when nothing was armed).
+     */
+    unsigned corruptFrame(NodeId src, wire::FrameImage &frame);
+
+    /** True while an armed message flip has not yet hit a frame. */
+    bool messageFlipPending(NodeId node) const
+    {
+        return node < pendingFlip_.size() &&
+               pendingFlip_[node].bits != 0;
+    }
+
+    /** Frames actually corrupted by armed message flips. */
+    std::uint64_t framesCorrupted() const { return framesCorrupted_; }
+
     // --- injection counters (test assertions) ---
     std::uint64_t injectedDelays() const;
     std::uint64_t injectedStalls() const;
@@ -100,10 +132,19 @@ class FaultInjector : public NetworkTap
         std::uint64_t stalls = 0;
     };
 
+    /** An armed-but-not-yet-applied message flip for one node. */
+    struct PendingFlip
+    {
+        unsigned bits = 0; ///< 0 = nothing armed
+        std::uint64_t seed = 0;
+    };
+
     FaultConfig cfg_;
     std::vector<SrcState> src_;
     std::vector<StallState> stall_;
+    std::vector<PendingFlip> pendingFlip_;
     std::uint64_t crashesInjected_ = 0;
+    std::uint64_t framesCorrupted_ = 0;
 };
 
 } // namespace ccnuma

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Data-integrity subsystem knobs (PR 7).
+ *
+ * When enabled, the machine arms its silent-data-corruption defenses:
+ * CRC-32 on every transport frame (corruption is treated as loss and
+ * the reliable transport re-delivers a pristine copy), SECDED ECC on
+ * directory entries and cache lines (single-bit flips corrected at
+ * the next access or by the background scrubber, double-bit flips
+ * detected and contained or escalated), and line poisoning for
+ * uncorrectable errors that consume a line's only up-to-date copy.
+ * Everything is off by default: a clean configuration's timing and
+ * output are bit-identical with the subsystem compiled in.
+ */
+
+#ifndef CCNUMA_VERIFY_INTEGRITY_CONFIG_HH
+#define CCNUMA_VERIFY_INTEGRITY_CONFIG_HH
+
+#include "sim/types.hh"
+
+namespace ccnuma
+{
+
+/** Integrity-subsystem configuration (CCNUMA_INTEGRITY enables). */
+struct IntegrityConfig
+{
+    /** Master switch; everything below is inert when false. */
+    bool enabled = false;
+
+    /**
+     * Background scrub period (ticks). A latent single-bit error
+     * injected at tick T is repaired no later than the next multiple
+     * of this interval — sooner if an access touches the word first.
+     * Must be positive when the subsystem is enabled.
+     */
+    Tick scrubIntervalTicks = 10'000;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_VERIFY_INTEGRITY_CONFIG_HH

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "verify/ecc.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+using ecc::EccStatus;
+
+/** A spread of word patterns that exercises all bit positions. */
+std::vector<std::uint64_t>
+patterns()
+{
+    std::vector<std::uint64_t> v{
+        0x0000000000000000ull, 0xFFFFFFFFFFFFFFFFull,
+        0xAAAAAAAAAAAAAAAAull, 0x5555555555555555ull,
+        0x0123456789ABCDEFull, 0xDEADBEEFCAFEF00Dull,
+        0x8000000000000001ull, 0x00000000FFFFFFFFull,
+    };
+    for (unsigned i = 0; i < 64; ++i)
+        v.push_back(1ull << i);
+    return v;
+}
+
+TEST(Ecc, CleanWordsDecodeOk)
+{
+    for (std::uint64_t data : patterns()) {
+        std::uint8_t check = ecc::encode(data);
+        ecc::EccResult r = ecc::decode(data, check);
+        EXPECT_EQ(r.status, EccStatus::Ok);
+        EXPECT_EQ(r.data, data);
+        EXPECT_EQ(r.check, check);
+    }
+}
+
+TEST(Ecc, GoldenEncodeVectors)
+{
+    // Pinned check bytes: any change to the code layout (position
+    // assignment, parity sense) must be deliberate and break here.
+    EXPECT_EQ(ecc::encode(0x0000000000000000ull), 0x00);
+    EXPECT_EQ(ecc::encode(0x0000000000000001ull), 0x83);
+    EXPECT_EQ(ecc::encode(0x0000000000000002ull), 0x85);
+    EXPECT_EQ(ecc::encode(0x8000000000000000ull),
+              ecc::encode(0x8000000000000000ull)); // determinism
+    EXPECT_EQ(ecc::encode(0xFFFFFFFFFFFFFFFFull),
+              ecc::encode(0xFFFFFFFFFFFFFFFFull));
+}
+
+TEST(Ecc, EverySingleFlipIsCorrected)
+{
+    for (std::uint64_t data : patterns()) {
+        const std::uint8_t check = ecc::encode(data);
+        for (unsigned k = 0; k < ecc::codewordBits; ++k) {
+            std::uint64_t d = data;
+            std::uint8_t c = check;
+            ecc::flipBit(d, c, k);
+            ecc::EccResult r = ecc::decode(d, c);
+            ASSERT_TRUE(r.status == EccStatus::CorrectedData ||
+                        r.status == EccStatus::CorrectedCheck)
+                << "pattern " << std::hex << data << " flip " << k;
+            EXPECT_EQ(r.data, data);
+            EXPECT_EQ(r.check, check);
+            EXPECT_EQ(r.status, k < 64 ? EccStatus::CorrectedData
+                                       : EccStatus::CorrectedCheck);
+        }
+    }
+}
+
+TEST(Ecc, EveryDoubleFlipIsDetected)
+{
+    // All C(72,2) = 2556 double flips, over several word patterns.
+    const std::uint64_t pats[] = {0x0ull, 0xFFFFFFFFFFFFFFFFull,
+                                  0x0123456789ABCDEFull};
+    for (std::uint64_t data : pats) {
+        const std::uint8_t check = ecc::encode(data);
+        unsigned count = 0;
+        for (unsigned a = 0; a < ecc::codewordBits; ++a) {
+            for (unsigned b = a + 1; b < ecc::codewordBits; ++b) {
+                std::uint64_t d = data;
+                std::uint8_t c = check;
+                ecc::flipBit(d, c, a);
+                ecc::flipBit(d, c, b);
+                ecc::EccResult r = ecc::decode(d, c);
+                ASSERT_EQ(r.status, EccStatus::Uncorrectable)
+                    << "pattern " << std::hex << data << " flips "
+                    << std::dec << a << "," << b;
+                ++count;
+            }
+        }
+        EXPECT_EQ(count, 2556u);
+    }
+}
+
+TEST(Crc32, KnownVector)
+{
+    // The classic IEEE 802.3 check value.
+    const std::uint8_t msg[] = {'1', '2', '3', '4', '5',
+                                '6', '7', '8', '9'};
+    EXPECT_EQ(ecc::crc32(msg, sizeof(msg)), 0xCBF43926u);
+    EXPECT_EQ(ecc::crc32(msg, 0), 0x00000000u);
+}
+
+TEST(Crc32, DetectsAllSingleAndDoubleBitFlipsInAFrame)
+{
+    // A frame-sized buffer (transport header + header-only message):
+    // every 1- and 2-bit error must change the CRC, which is what
+    // lets the transport treat a failed check as a loss.
+    std::uint8_t frame[48];
+    for (unsigned i = 0; i < sizeof(frame); ++i)
+        frame[i] = static_cast<std::uint8_t>(i * 37 + 11);
+    const std::uint32_t clean = ecc::crc32(frame, sizeof(frame));
+    const unsigned bits = sizeof(frame) * 8;
+    for (unsigned a = 0; a < bits; ++a) {
+        frame[a / 8] ^= 1u << (a % 8);
+        ASSERT_NE(ecc::crc32(frame, sizeof(frame)), clean)
+            << "single flip " << a;
+        for (unsigned b = a + 1; b < bits; ++b) {
+            frame[b / 8] ^= 1u << (b % 8);
+            ASSERT_NE(ecc::crc32(frame, sizeof(frame)), clean)
+                << "double flip " << a << "," << b;
+            frame[b / 8] ^= 1u << (b % 8);
+        }
+        frame[a / 8] ^= 1u << (a % 8);
+    }
+}
+
+} // namespace
+} // namespace ccnuma

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * End-to-end data-integrity campaigns (PR 7): seeded bit flips in
+ * each domain — a transport frame in flight, a directory entry at
+ * rest, a cache line at rest — must be absorbed by the corresponding
+ * defense (frame CRC treats corruption as loss, SECDED ECC corrects
+ * single-bit errors, uncorrectable errors are contained or escalated)
+ * with zero escaped corruptions, an identical retired-instruction
+ * count, and the coherence checker strict and silent throughout.
+ * Also pins the configuration validation rules that keep the
+ * subsystem's knobs consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "net/reliable.hh"
+#include "system/machine.hh"
+#include "verify/checker.hh"
+#include "verify/integrity_manager.hh"
+#include "workload/workload.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+MachineConfig
+smallConfig()
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 2;
+    cfg.node.procsPerNode = 2;
+    cfg.withArch(Arch::PPC);
+    return cfg;
+}
+
+FlipFault
+flipAt(FlipDomain domain, unsigned bits, Tick at,
+       std::uint64_t seed = 7)
+{
+    FlipFault f;
+    f.domain = domain;
+    f.node = 1;
+    f.atTick = at;
+    f.bits = bits;
+    f.seed = seed;
+    return f;
+}
+
+// ---------------------------------------------------------------
+// Configuration validation
+// ---------------------------------------------------------------
+
+TEST(IntegrityConfig, FlipsRequireIntegrityEnabled)
+{
+    MachineConfig cfg = smallConfig();
+    cfg.verify.faults.flips.push_back(
+        flipAt(FlipDomain::Message, 1, 100));
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(IntegrityConfig, IntegrityRequiresCrcFrames)
+{
+    MachineConfig cfg = smallConfig().withCrashRecovery();
+    cfg.integrity.enabled = true; // without reliable.crc
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(IntegrityConfig, ScrubIntervalMustBePositive)
+{
+    MachineConfig cfg = smallConfig().withIntegrity();
+    cfg.integrity.scrubIntervalTicks = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(IntegrityConfig, FlipNodeMustBeInRange)
+{
+    MachineConfig cfg = smallConfig().withIntegrity();
+    FlipFault f = flipAt(FlipDomain::Directory, 1, 100);
+    f.node = 2; // only nodes 0 and 1 exist
+    cfg.verify.faults.flips.push_back(f);
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(IntegrityConfig, FlipBitsMustBeOneOrTwo)
+{
+    MachineConfig cfg = smallConfig().withIntegrity();
+    cfg.verify.faults.flips.push_back(
+        flipAt(FlipDomain::Directory, 3, 100));
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(IntegrityConfig, EscalatingFlipsRequireRecovery)
+{
+    // A directory double flip escalates through the crash-recovery
+    // machinery; integrity alone (recovery forced off) must be
+    // rejected rather than crash a controller nothing will restart.
+    MachineConfig cfg = smallConfig().withIntegrity();
+    cfg.recovery.enabled = false;
+    cfg.verify.faults.flips.push_back(
+        flipAt(FlipDomain::Directory, 2, 100));
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(IntegrityConfig, WellFormedCampaignValidates)
+{
+    MachineConfig cfg = smallConfig().withIntegrity();
+    cfg.verify.faults.flips.push_back(
+        flipAt(FlipDomain::Message, 1, 100));
+    cfg.verify.faults.flips.push_back(
+        flipAt(FlipDomain::Cache, 2, 200));
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+// ---------------------------------------------------------------
+// End-to-end campaigns: one flip per domain, CE and UE
+// ---------------------------------------------------------------
+
+struct CampaignCase
+{
+    const char *name;
+    FlipDomain domain;
+    unsigned bits;
+};
+
+class IntegrityCampaign
+    : public ::testing::TestWithParam<CampaignCase>
+{
+};
+
+RunResult
+runKernel(Machine &m, const std::string &kernel)
+{
+    WorkloadParams p;
+    p.numThreads = m.totalProcs();
+    p.scale = 0.05;
+    auto w = makeWorkload(kernel, p);
+    return m.run(*w);
+}
+
+TEST_P(IntegrityCampaign, FlipAbsorbedWithZeroEscapes)
+{
+    const CampaignCase &cc = GetParam();
+
+    // Clean reference for the instruction-identity check and the
+    // flip placement (mid-run, when state is populated).
+    std::uint64_t clean_instructions = 0;
+    Tick at = 0;
+    {
+        Machine m(smallConfig());
+        RunResult ref = runKernel(m, "FFT");
+        clean_instructions = ref.instructions;
+        at = ref.execTicks / 2;
+        ASSERT_GT(clean_instructions, 0u);
+        ASSERT_GT(at, 0u);
+    }
+
+    MachineConfig cfg = smallConfig().withIntegrity();
+    cfg.verify.checker = true;
+    cfg.verify.faults.flips.push_back(flipAt(cc.domain, cc.bits, at));
+    Machine m(cfg);
+    RunResult r = runKernel(m, "FFT");
+
+    // The run healed: complete, instruction-identical, and every
+    // applied corruption answered by a defense.
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.instructions, clean_instructions);
+    EXPECT_EQ(r.escapedCorruptions, 0);
+
+    // The checker stayed strict and found nothing.
+    ASSERT_NE(m.checker(), nullptr);
+    EXPECT_EQ(m.checker()->violations(), 0u)
+        << m.checker()->firstViolation();
+
+    // The defense that matches the domain actually fired. (A flip
+    // can be skipped when the victim store is empty at atTick; at
+    // mid-run on FFT every domain has state, so require an
+    // application.)
+    ASSERT_GT(r.flipsInjected, 0u);
+    switch (cc.domain) {
+      case FlipDomain::Message:
+        EXPECT_GT(r.crcDetected, 0u);
+        EXPECT_GT(r.xportRetransmits, 0u);
+        break;
+      case FlipDomain::Directory:
+        if (cc.bits == 1)
+            EXPECT_GT(r.eccCorrected, 0u);
+        else
+            EXPECT_GT(r.integrityEscalations, 0u);
+        break;
+      case FlipDomain::Cache:
+        if (cc.bits == 1)
+            EXPECT_GT(r.eccCorrected, 0u);
+        else
+            EXPECT_GT(r.containedDiscards + r.linesPoisoned, 0u);
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDomains, IntegrityCampaign,
+    ::testing::Values(
+        CampaignCase{"MessageSingle", FlipDomain::Message, 1},
+        CampaignCase{"MessageDouble", FlipDomain::Message, 2},
+        CampaignCase{"DirectorySingle", FlipDomain::Directory, 1},
+        CampaignCase{"DirectoryDouble", FlipDomain::Directory, 2},
+        CampaignCase{"CacheSingle", FlipDomain::Cache, 1},
+        CampaignCase{"CacheDouble", FlipDomain::Cache, 2}),
+    [](const auto &info) { return std::string(info.param.name); });
+
+TEST(IntegrityCampaign, CleanConfigLeavesNoIntegrityFootprint)
+{
+    // With the subsystem off, nothing integrity-related runs: no CRC
+    // checks, no corrections, no scrub passes — and the run matches
+    // the pre-integrity clean profile (same config, same workload).
+    Machine m(smallConfig());
+    RunResult r = runKernel(m, "FFT");
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.flipsInjected, 0u);
+    EXPECT_EQ(r.crcChecked, 0u);
+    EXPECT_EQ(r.eccCorrected, 0u);
+    EXPECT_EQ(r.scrubCorrections, 0u);
+    EXPECT_EQ(m.integrityManager(), nullptr);
+}
+
+} // namespace
+} // namespace ccnuma

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Line-poisoning containment (PR 7): an uncorrectable flip in a
+ * Modified cache line destroys the only up-to-date copy, so the
+ * defense cannot be a repair. The line is poisoned at its home, the
+ * owning processor is fail-stopped, and every later requester bounces
+ * off a PoisonNack and is fenced too — while the rest of the machine
+ * completes untouched and the integrity ledger still closes with
+ * zero escapes.
+ *
+ * The scripted workload makes the victim deterministic: the target
+ * node's cache holds exactly one (dirty) line at flip time, so the
+ * seeded victim pick has a single candidate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "system/machine.hh"
+#include "verify/checker.hh"
+#include "verify/integrity_manager.hh"
+#include "workload/synthetic.hh"
+#include "workload/workload.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+constexpr Tick kFlipTick = 20'000;
+
+MachineConfig
+poisonConfig()
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 2;
+    cfg.node.procsPerNode = 1;
+    cfg.withArch(Arch::PPC);
+    cfg.withIntegrity();
+    cfg.verify.checker = true;
+    FlipFault f;
+    f.domain = FlipDomain::Cache;
+    f.node = 1;
+    f.atTick = kFlipTick;
+    f.bits = 2;
+    f.preferClean = false; // campaigns keep this on; we want the kill
+    f.seed = 99;
+    cfg.verify.faults.flips.push_back(f);
+    return cfg;
+}
+
+/**
+ * Thread 1 (node 1) dirties one line homed at node 0, then computes
+ * past the flip tick — at which point its cache's only valid line is
+ * that Modified copy, the sole poisoning candidate. Thread 0 (node 0)
+ * computes past the flip, then touches the poisoned line and must be
+ * fenced by the PoisonNack instead of reading stale memory. No
+ * barriers: the killed processors never sync again.
+ */
+ScriptWorkload
+poisonWorkload(Machine &m)
+{
+    Addr victim = 0x20'0000;
+    while (m.map().homeOf(victim) != 0)
+        victim += m.config().pageBytes;
+
+    std::vector<std::vector<ThreadOp>> scripts(2);
+    scripts[1] = {
+        ThreadOp::store(victim),   // Modified copy on node 1
+        ThreadOp::compute(60'000), // hold it quiet across the flip
+    };
+    scripts[0] = {
+        ThreadOp::compute(40'000), // ride past the flip
+        ThreadOp::load(victim),    // bounces off the poisoned line
+        ThreadOp::compute(10),     // unreachable: the fence kills us
+    };
+
+    WorkloadParams p;
+    p.numThreads = 2;
+    return ScriptWorkload(p, scripts);
+}
+
+TEST(Poison, DirtyUncorrectableKillsOwnerAndFencesRequesters)
+{
+    Machine m(poisonConfig());
+    ScriptWorkload w = poisonWorkload(m);
+    RunResult r = m.run(w);
+
+    // The machine survived: the run completed with the dead
+    // processors counted as finished.
+    EXPECT_TRUE(r.completed);
+
+    // Exactly one flip, answered by exactly one poisoning.
+    EXPECT_EQ(r.flipsInjected, 1u);
+    EXPECT_EQ(r.flipsSkipped, 0u);
+    EXPECT_EQ(r.linesPoisoned, 1u);
+    EXPECT_EQ(r.escapedCorruptions, 0);
+
+    // The owner died at the flip; the requester died at the fence.
+    EXPECT_EQ(r.procsKilledPoison, 2u);
+    EXPECT_GE(r.poisonNacks, 1u);
+
+    // Nothing was repaired — this was containment, not correction.
+    EXPECT_EQ(r.eccCorrected, 0u);
+    EXPECT_EQ(r.containedDiscards, 0u);
+
+    // The checker stayed strict and the poisoned line never leaked a
+    // stale copy into the coherence domain.
+    ASSERT_NE(m.checker(), nullptr);
+    EXPECT_EQ(m.checker()->violations(), 0u)
+        << m.checker()->firstViolation();
+}
+
+TEST(Poison, CleanUncorrectableIsSilentlyDiscarded)
+{
+    // Same flip, but the victim line is clean (Shared) at flip time:
+    // memory still holds the data, so containment is a discard — no
+    // poisoning, no kill, and the later reader refills from memory
+    // and completes normally.
+    MachineConfig cfg = poisonConfig();
+    Machine m(cfg);
+
+    Addr victim = 0x20'0000;
+    while (m.map().homeOf(victim) != 0)
+        victim += m.config().pageBytes;
+
+    std::vector<std::vector<ThreadOp>> scripts(2);
+    scripts[1] = {
+        ThreadOp::load(victim),    // Shared copy on node 1
+        ThreadOp::compute(60'000),
+        ThreadOp::load(victim),    // refills after the discard
+    };
+    scripts[0] = {ThreadOp::compute(10)};
+    WorkloadParams p;
+    p.numThreads = 2;
+    ScriptWorkload w(p, scripts);
+
+    RunResult r = m.run(w);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.flipsInjected, 1u);
+    EXPECT_EQ(r.containedDiscards, 1u);
+    EXPECT_EQ(r.linesPoisoned, 0u);
+    EXPECT_EQ(r.procsKilledPoison, 0u);
+    EXPECT_EQ(r.escapedCorruptions, 0);
+    ASSERT_NE(m.checker(), nullptr);
+    EXPECT_EQ(m.checker()->violations(), 0u)
+        << m.checker()->firstViolation();
+}
+
+} // namespace
+} // namespace ccnuma

@@ -31,11 +31,21 @@ and no directory reconstruction may have taken longer than
 --max-rebuild-ticks. Correctness checks are host-independent, so
 --recovery works standalone (no baseline/fresh pair needed).
 
+A fourth machine-independent invariant gates the data-integrity
+subsystem: pass --integrity BENCH_corruption_campaign.json and every
+campaign run must have completed ("done" == yes) with instructions
+identical to its clean baseline ("instr-ok" == yes) and ZERO escaped
+corruptions ("escaped" == 0): every applied bit flip was detected by
+the frame CRC, corrected by the SECDED ECC or the scrubber,
+contained by a discard, or escalated to a rebuild. Like --recovery
+it works standalone.
+
 Usage: bench_gate.py [BASELINE.json FRESH.json] [--threshold 0.20]
                      [--sharded BENCH_fig6_sharded.json]
                      [--min-speedup 1.5]
                      [--recovery BENCH_crash_campaign.json]
                      [--max-rebuild-ticks 50000]
+                     [--integrity BENCH_corruption_campaign.json]
 """
 
 import argparse
@@ -98,21 +108,8 @@ def check_sharded(path, min_speedup, failures):
             f"(expected >= {min_speedup:.2f}x on {hw} threads)")
 
 
-def crash_rows(path):
-    """Return the per-run rows of the crash-campaign table (the
-    TOTAL row excluded), or None if the file doesn't contain one."""
-    with open(path) as f:
-        data = json.load(f)
-    for table in data.get("tables", []):
-        if "crash campaign" not in table.get("title", "").lower():
-            continue
-        return [row for row in table.get("rows", [])
-                if row.get("workload") != "TOTAL"]
-    return None
-
-
 def check_recovery(path, max_rebuild_ticks, failures):
-    rows = crash_rows(path)
+    rows = table_rows(path, "crash campaign")
     if rows is None:
         failures.append(f"{path}: no 'crash campaign' table")
         return
@@ -143,6 +140,57 @@ def check_recovery(path, max_rebuild_ticks, failures):
             f"(ceiling {max_rebuild_ticks})")
 
 
+def table_rows(path, title_substr):
+    """Return the per-run rows of the named table (the TOTAL row
+    excluded), or None if the file doesn't contain one."""
+    with open(path) as f:
+        data = json.load(f)
+    for table in data.get("tables", []):
+        if title_substr not in table.get("title", "").lower():
+            continue
+        return [row for row in table.get("rows", [])
+                if row.get("workload") != "TOTAL"]
+    return None
+
+
+def check_integrity(path, failures):
+    rows = table_rows(path, "corruption campaign")
+    if rows is None:
+        failures.append(f"{path}: no 'corruption campaign' table")
+        return
+    if not rows:
+        failures.append(f"{path}: corruption campaign table is empty")
+        return
+    bad = 0
+    applied = 0
+    for row in rows:
+        tag = (f"{row.get('workload')}/{row.get('arch')} "
+               f"{row.get('domain')} x{row.get('bits')}")
+        if row.get("done") != "yes":
+            failures.append(
+                f"corruption campaign {tag}: did not complete")
+            bad += 1
+        if row.get("instr-ok") != "yes":
+            failures.append(
+                f"corruption campaign {tag}: retired instructions "
+                "differ from the clean baseline")
+            bad += 1
+        if int(row.get("escaped", -1)) != 0:
+            failures.append(
+                f"corruption campaign {tag}: "
+                f"{row.get('escaped')} corruption(s) ESCAPED the "
+                "defenses")
+            bad += 1
+        applied += int(row.get("flips", 0))
+    print(f"\ncorruption campaign: {len(rows)} runs, "
+          f"{applied} corruptions applied, {bad} failures, "
+          "0 escapes required")
+    if applied == 0:
+        failures.append(
+            "corruption campaign applied no corruptions at all; "
+            "the sweep is not exercising the defenses")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline", nargs="?")
@@ -157,13 +205,16 @@ def main():
                     help="BENCH_crash_campaign.json to gate on")
     ap.add_argument("--max-rebuild-ticks", type=int, default=50000,
                     help="max directory reconstruction time")
+    ap.add_argument("--integrity", metavar="JSON",
+                    help="BENCH_corruption_campaign.json to gate on")
     args = ap.parse_args()
 
     if bool(args.baseline) != bool(args.fresh):
         ap.error("BASELINE and FRESH must be given together")
-    if not args.baseline and not args.sharded and not args.recovery:
+    if (not args.baseline and not args.sharded and not args.recovery
+            and not args.integrity):
         ap.error("nothing to gate: give BASELINE FRESH, --sharded, "
-                 "or --recovery")
+                 "--recovery, or --integrity")
 
     failures = []
     if args.baseline:
@@ -209,6 +260,9 @@ def main():
     if args.recovery:
         check_recovery(args.recovery, args.max_rebuild_ticks,
                        failures)
+
+    if args.integrity:
+        check_integrity(args.integrity, failures)
 
     if failures:
         print("\nFAIL:")
