@@ -43,6 +43,7 @@
 
 #include "report/json.hh"
 #include "report/table.hh"
+#include "serve/session.hh"
 #include "sim/parallel.hh"
 #include "system/machine.hh"
 #include "workload/splash.hh"
@@ -137,9 +138,24 @@ parseOptions(int argc, char **argv)
 inline unsigned
 procsForApp(const std::string &app, unsigned default_procs)
 {
-    if (app == "LU" || app == "Cholesky")
-        return std::min(32u, default_procs);
-    return default_procs;
+    return serve::procsForApp(app, default_procs);
+}
+
+/**
+ * Resolve one (app, arch) bench request into the point the shared
+ * serve backend executes. One resolution path — the campaign daemon
+ * expands its specs through the same makeSimPoint(), which is what
+ * keeps served results bit-identical to these benches.
+ */
+inline serve::SimPoint
+makeBenchPoint(const std::string &app, Arch arch, const Options &o,
+               double data_factor = 1.0,
+               const std::function<void(MachineConfig &)> &tweak =
+                   nullptr)
+{
+    return serve::makeSimPoint(app, arch,
+                               procsForApp(app, o.procs), o.scale,
+                               data_factor, tweak, o.shards);
 }
 
 /** Run one application on one architecture. */
@@ -148,29 +164,8 @@ runApp(const std::string &app, Arch arch, const Options &o,
        double data_factor = 1.0,
        const std::function<void(MachineConfig &)> &tweak = nullptr)
 {
-    unsigned procs = procsForApp(app, o.procs);
-    MachineConfig cfg = MachineConfig::base();
-    unsigned ppn = cfg.node.procsPerNode;
-    cfg.withProcsPerNode(ppn, procs);
-    cfg.withArch(arch);
-    if (tweak)
-        tweak(cfg);
-    if (o.shards > 1 && cfg.shards <= 1) {
-        // Shard counts must divide the node count; fold --shards
-        // down to the nearest divisor rather than rejecting the run.
-        cfg.shards = std::gcd(o.shards, cfg.numNodes);
-    }
-
-    WorkloadParams p;
-    p.numThreads = procs;
-    p.scale = o.scale;
-    p.dataFactor = data_factor;
-    p.lineBytes = cfg.node.cache.lineBytes;
-    auto w = makeWorkload(app, p);
-
-    Machine m(cfg);
-    RunResult r = m.run(*w);
-    return r;
+    return serve::SimSession{}.run(
+        makeBenchPoint(app, arch, o, data_factor, tweak));
 }
 
 constexpr Arch allArchs[] = {Arch::HWC, Arch::PPC, Arch::TwoHWC,
@@ -199,12 +194,21 @@ runSweep(const Options &o, const std::vector<SweepPoint> &points,
                                   const RunResult &)> &progress =
              nullptr)
 {
-    std::vector<RunResult> results =
-        parallelMap(o.effectiveJobs(), points,
-                    [&](const SweepPoint &pt) {
-            return runApp(pt.app, pt.arch, o, pt.dataFactor,
-                          pt.tweak);
-        });
+    std::vector<serve::SimPoint> sim_points;
+    sim_points.reserve(points.size());
+    for (const SweepPoint &pt : points)
+        sim_points.push_back(makeBenchPoint(pt.app, pt.arch, o,
+                                            pt.dataFactor,
+                                            pt.tweak));
+
+    serve::CampaignRunner runner(o.effectiveJobs());
+    std::vector<serve::PointOutcome> outcomes =
+        runner.run(sim_points);
+
+    std::vector<RunResult> results;
+    results.reserve(outcomes.size());
+    for (serve::PointOutcome &out : outcomes)
+        results.push_back(std::move(out.result));
     if (progress) {
         for (std::size_t i = 0; i < points.size(); ++i)
             progress(points[i], results[i]);

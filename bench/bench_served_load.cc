@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Load-test bench for the campaign service: N concurrent clients
+ * hammer an in-process ccnuma-served instance over real HTTP with a
+ * pool of overlapping campaign specs, and the bench reports the
+ * figures of merit the service exists for — p50/p99 job latency,
+ * cache hit rate, and dedup factor (requested points per simulated
+ * point) — across three service configurations:
+ *
+ *   uncached         LRU disabled: only in-flight twins dedup
+ *   cached-fcfs      64 MiB cache, FCFS admission
+ *   cached-priority  64 MiB cache, priority-class admission
+ *
+ * The uncached/cached pair isolates what content-addressed caching
+ * buys under a realistic overlapping load; the fcfs/priority pair is
+ * the service-discipline ablation (the job-scheduler echo of the
+ * paper's bus-service-discipline comparison). A client that is
+ * answered 429 (queue full) backs off and retries — rejections are
+ * counted, never silent.
+ *
+ * tools/bench_gate.py --served gates on this bench's JSON: the cached
+ * scenarios must show dedup factor > 1 and a nonzero hit rate.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "bench_common.hh"
+#include "report/table.hh"
+#include "serve/json_in.hh"
+#include "serve/server.hh"
+
+using namespace ccnuma;
+using namespace ccnuma::bench;
+using namespace ccnuma::serve;
+
+namespace
+{
+
+constexpr unsigned kClients = 6;
+constexpr unsigned kCampaignsPerClient = 4;
+
+/** Overlapping spec pool: 3 distinct contents for 24 submissions. */
+std::string
+specForIndex(unsigned idx, double scale, bool with_priority)
+{
+    static const char *const apps[] = {
+        "[\"FFT\"]",
+        "[\"FFT\", \"Radix\"]",
+        "[\"LU\"]",
+    };
+    unsigned which = idx % 3;
+    std::string s = "{\"name\": \"load-";
+    s += std::to_string(which);
+    s += "\", \"apps\": ";
+    s += apps[which];
+    s += ", \"archs\": [\"HWC\", \"PPC\"], \"scale\": ";
+    s += report::fmt("%g", scale);
+    s += ", \"procs\": 16";
+    if (with_priority) {
+        s += ", \"priority\": ";
+        s += std::to_string(idx % 3);
+    }
+    s += "}";
+    return s;
+}
+
+struct LoadStats
+{
+    std::vector<double> latenciesMs; ///< submit -> done, per campaign
+    std::uint64_t retries429 = 0;
+    std::uint64_t campaigns = 0;
+    std::uint64_t points = 0;
+};
+
+double
+percentile(std::vector<double> v, double p)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    double rank = p * static_cast<double>(v.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, v.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+/** One client: submit, poll to completion, time each campaign. */
+void
+clientLoop(std::uint16_t port, unsigned client, double scale,
+           bool with_priority, LoadStats &stats, std::mutex &m)
+{
+    using clock = std::chrono::steady_clock;
+    for (unsigned c = 0; c < kCampaignsPerClient; ++c) {
+        unsigned idx = client * kCampaignsPerClient + c;
+        std::string spec = specForIndex(idx, scale, with_priority);
+
+        auto t0 = clock::now();
+        std::string id;
+        while (true) {
+            HttpResponse resp =
+                httpRequest(port, "POST", "/campaigns", spec);
+            if (resp.status == 202) {
+                id = parseJson(resp.body).getString("id", "");
+                break;
+            }
+            if (resp.status == 429) {
+                // Bounded admission pushed back: count and retry.
+                {
+                    std::lock_guard<std::mutex> g(m);
+                    ++stats.retries429;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+                continue;
+            }
+            throw std::runtime_error("submit: HTTP " +
+                                     std::to_string(resp.status));
+        }
+
+        std::uint64_t points = 0;
+        while (true) {
+            HttpResponse resp =
+                httpRequest(port, "GET", "/campaigns/" + id);
+            JsonValue doc = parseJson(resp.body);
+            std::string status = doc.getString("status", "?");
+            points = doc.getU64("points", 0);
+            if (status == "done")
+                break;
+            if (status == "failed")
+                throw std::runtime_error(
+                    "campaign failed: " +
+                    doc.getString("error", "?"));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+        double ms =
+            std::chrono::duration<double, std::milli>(clock::now() -
+                                                      t0)
+                .count();
+        std::lock_guard<std::mutex> g(m);
+        stats.latenciesMs.push_back(ms);
+        ++stats.campaigns;
+        stats.points += points;
+    }
+}
+
+struct ScenarioResult
+{
+    LoadStats load;
+    CacheStats cache;
+    AdmissionStats admission;
+};
+
+ScenarioResult
+runScenario(double scale, std::uint64_t cache_bytes,
+            bool priority_discipline)
+{
+    ServiceConfig cfg;
+    cfg.port = 0; // ephemeral
+    cfg.execThreads = 2;
+    cfg.pointJobs = 2;
+    cfg.maxQueued = 8;
+    cfg.priorityDiscipline = priority_discipline;
+    cfg.cacheBytes = cache_bytes;
+
+    CampaignService service(cfg);
+    service.start();
+
+    ScenarioResult r;
+    std::mutex m;
+    std::vector<std::thread> clients;
+    for (unsigned i = 0; i < kClients; ++i) {
+        clients.emplace_back([&, i] {
+            clientLoop(service.port(), i, scale,
+                       priority_discipline, r.load, m);
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+
+    r.cache = service.cache().stats();
+    r.admission = service.admissionStats();
+    service.stop();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parseOptions(argc, argv);
+    // The service load uses many small campaigns; scale each point
+    // down so the bench measures serving, not one giant simulation.
+    double point_scale = o.scale * 0.4;
+
+    printHeader("campaign service under concurrent load", o);
+    std::printf("clients=%u campaigns/client=%u (3-spec "
+                "overlapping pool), point scale=%g\n\n",
+                kClients, kCampaignsPerClient, point_scale);
+
+    JsonReport session("served_load", o);
+
+    struct Scenario
+    {
+        const char *name;
+        std::uint64_t cacheBytes;
+        bool priority;
+    };
+    const Scenario scenarios[] = {
+        {"uncached", 0, false},
+        {"cached-fcfs", 64ull << 20, false},
+        {"cached-priority", 64ull << 20, true},
+    };
+
+    report::Table t({"scenario", "campaigns", "points", "p50_ms",
+                     "p99_ms", "hit_rate", "dedup_factor",
+                     "rejected_429"});
+    for (const Scenario &s : scenarios) {
+        ScenarioResult r =
+            runScenario(point_scale, s.cacheBytes, s.priority);
+        t.addRow({s.name, report::fmt("%llu",
+                      (unsigned long long)r.load.campaigns),
+                  report::fmt("%llu",
+                      (unsigned long long)r.load.points),
+                  report::fmt("%.1f",
+                      percentile(r.load.latenciesMs, 0.50)),
+                  report::fmt("%.1f",
+                      percentile(r.load.latenciesMs, 0.99)),
+                  report::fmt("%.4f", r.cache.hitRate()),
+                  report::fmt("%.2f", r.cache.dedupFactor()),
+                  report::fmt("%llu",
+                      (unsigned long long)
+                          r.admission.rejectedQueueFull)});
+    }
+    session.table("served load", t);
+    return 0;
+}

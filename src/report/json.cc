@@ -132,6 +132,21 @@ JsonWriter::value(double v)
 }
 
 JsonWriter &
+JsonWriter::valueFull(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        os_ << "null";
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os_ << buf;
+    }
+    emitted();
+    return *this;
+}
+
+JsonWriter &
 JsonWriter::value(std::uint64_t v)
 {
     separate();

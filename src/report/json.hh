@@ -52,6 +52,13 @@ class JsonWriter
     JsonWriter &value(const std::string &v);
     JsonWriter &value(const char *v);
     JsonWriter &value(double v);
+    /**
+     * Emit @p v with enough digits (%.17g) that strtod recovers the
+     * exact bit pattern — for values that must survive a round trip
+     * (the campaign service's cached results), where value(double)'s
+     * %.6g display precision would silently truncate.
+     */
+    JsonWriter &valueFull(double v);
     JsonWriter &value(std::uint64_t v);
     JsonWriter &value(std::int64_t v);
     JsonWriter &value(unsigned v);

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Campaign sweep specifications: the job API's JSON request body.
+ *
+ * A campaign is a grid — applications x architectures x seeds — over
+ * one shared (scale, procs, tweaks) base, expanded into the
+ * fully-resolved SimPoints the CampaignRunner executes:
+ *
+ *   {
+ *     "name":   "fig6-smoke",          // optional, for reports
+ *     "apps":   ["FFT", "LU"],         // required, non-empty
+ *     "archs":  ["HWC", "PPC"],        // default: all four
+ *     "scale":  0.05,                  // default 0.5
+ *     "procs":  16,                    // default 64
+ *     "seeds":  [12345, 99],           // default [12345]
+ *     "dataFactor": 1.0,               // optional (Figure 9 axis)
+ *     "lineBytes": 128,                // optional tweak (Figure 7)
+ *     "netLatencyTicks": 14,           // optional tweak (Figure 8)
+ *     "shards": 1,                     // optional (result-invariant)
+ *     "priority": 0                    // admission class, 0..2;
+ *   }                                  //   higher is more urgent
+ *
+ * The LU/Cholesky 32-processor paper convention applies exactly as
+ * in the benches (one execution path, one convention).
+ */
+
+#ifndef CCNUMA_SERVE_CAMPAIGN_HH
+#define CCNUMA_SERVE_CAMPAIGN_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/json_in.hh"
+#include "serve/session.hh"
+
+namespace ccnuma
+{
+namespace serve
+{
+
+/** Thrown for an invalid spec; the server answers 400 with .what(). */
+class CampaignError : public std::runtime_error
+{
+  public:
+    explicit CampaignError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Parsed campaign request. */
+struct CampaignSpec
+{
+    std::string name = "campaign";
+    std::vector<std::string> apps;
+    std::vector<Arch> archs;
+    double scale = 0.5;
+    unsigned procs = 64;
+    std::vector<std::uint64_t> seeds;
+    double dataFactor = 1.0;
+    unsigned lineBytes = 0;      ///< 0 = leave the base config alone
+    Tick netLatencyTicks = 0;    ///< 0 = leave the base config alone
+    unsigned shards = 1;
+    unsigned priority = 0;       ///< 0..2, higher served first
+
+    /** apps x archs x seeds. */
+    std::size_t
+    numPoints() const
+    {
+        return apps.size() * archs.size() * seeds.size();
+    }
+};
+
+/** Parse Arch from its table name ("HWC", "PPC", "2HWC", "2PPC"). */
+Arch archFromName(const std::string &name);
+
+/**
+ * Parse and validate a spec document. Throws CampaignError on an
+ * unknown app/arch, an empty grid, or a malformed field.
+ */
+CampaignSpec parseCampaignSpec(const JsonValue &doc);
+CampaignSpec parseCampaignSpec(const std::string &json_text);
+
+/**
+ * Expand the grid in (app-major, arch, seed-minor) order into
+ * fully-resolved points.
+ */
+std::vector<SimPoint> expandCampaign(const CampaignSpec &spec);
+
+} // namespace serve
+} // namespace ccnuma
+
+#endif // CCNUMA_SERVE_CAMPAIGN_HH

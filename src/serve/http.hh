@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Minimal blocking-socket HTTP/1.1 layer for the campaign daemon.
+ * No external dependencies: POSIX sockets, thread-per-connection,
+ * Content-Length request bodies, plain or chunked responses. This is
+ * deliberately a small subset of HTTP — enough for a JSON job API on
+ * a trusted network, not a general web server: no keep-alive, no
+ * TLS, 1 MiB request-body cap, header count/size caps.
+ */
+
+#ifndef CCNUMA_SERVE_HTTP_HH
+#define CCNUMA_SERVE_HTTP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ccnuma
+{
+namespace serve
+{
+
+/** One parsed request. */
+struct HttpRequest
+{
+    std::string method; ///< "GET", "POST", ...
+    std::string path;   ///< "/campaigns/c1" (no query parsing)
+    std::map<std::string, std::string> headers; ///< lower-case keys
+    std::string body;
+};
+
+/**
+ * The server side of one connection, handed to the handler. Exactly
+ * one of respond() / beginChunked()..endChunked() must be used.
+ */
+class HttpExchange
+{
+  public:
+    explicit HttpExchange(int fd) : fd_(fd) {}
+
+    /** Send a complete response. */
+    void respond(int status, const std::string &body,
+                 const std::string &content_type =
+                     "application/json");
+
+    /** Begin a chunked (streaming) response. */
+    void beginChunked(int status,
+                      const std::string &content_type =
+                          "application/x-ndjson");
+    /** Send one chunk (must be between begin/endChunked). */
+    void writeChunk(const std::string &data);
+    /** Finish the chunked response. */
+    void endChunked();
+
+    /** True once a response has been started. */
+    bool responded() const { return responded_; }
+
+  private:
+    void writeAll(const char *data, std::size_t len);
+
+    int fd_;
+    bool responded_ = false;
+    bool chunked_ = false;
+};
+
+/**
+ * The listener: accept loop on its own thread, one worker thread per
+ * connection (joined on stop). The handler runs on the connection
+ * thread and may block (simulations do).
+ */
+class HttpServer
+{
+  public:
+    using Handler =
+        std::function<void(const HttpRequest &, HttpExchange &)>;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 picks an ephemeral port, see
+     * port()). Throws std::runtime_error when the bind fails.
+     */
+    HttpServer(std::uint16_t port, Handler handler);
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Start accepting (idempotent). */
+    void start();
+
+    /** Stop accepting, close the listener, join every worker. */
+    void stop();
+
+    /** The bound port (resolved even when constructed with 0). */
+    std::uint16_t port() const { return port_; }
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    Handler handler_;
+    std::atomic<bool> running_{false};
+    std::thread acceptor_;
+    std::mutex workersMutex_;
+    std::vector<std::thread> workers_;
+};
+
+/** A complete client-side response. */
+struct HttpResponse
+{
+    int status = 0;
+    std::map<std::string, std::string> headers; ///< lower-case keys
+    std::string body; ///< chunked responses are de-chunked
+};
+
+/**
+ * Blocking client request to 127.0.0.1:@p port. Throws
+ * std::runtime_error on connect/IO failure.
+ */
+HttpResponse httpRequest(std::uint16_t port,
+                         const std::string &method,
+                         const std::string &path,
+                         const std::string &body = "");
+
+} // namespace serve
+} // namespace ccnuma
+
+#endif // CCNUMA_SERVE_HTTP_HH

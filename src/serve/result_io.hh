@@ -1,0 +1,44 @@
+/**
+ * @file
+ * RunResult <-> JSON round-trip for the campaign service: cached
+ * results live in the in-memory LRU and (optionally) on disk as
+ * JSON, and the job API serves them back out. Every field of
+ * RunResult is carried; resultsIdentical() is the bit-identity
+ * comparator the served-vs-direct tests and the load bench use.
+ */
+
+#ifndef CCNUMA_SERVE_RESULT_IO_HH
+#define CCNUMA_SERVE_RESULT_IO_HH
+
+#include <string>
+
+#include "serve/json_in.hh"
+#include "system/machine.hh"
+
+namespace ccnuma
+{
+namespace report
+{
+class JsonWriter;
+} // namespace report
+
+namespace serve
+{
+
+/** Write @p r as a JSON object on @p j (beginObject..endObject). */
+void writeRunResult(report::JsonWriter &j, const RunResult &r);
+
+/** @return @p r as a standalone JSON document. */
+std::string resultToJson(const RunResult &r);
+
+/** Rebuild a RunResult from writeRunResult() output. */
+RunResult resultFromJson(const JsonValue &v);
+RunResult resultFromJson(const std::string &text);
+
+/** Field-by-field equality — the served-vs-direct identity check. */
+bool resultsIdentical(const RunResult &a, const RunResult &b);
+
+} // namespace serve
+} // namespace ccnuma
+
+#endif // CCNUMA_SERVE_RESULT_IO_HH

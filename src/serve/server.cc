@@ -1,0 +1,659 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "report/json.hh"
+#include "serve/result_io.hh"
+#include "sim/logging.hh"
+
+namespace ccnuma
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Recover the table arch name from a resolved config. */
+const char *
+archOfConfig(const MachineConfig &cfg)
+{
+    bool pp = cfg.node.cc.engineType == EngineType::PP;
+    bool two = cfg.node.cc.numEngines >= 2;
+    if (two)
+        return pp ? "2PPC" : "2HWC";
+    return pp ? "PPC" : "HWC";
+}
+
+const char *
+stateName(int s)
+{
+    switch (s) {
+      case 0: return "queued";
+      case 1: return "running";
+      case 2: return "done";
+      case 3: return "failed";
+    }
+    return "?";
+}
+
+std::string
+errorBody(const std::string &msg)
+{
+    std::ostringstream os;
+    report::JsonWriter j(os);
+    j.beginObject();
+    j.key("error").value(msg);
+    j.endObject();
+    return os.str();
+}
+
+} // namespace
+
+CampaignService::CampaignService(const ServiceConfig &cfg)
+    : cfg_(cfg), cache_(cfg.cacheBytes, cfg.persistDir)
+{
+    http_ = std::make_unique<HttpServer>(
+        cfg_.port, [this](const HttpRequest &req, HttpExchange &ex) {
+            handle(req, ex);
+        });
+}
+
+CampaignService::~CampaignService()
+{
+    stop();
+}
+
+std::uint16_t
+CampaignService::port() const
+{
+    return http_->port();
+}
+
+void
+CampaignService::start()
+{
+    http_->start();
+    std::lock_guard<std::mutex> g(mutex_);
+    if (!executors_.empty())
+        return;
+    unsigned n = std::max(1u, cfg_.execThreads);
+    for (unsigned i = 0; i < n; ++i)
+        executors_.emplace_back([this] { executorLoop(); });
+}
+
+void
+CampaignService::stop()
+{
+    http_->stop();
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        stopping_ = true;
+        paused_ = false;
+    }
+    cvWork_.notify_all();
+    cvShutdown_.notify_all();
+    for (std::thread &t : executors_) {
+        if (t.joinable())
+            t.join();
+    }
+    executors_.clear();
+}
+
+void
+CampaignService::waitForShutdown()
+{
+    {
+        std::unique_lock<std::mutex> g(mutex_);
+        cvShutdown_.wait(g, [this] {
+            return shutdownRequested_ || stopping_;
+        });
+    }
+    stop();
+}
+
+AdmissionStats
+CampaignService::admissionStats() const
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    return admission_;
+}
+
+void
+CampaignService::pauseExecutors()
+{
+    std::lock_guard<std::mutex> g(mutex_);
+    paused_ = true;
+}
+
+void
+CampaignService::resumeExecutors()
+{
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        paused_ = false;
+    }
+    cvWork_.notify_all();
+}
+
+// ---------------------------------------------------------------- //
+// Executors
+// ---------------------------------------------------------------- //
+
+std::shared_ptr<CampaignService::Job>
+CampaignService::nextJobLocked()
+{
+    if (queue_.empty())
+        return nullptr;
+    if (!cfg_.priorityDiscipline) {
+        auto job = queue_.front();
+        queue_.pop_front();
+        return job;
+    }
+    // Priority classes: highest class first, FIFO (submitSeq)
+    // within a class.
+    auto best = queue_.begin();
+    for (auto it = std::next(queue_.begin()); it != queue_.end();
+         ++it) {
+        if ((*it)->spec.priority > (*best)->spec.priority ||
+            ((*it)->spec.priority == (*best)->spec.priority &&
+             (*it)->submitSeq < (*best)->submitSeq))
+            best = it;
+    }
+    auto job = *best;
+    queue_.erase(best);
+    return job;
+}
+
+void
+CampaignService::executorLoop()
+{
+    while (true) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> g(mutex_);
+            cvWork_.wait(g, [this] {
+                return stopping_ || (!queue_.empty() && !paused_);
+            });
+            if (stopping_)
+                return;
+            job = nextJobLocked();
+            if (!job)
+                continue;
+            job->state = JobState::Running;
+            job->startSeq = nextStartSeq_++;
+        }
+        runJob(job);
+    }
+}
+
+void
+CampaignService::runJob(const std::shared_ptr<Job> &job)
+{
+    CampaignRunner runner(cfg_.pointJobs, &cache_);
+    try {
+        runner.run(job->points, [&](std::size_t i,
+                                    const PointOutcome &out) {
+            std::lock_guard<std::mutex> g(mutex_);
+            PointProgress &p = job->progress[i];
+            p.done = true;
+            p.fromCache = out.fromCache;
+            p.deduped = out.deduped;
+            p.result = out.result;
+            job->completionOrder.push_back(i);
+            ++job->completedPoints;
+            cvProgress_.notify_all();
+        });
+        std::lock_guard<std::mutex> g(mutex_);
+        job->state = JobState::Done;
+        ++admission_.completed;
+    } catch (const std::exception &e) {
+        std::lock_guard<std::mutex> g(mutex_);
+        job->state = JobState::Failed;
+        job->error = e.what();
+    }
+    cvProgress_.notify_all();
+}
+
+// ---------------------------------------------------------------- //
+// HTTP handlers
+// ---------------------------------------------------------------- //
+
+void
+CampaignService::handle(const HttpRequest &req, HttpExchange &ex)
+{
+    const std::string &p = req.path;
+    if (p == "/campaigns" && req.method == "POST") {
+        handleSubmit(req, ex);
+        return;
+    }
+    if (p == "/stats" && req.method == "GET") {
+        handleStats(ex);
+        return;
+    }
+    if (p == "/healthz" && req.method == "GET") {
+        ex.respond(200, "{\"ok\":true}");
+        return;
+    }
+    if (p == "/shutdown" && req.method == "POST") {
+        {
+            std::lock_guard<std::mutex> g(mutex_);
+            shutdownRequested_ = true;
+        }
+        cvShutdown_.notify_all();
+        ex.respond(200, "{\"shutdown\":true}");
+        return;
+    }
+    if (p.rfind("/campaigns/", 0) == 0) {
+        std::string rest = p.substr(std::string("/campaigns/").size());
+        std::size_t slash = rest.find('/');
+        std::string id = rest.substr(0, slash);
+        std::string sub = slash == std::string::npos
+                              ? ""
+                              : rest.substr(slash + 1);
+        if (req.method != "GET") {
+            ex.respond(405, errorBody("use GET"));
+            return;
+        }
+        if (sub.empty()) {
+            handleSnapshot(id, ex);
+        } else if (sub == "stream") {
+            handleStream(id, ex);
+        } else if (sub == "result") {
+            handleResult(id, ex);
+        } else {
+            ex.respond(404, errorBody("unknown endpoint"));
+        }
+        return;
+    }
+    ex.respond(404, errorBody("unknown endpoint"));
+}
+
+void
+CampaignService::handleSubmit(const HttpRequest &req,
+                              HttpExchange &ex)
+{
+    CampaignSpec spec;
+    std::vector<SimPoint> points;
+    try {
+        spec = parseCampaignSpec(req.body);
+        points = expandCampaign(spec);
+        if (points.size() > cfg_.maxPointsPerCampaign)
+            throw CampaignError(
+                "campaign expands to " +
+                std::to_string(points.size()) +
+                " points; the limit is " +
+                std::to_string(cfg_.maxPointsPerCampaign));
+    } catch (const CampaignError &e) {
+        {
+            std::lock_guard<std::mutex> g(mutex_);
+            ++admission_.rejectedInvalid;
+        }
+        ex.respond(400, errorBody(e.what()));
+        return;
+    }
+
+    std::shared_ptr<Job> job;
+    std::size_t queue_depth = 0;
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        if (stopping_ || shutdownRequested_) {
+            ++admission_.rejectedDraining;
+            ex.respond(503, errorBody("service is draining"));
+            return;
+        }
+        if (queue_.size() >= cfg_.maxQueued) {
+            // Bounded admission: a counted rejection, never an
+            // unbounded queue.
+            ++admission_.rejectedQueueFull;
+            ex.respond(429, errorBody(
+                "admission queue is full (" +
+                std::to_string(queue_.size()) + " campaigns)"));
+            return;
+        }
+        job = std::make_shared<Job>();
+        job->id = "c" + std::to_string(nextId_++);
+        job->spec = std::move(spec);
+        job->points = std::move(points);
+        job->progress.resize(job->points.size());
+        job->submitSeq = nextSubmitSeq_++;
+        jobs_.emplace(job->id, job);
+        queue_.push_back(job);
+        queue_depth = queue_.size();
+        ++admission_.accepted;
+    }
+    cvWork_.notify_one();
+
+    std::ostringstream os;
+    report::JsonWriter j(os);
+    j.beginObject();
+    j.key("id").value(job->id);
+    j.key("name").value(job->spec.name);
+    j.key("points")
+        .value(static_cast<std::uint64_t>(job->points.size()));
+    j.key("status").value("queued");
+    j.key("queueDepth")
+        .value(static_cast<std::uint64_t>(queue_depth));
+    j.key("priority")
+        .value(static_cast<std::uint64_t>(job->spec.priority));
+    j.endObject();
+    ex.respond(202, os.str());
+}
+
+std::string
+CampaignService::snapshotJson(const Job &job)
+{
+    std::ostringstream os;
+    report::JsonWriter j(os);
+    j.beginObject();
+    j.key("id").value(job.id);
+    j.key("name").value(job.spec.name);
+    j.key("status").value(stateName(static_cast<int>(job.state)));
+    if (!job.error.empty())
+        j.key("error").value(job.error);
+    j.key("points")
+        .value(static_cast<std::uint64_t>(job.points.size()));
+    j.key("completed")
+        .value(static_cast<std::uint64_t>(job.completedPoints));
+    if (job.startSeq != 0)
+        j.key("startSeq").value(job.startSeq);
+    j.key("rows").beginArray();
+    for (std::size_t i = 0; i < job.points.size(); ++i) {
+        const SimPoint &pt = job.points[i];
+        const PointProgress &p = job.progress[i];
+        j.beginObject();
+        j.key("index").value(static_cast<std::uint64_t>(i));
+        j.key("app").value(pt.app);
+        j.key("arch").value(archOfConfig(pt.cfg));
+        j.key("seed")
+            .value(static_cast<std::uint64_t>(pt.wp.seed));
+        j.key("done").value(p.done);
+        if (p.done) {
+            j.key("cached").value(p.fromCache);
+            j.key("deduped").value(p.deduped);
+            j.key("workload").value(p.result.workload);
+            j.key("execTicks")
+                .value(static_cast<std::uint64_t>(
+                    p.result.execTicks));
+            j.key("instructions")
+                .value(static_cast<std::uint64_t>(
+                    p.result.instructions));
+        }
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+    return os.str();
+}
+
+void
+CampaignService::handleSnapshot(const std::string &id,
+                                HttpExchange &ex)
+{
+    std::string body;
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        auto it = jobs_.find(id);
+        if (it == jobs_.end()) {
+            ex.respond(404, errorBody("no campaign '" + id + "'"));
+            return;
+        }
+        body = snapshotJson(*it->second);
+    }
+    ex.respond(200, body);
+}
+
+void
+CampaignService::handleStream(const std::string &id,
+                              HttpExchange &ex)
+{
+    std::shared_ptr<Job> job;
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        auto it = jobs_.find(id);
+        if (it == jobs_.end()) {
+            ex.respond(404, errorBody("no campaign '" + id + "'"));
+            return;
+        }
+        job = it->second;
+    }
+
+    ex.beginChunked(200);
+    std::size_t streamed = 0;
+    while (true) {
+        // Collect newly completed points under the lock, write them
+        // to the socket outside it.
+        std::vector<std::string> lines;
+        bool finished = false;
+        {
+            std::unique_lock<std::mutex> g(mutex_);
+            cvProgress_.wait(g, [&] {
+                return stopping_ ||
+                       job->completionOrder.size() > streamed ||
+                       job->state == JobState::Done ||
+                       job->state == JobState::Failed;
+            });
+            while (streamed < job->completionOrder.size()) {
+                std::size_t i = job->completionOrder[streamed++];
+                const SimPoint &pt = job->points[i];
+                const PointProgress &p = job->progress[i];
+                std::ostringstream os;
+                report::JsonWriter j(os);
+                j.beginObject();
+                j.key("point").value(
+                    static_cast<std::uint64_t>(i));
+                j.key("app").value(pt.app);
+                j.key("arch").value(archOfConfig(pt.cfg));
+                j.key("seed").value(
+                    static_cast<std::uint64_t>(pt.wp.seed));
+                j.key("cached").value(p.fromCache);
+                j.key("deduped").value(p.deduped);
+                j.key("execTicks")
+                    .value(static_cast<std::uint64_t>(
+                        p.result.execTicks));
+                j.endObject();
+                os << "\n";
+                lines.push_back(os.str());
+            }
+            if (stopping_ ||
+                ((job->state == JobState::Done ||
+                  job->state == JobState::Failed) &&
+                 streamed >= job->completionOrder.size())) {
+                finished = true;
+                std::ostringstream os;
+                report::JsonWriter j(os);
+                j.beginObject();
+                j.key("status").value(
+                    stateName(static_cast<int>(job->state)));
+                if (!job->error.empty())
+                    j.key("error").value(job->error);
+                j.key("completed")
+                    .value(static_cast<std::uint64_t>(
+                        job->completedPoints));
+                j.endObject();
+                os << "\n";
+                lines.push_back(os.str());
+            }
+        }
+        for (const std::string &l : lines)
+            ex.writeChunk(l);
+        if (finished)
+            break;
+    }
+    ex.endChunked();
+}
+
+std::string
+CampaignService::resultJson(const Job &job)
+{
+    std::size_t cached = 0, deduped = 0, simulated = 0;
+    for (const PointProgress &p : job.progress) {
+        if (p.fromCache)
+            ++cached;
+        else if (p.deduped)
+            ++deduped;
+        else
+            ++simulated;
+    }
+    CacheStats cs = cache_.stats();
+
+    std::ostringstream os;
+    report::JsonWriter j(os);
+    j.beginObject();
+    // Exactly the JsonReport envelope the one-shot benches write, so
+    // every consumer of BENCH_*.json (tools/bench_gate.py first)
+    // reads a daemon download identically.
+    j.key("bench").value(job.spec.name);
+    j.key("scale").value(job.spec.scale);
+    j.key("procs")
+        .value(static_cast<std::uint64_t>(job.spec.procs));
+    j.key("tables").beginArray();
+
+    j.beginObject();
+    j.key("title").value("campaign points");
+    const char *cols[] = {"workload", "arch",   "seed",
+                          "execTicks", "instructions", "cached",
+                          "deduped"};
+    j.key("columns").beginArray();
+    for (const char *c : cols)
+        j.value(c);
+    j.endArray();
+    j.key("rows").beginArray();
+    for (std::size_t i = 0; i < job.points.size(); ++i) {
+        const SimPoint &pt = job.points[i];
+        const PointProgress &p = job.progress[i];
+        j.beginObject();
+        j.key("workload").value(p.result.workload);
+        j.key("arch").value(archOfConfig(pt.cfg));
+        j.key("seed").value(std::to_string(pt.wp.seed));
+        j.key("execTicks")
+            .value(std::to_string(p.result.execTicks));
+        j.key("instructions")
+            .value(std::to_string(p.result.instructions));
+        j.key("cached").value(p.fromCache ? "yes" : "no");
+        j.key("deduped").value(p.deduped ? "yes" : "no");
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+
+    j.beginObject();
+    j.key("title").value("campaign summary");
+    j.key("columns").beginArray();
+    j.value("metric").value("value");
+    j.endArray();
+    j.key("rows").beginArray();
+    auto metric = [&](const char *name, const std::string &v) {
+        j.beginObject();
+        j.key("metric").value(name);
+        j.key("value").value(v);
+        j.endObject();
+    };
+    char buf[32];
+    metric("points", std::to_string(job.points.size()));
+    metric("points cached", std::to_string(cached));
+    metric("points deduped", std::to_string(deduped));
+    metric("points simulated", std::to_string(simulated));
+    std::snprintf(buf, sizeof(buf), "%.4f", cs.hitRate());
+    metric("cache hit rate", buf);
+    std::snprintf(buf, sizeof(buf), "%.4f", cs.dedupFactor());
+    metric("dedup factor", buf);
+    j.endArray();
+    j.endObject();
+
+    j.endArray();
+
+    // Full-fidelity per-point results (everything RunResult holds),
+    // in point order — the bit-identity payload.
+    j.key("results").beginArray();
+    for (const PointProgress &p : job.progress)
+        writeRunResult(j, p.result);
+    j.endArray();
+    j.endObject();
+    return os.str();
+}
+
+void
+CampaignService::handleResult(const std::string &id,
+                              HttpExchange &ex)
+{
+    std::string body;
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        auto it = jobs_.find(id);
+        if (it == jobs_.end()) {
+            ex.respond(404, errorBody("no campaign '" + id + "'"));
+            return;
+        }
+        const Job &job = *it->second;
+        if (job.state == JobState::Failed) {
+            ex.respond(500, errorBody("campaign failed: " +
+                                      job.error));
+            return;
+        }
+        if (job.state != JobState::Done) {
+            ex.respond(409, errorBody(
+                "campaign is " +
+                std::string(stateName(
+                    static_cast<int>(job.state))) +
+                "; results are available once it is done"));
+            return;
+        }
+        body = resultJson(job);
+    }
+    ex.respond(200, body);
+}
+
+std::string
+CampaignService::statsJson()
+{
+    CacheStats cs = cache_.stats();
+    AdmissionStats as;
+    std::size_t depth = 0, jobs = 0;
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        as = admission_;
+        depth = queue_.size();
+        jobs = jobs_.size();
+    }
+
+    std::ostringstream os;
+    report::JsonWriter j(os);
+    j.beginObject();
+    j.key("cache").beginObject();
+    j.key("hits").value(cs.hits);
+    j.key("diskHits").value(cs.diskHits);
+    j.key("misses").value(cs.misses);
+    j.key("dedupWaits").value(cs.dedupWaits);
+    j.key("evictions").value(cs.evictions);
+    j.key("collisions").value(cs.collisions);
+    j.key("insertions").value(cs.insertions);
+    j.key("bytes").value(cs.bytes);
+    j.key("entries").value(cs.entries);
+    j.key("hitRate").valueFull(cs.hitRate());
+    j.key("dedupFactor").valueFull(cs.dedupFactor());
+    j.endObject();
+    j.key("admission").beginObject();
+    j.key("accepted").value(as.accepted);
+    j.key("rejectedQueueFull").value(as.rejectedQueueFull);
+    j.key("rejectedInvalid").value(as.rejectedInvalid);
+    j.key("rejectedDraining").value(as.rejectedDraining);
+    j.key("completed").value(as.completed);
+    j.endObject();
+    j.key("queueDepth").value(static_cast<std::uint64_t>(depth));
+    j.key("campaigns").value(static_cast<std::uint64_t>(jobs));
+    j.key("discipline")
+        .value(cfg_.priorityDiscipline ? "priority" : "fcfs");
+    j.endObject();
+    return os.str();
+}
+
+void
+CampaignService::handleStats(HttpExchange &ex)
+{
+    ex.respond(200, statsJson());
+}
+
+} // namespace serve
+} // namespace ccnuma

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The campaign service: an always-on daemon that accepts sweep specs
+ * over an HTTP/JSON job API, executes them on the shared
+ * CampaignRunner/ResultCache backend, and serves results that are
+ * bit-identical to the one-shot bench path.
+ *
+ * Admission control is explicit and bounded: a campaign is either
+ * accepted into a fixed-capacity queue or rejected right away with
+ * 429 (queue full) / 503 (draining) — the service never queues
+ * unboundedly. The queue discipline is a config ablation, echoing
+ * the bus-service-discipline comparison of Nikolov & Lerato at the
+ * job-scheduler layer:
+ *   - FCFS: strict submission order;
+ *   - priority classes: higher class first, FIFO within a class
+ *     (a 0..2 "priority" field in the spec selects the class).
+ *
+ * Endpoints (all JSON):
+ *   POST /campaigns           submit a spec -> 202 {id, points} |
+ *                             400 invalid | 429 queue full
+ *   GET  /campaigns/<id>      progress snapshot (per-point rows)
+ *   GET  /campaigns/<id>/stream  chunked NDJSON: one line per
+ *                             completed point, then a summary line
+ *   GET  /campaigns/<id>/result  completed campaign in the
+ *                             BENCH_*.json table schema (plus full
+ *                             per-point results) | 409 running
+ *   GET  /stats               cache + admission counters
+ *   POST /shutdown            stop accepting, finish, exit run()
+ */
+
+#ifndef CCNUMA_SERVE_SERVER_HH
+#define CCNUMA_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/campaign.hh"
+#include "serve/http.hh"
+#include "serve/result_cache.hh"
+#include "serve/session.hh"
+
+namespace ccnuma
+{
+namespace serve
+{
+
+/** Daemon configuration. */
+struct ServiceConfig
+{
+    std::uint16_t port = 0;     ///< 0 = ephemeral (tests)
+    unsigned execThreads = 2;   ///< concurrently running campaigns
+    unsigned pointJobs = 1;     ///< parallelMap jobs per campaign
+    unsigned maxQueued = 8;     ///< admission queue bound
+    /** false = FCFS, true = priority classes (spec "priority"). */
+    bool priorityDiscipline = false;
+    std::uint64_t cacheBytes = 64ull << 20;
+    std::string persistDir;     ///< "" = no disk persistence
+    std::size_t maxPointsPerCampaign = 4096;
+};
+
+/** Admission counters (all monotonic). */
+struct AdmissionStats
+{
+    std::uint64_t accepted = 0;
+    std::uint64_t rejectedQueueFull = 0; ///< answered 429
+    std::uint64_t rejectedInvalid = 0;   ///< answered 400
+    std::uint64_t rejectedDraining = 0;  ///< answered 503
+    std::uint64_t completed = 0;
+};
+
+/** The daemon. */
+class CampaignService
+{
+  public:
+    explicit CampaignService(const ServiceConfig &cfg);
+    ~CampaignService();
+
+    /** Bind, start the HTTP listener and executor threads. */
+    void start();
+
+    /** Stop the listener, drain executors, join everything. */
+    void stop();
+
+    /** Block until POST /shutdown or stop() (daemon main loop). */
+    void waitForShutdown();
+
+    std::uint16_t port() const;
+    const ServiceConfig &config() const { return cfg_; }
+    const ResultCache &cache() const { return cache_; }
+    AdmissionStats admissionStats() const;
+
+    /**
+     * Test/bench hook: hold executors before their next campaign so
+     * a burst of submissions can be staged deterministically (the
+     * overload and discipline tests depend on this; nothing in the
+     * serving path does).
+     */
+    void pauseExecutors();
+    void resumeExecutors();
+
+  private:
+    enum class JobState
+    {
+        Queued,
+        Running,
+        Done,
+        Failed,
+    };
+
+    /** One point's progress within a campaign. */
+    struct PointProgress
+    {
+        bool done = false;
+        bool fromCache = false;
+        bool deduped = false;
+        RunResult result;
+    };
+
+    /** One submitted campaign. */
+    struct Job
+    {
+        std::string id;
+        CampaignSpec spec;
+        std::vector<SimPoint> points;
+        JobState state = JobState::Queued;
+        std::string error;
+        std::vector<PointProgress> progress;
+        /** Point indices in the order they finished (for streams). */
+        std::vector<std::size_t> completionOrder;
+        std::size_t completedPoints = 0;
+        std::uint64_t submitSeq = 0; ///< FIFO tiebreak
+        /** Order executors dequeued jobs (1-based; 0 = not yet) —
+         *  what the discipline tests assert on. */
+        std::uint64_t startSeq = 0;
+    };
+
+    void handle(const HttpRequest &req, HttpExchange &ex);
+    void handleSubmit(const HttpRequest &req, HttpExchange &ex);
+    void handleSnapshot(const std::string &id, HttpExchange &ex);
+    void handleStream(const std::string &id, HttpExchange &ex);
+    void handleResult(const std::string &id, HttpExchange &ex);
+    void handleStats(HttpExchange &ex);
+
+    void executorLoop();
+    /** Pop per discipline; null when stopping. Holds the lock. */
+    std::shared_ptr<Job> nextJobLocked();
+    void runJob(const std::shared_ptr<Job> &job);
+
+    std::string snapshotJson(const Job &job);
+    std::string resultJson(const Job &job);
+    std::string statsJson();
+
+    ServiceConfig cfg_;
+    ResultCache cache_;
+    std::unique_ptr<HttpServer> http_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cvWork_;     ///< executors sleep here
+    std::condition_variable cvProgress_; ///< streamers sleep here
+    std::condition_variable cvShutdown_;
+    std::map<std::string, std::shared_ptr<Job>> jobs_;
+    std::deque<std::shared_ptr<Job>> queue_;
+    AdmissionStats admission_;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t nextSubmitSeq_ = 1;
+    std::uint64_t nextStartSeq_ = 1;
+    bool stopping_ = false;
+    bool shutdownRequested_ = false;
+    bool paused_ = false;
+
+    std::vector<std::thread> executors_;
+};
+
+} // namespace serve
+} // namespace ccnuma
+
+#endif // CCNUMA_SERVE_SERVER_HH

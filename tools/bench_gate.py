@@ -40,12 +40,24 @@ the frame CRC, corrected by the SECDED ECC or the scrubber,
 contained by a discard, or escalated to a rebuild. Like --recovery
 it works standalone.
 
+A fifth machine-independent invariant gates the campaign service:
+pass --served BENCH_served_load.json (or a daemon result download —
+GET /campaigns/<id>/result emits the same table schema, and this
+script reads both identically) and the cached scenarios must show a
+dedup factor above --min-dedup (default 1.0: the cache actually
+eliminated repeat work) with a nonzero hit rate, and the 429
+rejection column must be present (bounded admission is counted,
+never silent). The summary line echoes cache-hit-rate and
+dedup-factor so CI logs track the serving efficiency run-over-run.
+
 Usage: bench_gate.py [BASELINE.json FRESH.json] [--threshold 0.20]
                      [--sharded BENCH_fig6_sharded.json]
                      [--min-speedup 1.5]
                      [--recovery BENCH_crash_campaign.json]
                      [--max-rebuild-ticks 50000]
                      [--integrity BENCH_corruption_campaign.json]
+                     [--served BENCH_served_load.json]
+                     [--min-dedup 1.0]
 """
 
 import argparse
@@ -191,6 +203,76 @@ def check_integrity(path, failures):
             "the sweep is not exercising the defenses")
 
 
+def served_summary(path):
+    """Metric->value map of a daemon download's 'campaign summary'
+    table, or None when the file isn't a result download."""
+    with open(path) as f:
+        data = json.load(f)
+    for table in data.get("tables", []):
+        if "campaign summary" not in table.get("title", "").lower():
+            continue
+        return {row.get("metric"): row.get("value")
+                for row in table.get("rows", [])}
+    return None
+
+
+def check_served(path, min_dedup, failures):
+    rows = table_rows(path, "served load")
+    if rows is not None:
+        # Load-bench shape: one row per service scenario.
+        if not rows:
+            failures.append(f"{path}: served load table is empty")
+            return
+        print("\nserved load:")
+        for row in rows:
+            scenario = row.get("scenario", "?")
+            hit = float(row.get("hit_rate", 0.0))
+            dedup = float(row.get("dedup_factor", 0.0))
+            if "rejected_429" not in row:
+                failures.append(
+                    f"served load {scenario}: no rejected_429 "
+                    "column (admission pushback must be counted)")
+            print(f"  {scenario:18s} hit-rate {hit:.4f} "
+                  f"dedup-factor {dedup:.2f} "
+                  f"p50 {row.get('p50_ms')}ms "
+                  f"p99 {row.get('p99_ms')}ms "
+                  f"429s {row.get('rejected_429')}")
+            if not scenario.startswith("cached"):
+                continue
+            if dedup <= min_dedup:
+                failures.append(
+                    f"served load {scenario}: dedup factor "
+                    f"{dedup:.2f} <= {min_dedup:.2f}; the cache "
+                    "eliminated no repeat work")
+            if hit <= 0.0:
+                failures.append(
+                    f"served load {scenario}: cache hit rate is "
+                    "zero under an overlapping load")
+        return
+
+    # Daemon download shape: gate on structure, echo the cache
+    # efficiency fields (a single campaign may legitimately show no
+    # dedup, so no threshold applies here).
+    summary = served_summary(path)
+    points = table_rows(path, "campaign points")
+    if summary is None or points is None:
+        failures.append(
+            f"{path}: neither a 'served load' bench export nor a "
+            "campaign result download")
+        return
+    if not points:
+        failures.append(f"{path}: campaign has no points")
+        return
+    hit = summary.get("cache hit rate", "MISSING")
+    dedup = summary.get("dedup factor", "MISSING")
+    if hit == "MISSING" or dedup == "MISSING":
+        failures.append(
+            f"{path}: campaign summary lacks cache-hit-rate / "
+            "dedup-factor fields")
+    print(f"\ncampaign download: {len(points)} points, "
+          f"cache-hit-rate {hit}, dedup-factor {dedup}")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline", nargs="?")
@@ -207,14 +289,19 @@ def main():
                     help="max directory reconstruction time")
     ap.add_argument("--integrity", metavar="JSON",
                     help="BENCH_corruption_campaign.json to gate on")
+    ap.add_argument("--served", metavar="JSON",
+                    help="BENCH_served_load.json or a daemon result "
+                         "download to gate on")
+    ap.add_argument("--min-dedup", type=float, default=1.0,
+                    help="cached scenarios must dedup above this")
     args = ap.parse_args()
 
     if bool(args.baseline) != bool(args.fresh):
         ap.error("BASELINE and FRESH must be given together")
     if (not args.baseline and not args.sharded and not args.recovery
-            and not args.integrity):
+            and not args.integrity and not args.served):
         ap.error("nothing to gate: give BASELINE FRESH, --sharded, "
-                 "--recovery, or --integrity")
+                 "--recovery, --integrity, or --served")
 
     failures = []
     if args.baseline:
@@ -263,6 +350,9 @@ def main():
 
     if args.integrity:
         check_integrity(args.integrity, failures)
+
+    if args.served:
+        check_served(args.served, args.min_dedup, failures)
 
     if failures:
         print("\nFAIL:")

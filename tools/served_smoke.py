@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""CI smoke test for the campaign service.
+
+Boots a real ccnuma-served daemon on an ephemeral port, drives it
+with the ccnuma-campaign client exactly as a user would, and checks
+the full loop:
+
+  1. submit a tiny campaign and download the finished results;
+  2. validate the result document against the BENCH_*.json schema
+     (the same shape every one-shot bench writes);
+  3. submit the identical campaign again and require every point to
+     be served from the cache with a byte-identical results payload;
+  4. confirm /stats counts the hits, then shut the daemon down
+     cleanly over the API.
+
+Usage: served_smoke.py --served PATH/ccnuma-served \\
+                       --client PATH/ccnuma-campaign
+Exit status 0 on success; any failure is fatal and explains itself.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import urllib.request
+
+SPEC = {
+    "name": "ci-smoke",
+    "apps": ["FFT"],
+    "archs": ["HWC", "PPC"],
+    "scale": 0.02,
+    "procs": 8,
+}
+
+EXPECTED_POINTS = len(SPEC["apps"]) * len(SPEC["archs"])
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_schema(doc):
+    """The daemon download must be a BENCH_*.json-shaped document."""
+    for key in ("bench", "scale", "procs", "tables", "results"):
+        if key not in doc:
+            fail(f"result document lacks '{key}'")
+    if doc["bench"] != SPEC["name"]:
+        fail(f"bench name {doc['bench']!r} != {SPEC['name']!r}")
+    titles = [t.get("title") for t in doc["tables"]]
+    if "campaign points" not in titles:
+        fail(f"no 'campaign points' table (got {titles})")
+    if "campaign summary" not in titles:
+        fail(f"no 'campaign summary' table (got {titles})")
+    points = doc["tables"][titles.index("campaign points")]["rows"]
+    if len(points) != EXPECTED_POINTS:
+        fail(f"expected {EXPECTED_POINTS} points, got {len(points)}")
+    for row in points:
+        for col in ("workload", "arch", "seed", "execTicks",
+                    "instructions", "cached", "deduped"):
+            if col not in row:
+                fail(f"point row lacks '{col}': {row}")
+        if int(row["execTicks"]) <= 0:
+            fail(f"non-positive execTicks in {row}")
+    summary = {r["metric"]: r["value"]
+               for r in doc["tables"][titles.index(
+                   "campaign summary")]["rows"]}
+    for metric in ("points", "cache hit rate", "dedup factor"):
+        if metric not in summary:
+            fail(f"summary lacks '{metric}'")
+    if len(doc["results"]) != EXPECTED_POINTS:
+        fail(f"expected {EXPECTED_POINTS} full results, "
+             f"got {len(doc['results'])}")
+    for r in doc["results"]:
+        if not r.get("completed"):
+            fail(f"point did not complete: {r.get('workload')}")
+    return points
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--served", required=True,
+                    help="path to the ccnuma-served binary")
+    ap.add_argument("--client", required=True,
+                    help="path to the ccnuma-campaign binary")
+    args = ap.parse_args()
+
+    daemon = subprocess.Popen(
+        [args.served, "--port", "0", "--exec", "1", "--jobs", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        banner = daemon.stdout.readline()
+        m = re.search(r"listening on 127\.0\.0\.1:(\d+)", banner)
+        if not m:
+            fail(f"daemon did not announce a port: {banner!r}")
+        port = m.group(1)
+        print(f"daemon up on port {port}")
+
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump(SPEC, f)
+            spec_path = f.name
+
+        def client_run(out_path):
+            subprocess.run(
+                [args.client, "--port", port, "run", spec_path,
+                 "-o", out_path],
+                check=True, timeout=120)
+            with open(out_path) as fh:
+                return json.load(fh)
+
+        with tempfile.TemporaryDirectory() as td:
+            first = client_run(f"{td}/first.json")
+            rows = validate_schema(first)
+            print(f"first run: {len(rows)} points, schema valid")
+            if any(r["cached"] == "yes" for r in rows):
+                fail("cold daemon served points from cache")
+
+            second = client_run(f"{td}/second.json")
+            rows2 = validate_schema(second)
+            not_cached = [r for r in rows2 if r["cached"] != "yes"]
+            if not_cached:
+                fail("identical resubmission was not fully served "
+                     f"from cache: {not_cached}")
+            if first["results"] != second["results"]:
+                fail("cached results differ from the first run")
+            print("second run: all points cache-served, "
+                  "results byte-identical")
+
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/stats", timeout=10) as r:
+            stats = json.load(r)
+        if stats["cache"]["hits"] < EXPECTED_POINTS:
+            fail(f"expected >= {EXPECTED_POINTS} cache hits, "
+                 f"stats say {stats['cache']}")
+        if stats["admission"]["completed"] != 2:
+            fail(f"expected 2 completed campaigns: "
+             f"{stats['admission']}")
+        print(f"stats: hits={stats['cache']['hits']} "
+              f"dedup-factor={stats['cache']['dedupFactor']:.2f}")
+
+        subprocess.run([args.client, "--port", port, "shutdown"],
+                       check=True, timeout=30)
+        if daemon.wait(timeout=30) != 0:
+            fail("daemon exited non-zero after shutdown")
+        print("OK: campaign service smoke passed")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+
+if __name__ == "__main__":
+    main()
