@@ -46,6 +46,7 @@
 #include "serve/session.hh"
 #include "sim/parallel.hh"
 #include "system/machine.hh"
+#include "workload/replay.hh"
 #include "workload/splash.hh"
 #include "workload/synthetic.hh"
 #include "workload/workload.hh"
@@ -275,6 +276,7 @@ class JsonReport
 
     ~JsonReport()
     {
+        appendReplayStats();
         namespace fs = std::filesystem;
         fs::path dir = "bench/out";
         if (const char *env = std::getenv("CCNUMA_BENCH_OUT"))
@@ -328,6 +330,38 @@ class JsonReport
     }
 
   private:
+    /**
+     * Every bench JSON carries the process-wide replay-cache counters
+     * so scripts (and the CI fig6-twice assertion) can verify that
+     * sweeps were replay-served rather than regenerated — cache
+     * behavior is counted, never silent. Off (CCNUMA_REPLAY=0) is
+     * reported as a one-row table rather than omitted.
+     */
+    void
+    appendReplayStats()
+    {
+        report::Table t({"metric", "value"});
+        if (ReplayCache *rc = globalReplayCache()) {
+            ReplayStats s = rc->stats();
+            auto u64 = [](std::uint64_t v) {
+                return report::fmt("%llu", (unsigned long long)v);
+            };
+            t.addRow({"captures", u64(s.captures)});
+            t.addRow({"hits", u64(s.hits)});
+            t.addRow({"disk hits", u64(s.diskHits)});
+            t.addRow({"stale rejects", u64(s.staleRejects)});
+            t.addRow({"dedup waits", u64(s.dedupWaits)});
+            t.addRow({"evictions", u64(s.evictions)});
+            t.addRow({"resident bytes", u64(s.bytes)});
+            t.addRow({"resident traces", u64(s.entries)});
+            t.addRow({"hit rate", report::fmt("%.4f", s.hitRate())});
+        } else {
+            t.addRow({"disabled", "CCNUMA_REPLAY=0"});
+        }
+        std::cout << "\nWorkload replay cache\n";
+        table("Workload replay cache", t);
+    }
+
     std::string name_;
     double scale_;
     unsigned procs_;

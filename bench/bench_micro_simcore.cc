@@ -115,6 +115,39 @@ BM_LegacyHeapRealisticDelays(benchmark::State &state)
 }
 BENCHMARK(BM_LegacyHeapRealisticDelays);
 
+/**
+ * Guard for the O(overflow) wheel-advance early-out: park
+ * state.range(0) far-future timers in the overflow tier and run a
+ * near-term schedule/fire steady state whose 64-tick hop wraps the
+ * 1024-tick wheel every 16 steps. Each wrap calls advanceWheelTo,
+ * which must reject the entire parked population from its cached
+ * lower bound in O(1) — without the early-out every wrap walks all
+ * parked events and throughput collapses as the population grows.
+ * bench_gate.py enforces Arg(4096) >= 0.5x Arg(64) items/s, a
+ * machine-independent within-run invariant.
+ */
+void
+BM_WheelParkedOverflow(benchmark::State &state)
+{
+    EventQueue eq;
+    const std::size_t parked =
+        static_cast<std::size_t>(state.range(0));
+    for (std::size_t i = 0; i < parked; ++i) {
+        // Far enough out that no iteration count migrates them into
+        // the wheel; they stay parked for the whole measurement.
+        eq.scheduleFunction([] {},
+                            eq.curTick() + (Tick(1) << 40) +
+                                static_cast<Tick>(i) * 64);
+    }
+    for (auto _ : state) {
+        eq.scheduleFunction([] {}, eq.curTick() + 64);
+        eq.step();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WheelParkedOverflow)->Arg(64)->Arg(4096);
+
 void
 BM_CacheHit(benchmark::State &state)
 {

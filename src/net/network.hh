@@ -169,6 +169,20 @@ class Network
     void setTap(NetworkTap *tap) { tap_ = tap; }
     NetworkTap *tap() const { return tap_; }
 
+    /**
+     * Adaptive-window support: have every cross-shard send clamp the
+     * sending queue's window stop to arrive_at + @p margin, where
+     * @p margin is the machine's conservative lookahead (the earliest
+     * a consequence of the send could re-enter the sender's shard).
+     * Off by default; conservative lock-step windows never need it.
+     */
+    void
+    setSendClampMargin(Tick margin)
+    {
+        clampSends_ = true;
+        clampMargin_ = margin;
+    }
+
     /** Record message flights with one tracer for every node. */
     void setTracer(obs::Tracer *t)
     {
@@ -282,6 +296,17 @@ class Network
                 Event::defaultPriority, name, send_tick, ctx, seq,
                 map_->nodeCtx(dst));
         } else {
+            // Adaptive windows: a cross-shard send is the one way
+            // this shard can conjure future traffic back toward
+            // itself (the destination wakes at arrive_at and may
+            // reply, arriving no sooner than arrive_at + the
+            // machine's lookahead margin). Clamp the sender's own
+            // window there so its clock never outruns a possible
+            // reply; the planner's quiet-shard widening relies on it.
+            if (clampSends_) {
+                map_->of(src).clampWindowStop(arrive_at +
+                                              clampMargin_);
+            }
             mailboxes_[map_->shardOf(src)].push_back(MailboxEntry{
                 std::move(arrival), arrive_at, send_tick, ctx, seq,
                 dst, name});
@@ -339,6 +364,9 @@ class Network
     /** Per-source-shard buffers of cross-shard arrivals. */
     std::vector<std::vector<MailboxEntry>> mailboxes_;
     NetworkTap *tap_ = nullptr;
+    /** Clamp senders' window stops on cross-shard sends (adaptive). */
+    bool clampSends_ = false;
+    Tick clampMargin_ = 0;
     std::vector<obs::Tracer *> tracerOfNode_;
     stats::Group statGroup_;
 };

@@ -83,12 +83,21 @@ SyncManager::post(Op op)
     key.sub = q.nextSub();
     pending_[map_->shardOf(op.node)].push_back(
         Record{key, std::move(op)});
+    // An adaptive window must not run past the point where this
+    // operation's own grant could land back on this queue (e.g. an
+    // uncontended lock acquire granted to the acquirer): stop the
+    // window there so the grant is scheduled before the shard resumes.
+    // Cross-shard grants are covered by the planner's pending-sync
+    // bound instead.
+    if (adaptiveWindows_)
+        q.clampWindowStop(q.curTick() + handoffTicks_);
 }
 
 void
-SyncManager::processPending()
+SyncManager::processPending(Tick safe)
 {
-    std::vector<Record> merged;
+    std::vector<Record> merged = std::move(deferred_);
+    deferred_.clear();
     for (auto &log : pending_) {
         for (Record &r : log)
             merged.push_back(std::move(r));
@@ -98,8 +107,24 @@ SyncManager::processPending()
               [](const Record &a, const Record &b) {
                   return a.key < b.key;
               });
-    for (Record &r : merged)
+    // Process in key order while below the safe horizon. Each
+    // processed operation may grant a wake at op.tick + handoffTicks,
+    // and the woken processor's very next sync operation could sort
+    // before anything still buffered at a later tick — so the horizon
+    // shrinks as we go. Records at or past the horizon wait, sorted,
+    // in deferred_ for a later barrier.
+    Tick horizon = safe;
+    std::size_t i = 0;
+    for (; i < merged.size(); ++i) {
+        Record &r = merged[i];
+        if (r.key.when >= horizon)
+            break;
         processOp(r.op);
+        if (r.op.tick + handoffTicks_ < horizon)
+            horizon = r.op.tick + handoffTicks_;
+    }
+    for (; i < merged.size(); ++i)
+        deferred_.push_back(std::move(merged[i]));
 }
 
 bool
@@ -109,7 +134,14 @@ SyncManager::pendingEmpty() const
         if (!log.empty())
             return false;
     }
-    return true;
+    return deferred_.empty();
+}
+
+Tick
+SyncManager::pendingMinWhen() const
+{
+    // deferred_ is kept sorted by processPending.
+    return deferred_.empty() ? maxTick : deferred_.front().key.when;
 }
 
 void

@@ -62,6 +62,15 @@ class SyncManager
     void setHandoffTicks(Tick d) { handoffTicks_ = d; }
     Tick handoffTicks() const { return handoffTicks_; }
 
+    /**
+     * Adaptive-window support: have every recorded operation clamp
+     * the posting queue's window stop to op.tick + handoffTicks (the
+     * earliest its own grant could land back on that queue). Under
+     * conservative lock-step windows the clamp is a provable no-op,
+     * so it stays off and the hot path skips it.
+     */
+    void setAdaptiveWindows(bool on) { adaptiveWindows_ = on; }
+
     /** Address of barrier @p id's cache line. */
     Addr
     barrierAddr(std::uint32_t id) const
@@ -103,11 +112,34 @@ class SyncManager
      * deterministic (event key) merge order. Called at the window
      * barrier with all shard threads quiescent. Serial mode processes
      * inline and never buffers, so this is then a no-op.
+     *
+     * Under adaptive windows shards run *different* spans, so an
+     * operation posted by a far-ahead shard may sort after operations
+     * a lagging shard has not yet posted. @p safe is the tick every
+     * shard has provably reached (the post-drain minimum of all
+     * queues' nextWhen()): only operations below that horizon are
+     * processed now, and each processed operation shrinks the horizon
+     * to op.tick + handoffTicks, since its grant can wake a processor
+     * whose next sync operation would sort before a later buffered
+     * one. The unprocessed suffix is deferred to a later barrier.
+     * With the default safe = maxTick (conservative windows, where
+     * every shard reached the same end) everything is processed, so
+     * behavior is exactly the PR 5 merge.
      */
-    void processPending();
+    void processPending(Tick safe = maxTick);
 
-    /** @return true when no recorded operations are buffered. */
+    /**
+     * @return true when no recorded operations are buffered, counting
+     * operations deferred past an adaptive horizon.
+     */
     bool pendingEmpty() const;
+
+    /**
+     * Earliest event key tick among deferred operations (maxTick when
+     * none). The adaptive window planner bounds every shard's window
+     * by this, so no shard can outrun a deferred operation's effects.
+     */
+    Tick pendingMinWhen() const;
 
     stats::Group &statGroup() { return statGroup_; }
 
@@ -175,10 +207,17 @@ class SyncManager
     Addr lockRegionOffset_;
     unsigned participants_ = 1;
     Tick handoffTicks_ = 16;
+    bool adaptiveWindows_ = false;
     /** Per-context grant sequence (advances in processing order). */
     std::uint64_t syncSeq_ = 0;
     /** Per-shard operation logs (sharded mode only). */
     std::vector<std::vector<Record>> pending_;
+    /**
+     * Operations deferred past an adaptive-window safe horizon,
+     * kept sorted by event key until a later barrier's horizon
+     * admits them.
+     */
+    std::vector<Record> deferred_;
     std::unordered_map<std::uint32_t, BarrierState> barriers_;
     std::unordered_map<std::uint32_t, LockState> locks_;
     stats::Group statGroup_;

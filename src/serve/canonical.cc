@@ -129,9 +129,10 @@ canonicalMachineConfig(const MachineConfig &cfg)
     c.field("machine.syncHandoffTicks",
             std::uint64_t(cfg.syncHandoffTicks));
     c.field("machine.maxTicks", std::uint64_t(cfg.maxTicks));
-    // cfg.shards and cfg.obs are deliberately omitted: both are
-    // proven result-invariant by the identity test suites (see the
-    // header comment), so points may share cache entries across them.
+    // cfg.shards, cfg.windowPolicy, and cfg.obs are deliberately
+    // omitted: all are proven result-invariant by the identity test
+    // suites (see the header comment), so points may share cache
+    // entries across them.
 
     const NodeParams &n = cfg.node;
     c.field("node.procsPerNode", std::uint64_t(n.procsPerNode));

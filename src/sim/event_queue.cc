@@ -83,16 +83,21 @@ EventQueue::~EventQueue()
             b.tail = nullptr;
         }
     }
-    for (Event *ev = overflowHead_; ev != nullptr;) {
-        Event *next = ev->next_;
-        ev->scheduled_ = false;
-        ev->queue_ = nullptr;
-        ev->prev_ = nullptr;
-        ev->next_ = nullptr;
-        if (ev->pooled_)
-            releasePoolEvent(static_cast<PoolEvent *>(ev));
-        ev = next;
-    }
+    auto drainList = [this](Event *head) {
+        for (Event *ev = head; ev != nullptr;) {
+            Event *next = ev->next_;
+            ev->scheduled_ = false;
+            ev->queue_ = nullptr;
+            ev->prev_ = nullptr;
+            ev->next_ = nullptr;
+            if (ev->pooled_)
+                releasePoolEvent(static_cast<PoolEvent *>(ev));
+            ev = next;
+        }
+    };
+    for (Event *&head : epochs_)
+        drainList(head);
+    drainList(farHead_);
     // Donate the cleaned bucket array and pool slabs to the next
     // queue constructed on this thread (bounded cache).
     std::vector<Core> &cache = coreCache();
@@ -169,14 +174,40 @@ EventQueue::insertScheduled(Event *ev, Tick when)
         insertSorted(buckets_[idx], ev);
         bitmap_[idx >> 6] |= std::uint64_t(1) << (idx & 63);
         ++nearCount_;
-    } else {
-        // Far future: unsorted intrusive overflow list.
+    } else if (inHorizon(when)) {
+        // Within one ring revolution of the window: intrusive list in
+        // the event's epoch slot, so window advances only ever touch
+        // the one slot they open. The ring is a fixed array — this
+        // path never allocates, which the steady-state pooled
+        // one-shot contract (tests/sim/test_alloc_free.cc) requires.
+        Event *&head = epochs_[epochSlot(when)];
         ev->prev_ = nullptr;
-        ev->next_ = overflowHead_;
-        if (overflowHead_ != nullptr)
-            overflowHead_->prev_ = ev;
-        overflowHead_ = ev;
+        ev->next_ = head;
+        if (head != nullptr)
+            head->prev_ = ev;
+        head = ev;
         ++overflowCount_;
+        // A smaller tick tightens the cached bound whether or not it
+        // is currently exact; an equal-or-larger one leaves an exact
+        // bound exact.
+        if (when < overflowMinLB_)
+            overflowMinLB_ = when;
+    } else {
+        // Beyond the horizon (watchdog-scale timers): unsorted far
+        // list with its own stale-lower-bound min cache. Advances
+        // never walk it unless its cached bound proves something may
+        // have entered the horizon.
+        ev->prev_ = nullptr;
+        ev->next_ = farHead_;
+        if (farHead_ != nullptr)
+            farHead_->prev_ = ev;
+        farHead_ = ev;
+        ++farCount_;
+        ++overflowCount_;
+        if (when < farMinLB_)
+            farMinLB_ = when;
+        if (when < overflowMinLB_)
+            overflowMinLB_ = when;
     }
     ++pending_;
     if (pending_ > maxPending_)
@@ -202,13 +233,40 @@ EventQueue::unlink(Event *ev)
             bitmap_[idx >> 6] &= ~(std::uint64_t(1) << (idx & 63));
         --nearCount_;
     } else {
-        if (ev->prev_ != nullptr)
+        // Ring slot or far list? After every advance all far events
+        // are beyond the horizon (promotion runs before anything else
+        // looks at the ring), so the event's own tick discriminates.
+        const bool far = !inHorizon(ev->when_);
+        if (ev->prev_ != nullptr) {
             ev->prev_->next_ = ev->next_;
-        else
-            overflowHead_ = ev->next_;
+        } else if (far) {
+            ccnuma_assert(farHead_ == ev);
+            farHead_ = ev->next_;
+        } else {
+            Event *&head = epochs_[epochSlot(ev->when_)];
+            ccnuma_assert(head == ev);
+            head = ev->next_;
+        }
         if (ev->next_ != nullptr)
             ev->next_->prev_ = ev->prev_;
+        if (far) {
+            --farCount_;
+            if (farCount_ == 0) {
+                farMinLB_ = maxTick;
+                farMinExact_ = true;
+            } else if (ev->when_ == farMinLB_) {
+                farMinExact_ = false;
+            }
+        }
         --overflowCount_;
+        if (overflowCount_ == 0) {
+            overflowMinLB_ = maxTick;
+            overflowMinExact_ = true;
+        } else if (ev->when_ == overflowMinLB_) {
+            // The minimum may have left; the bound stays valid as a
+            // lower bound and is recomputed lazily on demand.
+            overflowMinExact_ = false;
+        }
     }
     ev->prev_ = nullptr;
     ev->next_ = nullptr;
@@ -263,13 +321,54 @@ EventQueue::peekWheel() const
 Tick
 EventQueue::overflowMin() const
 {
-    ccnuma_assert(overflowHead_ != nullptr);
-    Tick min = overflowHead_->when_;
-    for (Event *ev = overflowHead_->next_; ev != nullptr;
-         ev = ev->next_) {
+    ccnuma_assert(overflowCount_ != 0);
+    if (overflowMinExact_)
+        return overflowMinLB_;
+    Tick min = maxTick;
+    if (overflowCount_ != farCount_) {
+        // Some events live in the epoch ring. Every ring event is
+        // within one revolution of the window, so scanning slots in
+        // ring order from the window's own epoch meets the earliest
+        // occupied epoch first; the recompute walks that one slot,
+        // never the whole tier.
+        const std::size_t cur = epochSlot(wheelBase_);
+        for (unsigned d = 0; d < overflowEpochs; ++d) {
+            Event *head =
+                epochs_[(cur + d) & (overflowEpochs - 1)];
+            if (head == nullptr)
+                continue;
+            min = head->when_;
+            for (Event *ev = head->next_; ev != nullptr;
+                 ev = ev->next_) {
+                if (ev->when_ < min)
+                    min = ev->when_;
+            }
+            break;
+        }
+    }
+    if (farCount_ != 0) {
+        Tick fm = farMin();
+        if (fm < min)
+            min = fm;
+    }
+    overflowMinLB_ = min;
+    overflowMinExact_ = true;
+    return min;
+}
+
+Tick
+EventQueue::farMin() const
+{
+    ccnuma_assert(farCount_ != 0);
+    if (farMinExact_)
+        return farMinLB_;
+    Tick min = farHead_->when_;
+    for (Event *ev = farHead_->next_; ev != nullptr; ev = ev->next_) {
         if (ev->when_ < min)
             min = ev->when_;
     }
+    farMinLB_ = min;
+    farMinExact_ = true;
     return min;
 }
 
@@ -278,28 +377,81 @@ EventQueue::advanceWheelTo(Tick target)
 {
     ccnuma_assert(nearCount_ == 0);
     wheelBase_ = target & ~wheelMask;
-    // Migrate newly-near overflow events into their buckets. They
-    // keep their original seq, so the (tick, priority, seq) ordering
-    // contract is untouched by living in the overflow tier.
-    for (Event *ev = overflowHead_; ev != nullptr;) {
-        Event *next = ev->next_;
-        if (inWheel(ev->when_)) {
-            if (ev->prev_ != nullptr)
-                ev->prev_->next_ = ev->next_;
-            else
-                overflowHead_ = ev->next_;
-            if (ev->next_ != nullptr)
-                ev->next_->prev_ = ev->prev_;
-            --overflowCount_;
-            std::size_t idx =
-                static_cast<std::size_t>(ev->when_ & wheelMask);
-            ev->prev_ = nullptr;
-            ev->next_ = nullptr;
-            insertSorted(buckets_[idx], ev);
-            bitmap_[idx >> 6] |= std::uint64_t(1) << (idx & 63);
-            ++nearCount_;
+    // Nothing parked, nothing to migrate: re-basing an empty window
+    // is a pure pointer update (the common case when a serial run
+    // hops across an idle stretch).
+    if (overflowCount_ == 0)
+        return;
+    // The horizon moved with the window: far events that now fall
+    // within one ring revolution are promoted into their epoch slots
+    // first, so the membership invariant (far events are always
+    // beyond the horizon) holds before anything else classifies by
+    // tick. The far list's cached bound gates the walk — parked
+    // watchdog-scale timers are not touched until the window provably
+    // approaches them — and the walk doubles as an exact far-minimum
+    // recompute.
+    if (farCount_ != 0 && farMinLB_ < wheelBase_ + horizonTicks) {
+        Tick min = maxTick;
+        for (Event *ev = farHead_; ev != nullptr;) {
+            Event *next = ev->next_;
+            if (inHorizon(ev->when_)) {
+                if (ev->prev_ != nullptr)
+                    ev->prev_->next_ = ev->next_;
+                else
+                    farHead_ = ev->next_;
+                if (ev->next_ != nullptr)
+                    ev->next_->prev_ = ev->prev_;
+                Event *&head = epochs_[epochSlot(ev->when_)];
+                ev->prev_ = nullptr;
+                ev->next_ = head;
+                if (head != nullptr)
+                    head->prev_ = ev;
+                head = ev;
+                --farCount_;
+            } else if (ev->when_ < min) {
+                min = ev->when_;
+            }
+            ev = next;
         }
+        farMinLB_ = min;
+        farMinExact_ = true;
+    }
+    // If even the smallest parked tick lies beyond the new window,
+    // nothing can migrate — and a stale lower bound is still a
+    // bound, so this O(1) test rejects the entire parked population
+    // without a recompute or slot lookup.
+    if (overflowMinLB_ >= wheelBase_ + wheelTicks)
+        return;
+    // Migrate exactly the destination epoch's slot into the wheel.
+    // The advance target is always the earliest pending tick, so no
+    // slot holds events from an epoch before the new base and the
+    // slot's ring mapping is unambiguous. Migrating events keep
+    // their original seq, so the (tick, priority, seq) ordering
+    // contract is untouched by living in the overflow tier; every
+    // other epoch's parked population is never walked.
+    Event *&slot = epochs_[epochSlot(wheelBase_)];
+    for (Event *ev = slot; ev != nullptr;) {
+        Event *next = ev->next_;
+        std::size_t idx =
+            static_cast<std::size_t>(ev->when_ & wheelMask);
+        ev->prev_ = nullptr;
+        ev->next_ = nullptr;
+        insertSorted(buckets_[idx], ev);
+        bitmap_[idx >> 6] |= std::uint64_t(1) << (idx & 63);
+        ++nearCount_;
+        --overflowCount_;
         ev = next;
+    }
+    slot = nullptr;
+    if (overflowCount_ == 0) {
+        overflowMinLB_ = maxTick;
+        overflowMinExact_ = true;
+    } else {
+        // Everything still parked sits in a later ring epoch or
+        // beyond the horizon, so the next window base is a valid
+        // lower bound; the exact minimum is recomputed lazily.
+        overflowMinLB_ = wheelBase_ + wheelTicks;
+        overflowMinExact_ = false;
     }
 }
 
@@ -341,19 +493,9 @@ EventQueue::releasePoolEvent(PoolEvent *ev)
     freeList_ = ev;
 }
 
-bool
-EventQueue::step()
+void
+EventQueue::fire(Event *ev)
 {
-    Event *ev = peekWheel();
-    if (ev == nullptr) {
-        if (overflowCount_ == 0)
-            return false;
-        // Only far-future events remain: fast-forward the window to
-        // the earliest of them and retry.
-        advanceWheelTo(overflowMin());
-        ev = peekWheel();
-        ccnuma_assert(ev != nullptr);
-    }
     ccnuma_assert(ev->when_ >= curTick_);
     curTick_ = ev->when_;
     unlink(ev);
@@ -382,35 +524,66 @@ EventQueue::step()
         }
     } reaper{this, ev};
     ev->process();
+}
+
+bool
+EventQueue::step()
+{
+    Event *ev = peekWheel();
+    if (ev == nullptr) {
+        if (overflowCount_ == 0)
+            return false;
+        // Only far-future events remain: fast-forward the window to
+        // the earliest of them and retry.
+        advanceWheelTo(overflowMin());
+        ev = peekWheel();
+        ccnuma_assert(ev != nullptr);
+    }
+    fire(ev);
     return true;
 }
 
 void
 EventQueue::run(Tick limit)
 {
-    if (limit == maxTick) {
-        // Drain-to-empty fast path: step() already finds the minimum,
-        // so the extra nextWhen() scan per event would be pure waste.
-        while (step()) {
-        }
-        return;
-    }
+    // Each iteration peeks the earliest event exactly once; the old
+    // nextWhen() pre-check repeated the same bitmap scan step() was
+    // about to do.
     while (pending_ != 0) {
-        if (nextWhen() > limit)
+        Event *ev = peekWheel();
+        if (ev == nullptr) {
+            advanceWheelTo(overflowMin());
+            ev = peekWheel();
+        }
+        if (ev->when_ > limit)
             return;
-        step();
+        fire(ev);
+    }
+}
+
+void
+EventQueue::runWindow(Tick end)
+{
+    windowStop_ = maxTick;
+    while (pending_ != 0) {
+        Tick stop = end < windowStop_ ? end : windowStop_;
+        Event *ev = peekWheel();
+        if (ev == nullptr) {
+            if (overflowMin() >= stop)
+                return;
+            advanceWheelTo(overflowMin());
+            ev = peekWheel();
+        }
+        if (ev->when_ >= stop)
+            return;
+        fire(ev);
     }
 }
 
 bool
 EventQueue::runUntil(const std::function<bool()> &done, Tick limit)
 {
-    while (!done()) {
-        if (pending_ == 0 || nextWhen() > limit)
-            return false;
-        step();
-    }
-    return true;
+    return runUntilFast([&done] { return done(); }, limit);
 }
 
 } // namespace ccnuma

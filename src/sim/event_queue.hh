@@ -21,6 +21,7 @@
 #ifndef CCNUMA_SIM_EVENT_QUEUE_HH
 #define CCNUMA_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -435,11 +436,34 @@ class EventQueue
     void run(Tick limit = maxTick);
 
     /**
-     * Conservative-window helper: fire every pending event strictly
-     * before tick @p end, then return (events at or after @p end stay
-     * pending). Used by the sharded scheduler's lock-step windows.
+     * Window helper for the sharded scheduler: fire every pending
+     * event strictly before tick @p end — or before the window-stop
+     * tick if a clampWindowStop() call during the window lowered it —
+     * then return (later events stay pending). The stop is re-read
+     * after every event, so a sync post can cut its own window short
+     * the moment it happens.
      */
-    void runWindow(Tick end) { run(end - 1); }
+    void runWindow(Tick end);
+
+    /**
+     * Lower the current window's stop tick (see runWindow). Used by
+     * the sync manager in sharded mode: a shard that posts a sync
+     * operation at tick t must not run past t + handoff, because the
+     * operation's grant — scheduled at a later window barrier — may
+     * land back on this very queue at that tick. Counted, never
+     * silent: windowClamps() reports how often windows were cut.
+     */
+    void
+    clampWindowStop(Tick t)
+    {
+        if (t < windowStop_) {
+            windowStop_ = t;
+            ++windowClamps_;
+        }
+    }
+
+    /** Number of windows cut short by clampWindowStop(). */
+    std::uint64_t windowClamps() const { return windowClamps_; }
 
     /**
      * Run until @p done returns true, the queue drains, or @p limit
@@ -447,6 +471,31 @@ class EventQueue
      */
     bool runUntil(const std::function<bool()> &done,
                   Tick limit = maxTick);
+
+    /**
+     * Inlinable variant of runUntil for hot serial loops: @p done is
+     * a template callable (no std::function indirection), and each
+     * iteration peeks the earliest event exactly once instead of the
+     * nextWhen() + step() double scan.
+     */
+    template <typename Done>
+    bool
+    runUntilFast(Done done, Tick limit = maxTick)
+    {
+        while (!done()) {
+            Event *ev = peekWheel();
+            if (ev == nullptr) {
+                if (overflowCount_ == 0)
+                    return false;
+                advanceWheelTo(overflowMin());
+                ev = peekWheel();
+            }
+            if (ev->when_ > limit)
+                return false;
+            fire(ev);
+        }
+        return true;
+    }
 
     // --- wheel geometry (exposed for tests/benches) ---
     // 1024 one-tick buckets: every hot latency constant in the
@@ -481,11 +530,29 @@ class EventQueue
     static constexpr Tick wheelMask = wheelTicks - 1;
     static constexpr unsigned bitmapWords =
         static_cast<unsigned>(wheelTicks / 64);
+    /** Epoch-ring geometry (overflow level 2; see epochs_). */
+    static constexpr unsigned overflowEpochs = 64;
+    static constexpr Tick horizonTicks =
+        wheelTicks * overflowEpochs;
 
     bool
     inWheel(Tick when) const
     {
         return when - wheelBase_ < wheelTicks;
+    }
+
+    /** Within the epoch ring's coverage (but maybe in the wheel). */
+    bool
+    inHorizon(Tick when) const
+    {
+        return when - wheelBase_ < horizonTicks;
+    }
+
+    std::size_t
+    epochSlot(Tick when) const
+    {
+        return static_cast<std::size_t>((when >> wheelBits) &
+                                        (overflowEpochs - 1));
     }
 
     void insertSorted(Bucket &b, Event *ev);
@@ -494,14 +561,22 @@ class EventQueue
     void unlink(Event *ev);
     /** Earliest pending event, or nullptr. Never mutates the wheel. */
     Event *peekWheel() const;
-    /** Exact minimum tick over the overflow list (list non-empty). */
+    /** Exact minimum tick over the overflow tier (non-empty). */
     Tick overflowMin() const;
+    /** Exact minimum tick over the far list (empty -> maxTick). */
+    Tick farMin() const;
     /**
      * Re-base the wheel window so that @p target falls inside it and
-     * migrate newly-near overflow events into their buckets.
+     * migrate the destination epoch's overflow bucket into the wheel.
+     * Cost is O(events actually migrating); parked populations in
+     * later epochs are never touched, and a cached lower bound lets
+     * an advance below every parked event return without even the
+     * bucket lookup.
      * @pre the wheel is empty and target >= curTick_.
      */
     void advanceWheelTo(Tick target);
+    /** Pop bookkeeping + process() for an already-peeked event. */
+    void fire(Event *ev);
 
     PoolEvent *acquirePoolEvent();
     void releasePoolEvent(PoolEvent *ev);
@@ -528,9 +603,47 @@ class EventQueue
     Tick wheelBase_ = 0;
     std::uint64_t nearCount_ = 0;
 
-    /** Far-future events (>= wheelBase_ + wheelTicks), unsorted. */
-    Event *overflowHead_ = nullptr;
+    /**
+     * Overflow level 2: a fixed ring of 64 epoch slots, one per
+     * future wheel window (epoch = when >> wheelBits; slot = epoch
+     * mod 64), covering the next 64 windows (65536 ticks). Each slot
+     * is the head of an unsorted intrusive list. Window advancement
+     * migrates exactly the one slot whose epoch the wheel is opening
+     * — O(events actually migrating) — so a parked population of
+     * watchdog/retransmission timers costs nothing per wrap, where a
+     * flat overflow list forces a full walk on every wrap. The ring
+     * is a plain member array and the lists are intrusive, so
+     * far-future scheduling stays allocation-free in the steady
+     * state (the repo's counting-allocator tests enforce this).
+     *
+     * Events beyond the 64-epoch horizon park in level 3, the far
+     * list, and are swept into ring slots when the advancing horizon
+     * reaches them; farMinLB_ (same stale-lower-bound protocol as
+     * overflowMinLB_) makes the "nothing to sweep" check O(1), so a
+     * population parked eons out is never walked at all.
+     */
+    std::array<Event *, 64> epochs_ = {};
+    /** Total far-future events: ring slots + far list. */
     std::uint64_t overflowCount_ = 0;
+    /** Level 3: events beyond the epoch ring's horizon, unsorted. */
+    Event *farHead_ = nullptr;
+    std::uint64_t farCount_ = 0;
+    mutable Tick farMinLB_ = maxTick;
+    mutable bool farMinExact_ = true;
+    /**
+     * Cached lower bound on the overflow ticks: exact while
+     * overflowMinExact_, and always <= the true minimum (removing an
+     * event can only raise the minimum, so a stale bound stays a
+     * bound). Keeps nextWhen() and window advancement O(1) instead of
+     * walking the overflow list — a per-window cost in the sharded
+     * scheduler, whose GVT computation polls every shard's horizon.
+     */
+    mutable Tick overflowMinLB_ = maxTick;
+    mutable bool overflowMinExact_ = true;
+
+    /** Stop tick of the window in progress (see runWindow). */
+    Tick windowStop_ = maxTick;
+    std::uint64_t windowClamps_ = 0;
 
     Tick curTick_ = 0;
     /** Per-context insertion counters (single context by default). */

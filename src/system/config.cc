@@ -17,6 +17,16 @@ archName(Arch a)
     return "?";
 }
 
+const char *
+windowPolicyName(WindowPolicy p)
+{
+    switch (p) {
+      case WindowPolicy::Conservative: return "conservative";
+      case WindowPolicy::Adaptive: return "adaptive";
+    }
+    return "?";
+}
+
 MachineConfig
 MachineConfig::base()
 {

@@ -31,6 +31,33 @@ enum class Arch
 
 const char *archName(Arch a);
 
+/**
+ * How the sharded scheduler sizes its lookahead windows (PR 9).
+ * Both policies are bit-identical to the serial scheduler — the
+ * identity suite proves it — so this knob trades wall clock only and
+ * is deliberately excluded from the canonical cache key, like the
+ * shard count itself.
+ */
+enum class WindowPolicy
+{
+    /**
+     * PR 5's lock-step windows: every shard runs the same
+     * [t0, t0 + lookahead) span, with t0 the global earliest event.
+     */
+    Conservative,
+    /**
+     * Per-shard windows bounded by the *other* shards' event
+     * horizons (plus any deferred sync operations): a shard whose
+     * peers are idle or far ahead runs a wide window and skips the
+     * barriers the conservative policy would have paid. Falls back
+     * to the conservative span the moment cross-shard traffic can
+     * exist. The default.
+     */
+    Adaptive,
+};
+
+const char *windowPolicyName(WindowPolicy p);
+
 /** Full machine configuration. */
 struct MachineConfig
 {
@@ -63,6 +90,14 @@ struct MachineConfig
      * overrides without a config change.
      */
     unsigned shards = 1;
+    /**
+     * Lookahead-window sizing for the sharded scheduler (PR 9);
+     * ignored when shards == 1. Bit-identical either way, so this is
+     * omitted from the canonical cache key alongside `shards`. The
+     * CCNUMA_WINDOW environment variable (conservative|adaptive)
+     * overrides without a config change.
+     */
+    WindowPolicy windowPolicy = WindowPolicy::Adaptive;
     /** Simulation watchdog: abort if a run exceeds this many ticks. */
     Tick maxTicks = 4'000'000'000ull;
     /**

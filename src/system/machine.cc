@@ -78,6 +78,19 @@ Machine::Machine(const MachineConfig &cfg)
                  "integer); shard count stays %u", env, cfg_.shards);
         }
     }
+    // CCNUMA_WINDOW overrides the sharded window policy. Either
+    // policy is bit-identical; this is a wall-clock ablation knob.
+    if (const char *env = std::getenv("CCNUMA_WINDOW")) {
+        if (!std::strcmp(env, "conservative")) {
+            cfg_.windowPolicy = WindowPolicy::Conservative;
+        } else if (!std::strcmp(env, "adaptive")) {
+            cfg_.windowPolicy = WindowPolicy::Adaptive;
+        } else {
+            warn("CCNUMA_WINDOW=%s not recognized (use "
+                 "conservative|adaptive); policy stays %s", env,
+                 windowPolicyName(cfg_.windowPolicy));
+        }
+    }
     // Verification subsystem (off by default; see DESIGN.md). The
     // CCNUMA_VERIFY environment knob force-enables the checker
     // and/or watchdog without touching the configuration. Parsed
@@ -332,6 +345,21 @@ Machine::Machine(const MachineConfig &cfg)
             },
             [this](std::ostream &os) { dumpDiagnostics(os); });
     }
+
+    // Adaptive windows need every widening decision to be taken at a
+    // barrier with all shards quiescent; the hang watchdog also polls
+    // at barriers, and a shard running an arbitrarily wide window
+    // would starve it, so a watchdog pins the conservative policy.
+    adaptiveActive_ = shardMap_.sharded() &&
+                      cfg_.windowPolicy == WindowPolicy::Adaptive &&
+                      !watchdog_;
+    if (adaptiveActive_) {
+        // A widened shard's clock may only outrun a peer when that
+        // peer provably cannot act; its own sends and sync posts are
+        // the loopholes, closed by these self-clamps (DESIGN.md §19).
+        net_->setSendClampMargin(lookahead_);
+        sync_->setAdaptiveWindows(true);
+    }
 }
 
 Machine::~Machine() = default;
@@ -395,8 +423,10 @@ Machine::dumpDiagnostics(std::ostream &os)
         os << " (requested " << shardsRequested_ << "; fallback: "
            << fallbackReason_ << ")";
     }
-    if (shardMap_.sharded())
-        os << ", lookahead window " << lookahead_ << " ticks";
+    if (shardMap_.sharded()) {
+        os << ", lookahead window " << lookahead_ << " ticks, "
+           << windowPolicyName(windowPolicy()) << " policy";
+    }
     os << "\n";
     for (unsigned s = 0; s < queues_.size(); ++s) {
         os << "  shard " << s << ": tick " << queues_[s]->curTick()
@@ -497,6 +527,9 @@ Machine::fillRecoveryStats(RunResult &r)
 bool
 Machine::runWindows(const std::function<bool()> &done, Tick limit)
 {
+    const unsigned S = static_cast<unsigned>(queues_.size());
+    std::vector<Tick> ends(S);
+    std::vector<Tick> nws(S);
     while (!done()) {
         // GVT skip-ahead: the window starts at the globally earliest
         // pending event, so fully idle stretches cost nothing.
@@ -506,10 +539,52 @@ Machine::runWindows(const std::function<bool()> &done, Tick limit)
         if (t0 == maxTick || t0 > limit)
             return false;
         Tick end = limit < maxTick - 1 ? limit + 1 : maxTick;
-        Tick t1 = std::min(t0 + lookahead_, end);
+        Tick cons = end - t0 > lookahead_ ? t0 + lookahead_ : end;
+        ++windowsRun_;
+        bool widened = false;
+        if (adaptiveActive_) {
+            // Per-shard window ends: shard s may not outrun the
+            // earliest event of any *other non-empty* shard — the
+            // only peers able to originate cross-shard traffic this
+            // window — nor the earliest deferred sync operation, by
+            // more than the conservative lookahead. An empty peer is
+            // provably quiet: mailboxes drain only at barriers, so it
+            // cannot act before the next planning step sees whatever
+            // woke it, and the sender's own self-clamps (network send,
+            // sync post) keep this shard's clock below any reply such
+            // a wake could produce. A shard whose peers are all empty
+            // therefore saturates to the run limit and executes at
+            // full serial speed until traffic appears.
+            Tick sync_min = sync_->pendingMinWhen();
+            for (unsigned s = 0; s < S; ++s)
+                nws[s] = queues_[s]->nextWhen();
+            for (unsigned s = 0; s < S; ++s) {
+                Tick bound = sync_min;
+                for (unsigned o = 0; o < S; ++o) {
+                    if (o != s && nws[o] != maxTick)
+                        bound = std::min(bound, nws[o]);
+                }
+                // No clamp up to the conservative end: a deferred
+                // sync operation older than t0 must keep every
+                // window at or below its grant tick.
+                Tick t1 = bound >= end || end - bound <= lookahead_
+                              ? end
+                              : bound + lookahead_;
+                if (t1 > cons)
+                    widened = true;
+                ends[s] = t1;
+            }
+        } else {
+            for (unsigned s = 0; s < S; ++s)
+                ends[s] = cons;
+        }
+        if (widened)
+            ++windowsWidened_;
+        else if (adaptiveActive_)
+            ++windowFallbacks_;
         team_->run(
-            [this, t1](unsigned s) { queues_[s]->runWindow(t1); });
-        windowBarrier(t1);
+            [this, &ends](unsigned s) { queues_[s]->runWindow(ends[s]); });
+        windowBarrier(*std::max_element(ends.begin(), ends.end()));
     }
     return true;
 }
@@ -520,7 +595,17 @@ Machine::windowBarrier(Tick window_end)
     // All shard threads are quiescent here; injection order is
     // irrelevant because arrivals and grants carry explicit keys.
     net_->drainMailboxes();
-    sync_->processPending();
+    // Adaptive windows ran different spans per shard, so only sync
+    // operations every shard has provably passed may be processed
+    // now; the rest stay deferred (they bound the next windows).
+    // Conservative windows all ended together: process everything,
+    // exactly the PR 5 merge.
+    Tick safe = maxTick;
+    if (adaptiveActive_) {
+        for (auto &q : queues_)
+            safe = std::min(safe, q->nextWhen());
+    }
+    sync_->processPending(safe);
     if (!tracers_.empty()) {
         for (unsigned s = 0; s < pendingNotes_.size(); ++s) {
             for (const Msg &m : pendingNotes_[s]) {
@@ -556,12 +641,21 @@ Machine::run(Workload &w, bool check)
     unsigned n = totalProcs();
     unsigned ppn = cfg_.node.procsPerNode;
     finishedProcs_.store(0, std::memory_order_relaxed);
+    finishedSerial_ = 0;
     for (unsigned i = 0; i < n; ++i) {
         Processor &p = proc(i);
         p.setProgram(w.thread(i));
-        p.setFinishedCallback([this] {
-            finishedProcs_.fetch_add(1, std::memory_order_release);
-        });
+        // Serial runs count completions through a plain variable: the
+        // single-queue fast loop polls it every event, and an atomic
+        // there is pure overhead.
+        if (shardMap_.sharded()) {
+            p.setFinishedCallback([this] {
+                finishedProcs_.fetch_add(1,
+                                         std::memory_order_release);
+            });
+        } else {
+            p.setFinishedCallback([this] { ++finishedSerial_; });
+        }
         // Attribute the start event to the processor's node context
         // so its key is identical under any queue layout.
         NodeId node = i / ppn;
@@ -588,13 +682,20 @@ Machine::run(Workload &w, bool check)
     } else {
         if (watchdog_)
             watchdog_->arm();
-        done = queues_[0]->runUntil(
-            [this, n] {
-                return finishedProcs_.load(
-                           std::memory_order_relaxed) == n ||
-                       (checker_ && checker_->shouldHalt());
-            },
-            limit);
+        if (checker_) {
+            done = queues_[0]->runUntil(
+                [this, n] {
+                    return finishedSerial_ == n ||
+                           checker_->shouldHalt();
+                },
+                limit);
+        } else {
+            // Single-queue fast loop: an inlined completion check
+            // with no std::function dispatch per event (PR 9; this is
+            // the PR 4 serial hot loop).
+            done = queues_[0]->runUntilFast(
+                [this, n] { return finishedSerial_ == n; }, limit);
+        }
     }
     if (watchdog_)
         watchdog_->disarm();
@@ -614,6 +715,7 @@ Machine::run(Workload &w, bool check)
         r.shardsRequested = shardsRequested_;
         r.shardsUsed = shardMap_.numShards;
         r.shardFallback = fallbackReason_;
+        r.windowPolicy = "serial";
         fillRecoveryStats(r);
         if (!tracers_.empty()) {
             mergeTracers();
@@ -713,6 +815,14 @@ Machine::run(Workload &w, bool check)
     r.shardsRequested = shardsRequested_;
     r.shardsUsed = shardMap_.numShards;
     r.shardFallback = fallbackReason_;
+    r.windowPolicy = shardMap_.sharded()
+                         ? windowPolicyName(windowPolicy())
+                         : "serial";
+    r.windowsRun = windowsRun_;
+    r.windowsWidened = windowsWidened_;
+    r.windowFallbacks = windowFallbacks_;
+    for (auto &q : queues_)
+        r.syncWindowStops += q->windowClamps();
     if (!tracers_.empty()) {
         mergeTracers();
         tracers_[0]->exportAll(now());

@@ -102,6 +102,21 @@ struct RunResult
     /** Non-empty iff the machine fell back to the serial scheduler. */
     std::string shardFallback;
 
+    // --- window-policy accounting (PR 9); like the shard counts,
+    // execution-strategy metadata excluded from resultsIdentical().
+    // Counters are zero when shardsUsed == 1. ---
+    /** "serial", "conservative", or "adaptive" (effective policy). */
+    std::string windowPolicy;
+    std::uint64_t windowsRun = 0;     ///< lock-step windows executed
+    /** Windows where at least one shard ran past the conservative
+     *  end (counted, never silent — same rule as shard fallbacks). */
+    std::uint64_t windowsWidened = 0;
+    /** Adaptive windows forced back to the conservative floor by
+     *  cross-shard traffic or deferred sync operations. */
+    std::uint64_t windowFallbacks = 0;
+    /** Windows cut short early by a sync post's self-grant clamp. */
+    std::uint64_t syncWindowStops = 0;
+
     double
     rccpi() const
     {
@@ -142,6 +157,13 @@ class Machine : public MsgRouter
 
     /** The conservative lookahead window (ticks; 0 when serial). */
     Tick lookahead() const { return lookahead_; }
+
+    /** The effective window policy (conservative under a watchdog). */
+    WindowPolicy windowPolicy() const
+    {
+        return adaptiveActive_ ? WindowPolicy::Adaptive
+                               : WindowPolicy::Conservative;
+    }
 
     unsigned numNodes() const
     {
@@ -231,9 +253,14 @@ class Machine : public MsgRouter
     Tick now() const;
 
     /**
-     * Advance lock-step conservative windows until @p done holds at
-     * a barrier, every queue drains, or the earliest pending event
-     * lies beyond @p limit. @return true iff @p done became true.
+     * Advance lock-step windows until @p done holds at a barrier,
+     * every queue drains, or the earliest pending event lies beyond
+     * @p limit. Conservative policy: every shard runs the same
+     * [t0, t0 + lookahead) span. Adaptive policy: each shard's end is
+     * bounded by the other shards' earliest events and any deferred
+     * sync operations, widening up to the limit when peers are
+     * provably quiet (see DESIGN.md §19 for the proof sketch).
+     * @return true iff @p done became true.
      */
     bool runWindows(const std::function<bool()> &done, Tick limit);
 
@@ -263,9 +290,18 @@ class Machine : public MsgRouter
     std::vector<std::vector<Msg>> pendingNotes_;
     std::atomic<std::uint64_t> versionCounter_{0};
     std::atomic<unsigned> finishedProcs_{0};
+    /** Serial-mode finished count: plain, no atomic traffic in the
+     *  single-queue fast loop. */
+    unsigned finishedSerial_ = 0;
     Tick lookahead_ = 0;
     unsigned shardsRequested_ = 1;
     std::string fallbackReason_;
+    /** Adaptive windows in effect (sharded, policy adaptive, and no
+     *  watchdog — the watchdog polls only at conservative barriers). */
+    bool adaptiveActive_ = false;
+    std::uint64_t windowsRun_ = 0;
+    std::uint64_t windowsWidened_ = 0;
+    std::uint64_t windowFallbacks_ = 0;
 };
 
 } // namespace ccnuma

@@ -18,7 +18,9 @@
 #include <coroutine>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "sim/types.hh"
 
@@ -64,8 +66,16 @@ struct ThreadOp
 };
 
 /**
- * Move-only coroutine generator of ThreadOps. A workload kernel is a
- * function returning OpStream and yielding ThreadOps.
+ * Move-only generator of ThreadOps. A workload kernel is a function
+ * returning OpStream and yielding ThreadOps from a coroutine.
+ *
+ * A stream can alternatively serve ops out of a pre-captured buffer
+ * (fromBuffer): replayed sweeps walk the recorded vector with a bare
+ * index, so next() performs no coroutine resume and no allocation.
+ * The consumer cannot tell the difference — timing feedback only
+ * controls *when* next() is called, never what it returns, so a
+ * buffer recorded from one run replays bit-identically anywhere the
+ * workload identity (kernel, thread count, scaling, seed) matches.
  */
 class OpStream
 {
@@ -103,7 +113,8 @@ class OpStream
     {}
 
     OpStream(OpStream &&o) noexcept
-        : handle_(std::exchange(o.handle_, nullptr))
+        : handle_(std::exchange(o.handle_, nullptr)),
+          buf_(std::move(o.buf_)), idx_(std::exchange(o.idx_, 0))
     {}
 
     OpStream &
@@ -112,6 +123,8 @@ class OpStream
         if (this != &o) {
             destroy();
             handle_ = std::exchange(o.handle_, nullptr);
+            buf_ = std::move(o.buf_);
+            idx_ = std::exchange(o.idx_, 0);
         }
         return *this;
     }
@@ -121,8 +134,25 @@ class OpStream
 
     ~OpStream() { destroy(); }
 
-    /** @return true iff the stream holds a coroutine. */
-    explicit operator bool() const { return handle_ != nullptr; }
+    /**
+     * Build a stream that replays @p ops in order. The shared_ptr
+     * keeps the owning replay buffer alive (typically via the
+     * aliasing constructor into one of its per-thread vectors);
+     * serving an op is an indexed read with no allocation.
+     */
+    static OpStream
+    fromBuffer(std::shared_ptr<const std::vector<ThreadOp>> ops)
+    {
+        OpStream s;
+        s.buf_ = std::move(ops);
+        return s;
+    }
+
+    /** @return true iff the stream holds a coroutine or a buffer. */
+    explicit operator bool() const
+    {
+        return handle_ != nullptr || buf_ != nullptr;
+    }
 
     /**
      * Advance to the next operation.
@@ -131,6 +161,12 @@ class OpStream
     bool
     next(ThreadOp &out)
     {
+        if (buf_) {
+            if (idx_ >= buf_->size())
+                return false;
+            out = (*buf_)[idx_++];
+            return true;
+        }
         if (!handle_ || handle_.done())
             return false;
         handle_.resume();
@@ -151,6 +187,9 @@ class OpStream
     }
 
     std::coroutine_handle<promise_type> handle_;
+    /** Replay source; when set, next() never touches the coroutine. */
+    std::shared_ptr<const std::vector<ThreadOp>> buf_;
+    std::size_t idx_ = 0;
 };
 
 } // namespace ccnuma

@@ -81,25 +81,66 @@ class ShardedKernel : public ::testing::TestWithParam<std::string>
 
 TEST_P(ShardedKernel, BitIdenticalAcrossShardCounts)
 {
+    // Both window policies must reproduce the serial run exactly:
+    // conservative by construction, adaptive because widening is
+    // only applied when cross-shard silence is provable.
+    constexpr WindowPolicy kPolicies[] = {WindowPolicy::Conservative,
+                                          WindowPolicy::Adaptive};
     for (Arch arch : kArchs) {
         Snapshot serial =
             runPoint(shardableConfig(arch, 1), GetParam());
         ASSERT_GT(serial.instructions, 0u);
-        for (unsigned shards : kShardCounts) {
-            if (shards == 1)
-                continue;
-            Snapshot s =
-                runPoint(shardableConfig(arch, shards), GetParam());
-            SCOPED_TRACE(GetParam() + " on " +
-                         std::string(archName(arch)) + " with " +
-                         std::to_string(shards) + " shards");
-            EXPECT_EQ(s.shardsUsed, shards);
-            EXPECT_TRUE(s.fallback.empty()) << s.fallback;
-            EXPECT_EQ(s.instructions, serial.instructions);
-            EXPECT_EQ(s.execTicks, serial.execTicks);
-            EXPECT_EQ(s.stats, serial.stats);
+        for (WindowPolicy wp : kPolicies) {
+            for (unsigned shards : kShardCounts) {
+                if (shards == 1)
+                    continue;
+                MachineConfig cfg = shardableConfig(arch, shards);
+                cfg.windowPolicy = wp;
+                Snapshot s = runPoint(cfg, GetParam());
+                SCOPED_TRACE(GetParam() + " on " +
+                             std::string(archName(arch)) + " with " +
+                             std::to_string(shards) + " shards, " +
+                             windowPolicyName(wp) + " windows");
+                EXPECT_EQ(s.shardsUsed, shards);
+                EXPECT_TRUE(s.fallback.empty()) << s.fallback;
+                EXPECT_EQ(s.instructions, serial.instructions);
+                EXPECT_EQ(s.execTicks, serial.execTicks);
+                EXPECT_EQ(s.stats, serial.stats);
+                EXPECT_EQ(s.result.windowPolicy,
+                          windowPolicyName(wp));
+                EXPECT_GT(s.result.windowsRun, 0u);
+                if (wp == WindowPolicy::Conservative) {
+                    EXPECT_EQ(s.result.windowsWidened, 0u);
+                    EXPECT_EQ(s.result.windowFallbacks, 0u);
+                }
+            }
         }
     }
+}
+
+TEST(AdaptiveWindows, WideningAndFallbacksAreCounted)
+{
+    // The planner's decisions must be observable: a sharded adaptive
+    // run reports every window it executed, every window it widened
+    // past the conservative end, and every fallback to the floor —
+    // so a policy that silently degrades to always-conservative is
+    // distinguishable from one that works.
+    MachineConfig cfg = shardableConfig(Arch::PPC, 4);
+    cfg.windowPolicy = WindowPolicy::Adaptive;
+    Snapshot a = runPoint(cfg, "FFT", 0.05);
+    EXPECT_EQ(a.shardsUsed, 4u);
+    EXPECT_EQ(a.result.windowPolicy, "adaptive");
+    EXPECT_GT(a.result.windowsRun, 0u);
+    // Kernels have quiet phases; a planner that never widens on this
+    // point is broken (this is the claim the perf win rests on).
+    EXPECT_GT(a.result.windowsWidened, 0u);
+    EXPECT_LE(a.result.windowsWidened, a.result.windowsRun);
+
+    // The serial scheduler reports its own policy label and no
+    // window activity at all.
+    Snapshot s = runPoint(shardableConfig(Arch::PPC, 1), "FFT", 0.05);
+    EXPECT_EQ(s.result.windowPolicy, "serial");
+    EXPECT_EQ(s.result.windowsRun, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

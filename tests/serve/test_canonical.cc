@@ -323,6 +323,17 @@ TEST(Canonical, ResultInvariantFieldsDoNotChangeTheHash)
     traced.obs.chromeTraceFile = "elsewhere.json";
     EXPECT_EQ(keyFor(traced).hash, base_key.hash);
     EXPECT_EQ(keyFor(traced).canonical, base_key.canonical);
+
+    // Window policy: conservative and adaptive windows are proven
+    // bit-identical by tests/integration/test_sharded_identity.cc,
+    // so the policy choice must not split the result cache.
+    MachineConfig adaptive = base;
+    adaptive.windowPolicy = WindowPolicy::Adaptive;
+    MachineConfig conservative = base;
+    conservative.windowPolicy = WindowPolicy::Conservative;
+    EXPECT_EQ(keyFor(adaptive).hash, keyFor(conservative).hash);
+    EXPECT_EQ(keyFor(adaptive).canonical,
+              keyFor(conservative).canonical);
 }
 
 TEST(Canonical, HashIsStableAcrossRuns)

@@ -73,6 +73,11 @@ TEST(ResultIo, RoundTripsEveryField)
     r.escapedCorruptions = 0;
     r.shardFallback = true;
     r.avgUtilization = 0.123456789012345678; // %.17g must hold this
+    r.windowPolicy = "adaptive";
+    r.windowsRun = 9;
+    r.windowsWidened = 10;
+    r.windowFallbacks = 11;
+    r.syncWindowStops = 12;
 
     RunResult back = resultFromJson(resultToJson(r));
     EXPECT_TRUE(resultsIdentical(r, back));
@@ -80,6 +85,11 @@ TEST(ResultIo, RoundTripsEveryField)
     EXPECT_EQ(back.execTicks, r.execTicks);
     EXPECT_EQ(back.avgUtilization, r.avgUtilization); // bit-exact
     EXPECT_EQ(back.shardFallback, r.shardFallback);
+    EXPECT_EQ(back.windowPolicy, r.windowPolicy);
+    EXPECT_EQ(back.windowsRun, r.windowsRun);
+    EXPECT_EQ(back.windowsWidened, r.windowsWidened);
+    EXPECT_EQ(back.windowFallbacks, r.windowFallbacks);
+    EXPECT_EQ(back.syncWindowStops, r.syncWindowStops);
 }
 
 TEST(ResultCache, HitsAfterMiss)

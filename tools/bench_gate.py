@@ -19,9 +19,22 @@ realistic-delay benchmark pair.
 A second machine-independent invariant gates the sharded scheduler:
 pass --sharded BENCH_fig6_sharded.json and the grid's overall
 serial-vs-sharded speedup must reach --min-speedup (default 1.5x).
-The check is skipped (with a note) when the producing host had fewer
-hardware threads than requested shards — identity is still enforced
-by the bench itself, but the timing comparison is meaningless there.
+The timing checks are skipped (with a note) when the producing host
+had fewer hardware threads than requested shards — identity is still
+enforced by the bench itself, but the timing comparison is
+meaningless there. Three additions ride on the same summary table:
+
+  * the adaptive window counters (windows run / widened / fallbacks
+    / sync window stops) must be PRESENT — a bench export without
+    them means the planner silently stopped counting, which is
+    itself a failure;
+  * the windowPolicy ablation: the adaptive-vs-conservative wall
+    ratio must stay below 1 + --max-adaptive-regression (default
+    0.20) — adaptive windows may never cost more than 20% over the
+    conservative barrier they claim to beat;
+  * --min-speedup-adaptive N (default 0 = off) requires the overall
+    serial-vs-adaptive speedup to reach N on hosts with >= 8
+    hardware threads (the fig6 8-core target).
 
 A third machine-independent invariant gates the crash-recovery
 subsystem: pass --recovery BENCH_crash_campaign.json and every
@@ -50,9 +63,20 @@ rejection column must be present (bounded admission is counted,
 never silent). The summary line echoes cache-hit-rate and
 dedup-factor so CI logs track the serving efficiency run-over-run.
 
+A sixth invariant gates the trace-replay fast path: pass
+--replay-served BENCH_<any>.json and the bench's "workload replay
+cache" table must show zero captures and at least one (memory or
+disk) hit — i.e. the run was entirely replay-served. CI runs the
+fig6 base sweep twice against one CCNUMA_REPLAY_DIR and gates the
+second run's export, proving persisted traces actually serve a fresh
+process.
+
 Usage: bench_gate.py [BASELINE.json FRESH.json] [--threshold 0.20]
                      [--sharded BENCH_fig6_sharded.json]
                      [--min-speedup 1.5]
+                     [--min-speedup-adaptive 0]
+                     [--max-adaptive-regression 0.20]
+                     [--replay-served BENCH_fig6_base.json]
                      [--recovery BENCH_crash_campaign.json]
                      [--max-rebuild-ticks 50000]
                      [--integrity BENCH_corruption_campaign.json]
@@ -93,7 +117,8 @@ def sharded_summary(path):
     return None
 
 
-def check_sharded(path, min_speedup, failures):
+def check_sharded(path, min_speedup, min_speedup_adaptive,
+                  max_adaptive_regression, failures):
     summary = sharded_summary(path)
     if summary is None:
         failures.append(f"{path}: no 'speedup summary' table")
@@ -104,20 +129,71 @@ def check_sharded(path, min_speedup, failures):
         failures.append(
             f"sharded identity: {identical}/{points} points "
             "bit-identical")
+
+    # The adaptive planner must count its behavior; a summary without
+    # the counters means the policy went silent, which is a failure
+    # regardless of timing.
+    counters = {}
+    for key in ("windows run", "windows widened", "window fallbacks",
+                "sync window stops"):
+        if key not in summary:
+            failures.append(
+                f"sharded fig6: summary lacks the '{key}' counter "
+                "(adaptive window behavior must be counted, never "
+                "silent)")
+        else:
+            counters[key] = int(summary[key])
+
     shards = int(summary.get("shards requested", 0))
     hw = int(summary.get("hardware threads", 0))
     speedup = float(summary.get("overall speedup", 0.0))
     print(f"\nsharded fig6: {identical}/{points} bit-identical, "
           f"{shards} shards on {hw} hardware threads, "
           f"speedup {speedup:.2f} (require >= {min_speedup:.2f})")
+    if counters:
+        print("  adaptive windows: "
+              + ", ".join(f"{k} {v}" for k, v in counters.items()))
+    if counters.get("windows run", 0) > 0 and \
+            counters.get("windows widened", -1) == 0:
+        print("  (note: the adaptive planner never widened a window "
+              "on this grid)")
     if hw < shards:
-        print("  (timing check skipped: host has fewer hardware "
+        print("  (timing checks skipped: host has fewer hardware "
               "threads than shards)")
         return
     if speedup < min_speedup:
         failures.append(
             f"sharded scheduler only {speedup:.2f}x serial "
             f"(expected >= {min_speedup:.2f}x on {hw} threads)")
+
+    ablation = summary.get("adaptive vs conservative wall")
+    if ablation is None:
+        failures.append(
+            "sharded fig6: summary lacks the 'adaptive vs "
+            "conservative wall' ablation column")
+    else:
+        ablation = float(ablation)
+        limit = 1.0 + max_adaptive_regression
+        print(f"  adaptive/conservative wall {ablation:.3f} "
+              f"(require <= {limit:.2f})")
+        if ablation > limit:
+            failures.append(
+                f"adaptive windows cost {ablation:.3f}x the "
+                f"conservative barrier (ceiling {limit:.2f}x)")
+
+    if min_speedup_adaptive > 0:
+        if hw >= 8:
+            print(f"  adaptive speedup {speedup:.2f} "
+                  f"(require >= {min_speedup_adaptive:.2f} on "
+                  f"{hw} threads)")
+            if speedup < min_speedup_adaptive:
+                failures.append(
+                    f"adaptive sharded speedup only {speedup:.2f}x "
+                    f"serial (expected >= "
+                    f"{min_speedup_adaptive:.2f}x on {hw} threads)")
+        else:
+            print("  (adaptive speedup floor skipped: host has "
+                  f"{hw} < 8 hardware threads)")
 
 
 def check_recovery(path, max_rebuild_ticks, failures):
@@ -273,6 +349,48 @@ def check_served(path, min_dedup, failures):
           f"cache-hit-rate {hit}, dedup-factor {dedup}")
 
 
+def replay_summary(path):
+    """Metric->value map of the 'workload replay cache' table, or
+    None when the bench export doesn't carry one."""
+    with open(path) as f:
+        data = json.load(f)
+    for table in data.get("tables", []):
+        if "replay cache" not in table.get("title", "").lower():
+            continue
+        return {row.get("metric"): row.get("value")
+                for row in table.get("rows", [])}
+    return None
+
+
+def check_replay_served(path, failures):
+    summary = replay_summary(path)
+    if summary is None:
+        failures.append(
+            f"{path}: no 'workload replay cache' table (every bench "
+            "export must carry the replay counters)")
+        return
+    if "disabled" in summary:
+        failures.append(
+            f"{path}: replay cache was disabled (CCNUMA_REPLAY=0); "
+            "cannot assert a replay-served run")
+        return
+    captures = int(summary.get("captures", -1))
+    hits = int(summary.get("hits", 0))
+    disk_hits = int(summary.get("disk hits", 0))
+    stale = int(summary.get("stale rejects", 0))
+    print(f"\nreplay-served: captures {captures}, hits {hits}, "
+          f"disk hits {disk_hits}, stale rejects {stale} "
+          "(require captures == 0 and disk hits >= 1)")
+    if captures != 0:
+        failures.append(
+            f"replay-served run still captured {captures} trace(s); "
+            "the persisted traces did not serve it")
+    if disk_hits < 1:
+        failures.append(
+            "replay-served run loaded no trace from disk; the "
+            "persist dir is not being consulted")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline", nargs="?")
@@ -283,6 +401,17 @@ def main():
                     help="BENCH_fig6_sharded.json to gate on")
     ap.add_argument("--min-speedup", type=float, default=1.5,
                     help="min sharded-vs-serial wall-clock speedup")
+    ap.add_argument("--min-speedup-adaptive", type=float, default=0.0,
+                    help="min serial-vs-adaptive speedup, enforced "
+                         "only on hosts with >= 8 hardware threads "
+                         "(0 = off)")
+    ap.add_argument("--max-adaptive-regression", type=float,
+                    default=0.20,
+                    help="max fractional wall-clock cost of adaptive "
+                         "windows over conservative")
+    ap.add_argument("--replay-served", metavar="JSON",
+                    help="bench export that must have been entirely "
+                         "served from persisted replay traces")
     ap.add_argument("--recovery", metavar="JSON",
                     help="BENCH_crash_campaign.json to gate on")
     ap.add_argument("--max-rebuild-ticks", type=int, default=50000,
@@ -299,9 +428,11 @@ def main():
     if bool(args.baseline) != bool(args.fresh):
         ap.error("BASELINE and FRESH must be given together")
     if (not args.baseline and not args.sharded and not args.recovery
-            and not args.integrity and not args.served):
+            and not args.integrity and not args.served
+            and not args.replay_served):
         ap.error("nothing to gate: give BASELINE FRESH, --sharded, "
-                 "--recovery, --integrity, or --served")
+                 "--recovery, --integrity, --served, or "
+                 "--replay-served")
 
     failures = []
     if args.baseline:
@@ -327,6 +458,22 @@ def main():
             print(f"{name:40s} {base[name]:12.3g} "
                   f"{fresh[name]:12.3g} {ratio:7.2f}{flag}")
 
+        small = fresh.get("BM_WheelParkedOverflow/64")
+        big = fresh.get("BM_WheelParkedOverflow/4096")
+        if small and big:
+            ratio = big / small
+            print(f"\nparked-overflow 4096/64 throughput ratio: "
+                  f"{ratio:.2f} (require >= 0.50)")
+            if ratio < 0.50:
+                failures.append(
+                    f"wheel advance degrades {1 / ratio:.1f}x with a "
+                    "64x larger parked overflow population; the "
+                    "O(overflow) early-out is not engaging")
+        else:
+            failures.append(
+                "BM_WheelParkedOverflow/{64,4096} pair missing from "
+                "run")
+
         wheel = fresh.get("BM_WheelRealisticDelays")
         heap = fresh.get("BM_LegacyHeapRealisticDelays")
         if wheel and heap:
@@ -342,7 +489,12 @@ def main():
                 "wheel-vs-heap realistic-delay pair missing from run")
 
     if args.sharded:
-        check_sharded(args.sharded, args.min_speedup, failures)
+        check_sharded(args.sharded, args.min_speedup,
+                      args.min_speedup_adaptive,
+                      args.max_adaptive_regression, failures)
+
+    if args.replay_served:
+        check_replay_served(args.replay_served, failures)
 
     if args.recovery:
         check_recovery(args.recovery, args.max_rebuild_ticks,
