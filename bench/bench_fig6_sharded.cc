@@ -1,17 +1,21 @@
 /**
  * @file
  * Sharded-scheduler speedup on the Figure 6 sweep: every point of the
- * base-configuration grid is run three times — serial (shards=1),
- * sharded with conservative lock-step windows, and sharded with
- * adaptive windows — with the wall clock of each timed and all three
- * results required to be bit-identical (same retired instructions and
- * execution ticks).
+ * base-configuration grid is run four times — serial (shards=1, with
+ * the sharded grant timing forced so it stays the bit-identity
+ * oracle), sharded with conservative lock-step windows, sharded with
+ * adaptive windows, and sharded with speculative (Time-Warp) windows
+ * — with the wall clock of each timed and all four results required
+ * to be bit-identical (same retired instructions and execution
+ * ticks).
  *
  * The speedup rows feed tools/bench_gate.py --sharded, which enforces
- * the minimum sharded speedup and the adaptive-vs-conservative
- * ablation bound on CI; on hosts with fewer hardware threads than
- * shards the bench still proves identity but records the thread count
- * so the gate can skip the (meaningless) timing checks.
+ * the minimum sharded speedup, the adaptive-vs-conservative ablation
+ * bound, and the speculative floors (--min-speedup-speculative plus
+ * the max-rollback-rate invariant) on CI; on hosts with fewer
+ * hardware threads than shards the bench still proves identity but
+ * records the thread count so the gate can skip the (meaningless)
+ * timing checks.
  *
  * The adaptive planner's behavior is exported in full: windows run,
  * windows widened past the conservative end, floor fallbacks, and
@@ -49,13 +53,15 @@ struct TimedRun
 
 TimedRun
 timedRun(const std::string &app, Arch arch, const Options &o,
-         WindowPolicy wp)
+         WindowPolicy wp, bool force_defer = false)
 {
     auto t0 = std::chrono::steady_clock::now();
     TimedRun t;
-    t.result = runApp(app, arch, o, 1.0, [wp](MachineConfig &cfg) {
-        cfg.windowPolicy = wp;
-    });
+    t.result =
+        runApp(app, arch, o, 1.0, [wp, force_defer](MachineConfig &cfg) {
+            cfg.windowPolicy = wp;
+            cfg.forceSyncDefer = force_defer;
+        });
     t.ms = std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - t0)
                .count();
@@ -86,52 +92,77 @@ run(int argc, char **argv)
 
     bench::printHeader(
         report::fmt("Figure 6 sweep, serial vs %u-sharded scheduler "
-                    "(conservative and adaptive windows)",
+                    "(conservative, adaptive, and speculative "
+                    "windows)",
                     o.shards),
         o);
     std::cout << "hardware threads: " << hw << "\n";
     bench::JsonReport session("fig6_sharded", o);
 
     report::Table t({"application", "arch", "serial ms", "cons ms",
-                     "adaptive ms", "speedup", "shards used",
-                     "windows", "widened", "fallbacks"});
+                     "adaptive ms", "spec ms", "speedup", "shards used",
+                     "windows", "widened", "fallbacks", "rollbacks"});
     double serial_total = 0.0, cons_total = 0.0, adapt_total = 0.0;
+    double spec_total = 0.0;
     unsigned points = 0, identical = 0, sharded_points = 0;
+    unsigned spec_demotions = 0;
     std::uint64_t windows_run = 0, windows_widened = 0;
     std::uint64_t window_fallbacks = 0, sync_window_stops = 0;
+    std::uint64_t rollbacks = 0, anti_messages = 0;
+    std::uint64_t squashed_events = 0, gvt_sweeps = 0;
+    std::uint64_t checkpoint_bytes = 0, spec_bursts = 0;
+    std::uint64_t spec_burst_shards = 0;
 
     for (const std::string &app : splashNames()) {
         if (!o.wantsApp(app))
             continue;
         warmReplay(app, serial_o);
         for (Arch arch : allArchs) {
+            // The serial oracle forces the deferred grant path so
+            // serial and sharded runs share one timing model.
             TimedRun s = timedRun(app, arch, serial_o,
-                                  WindowPolicy::Conservative);
+                                  WindowPolicy::Conservative, true);
             TimedRun c =
                 timedRun(app, arch, o, WindowPolicy::Conservative);
             TimedRun a =
                 timedRun(app, arch, o, WindowPolicy::Adaptive);
+            TimedRun sp =
+                timedRun(app, arch, o, WindowPolicy::Speculative);
             ++points;
             serial_total += s.ms;
             cons_total += c.ms;
             adapt_total += a.ms;
+            spec_total += sp.ms;
             bool same =
                 s.result.instructions == c.result.instructions &&
                 s.result.execTicks == c.result.execTicks &&
                 s.result.instructions == a.result.instructions &&
-                s.result.execTicks == a.result.execTicks;
+                s.result.execTicks == a.result.execTicks &&
+                s.result.instructions == sp.result.instructions &&
+                s.result.execTicks == sp.result.execTicks;
             if (same)
                 ++identical;
             if (a.result.shardsUsed > 1)
                 ++sharded_points;
+            if (!sp.result.windowPolicyFallback.empty())
+                ++spec_demotions;
             windows_run += a.result.windowsRun;
             windows_widened += a.result.windowsWidened;
             window_fallbacks += a.result.windowFallbacks;
             sync_window_stops += a.result.syncWindowStops;
+            rollbacks += sp.result.rollbacks;
+            anti_messages += sp.result.antiMessages;
+            squashed_events += sp.result.squashedEvents;
+            gvt_sweeps += sp.result.gvtSweeps;
+            checkpoint_bytes += sp.result.checkpointBytes;
+            spec_bursts += sp.result.windowsRun;
+            spec_burst_shards +=
+                sp.result.windowsRun * sp.result.shardsUsed;
             t.addRow({app, std::string(archName(arch)),
                       report::fmt("%.1f", s.ms),
                       report::fmt("%.1f", c.ms),
                       report::fmt("%.1f", a.ms),
+                      report::fmt("%.1f", sp.ms),
                       report::fmt("%.2f",
                                   s.ms / std::max(a.ms, 1e-9)),
                       report::fmt("%u", a.result.shardsUsed),
@@ -142,13 +173,16 @@ run(int argc, char **argv)
                                       a.result.windowsWidened),
                       report::fmt("%llu",
                                   (unsigned long long)
-                                      a.result.windowFallbacks)});
+                                      a.result.windowFallbacks),
+                      report::fmt("%llu",
+                                  (unsigned long long)
+                                      sp.result.rollbacks)});
             if (!same) {
                 std::fprintf(
                     stderr,
                     "FAIL: %s/%s diverged: serial %llu insn / %llu "
                     "ticks, conservative %llu / %llu, adaptive "
-                    "%llu / %llu (%s)\n",
+                    "%llu / %llu, speculative %llu / %llu (%s)\n",
                     app.c_str(), archName(arch),
                     (unsigned long long)s.result.instructions,
                     (unsigned long long)s.result.execTicks,
@@ -156,6 +190,8 @@ run(int argc, char **argv)
                     (unsigned long long)c.result.execTicks,
                     (unsigned long long)a.result.instructions,
                     (unsigned long long)a.result.execTicks,
+                    (unsigned long long)sp.result.instructions,
+                    (unsigned long long)sp.result.execTicks,
                     a.result.shardFallback.empty()
                         ? "no fallback"
                         : a.result.shardFallback.c_str());
@@ -168,7 +204,14 @@ run(int argc, char **argv)
 
     double speedup = serial_total / std::max(adapt_total, 1e-9);
     double cons_speedup = serial_total / std::max(cons_total, 1e-9);
+    double spec_speedup = serial_total / std::max(spec_total, 1e-9);
     double ablation = adapt_total / std::max(cons_total, 1e-9);
+    // Fraction of shard-bursts that had to roll back: each shard can
+    // roll back at most once per speculative burst, so this is a
+    // wasted-work ratio in [0, 1].
+    double rollback_rate =
+        static_cast<double>(rollbacks) /
+        std::max<double>(1.0, static_cast<double>(spec_burst_shards));
     report::Table summary({"metric", "value"});
     summary.addRow({"shards requested", report::fmt("%u", o.shards)});
     summary.addRow({"hardware threads", report::fmt("%u", hw)});
@@ -184,9 +227,13 @@ run(int argc, char **argv)
         {"conservative total ms", report::fmt("%.1f", cons_total)});
     summary.addRow(
         {"sharded total ms", report::fmt("%.1f", adapt_total)});
+    summary.addRow(
+        {"speculative total ms", report::fmt("%.1f", spec_total)});
     summary.addRow({"overall speedup", report::fmt("%.3f", speedup)});
     summary.addRow(
         {"conservative speedup", report::fmt("%.3f", cons_speedup)});
+    summary.addRow(
+        {"speculative speedup", report::fmt("%.3f", spec_speedup)});
     summary.addRow({"adaptive vs conservative wall",
                     report::fmt("%.3f", ablation)});
     summary.addRow({"windows run",
@@ -201,6 +248,29 @@ run(int argc, char **argv)
     summary.addRow(
         {"sync window stops",
          report::fmt("%llu", (unsigned long long)sync_window_stops)});
+    summary.addRow(
+        {"speculative demotions",
+         report::fmt("%u", spec_demotions)});
+    summary.addRow(
+        {"speculative bursts",
+         report::fmt("%llu", (unsigned long long)spec_bursts)});
+    summary.addRow(
+        {"rollbacks", report::fmt("%llu", (unsigned long long)rollbacks)});
+    summary.addRow(
+        {"anti-messages",
+         report::fmt("%llu", (unsigned long long)anti_messages)});
+    summary.addRow(
+        {"squashed events",
+         report::fmt("%llu", (unsigned long long)squashed_events)});
+    summary.addRow(
+        {"gvt sweeps",
+         report::fmt("%llu", (unsigned long long)gvt_sweeps)});
+    summary.addRow(
+        {"checkpoint MB",
+         report::fmt("%.1f", static_cast<double>(checkpoint_bytes) /
+                                 (1024.0 * 1024.0))});
+    summary.addRow(
+        {"rollback rate", report::fmt("%.4f", rollback_rate)});
 
     std::cout << "\nFigure 6 sweep: serial vs sharded wall clock\n";
     session.table("Figure 6 sweep: serial vs sharded wall clock", t);

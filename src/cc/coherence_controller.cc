@@ -826,18 +826,21 @@ CoherenceController::beginHandler(
           case CcBusOp::InvalOnly: bc = BusCmd::Inval; break;
           case CcBusOp::None: break;
         }
-        Exec *raw = ex.release();
+        // The Exec rides by value so the pending callback stays
+        // copyable (speculative checkpoints copy it; a rollback
+        // replays it from the copy with no ownership to reconstruct).
         eq_.scheduleFunction(
-            [this, raw, bc, line, ep = epoch_] {
+            [this, ex2 = std::move(*ex), bc, line,
+             ep = epoch_]() mutable {
                 if (ep != epoch_) {
                     // The handler died in a crash before its bus
                     // operation issued; its request replays fresh.
-                    delete raw;
                     return;
                 }
                 std::uint64_t id = bus_.request(bc, line, busAgentId_,
                                                 0, /*from_cc=*/true);
-                fetches_[id].reset(raw);
+                fetches_[id] =
+                    std::make_unique<Exec>(std::move(ex2));
             },
             pre_done);
     } else {
@@ -848,16 +851,15 @@ CoherenceController::beginHandler(
 void
 CoherenceController::respondPhase(std::unique_ptr<Exec> ex, Tick t)
 {
-    Exec *raw = ex.release();
+    // By-value Exec capture: see beginHandler's bus-op path.
     eq_.scheduleFunction(
-        [this, raw, ep = epoch_] {
-            std::unique_ptr<Exec> e(raw);
+        [this, e = std::move(*ex), ep = epoch_]() mutable {
             if (ep != epoch_)
                 return; // handler died in a crash
             Tick now = eq_.curTick();
-            if (e->action)
-                e->action(*e, now);
-            const HandlerSpec &spec = handlerSpec(e->handler);
+            if (e.action)
+                e.action(e, now);
+            const HandlerSpec &spec = handlerSpec(e.handler);
             Tick post = spec.postCost(model_);
             if (spec.movesData) {
                 // Remainder of the line transfer after the critical
@@ -871,7 +873,7 @@ CoherenceController::respondPhase(std::unique_ptr<Exec> ex, Tick t)
                 if (params_.engineType == EngineType::PP)
                     post += params_.ppTransferPoll;
             }
-            finishHandler(e->engine, now + post);
+            finishHandler(e.engine, now + post);
         },
         t);
 }
@@ -2605,6 +2607,81 @@ CoherenceController::resetStats()
         e.queueDelayCount = 0;
     }
     statGroup_.resetAll();
+}
+
+// ---------------------------------------------------------------------
+// Speculative checkpointing
+// ---------------------------------------------------------------------
+
+std::shared_ptr<const void>
+CoherenceController::specSave(std::size_t &bytes)
+{
+    std::unordered_map<std::uint64_t, Exec> fetches;
+    fetches.reserve(fetches_.size());
+    for (const auto &[id, ex] : fetches_)
+        fetches.emplace(id, *ex);
+    auto s = std::make_shared<SpecSnap>(SpecSnap{
+        retries_, engines_, homeBusy_, deferredLocal_, homeWaiting_,
+        reqPending_, wbBuffer_, wbWaiting_, std::move(fetches),
+        state_, epoch_, crashReplay_, dirLost_, rebuildParkedWb_,
+        probePendingPeers_, probeDonesOutstanding_,
+        probeRespsExpected_, probeRespsApplied_, restartTick_,
+        reconstructionTicksMax_, missLadders_, deadLines_,
+        deadForever_});
+    // Approximate footprint: the struct plus its container payloads
+    // (queue items dominate; per-item std::function payloads are
+    // not walked).
+    std::size_t queued = 0;
+    for (const auto &e : s->engines)
+        for (const auto &q : e.queues)
+            queued += q.size();
+    for (const auto &[line, q] : s->homeWaiting)
+        queued += q.size();
+    for (const auto &[line, q] : s->wbWaiting)
+        queued += q.size();
+    for (const auto &[line, rp] : s->reqPending)
+        queued += rp.conflicting.size();
+    queued += s->crashReplay.size();
+    bytes += sizeof(SpecSnap) +
+             queued * sizeof(DispatchItem) +
+             s->fetches.size() * sizeof(Exec) +
+             s->homeBusy.size() * sizeof(HomeTxn) +
+             (s->deferredLocal.size() + s->missLadders.size() +
+              s->wbBuffer.size() + s->deadLines.size()) *
+                 2 * sizeof(Addr) +
+             s->rebuildParkedWb.size() * sizeof(Msg);
+    return s;
+}
+
+void
+CoherenceController::specRestore(const void *snap)
+{
+    const SpecSnap *s = static_cast<const SpecSnap *>(snap);
+    retries_ = s->retries;
+    engines_ = s->engines;
+    homeBusy_ = s->homeBusy;
+    deferredLocal_ = s->deferredLocal;
+    homeWaiting_ = s->homeWaiting;
+    reqPending_ = s->reqPending;
+    wbBuffer_ = s->wbBuffer;
+    wbWaiting_ = s->wbWaiting;
+    fetches_.clear();
+    for (const auto &[id, ex] : s->fetches)
+        fetches_.emplace(id, std::make_unique<Exec>(ex));
+    state_ = s->state;
+    epoch_ = s->epoch;
+    crashReplay_ = s->crashReplay;
+    dirLost_ = s->dirLost;
+    rebuildParkedWb_ = s->rebuildParkedWb;
+    probePendingPeers_ = s->probePendingPeers;
+    probeDonesOutstanding_ = s->probeDonesOutstanding;
+    probeRespsExpected_ = s->probeRespsExpected;
+    probeRespsApplied_ = s->probeRespsApplied;
+    restartTick_ = s->restartTick;
+    reconstructionTicksMax_ = s->reconstructionTicksMax;
+    missLadders_ = s->missLadders;
+    deadLines_ = s->deadLines;
+    deadForever_ = s->deadForever;
 }
 
 } // namespace ccnuma

@@ -62,8 +62,12 @@ SetAssocCache::findLine(Addr addr)
     CacheLine *line = lines_.data() + setIndex(addr) * assoc_;
     CacheLine *end = line + assoc_;
     for (; line != end; ++line) {
-        if (line->lineAddr == la)
+        if (line->lineAddr == la) {
+            // Callers mutate the returned line in place; journal its
+            // pre-image so speculation can roll the mutation back.
+            jrec(line);
             return line;
+        }
     }
     return nullptr;
 }
@@ -102,6 +106,7 @@ SetAssocCache::allocate(Addr addr, LineState st, Victim *victim)
         if (target->state == LineState::Modified)
             ++statDirtyEvictions;
     }
+    jrec(target);
     target->lineAddr = la;
     target->state = st;
     target->version = 0;
@@ -129,6 +134,7 @@ SetAssocCache::invalidateAll()
     // discarded still count as corrected, keeping the ledger closed.
     resolvePending();
     for (auto &line : lines_) {
+        jrec(&line);
         line.state = LineState::Invalid;
         line.lineAddr = kNoLineTag;
     }

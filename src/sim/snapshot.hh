@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Checkpointable component state for speculative (Time-Warp) shards.
+ *
+ * Two capture strategies, one interface:
+ *
+ *  - Small transient state (controller engines, MSHRs, bus grants,
+ *    processor counters, network port pods) is captured by full copy:
+ *    specSave() returns a type-erased value snapshot and
+ *    specRestore() assigns it back.
+ *
+ *  - Big stores (the L1/L2 line arrays, the directory line map and
+ *    its cache, the memory version map) keep an undo journal instead:
+ *    every mutation while speculation is armed appends the old value,
+ *    specSave() returns only the journal position, and specRestore()
+ *    replays the log backwards to that position. A snapshot is then a
+ *    few bytes regardless of store size.
+ *
+ * The global-virtual-time sweep calls specCommit() with the oldest
+ * snapshot any shard still retains, letting journals drop the
+ * committed prefix. specBegin()/specEnd() bracket the speculative
+ * session (journaled stores arm and disarm their logs there).
+ */
+
+#ifndef CCNUMA_SIM_SNAPSHOT_HH
+#define CCNUMA_SIM_SNAPSHOT_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace ccnuma
+{
+
+/** Checkpoint/rollback interface over one component's state. */
+class Snapshottable
+{
+  public:
+    virtual ~Snapshottable() = default;
+
+    /** Arm speculative capture (journaled stores start logging). */
+    virtual void specBegin() {}
+
+    /**
+     * Capture the component's current state. @p bytes is incremented
+     * by the snapshot's approximate footprint (RunResult accounting).
+     */
+    virtual std::shared_ptr<const void> specSave(std::size_t &bytes) = 0;
+
+    /** Roll the component back to a snapshot from specSave(). */
+    virtual void specRestore(const void *snap) = 0;
+
+    /**
+     * Everything older than @p oldest (the oldest snapshot any
+     * checkpoint still references) is committed; journaled stores
+     * trim their logs, tape-backed streams drop replayed prefixes.
+     */
+    virtual void specCommit(const void *oldest) { (void)oldest; }
+
+    /** Disarm speculative capture and drop journal storage. */
+    virtual void specEnd() {}
+};
+
+/**
+ * Reverse-replay undo log for a journaled store. @p Rec holds one
+ * mutation's pre-image; the owner supplies the undo application.
+ * Positions are absolute (monotone across trims), so checkpoint marks
+ * stay valid after the committed prefix is dropped.
+ */
+template <typename Rec>
+class UndoLog
+{
+  public:
+    bool armed() const { return armed_; }
+    void arm() { armed_ = true; }
+
+    void
+    disarm()
+    {
+        armed_ = false;
+        recs_.clear();
+        base_ += 0;
+        recs_.shrink_to_fit();
+    }
+
+    /** Append a pre-image (call only when armed). */
+    void push(Rec r) { recs_.push_back(std::move(r)); }
+
+    /** Absolute position marking "now". */
+    std::size_t mark() const { return base_ + recs_.size(); }
+
+    /**
+     * Undo every record at or past @p mark, newest first, through
+     * @p apply(const Rec &).
+     */
+    template <typename F>
+    void
+    undoTo(std::size_t mark, F &&apply)
+    {
+        while (base_ + recs_.size() > mark) {
+            apply(recs_.back());
+            recs_.pop_back();
+        }
+    }
+
+    /** Records before @p mark are committed; drop them. */
+    void
+    trimBelow(std::size_t mark)
+    {
+        if (mark <= base_)
+            return;
+        std::size_t n = mark - base_;
+        if (n >= recs_.size()) {
+            base_ += recs_.size();
+            recs_.clear();
+            return;
+        }
+        recs_.erase(recs_.begin(),
+                    recs_.begin() + static_cast<std::ptrdiff_t>(n));
+        base_ = mark;
+    }
+
+    std::size_t sizeRecs() const { return recs_.size(); }
+
+  private:
+    bool armed_ = false;
+    std::vector<Rec> recs_;
+    std::size_t base_ = 0;
+};
+
+} // namespace ccnuma
+
+#endif // CCNUMA_SIM_SNAPSHOT_HH

@@ -23,6 +23,7 @@ windowPolicyName(WindowPolicy p)
     switch (p) {
       case WindowPolicy::Conservative: return "conservative";
       case WindowPolicy::Adaptive: return "adaptive";
+      case WindowPolicy::Speculative: return "speculative";
     }
     return "?";
 }

@@ -7,6 +7,7 @@
 
 #include "net/reliable.hh"
 #include "obs/tracer.hh"
+#include "sim/snapshot.hh"
 #include "recovery/recovery_manager.hh"
 #include "verify/checker.hh"
 #include "verify/fault_injector.hh"
@@ -78,17 +79,68 @@ Machine::Machine(const MachineConfig &cfg)
                  "integer); shard count stays %u", env, cfg_.shards);
         }
     }
-    // CCNUMA_WINDOW overrides the sharded window policy. Either
+    // CCNUMA_WINDOW overrides the sharded window policy. Every
     // policy is bit-identical; this is a wall-clock ablation knob.
     if (const char *env = std::getenv("CCNUMA_WINDOW")) {
         if (!std::strcmp(env, "conservative")) {
             cfg_.windowPolicy = WindowPolicy::Conservative;
         } else if (!std::strcmp(env, "adaptive")) {
             cfg_.windowPolicy = WindowPolicy::Adaptive;
+        } else if (!std::strcmp(env, "speculative")) {
+            cfg_.windowPolicy = WindowPolicy::Speculative;
         } else {
             warn("CCNUMA_WINDOW=%s not recognized (use "
-                 "conservative|adaptive); policy stays %s", env,
-                 windowPolicyName(cfg_.windowPolicy));
+                 "conservative|adaptive|speculative); policy stays %s",
+                 env, windowPolicyName(cfg_.windowPolicy));
+        }
+    }
+    // Speculative tuning knobs: burst horizon and checkpoint spacing,
+    // both in lookahead windows. Nonsense values are repaired with a
+    // warning rather than rejected, like the other env knobs.
+    if (const char *env = std::getenv("CCNUMA_SPEC_HORIZON")) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1) {
+            cfg_.specHorizonWindows = static_cast<unsigned>(v);
+        } else {
+            warn("CCNUMA_SPEC_HORIZON=%s not recognized (use a "
+                 "positive integer); horizon stays %u", env,
+                 cfg_.specHorizonWindows);
+        }
+    }
+    if (const char *env = std::getenv("CCNUMA_SPEC_CKPT")) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1) {
+            cfg_.specCkptWindows = static_cast<unsigned>(v);
+        } else {
+            warn("CCNUMA_SPEC_CKPT=%s not recognized (use a positive "
+                 "integer); spacing stays %u", env,
+                 cfg_.specCkptWindows);
+        }
+    }
+    if (cfg_.specHorizonWindows == 0)
+        cfg_.specHorizonWindows = 1;
+    if (cfg_.specCkptWindows == 0 ||
+        cfg_.specCkptWindows > cfg_.specHorizonWindows ||
+        cfg_.specHorizonWindows % cfg_.specCkptWindows != 0) {
+        warn("specCkptWindows=%u does not divide specHorizonWindows="
+             "%u; using a checkpoint every window",
+             cfg_.specCkptWindows, cfg_.specHorizonWindows);
+        cfg_.specCkptWindows = 1;
+    }
+    // CCNUMA_SYNC_DEFER forces the deferred (sharded-style) sync
+    // grant path in serial runs, making a serial run a bit-identity
+    // oracle for the sharded modes.
+    if (const char *env = std::getenv("CCNUMA_SYNC_DEFER")) {
+        if (!std::strcmp(env, "1") || !std::strcmp(env, "on")) {
+            cfg_.forceSyncDefer = true;
+        } else if (!std::strcmp(env, "0") || !std::strcmp(env, "off")) {
+            cfg_.forceSyncDefer = false;
+        } else {
+            warn("CCNUMA_SYNC_DEFER=%s not recognized (use 1|on|0|"
+                 "off); sync deferral stays %s", env,
+                 cfg_.forceSyncDefer ? "on" : "off");
         }
     }
     // Verification subsystem (off by default; see DESIGN.md). The
@@ -181,6 +233,7 @@ Machine::Machine(const MachineConfig &cfg)
     sync_ = std::make_unique<SyncManager>(
         "sync", shardMap_, cfg_.syncBase, cfg_.node.bus.lineBytes);
     sync_->setHandoffTicks(cfg_.syncHandoffTicks);
+    sync_->setForceDefer(cfg_.forceSyncDefer);
     if (cfg_.reliable.enabled) {
         xport_ = std::make_unique<ReliableTransport>(
             "xport", shardMap_, *net_, cfg_.reliable,
@@ -346,6 +399,48 @@ Machine::Machine(const MachineConfig &cfg)
             [this](std::ostream &os) { dumpDiagnostics(os); });
     }
 
+    // Speculative (Time-Warp) bursts roll component state back on
+    // straggler cross-shard traffic, so every subsystem a shard can
+    // touch must be checkpointable. The ones that are not — the
+    // reliable transport's retransmission state, fault injection's
+    // RNG streams, crash recovery, the integrity managers, and the
+    // observability tracers — demote speculative to the adaptive
+    // policy; the hang watchdog demotes it to conservative (it polls
+    // only at lock-step barriers). Demotion is counted, never silent.
+    if (cfg_.windowPolicy == WindowPolicy::Speculative &&
+        shardMap_.sharded()) {
+        auto demote = [this](const char *why, WindowPolicy to) {
+            if (cfg_.windowPolicy != WindowPolicy::Speculative)
+                return;
+            warn("speculative windows disabled: %s; using the %s "
+                 "policy", why, windowPolicyName(to));
+            specFallback_ = why;
+            cfg_.windowPolicy = to;
+        };
+        if (watchdog_) {
+            demote("the hang watchdog polls at lock-step barriers",
+                   WindowPolicy::Conservative);
+        }
+        if (xport_) {
+            demote("the reliable transport's retransmission windows "
+                   "are not checkpointable", WindowPolicy::Adaptive);
+        }
+        if (injector_) {
+            demote("fault injection consumes RNG streams that a "
+                   "rollback cannot rewind", WindowPolicy::Adaptive);
+        }
+        if (recovery_ || integrity_) {
+            demote("the recovery/integrity managers mutate cross-node "
+                   "state outside the checkpointed set",
+                   WindowPolicy::Adaptive);
+        }
+        if (!tracers_.empty()) {
+            demote("the observability tracers' rings and open spans "
+                   "are not checkpointable", WindowPolicy::Adaptive);
+        }
+    }
+    specActive_ = shardMap_.sharded() &&
+                  cfg_.windowPolicy == WindowPolicy::Speculative;
     // Adaptive windows need every widening decision to be taken at a
     // barrier with all shards quiescent; the hang watchdog also polls
     // at barriers, and a shard running an arbitrarily wide window
@@ -359,6 +454,55 @@ Machine::Machine(const MachineConfig &cfg)
         // the loopholes, closed by these self-clamps (DESIGN.md §19).
         net_->setSendClampMargin(lookahead_);
         sync_->setAdaptiveWindows(true);
+    }
+    if (specActive_) {
+        // Per-shard checkpoint sets: everything a shard's events can
+        // mutate. The shard's event queue and its slice of the
+        // network's port pods are snapshotted separately (the queue
+        // by specSave, the pods by specSaveShard); the sync manager
+        // needs no snapshot — its barrier/lock state mutates only
+        // during committed single-threaded barrier processing.
+        specComps_.resize(shardMap_.numShards);
+        specStats_.resize(shardMap_.numShards);
+        for (auto &nd : nodes_) {
+            unsigned s = shardMap_.shardOf(nd->id());
+            auto &cs = specComps_[s];
+            cs.push_back(&nd->bus());
+            cs.push_back(&nd->memory());
+            cs.push_back(&nd->directory());
+            cs.push_back(&nd->cc());
+            auto &st = specStats_[s];
+            auto add_group = [&st](stats::Group &g) {
+                for (stats::Stat *x : g.stats())
+                    st.push_back(x);
+            };
+            add_group(nd->bus().statGroup());
+            add_group(nd->memory().statGroup());
+            add_group(nd->directory().statGroup());
+            add_group(nd->cc().statGroup());
+            for (unsigned i = 0; i < nd->numProcs(); ++i) {
+                cs.push_back(&nd->cacheUnit(i));
+                cs.push_back(&nd->proc(i));
+                add_group(nd->proc(i).statGroup());
+                add_group(nd->cacheUnit(i).statGroup());
+            }
+        }
+        // Straggler sentry on the deferred grant path. The burst
+        // frontier is capped at the earliest recorded sync
+        // operation's grant tick, so a grant can never land below a
+        // committed shard clock; this hook turns a violation of that
+        // proof into an immediate diagnostic instead of a downstream
+        // schedule-in-the-past panic.
+        sync_->setPreGrantHook([this](NodeId node, Tick when) {
+            EventQueue &q = shardMap_.of(node);
+            if (when < q.curTick()) {
+                panic("speculative barrier: sync grant for node %u "
+                      "lands at tick %llu, below its shard clock %llu"
+                      " — the frontier's sync cap was violated",
+                      node, (unsigned long long)when,
+                      (unsigned long long)q.curTick());
+            }
+        });
     }
 }
 
@@ -621,6 +765,266 @@ Machine::windowBarrier(Tick window_end)
         watchdog_->poll(window_end - 1);
 }
 
+bool
+Machine::runSpeculative(const std::function<bool()> &done, Tick limit)
+{
+    const unsigned S = static_cast<unsigned>(queues_.size());
+    const Tick L = lookahead_;
+    const Tick P = static_cast<Tick>(cfg_.specCkptWindows) * L;
+    const unsigned max_segs =
+        cfg_.specHorizonWindows / cfg_.specCkptWindows;
+    const Tick handoff = cfg_.syncHandoffTicks;
+    const Tick max_target = limit < maxTick - 1 ? limit + 1 : maxTick;
+
+    /** One grid checkpoint of one shard. */
+    struct Ckpt
+    {
+        Tick tick = 0;
+        std::uint64_t processed = 0;
+        std::size_t bytes = 0;
+        std::shared_ptr<const EventQueue::QueueSnap> queue;
+        std::shared_ptr<const void> net;
+        std::vector<std::shared_ptr<const void>> comps;
+        std::vector<double> statVals;
+    };
+    std::vector<std::vector<Ckpt>> ckpts(S);
+
+    // Capture shard s at grid tick t. Runs on the shard's own team
+    // thread: everything touched (queue, owned network pods,
+    // components, stats) is shard-private during a burst, and the
+    // footprint is tallied into the shared counter only at the
+    // barrier (via Ckpt::bytes).
+    auto take = [&](unsigned s, Tick t) {
+        auto &list = ckpts[s];
+        Ckpt c;
+        c.tick = t;
+        c.processed = queues_[s]->numProcessed();
+        if (!list.empty() && list.back().processed == c.processed) {
+            // Idle segment: nothing ran since the previous grid
+            // point, so the state is unchanged — alias the previous
+            // snapshot's payloads instead of re-capturing them.
+            c.queue = list.back().queue;
+            c.net = list.back().net;
+            c.comps = list.back().comps;
+            c.statVals = list.back().statVals;
+            list.push_back(std::move(c));
+            return;
+        }
+        std::size_t bytes = 0;
+        c.queue = queues_[s]->specSave(bytes);
+        c.net = net_->specSaveShard(s, bytes);
+        c.comps.reserve(specComps_[s].size());
+        for (Snapshottable *comp : specComps_[s])
+            c.comps.push_back(comp->specSave(bytes));
+        for (stats::Stat *st : specStats_[s])
+            st->appendValues(c.statVals);
+        bytes += c.statVals.size() * sizeof(double);
+        c.bytes = bytes;
+        list.push_back(std::move(c));
+    };
+
+    // Roll shard s back to checkpoint c. The clock rewind is
+    // mandatory for *every* shard whenever the frontier stops short
+    // of the burst target — a committed grant or arrival may land in
+    // [F, target), which must not lie in any queue's past — so this
+    // runs even for shards that processed nothing past c (their
+    // pending set is then bit-identical and only the clock moves).
+    auto restore = [&](unsigned s, const Ckpt &c) {
+        queues_[s]->specRestore(*c.queue);
+        net_->specRestoreShard(s, c.net.get());
+        for (std::size_t i = 0; i < specComps_[s].size(); ++i)
+            specComps_[s][i]->specRestore(c.comps[i].get());
+        std::size_t pos = 0;
+        for (stats::Stat *st : specStats_[s])
+            st->restoreValues(c.statVals, pos);
+    };
+
+    // Account and drop the burst's checkpoints (every burst is
+    // self-contained: nothing survives its own barrier).
+    auto reclaim = [&] {
+        for (unsigned s = 0; s < S; ++s) {
+            for (const Ckpt &c : ckpts[s])
+                checkpointBytes_ += c.bytes;
+            ckpts[s].clear();
+        }
+    };
+
+    // One conservative window + barrier, for bursts where no grid
+    // point is committable (the sync horizon or the run limit lies
+    // nearer than the first checkpoint). The end stays short of the
+    // earliest deferred sync operation's grant so no grant can land
+    // in a shard's past; the burst-base bound (base <= deferredMin +
+    // handoff) keeps that end at or past base, and the barrier's
+    // horizon-limited sync processing guarantees progress even when
+    // the window itself is empty.
+    auto conservativeStep = [&](Tick base) {
+        Tick end = base + L < max_target ? base + L : max_target;
+        Tick dm = sync_->pendingMinWhen();
+        if (dm != maxTick && dm + handoff < end)
+            end = dm + handoff;
+        ++windowsRun_;
+        ++windowFallbacks_;
+        team_->run(
+            [this, end](unsigned s) { queues_[s]->runWindow(end); });
+        net_->drainMailboxes();
+        Tick safe = maxTick;
+        for (auto &q : queues_)
+            safe = std::min(safe, q->nextWhen());
+        sync_->processPending(safe);
+    };
+
+    while (!done()) {
+        // Burst-start invariant: every cross-shard arrival was either
+        // delivered (its send committed) or squashed (its sender
+        // rolled back) at the previous barrier.
+        ccnuma_assert(net_->mailboxesEmpty());
+        // The burst base is the earliest committable action anywhere:
+        // a pending event, or a buffered sync operation's grant.
+        Tick base = maxTick;
+        for (auto &q : queues_)
+            base = std::min(base, q->nextWhen());
+        Tick sm = sync_->recordedMinWhen();
+        if (sm != maxTick && sm + handoff < base)
+            base = sm + handoff;
+        if (base == maxTick || base > limit)
+            return false;
+
+        // Segment count: never speculate past the point where a
+        // buffered sync operation's grant could land (it caps the
+        // commit frontier regardless, so windows past it are wasted
+        // work), nor past the run limit. This pre-clamp is also what
+        // keeps the frontier at or above base + L below: with it, any
+        // sync cap admitting segs >= 1 is at least base + P.
+        unsigned segs = max_segs;
+        if (sm != maxTick) {
+            Tick cap = sm + handoff;
+            if (cap < base + P) {
+                segs = 0;
+            } else {
+                segs = std::min<unsigned>(
+                    segs,
+                    static_cast<unsigned>((cap - base + P - 1) / P));
+            }
+        }
+        if (max_target - base < P) {
+            segs = 0;
+        } else {
+            segs = std::min<unsigned>(
+                segs, static_cast<unsigned>((max_target - base) / P));
+        }
+        if (segs == 0) {
+            conservativeStep(base);
+            continue;
+        }
+        const Tick target = base + static_cast<Tick>(segs) * P;
+
+        // Optimistic phase: every shard runs segs checkpoint
+        // segments past the base with no cross-shard coordination.
+        // Cross-shard sends buffer in the network mailboxes and sync
+        // posts in the per-shard logs — both cancellable, so nothing
+        // speculative ever escapes the shard.
+        ++windowsRun_;
+        team_->run([&](unsigned s) {
+            take(s, base);
+            for (unsigned i = 1; i <= segs; ++i) {
+                queues_[s]->runWindow(base +
+                                      static_cast<Tick>(i) * P);
+                take(s, base + static_cast<Tick>(i) * P);
+            }
+        });
+
+        // Commit frontier: start from the burst target capped by the
+        // earliest buffered sync grant, then close under straggler
+        // arrivals — a buffered arrival sent below the frontier and
+        // arriving below it drags the frontier down to its arrival
+        // tick (its receiver must re-execute from there with the
+        // message present). Every send this burst has schedTick >=
+        // base and arrives at least a lookahead later, and the sync
+        // pre-clamp bounds the cap, so rawF >= base + L always.
+        Tick rawF = target;
+        sm = sync_->recordedMinWhen();
+        if (sm != maxTick && sm + handoff < rawF)
+            rawF = sm + handoff;
+        for (bool changed = true; changed;) {
+            changed = false;
+            net_->forEachMailboxEntry(
+                [&](unsigned, NodeId, Tick sched, Tick when) {
+                    if (sched < rawF && when < rawF) {
+                        rawF = when;
+                        changed = true;
+                    }
+                });
+        }
+        ccnuma_assert(rawF >= base + L);
+
+        // Committed frontier F: the highest checkpoint grid point at
+        // or below rawF (restores can only land on checkpoints).
+        const unsigned ci =
+            rawF >= target
+                ? segs
+                : static_cast<unsigned>((rawF - base) / P);
+        const Tick F = base + static_cast<Tick>(ci) * P;
+
+        if (ci == 0) {
+            // The frontier cleared no grid point (checkpoint spacing
+            // exceeds the lookahead and a straggler arrived early):
+            // squash the whole burst and take one conservative window
+            // instead — counted, never silent.
+            for (unsigned s = 0; s < S; ++s) {
+                std::uint64_t delta = queues_[s]->numProcessed() -
+                                      ckpts[s][0].processed;
+                restore(s, ckpts[s][0]);
+                if (delta) {
+                    squashedEvents_ += delta;
+                    ++rollbacks_;
+                    antiMessages_ += net_->squashSends(s, F);
+                    antiMessages_ += sync_->squashFrom(s, F);
+                }
+            }
+            ccnuma_assert(net_->mailboxesEmpty());
+            reclaim();
+            conservativeStep(base);
+            continue;
+        }
+
+        if (ci < segs) {
+            // Roll every shard back to its checkpoint at F and cancel
+            // the squashed segments' unobserved cross-shard sends and
+            // sync posts (anti-messages). Shards that processed
+            // nothing past F only rewind their clock; they made no
+            // squashable send, so the counters stay quiet.
+            for (unsigned s = 0; s < S; ++s) {
+                std::uint64_t delta = queues_[s]->numProcessed() -
+                                      ckpts[s][ci].processed;
+                restore(s, ckpts[s][ci]);
+                if (delta) {
+                    squashedEvents_ += delta;
+                    ++rollbacks_;
+                    antiMessages_ += net_->squashSends(s, F);
+                    antiMessages_ += sync_->squashFrom(s, F);
+                }
+            }
+        }
+        // Everything below F is final. Deliver the committed mail
+        // (after the squash every buffered send has schedTick < F,
+        // and the closure above guarantees it arrives at or past
+        // rawF >= F, i.e. in every shard's future), process committed
+        // sync operations under the same horizon, and let journaled
+        // stores drop their committed prefixes (the GVT sweep).
+        net_->drainMailboxesCommitted(F);
+        ccnuma_assert(net_->mailboxesEmpty());
+        sync_->processPending(F);
+        for (unsigned s = 0; s < S; ++s) {
+            for (std::size_t i = 0; i < specComps_[s].size(); ++i)
+                specComps_[s][i]->specCommit(
+                    ckpts[s][ci].comps[i].get());
+        }
+        ++gvtSweeps_;
+        reclaim();
+    }
+    return true;
+}
+
 void
 Machine::mergeTracers()
 {
@@ -648,7 +1052,14 @@ Machine::run(Workload &w, bool check)
         // Serial runs count completions through a plain variable: the
         // single-queue fast loop polls it every event, and an atomic
         // there is pure overhead.
-        if (shardMap_.sharded()) {
+        if (specActive_) {
+            // A rollback past a completion would re-fire the callback
+            // on replay and double-count; the speculative loop polls
+            // the processors' finished flags instead — they are part
+            // of the checkpointed processor state, so at a burst
+            // boundary they reflect exactly the committed prefix.
+            p.setFinishedCallback([] {});
+        } else if (shardMap_.sharded()) {
             p.setFinishedCallback([this] {
                 finishedProcs_.fetch_add(1,
                                          std::memory_order_release);
@@ -669,8 +1080,26 @@ Machine::run(Workload &w, bool check)
     Tick limit = cfg_.maxTicks;
     if (const char *env = std::getenv("CCNUMA_MAX_TICKS"))
         limit = std::strtoull(env, nullptr, 10);
+    if (specActive_) {
+        // Arm the journaled stores and tapes for the whole run; the
+        // burst loop takes and drops checkpoints inside this session.
+        for (auto &cs : specComps_) {
+            for (Snapshottable *c : cs)
+                c->specBegin();
+        }
+    }
     bool done;
-    if (shardMap_.sharded()) {
+    if (specActive_) {
+        done = runSpeculative(
+            [this, n] {
+                for (unsigned i = 0; i < n; ++i) {
+                    if (!proc(i).finished())
+                        return false;
+                }
+                return true;
+            },
+            limit);
+    } else if (shardMap_.sharded()) {
         if (watchdog_)
             watchdog_->armPolled(0);
         done = runWindows(
@@ -716,6 +1145,7 @@ Machine::run(Workload &w, bool check)
         r.shardsUsed = shardMap_.numShards;
         r.shardFallback = fallbackReason_;
         r.windowPolicy = "serial";
+        r.windowPolicyFallback = specFallback_;
         fillRecoveryStats(r);
         if (!tracers_.empty()) {
             mergeTracers();
@@ -746,7 +1176,26 @@ Machine::run(Workload &w, bool check)
         exec = std::max(exec, proc(i).finishTick());
 
     // Drain in-flight protocol traffic (writeback acks etc.).
-    if (shardMap_.sharded()) {
+    if (specActive_) {
+        runSpeculative(
+            [this] {
+                for (auto &q : queues_) {
+                    if (!q->empty())
+                        return false;
+                }
+                return net_->mailboxesEmpty() &&
+                       sync_->pendingEmpty();
+            },
+            now() + 10'000'000);
+        // The speculative session is over: drop journal storage,
+        // replay tapes, and the queues' injection ledgers.
+        for (auto &cs : specComps_) {
+            for (Snapshottable *c : cs)
+                c->specEnd();
+        }
+        for (auto &q : queues_)
+            q->specSessionEnd();
+    } else if (shardMap_.sharded()) {
         runWindows(
             [this] {
                 for (auto &q : queues_) {
@@ -823,6 +1272,12 @@ Machine::run(Workload &w, bool check)
     r.windowFallbacks = windowFallbacks_;
     for (auto &q : queues_)
         r.syncWindowStops += q->windowClamps();
+    r.windowPolicyFallback = specFallback_;
+    r.rollbacks = rollbacks_;
+    r.antiMessages = antiMessages_;
+    r.squashedEvents = squashedEvents_;
+    r.checkpointBytes = checkpointBytes_;
+    r.gvtSweeps = gvtSweeps_;
     if (!tracers_.empty()) {
         mergeTracers();
         tracers_[0]->exportAll(now());

@@ -81,14 +81,21 @@ class ShardedKernel : public ::testing::TestWithParam<std::string>
 
 TEST_P(ShardedKernel, BitIdenticalAcrossShardCounts)
 {
-    // Both window policies must reproduce the serial run exactly:
+    // Every window policy must reproduce the serial run exactly:
     // conservative by construction, adaptive because widening is
-    // only applied when cross-shard silence is provable.
+    // only applied when cross-shard silence is provable, and
+    // speculative because every mis-speculated segment is rolled
+    // back and replayed with the straggler present.
     constexpr WindowPolicy kPolicies[] = {WindowPolicy::Conservative,
-                                          WindowPolicy::Adaptive};
+                                          WindowPolicy::Adaptive,
+                                          WindowPolicy::Speculative};
     for (Arch arch : kArchs) {
-        Snapshot serial =
-            runPoint(shardableConfig(arch, 1), GetParam());
+        // The serial oracle forces deferred sync grants so it
+        // produces the sharded grant timing (serial runs default to
+        // the seed's zero-delay wakes).
+        MachineConfig oracle_cfg = shardableConfig(arch, 1);
+        oracle_cfg.forceSyncDefer = true;
+        Snapshot serial = runPoint(oracle_cfg, GetParam());
         ASSERT_GT(serial.instructions, 0u);
         for (WindowPolicy wp : kPolicies) {
             for (unsigned shards : kShardCounts) {
@@ -112,6 +119,18 @@ TEST_P(ShardedKernel, BitIdenticalAcrossShardCounts)
                 if (wp == WindowPolicy::Conservative) {
                     EXPECT_EQ(s.result.windowsWidened, 0u);
                     EXPECT_EQ(s.result.windowFallbacks, 0u);
+                }
+                if (wp == WindowPolicy::Speculative) {
+                    // Speculation must actually engage: commits are
+                    // counted, and its identity comes from rollback
+                    // (a run with zero rollbacks on these sync-heavy
+                    // kernels means the engine silently degraded).
+                    EXPECT_TRUE(
+                        s.result.windowPolicyFallback.empty())
+                        << s.result.windowPolicyFallback;
+                    EXPECT_GT(s.result.gvtSweeps, 0u);
+                    EXPECT_GT(s.result.rollbacks, 0u);
+                    EXPECT_GT(s.result.checkpointBytes, 0u);
                 }
             }
         }
@@ -169,6 +188,8 @@ TEST(ShardedFaults, SeededCampaignIsLayoutIndependent)
         cfg.verify.faults.duplicateProb = 0.02;
         cfg.verify.faults.reorderProb = 0.02;
         cfg.verify.faults.reorderDelayMax = 300;
+        if (shards == 1)
+            cfg.forceSyncDefer = true; // sharded grant-timing oracle
         return cfg;
     };
     Snapshot serial = runPoint(cfg_for(1), "FFT", 0.05);

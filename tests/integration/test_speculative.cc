@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Speculative (Time-Warp) shard support: checkpoint/restore
+ * round-trips for every Snapshottable component class, a seeded
+ * straggler-storm fuzz against the bit-identity oracle, and the
+ * demotion matrix for subsystems a rollback cannot rewind.
+ *
+ * The burst-commit engine itself (src/system/machine.cc,
+ * runSpeculative) is pinned by tests/integration/
+ * test_sharded_identity.cc across the full kernel x arch x shard
+ * matrix; this file covers the pieces it is built from.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "directory/directory.hh"
+#include "mem/cache.hh"
+#include "mem/memory_controller.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "system/machine.hh"
+#include "workload/workload.hh"
+
+namespace ccnuma
+{
+namespace
+{
+
+// --- checkpoint/restore round-trips per component class ---
+
+TEST(SpecSnapshot, CacheJournalRoundTrip)
+{
+    SetAssocCache c("c", 4096, 4, 128);
+    c.allocate(0x1000, LineState::Shared, nullptr);
+    c.specBegin();
+    std::size_t bytes = 0;
+    auto s0 = c.specSave(bytes);
+
+    c.allocate(0x2000, LineState::Modified, nullptr);
+    c.touch(c.findLine(0x1000));
+    auto s1 = c.specSave(bytes);
+
+    c.invalidate(0x1000);
+    c.allocate(0x3000, LineState::Exclusive, nullptr);
+    ASSERT_EQ(c.findLine(0x1000), nullptr);
+
+    // Restore to the middle checkpoint: the post-s1 mutations unwind.
+    c.specRestore(s1.get());
+    ASSERT_NE(c.findLine(0x1000), nullptr);
+    EXPECT_EQ(c.findLine(0x1000)->state, LineState::Shared);
+    ASSERT_NE(c.findLine(0x2000), nullptr);
+    EXPECT_EQ(c.findLine(0x2000)->state, LineState::Modified);
+    EXPECT_EQ(c.findLine(0x3000), nullptr);
+    EXPECT_EQ(c.numValid(), 2u);
+
+    // Further back still: only the pre-speculation line remains.
+    c.specRestore(s0.get());
+    EXPECT_EQ(c.findLine(0x2000), nullptr);
+    EXPECT_EQ(c.numValid(), 1u);
+    EXPECT_GT(bytes, 0u);
+    c.specEnd();
+}
+
+TEST(SpecSnapshot, CacheJournalCommitTrimsThenKeepsRestoring)
+{
+    SetAssocCache c("c", 4096, 4, 128);
+    c.specBegin();
+    std::size_t bytes = 0;
+    c.allocate(0x1000, LineState::Shared, nullptr);
+    auto s1 = c.specSave(bytes);
+    c.allocate(0x2000, LineState::Modified, nullptr);
+
+    // GVT passed s1: the journal prefix below it is dropped, but
+    // restores at or above s1 must keep working (absolute marks).
+    c.specCommit(s1.get());
+    c.specRestore(s1.get());
+    EXPECT_NE(c.findLine(0x1000), nullptr);
+    EXPECT_EQ(c.findLine(0x2000), nullptr);
+    c.specEnd();
+}
+
+TEST(SpecSnapshot, MemoryVersionJournalRoundTrip)
+{
+    MemoryParams p;
+    MemoryController m("m", p);
+    m.specBegin();
+    std::size_t bytes = 0;
+    auto s0 = m.specSave(bytes);
+
+    // Occupy a bank and dirty the version map past the checkpoint.
+    Tick t0 = m.scheduleRead(0, 0);
+    Tick t1 = m.scheduleRead(0, 0); // same bank: queues behind t0
+    EXPECT_GT(t1, t0);
+    m.setVersion(0, 7);
+    auto s1 = m.specSave(bytes);
+    m.setVersion(0, 9);
+    m.setVersion(128, 3);
+
+    m.specRestore(s1.get());
+    EXPECT_EQ(m.version(0), 7u);
+    EXPECT_EQ(m.version(128), 0u); // created-after-s1: removed
+
+    // s0 predates everything, including the bank timers: the same
+    // read must see an idle bank again.
+    m.specRestore(s0.get());
+    EXPECT_EQ(m.version(0), 0u);
+    EXPECT_EQ(m.scheduleRead(0, 0), t0);
+    m.specEnd();
+}
+
+TEST(SpecSnapshot, DirectoryJournalRoundTrip)
+{
+    DirectoryParams p;
+    p.cacheEntries = 64;
+    p.cacheAssoc = 4;
+    DirectoryStore d("d", p);
+    d.entry(0x1000).addSharer(2);
+    d.specBegin();
+    std::size_t bytes = 0;
+    auto s0 = d.specSave(bytes);
+
+    d.entry(0x1000).addSharer(5);
+    d.entry(0x2000).addSharer(1); // entry created past the checkpoint
+    ASSERT_NE(d.peek(0x2000), nullptr);
+
+    d.specRestore(s0.get());
+    ASSERT_NE(d.peek(0x1000), nullptr);
+    EXPECT_TRUE(d.peek(0x1000)->isSharer(2));
+    EXPECT_FALSE(d.peek(0x1000)->isSharer(5));
+    EXPECT_EQ(d.peek(0x1000)->numSharers(), 1u);
+    EXPECT_EQ(d.peek(0x2000), nullptr);
+    d.specEnd();
+}
+
+TEST(SpecSnapshot, EventQueueRestoreReplaysIdentically)
+{
+    EventQueue q;
+    std::vector<std::pair<Tick, int>> fired;
+    for (int i = 0; i < 12; ++i) {
+        q.scheduleFunction(
+            [&fired, &q, i] {
+                fired.emplace_back(q.curTick(), i);
+                // Odd events spawn a child inside the speculative
+                // region; restore must replay the spawn too.
+                if (i % 2 == 1) {
+                    q.scheduleFunction(
+                        [&fired, &q, i] {
+                            fired.emplace_back(q.curTick(), 100 + i);
+                        },
+                        q.curTick() + 4);
+                }
+            },
+            static_cast<Tick>(i) * 3);
+    }
+
+    q.runWindow(10);
+    const auto prefix = fired;
+    std::size_t bytes = 0;
+    auto snap = q.specSave(bytes);
+    const std::uint64_t processed_at_snap = q.numProcessed();
+    EXPECT_GT(bytes, 0u);
+
+    q.runWindow(60);
+    const auto full = fired;
+    EXPECT_GT(full.size(), prefix.size());
+
+    // Roll back and re-run: the tail must be bit-identical.
+    q.specRestore(*snap);
+    EXPECT_EQ(q.numProcessed(), processed_at_snap);
+    fired = prefix;
+    q.runWindow(60);
+    EXPECT_EQ(fired, full);
+    q.specSessionEnd();
+}
+
+TEST(SpecSnapshot, StatValuesRoundTrip)
+{
+    stats::Scalar a{"a", "first"};
+    stats::Scalar b{"b", "second"};
+    a += 5;
+    ++b;
+    std::vector<double> saved;
+    a.appendValues(saved);
+    b.appendValues(saved);
+
+    a += 100;
+    b += 100;
+    std::size_t pos = 0;
+    a.restoreValues(saved, pos);
+    b.restoreValues(saved, pos);
+    EXPECT_EQ(pos, saved.size());
+    EXPECT_EQ(a.value(), 5.0);
+    EXPECT_EQ(b.value(), 1.0);
+}
+
+// --- machine-level: straggler fuzz against the identity oracle ---
+
+struct RunSnap
+{
+    RunResult result;
+    std::string stats;
+};
+
+RunSnap
+runSnap(const MachineConfig &cfg, const std::string &app,
+        double scale)
+{
+    WorkloadParams p;
+    p.numThreads = cfg.totalProcs();
+    p.scale = scale;
+    auto w = makeWorkload(app, p);
+    Machine m(cfg);
+    RunSnap s;
+    s.result = m.run(*w);
+    std::ostringstream os;
+    m.printStats(os);
+    s.stats = os.str();
+    return s;
+}
+
+MachineConfig
+specConfig(unsigned shards)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.numNodes = 8;
+    cfg.node.procsPerNode = 1;
+    cfg.withArch(Arch::PPC);
+    cfg.shards = shards;
+    cfg.windowPolicy = WindowPolicy::Speculative;
+    return cfg;
+}
+
+TEST(SpeculativeFuzz, SeededStragglerStormsStayIdentical)
+{
+    // The oracle: serial with the sharded grant timing forced.
+    MachineConfig oracle = specConfig(1);
+    oracle.windowPolicy = WindowPolicy::Conservative; // serial anyway
+    oracle.forceSyncDefer = true;
+    RunSnap serial = runSnap(oracle, "FFT", 0.03);
+    ASSERT_GT(serial.result.instructions, 0u);
+
+    // Seeded LCG sweep over (checkpoint window, horizon, shard
+    // count): short checkpoints under a deep horizon maximize
+    // straggler exposure, long ones maximize commit batching. Every
+    // combination must reproduce the oracle bit-for-bit.
+    std::uint64_t x = 0x2545F4914F6CDD1Dull;
+    auto next = [&x] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    };
+    const unsigned shard_choices[] = {2, 4, 8};
+    std::uint64_t total_rollbacks = 0;
+    for (int i = 0; i < 6; ++i) {
+        const unsigned ckpt = 1 + next() % 4;
+        const unsigned horizon = ckpt * (1 + next() % 8);
+        const unsigned shards = shard_choices[next() % 3];
+        SCOPED_TRACE("horizon=" + std::to_string(horizon) +
+                     " ckpt=" + std::to_string(ckpt) +
+                     " shards=" + std::to_string(shards));
+        MachineConfig cfg = specConfig(shards);
+        cfg.specHorizonWindows = horizon;
+        cfg.specCkptWindows = ckpt;
+        RunSnap s = runSnap(cfg, "FFT", 0.03);
+        EXPECT_TRUE(s.result.windowPolicyFallback.empty())
+            << s.result.windowPolicyFallback;
+        EXPECT_EQ(s.result.instructions, serial.result.instructions);
+        EXPECT_EQ(s.result.execTicks, serial.result.execTicks);
+        EXPECT_EQ(s.stats, serial.stats);
+        EXPECT_GT(s.result.gvtSweeps, 0u);
+        total_rollbacks += s.result.rollbacks;
+    }
+    // A fuzz sweep that never provoked a single rollback would be
+    // vacuous — FFT's barrier traffic guarantees stragglers.
+    EXPECT_GT(total_rollbacks, 0u);
+}
+
+// --- demotion matrix: subsystems a rollback cannot rewind ---
+
+TEST(SpeculativeComposition, CrashFaultsFallBackToSerialCounted)
+{
+    // Actual crash faults force the serial scheduler outright (the
+    // crash/repair events mutate cross-node state synchronously);
+    // a speculative request on top must land there counted, with
+    // zero rollback activity — never a rollback racing a rebuild.
+    MachineConfig cfg = specConfig(4).withCrashRecovery();
+    CrashFault f;
+    f.node = 1;
+    f.atTick = 4000;
+    cfg.verify.faults.crashes.push_back(f);
+    RunSnap s = runSnap(cfg, "FFT", 0.03);
+    EXPECT_TRUE(s.result.completed);
+    EXPECT_EQ(s.result.shardsUsed, 1u);
+    EXPECT_FALSE(s.result.shardFallback.empty());
+    EXPECT_EQ(s.result.windowPolicy, "serial");
+    EXPECT_EQ(s.result.rollbacks, 0u);
+    EXPECT_EQ(s.result.antiMessages, 0u);
+    EXPECT_EQ(s.result.checkpointBytes, 0u);
+    EXPECT_EQ(s.result.gvtSweeps, 0u);
+}
+
+TEST(SpeculativeComposition, RecoveryMachineryDemotesToAdaptiveCounted)
+{
+    // Crash recovery armed but no crash scheduled: sharding stays
+    // on, but the recovery managers' state (probe books, fences) is
+    // outside the checkpointed set, so speculation demotes to the
+    // adaptive policy — counted, never silent.
+    MachineConfig cfg = specConfig(4).withCrashRecovery();
+    RunSnap s = runSnap(cfg, "FFT", 0.03);
+    EXPECT_TRUE(s.result.completed);
+    EXPECT_FALSE(s.result.windowPolicyFallback.empty());
+    EXPECT_EQ(s.result.windowPolicy, "adaptive");
+    EXPECT_EQ(s.result.rollbacks, 0u);
+    EXPECT_EQ(s.result.antiMessages, 0u);
+    EXPECT_EQ(s.result.checkpointBytes, 0u);
+    EXPECT_EQ(s.result.gvtSweeps, 0u);
+}
+
+TEST(SpeculativeComposition, WatchdogDemotesToConservativeCounted)
+{
+    MachineConfig cfg = specConfig(4);
+    cfg.verify.watchdog = true;
+    RunSnap s = runSnap(cfg, "FFT", 0.03);
+    EXPECT_TRUE(s.result.completed);
+    EXPECT_FALSE(s.result.windowPolicyFallback.empty());
+    EXPECT_EQ(s.result.windowPolicy, "conservative");
+    EXPECT_EQ(s.result.rollbacks, 0u);
+}
+
+} // namespace
+} // namespace ccnuma

@@ -40,11 +40,29 @@ TEST_F(SyncFixture, BarrierReleasesOnLastArrival)
     EXPECT_EQ(sync.statBarriers.value(), 1.0);
 }
 
-TEST_F(SyncFixture, WakesAreDeferredByHandoffTicks)
+TEST_F(SyncFixture, SerialWakesAreZeroDelay)
 {
+    // The serial fast path schedules the wake as an ordinary
+    // zero-delay event (the seed's behavior): no hand-off latency.
     sync.setBarrierParticipants(1);
     sync.setHandoffTicks(7);
-    Tick woke_at = 0;
+    Tick woke_at = maxTick;
+    sync.arrive(0, 0, [&](bool r) {
+        EXPECT_TRUE(r);
+        woke_at = eq.curTick();
+    });
+    eq.run();
+    EXPECT_EQ(woke_at, 0u);
+}
+
+TEST_F(SyncFixture, ForcedDeferralDelaysWakesByHandoffTicks)
+{
+    // forceDefer makes a serial queue take the sharded grant path —
+    // the bit-identity oracle for every sharded window policy.
+    sync.setForceDefer(true);
+    sync.setBarrierParticipants(1);
+    sync.setHandoffTicks(7);
+    Tick woke_at = maxTick;
     sync.arrive(0, 0, [&](bool r) {
         EXPECT_TRUE(r);
         woke_at = eq.curTick();

@@ -76,6 +76,10 @@ perturbations()
         {"machine.syncHandoffTicks",
          [](C &c) { c.syncHandoffTicks += 1; }},
         {"machine.maxTicks", [](C &c) { c.maxTicks += 1; }},
+        // Grant timing is result-affecting: a serial run with forced
+        // deferral produces the sharded timing, not the seed's
+        // zero-delay wakes, so the two must not share a cache entry.
+        {"sync.deferredGrants", [](C &c) { c.forceSyncDefer = true; }},
         {"node.procsPerNode", [](C &c) { c.node.procsPerNode += 1; }},
         {"bus.arbLatency", [](C &c) { c.node.bus.arbLatency += 1; }},
         {"bus.strobeSpacing",
@@ -310,11 +314,22 @@ TEST(Canonical, ResultInvariantFieldsDoNotChangeTheHash)
 
     // Shard count: bit-identity across shard counts is proven by
     // tests/integration/test_sharded_identity.cc, so points with
-    // different shard counts share one cache entry.
-    MachineConfig sharded = base;
-    sharded.shards = 4;
-    EXPECT_EQ(keyFor(sharded).hash, base_key.hash);
-    EXPECT_EQ(keyFor(sharded).canonical, base_key.canonical);
+    // different shard counts share one cache entry.  Serial runs use
+    // zero-delay sync wakes, so they key differently from sharded
+    // runs (sync.deferredGrants) — unless deferral is forced, which
+    // makes a serial run the sharded oracle and merges the entries.
+    MachineConfig sharded2 = base;
+    sharded2.shards = 2;
+    MachineConfig sharded4 = base;
+    sharded4.shards = 4;
+    EXPECT_EQ(keyFor(sharded2).hash, keyFor(sharded4).hash);
+    EXPECT_EQ(keyFor(sharded2).canonical, keyFor(sharded4).canonical);
+    EXPECT_NE(keyFor(sharded4).hash, base_key.hash);
+    MachineConfig deferred_serial = base;
+    deferred_serial.forceSyncDefer = true;
+    EXPECT_EQ(keyFor(deferred_serial).hash, keyFor(sharded4).hash);
+    EXPECT_EQ(keyFor(deferred_serial).canonical,
+              keyFor(sharded4).canonical);
 
     // Observability: traced runs are proven identical to untraced
     // runs by tests/obs/test_traced_kernels.cc.
@@ -324,16 +339,30 @@ TEST(Canonical, ResultInvariantFieldsDoNotChangeTheHash)
     EXPECT_EQ(keyFor(traced).hash, base_key.hash);
     EXPECT_EQ(keyFor(traced).canonical, base_key.canonical);
 
-    // Window policy: conservative and adaptive windows are proven
-    // bit-identical by tests/integration/test_sharded_identity.cc,
-    // so the policy choice must not split the result cache.
+    // Window policy: conservative, adaptive, and speculative windows
+    // are proven bit-identical by
+    // tests/integration/test_sharded_identity.cc, so the policy
+    // choice must not split the result cache.
     MachineConfig adaptive = base;
     adaptive.windowPolicy = WindowPolicy::Adaptive;
     MachineConfig conservative = base;
     conservative.windowPolicy = WindowPolicy::Conservative;
+    MachineConfig speculative = base;
+    speculative.windowPolicy = WindowPolicy::Speculative;
     EXPECT_EQ(keyFor(adaptive).hash, keyFor(conservative).hash);
     EXPECT_EQ(keyFor(adaptive).canonical,
               keyFor(conservative).canonical);
+    EXPECT_EQ(keyFor(speculative).hash, keyFor(conservative).hash);
+    EXPECT_EQ(keyFor(speculative).canonical,
+              keyFor(conservative).canonical);
+
+    // Speculation tuning knobs only move checkpoints around; the
+    // committed execution is the same run.
+    MachineConfig tuned = speculative;
+    tuned.specHorizonWindows = 64;
+    tuned.specCkptWindows = 8;
+    EXPECT_EQ(keyFor(tuned).hash, keyFor(speculative).hash);
+    EXPECT_EQ(keyFor(tuned).canonical, keyFor(speculative).canonical);
 }
 
 TEST(Canonical, HashIsStableAcrossRuns)

@@ -78,6 +78,12 @@ TEST(ResultIo, RoundTripsEveryField)
     r.windowsWidened = 10;
     r.windowFallbacks = 11;
     r.syncWindowStops = 12;
+    r.windowPolicyFallback = "crash recovery is rollback-unaware";
+    r.rollbacks = 13;
+    r.antiMessages = 14;
+    r.squashedEvents = 15;
+    r.checkpointBytes = 16;
+    r.gvtSweeps = 17;
 
     RunResult back = resultFromJson(resultToJson(r));
     EXPECT_TRUE(resultsIdentical(r, back));
@@ -90,6 +96,12 @@ TEST(ResultIo, RoundTripsEveryField)
     EXPECT_EQ(back.windowsWidened, r.windowsWidened);
     EXPECT_EQ(back.windowFallbacks, r.windowFallbacks);
     EXPECT_EQ(back.syncWindowStops, r.syncWindowStops);
+    EXPECT_EQ(back.windowPolicyFallback, r.windowPolicyFallback);
+    EXPECT_EQ(back.rollbacks, r.rollbacks);
+    EXPECT_EQ(back.antiMessages, r.antiMessages);
+    EXPECT_EQ(back.squashedEvents, r.squashedEvents);
+    EXPECT_EQ(back.checkpointBytes, r.checkpointBytes);
+    EXPECT_EQ(back.gvtSweeps, r.gvtSweeps);
 }
 
 TEST(ResultCache, HitsAfterMiss)
